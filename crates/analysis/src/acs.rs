@@ -1,0 +1,331 @@
+//! Abstract cache states for the Must and May analyses.
+
+use std::collections::BTreeSet;
+
+use pwcet_cache::{CacheGeometry, MemBlock};
+
+/// Which analysis an abstract state belongs to; selects the join and
+/// update semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisKind {
+    /// Ages are *maximum* possible ages; membership guarantees presence.
+    Must,
+    /// Ages are *minimum* possible ages; absence guarantees absence.
+    May,
+}
+
+/// An abstract cache state: per set, `associativity` age positions each
+/// holding a set of memory blocks.
+///
+/// Age 0 is the most recently used position. For Must states the age of a
+/// block is an upper bound of its true LRU age; for May states a lower
+/// bound. A block appears at most once per set.
+///
+/// # Example
+///
+/// ```
+/// use pwcet_analysis::{Acs, AnalysisKind};
+/// use pwcet_cache::{CacheGeometry, MemBlock};
+///
+/// let g = CacheGeometry::paper_default();
+/// let mut acs = Acs::empty(&g, 2, AnalysisKind::Must);
+/// acs.update(MemBlock(0));
+/// acs.update(MemBlock(16)); // same set (16 sets), ages block 0 to 1
+/// assert_eq!(acs.age_of(MemBlock(0)), Some(1));
+/// assert_eq!(acs.age_of(MemBlock(16)), Some(0));
+/// assert!(acs.contains(MemBlock(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Acs {
+    kind: AnalysisKind,
+    sets: u32,
+    assoc: usize,
+    /// `ages[set * assoc + age]` = blocks with that (max or min) age.
+    ages: Vec<BTreeSet<MemBlock>>,
+}
+
+impl Acs {
+    /// The empty state (cold cache) at the given effective associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc == 0`; zero-way analyses have no state (callers
+    /// classify everything always-miss directly).
+    pub fn empty(geometry: &CacheGeometry, assoc: u32, kind: AnalysisKind) -> Self {
+        assert!(assoc > 0, "zero-way states are meaningless");
+        Self {
+            kind,
+            sets: geometry.sets(),
+            assoc: assoc as usize,
+            ages: vec![BTreeSet::new(); (geometry.sets() * assoc) as usize],
+        }
+    }
+
+    /// The analysis kind of this state.
+    pub fn kind(&self) -> AnalysisKind {
+        self.kind
+    }
+
+    /// The effective associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    fn set_of(&self, block: MemBlock) -> usize {
+        (block.0 % self.sets) as usize
+    }
+
+    fn slot(&self, set: usize, age: usize) -> usize {
+        set * self.assoc + age
+    }
+
+    /// The abstract age of `block`, if present.
+    pub fn age_of(&self, block: MemBlock) -> Option<usize> {
+        let set = self.set_of(block);
+        (0..self.assoc).find(|&age| self.ages[self.slot(set, age)].contains(&block))
+    }
+
+    /// `true` if `block` is in the state (Must: guaranteed cached;
+    /// May: possibly cached).
+    pub fn contains(&self, block: MemBlock) -> bool {
+        self.age_of(block).is_some()
+    }
+
+    /// Applies one access to `block` (the LRU update of §II-B1).
+    ///
+    /// On a potential miss (`block` absent) every block ages and the
+    /// oldest position falls out. On a hit at age `k` the analyses
+    /// differ in how age-`k` cohabitants (possible after joins) move:
+    ///
+    /// * **Must** (max ages): a block sharing `b`'s *maximum* age keeps
+    ///   it — its true age cannot exceed `k`, and if it equals `k` then
+    ///   `b`'s true age is below `k`, so the block does not age.
+    /// * **May** (min ages): a block sharing `b`'s *minimum* age must
+    ///   move to `k + 1` — its true age is ≥ `k`, and whichever of the
+    ///   two actually sits at `k` ends up at `k + 1` (either it ages
+    ///   under `b`'s renewal, or it already was deeper).
+    pub fn update(&mut self, block: MemBlock) {
+        let set = self.set_of(block);
+        let hit_age = self.age_of(block);
+        let boundary = match (self.kind, hit_age) {
+            (_, None) => self.assoc,
+            (AnalysisKind::Must, Some(k)) => k,
+            (AnalysisKind::May, Some(k)) => k + 1,
+        };
+        // Ages [0, boundary) shift to [1, boundary]; ages above stay.
+        // Work oldest-to-youngest to reuse storage.
+        for age in (1..self.assoc).rev() {
+            if age <= boundary {
+                let from = self.slot(set, age - 1);
+                let to = self.slot(set, age);
+                let moved = std::mem::take(&mut self.ages[from]);
+                if age == boundary {
+                    // The accessed block's old position is overwritten by
+                    // the shift; anything there merges per kind. For both
+                    // kinds the blocks previously at `boundary` stay there
+                    // only if boundary < assoc (hit case) — they are
+                    // replaced by the younger set, so merge them.
+                    let stay = std::mem::take(&mut self.ages[to]);
+                    self.ages[to] = moved;
+                    self.ages[to].extend(stay);
+                } else {
+                    self.ages[to] = moved;
+                }
+            }
+        }
+        for age in 0..self.assoc {
+            let slot = self.slot(set, age);
+            self.ages[slot].remove(&block);
+        }
+        let slot0 = self.slot(set, 0);
+        self.ages[slot0] = BTreeSet::from([block]);
+    }
+
+    /// Joins another state into this one at a control-flow merge.
+    ///
+    /// * Must: intersection with *maximum* age.
+    /// * May: union with *minimum* age.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states have different shapes or kinds.
+    pub fn join(&mut self, other: &Acs) {
+        assert_eq!(self.kind, other.kind, "cannot join across kinds");
+        assert_eq!(self.assoc, other.assoc, "associativity mismatch");
+        assert_eq!(self.sets, other.sets, "set-count mismatch");
+        for set in 0..self.sets as usize {
+            let mut joined: Vec<BTreeSet<MemBlock>> = vec![BTreeSet::new(); self.assoc];
+            match self.kind {
+                AnalysisKind::Must => {
+                    for age_a in 0..self.assoc {
+                        for &b in &self.ages[self.slot(set, age_a)] {
+                            if let Some(age_b) = other.age_in_set(set, b) {
+                                joined[age_a.max(age_b)].insert(b);
+                            }
+                        }
+                    }
+                }
+                AnalysisKind::May => {
+                    for age_a in 0..self.assoc {
+                        for &b in &self.ages[self.slot(set, age_a)] {
+                            let age = other.age_in_set(set, b).map_or(age_a, |x| x.min(age_a));
+                            joined[age].insert(b);
+                        }
+                    }
+                    for age_b in 0..self.assoc {
+                        for &b in &other.ages[other.slot(set, age_b)] {
+                            if self.age_in_set(set, b).is_none() {
+                                joined[age_b].insert(b);
+                            }
+                        }
+                    }
+                }
+            }
+            for (age, blocks) in joined.into_iter().enumerate() {
+                self.ages[set * self.assoc + age] = blocks;
+            }
+        }
+    }
+
+    fn age_in_set(&self, set: usize, block: MemBlock) -> Option<usize> {
+        (0..self.assoc).find(|&age| self.ages[self.slot(set, age)].contains(&block))
+    }
+
+    /// Total number of blocks tracked (over all sets and ages).
+    pub fn len(&self) -> usize {
+        self.ages.iter().map(BTreeSet::len).sum()
+    }
+
+    /// `true` when no block is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::paper_default()
+    }
+
+    /// Blocks 0, 16, 32, 48 … all map to set 0 in the 16-set geometry.
+    fn b(i: u32) -> MemBlock {
+        MemBlock(i * 16)
+    }
+
+    #[test]
+    fn must_update_tracks_max_age() {
+        let mut acs = Acs::empty(&geometry(), 4, AnalysisKind::Must);
+        for i in 0..4 {
+            acs.update(b(i));
+        }
+        for i in 0..4 {
+            assert_eq!(acs.age_of(b(i)), Some(3 - i as usize));
+        }
+        // A fifth block evicts the oldest.
+        acs.update(b(4));
+        assert!(!acs.contains(b(0)));
+        assert_eq!(acs.age_of(b(4)), Some(0));
+    }
+
+    #[test]
+    fn must_hit_renews_and_ages_younger_only() {
+        let mut acs = Acs::empty(&geometry(), 4, AnalysisKind::Must);
+        for i in 0..4 {
+            acs.update(b(i));
+        }
+        // Access block 2 (age 1): blocks younger (b3 at age 0) age to 1;
+        // older blocks (b1 age 2, b0 age 3) unchanged.
+        acs.update(b(2));
+        assert_eq!(acs.age_of(b(2)), Some(0));
+        assert_eq!(acs.age_of(b(3)), Some(1));
+        assert_eq!(acs.age_of(b(1)), Some(2));
+        assert_eq!(acs.age_of(b(0)), Some(3));
+    }
+
+    #[test]
+    fn must_join_keeps_common_blocks_at_max_age() {
+        let mut a = Acs::empty(&geometry(), 4, AnalysisKind::Must);
+        let mut c = Acs::empty(&geometry(), 4, AnalysisKind::Must);
+        a.update(b(1));
+        a.update(b(2)); // a: b2@0, b1@1
+        c.update(b(2));
+        c.update(b(3)); // c: b3@0, b2@1
+        a.join(&c);
+        assert_eq!(a.age_of(b(2)), Some(1)); // max(0, 1)
+        assert!(!a.contains(b(1))); // only on one side
+        assert!(!a.contains(b(3)));
+    }
+
+    #[test]
+    fn may_join_keeps_union_at_min_age() {
+        let mut a = Acs::empty(&geometry(), 4, AnalysisKind::May);
+        let mut c = Acs::empty(&geometry(), 4, AnalysisKind::May);
+        a.update(b(1));
+        a.update(b(2));
+        c.update(b(2));
+        c.update(b(3));
+        a.join(&c);
+        assert_eq!(a.age_of(b(2)), Some(0)); // min(0, 1)
+        assert_eq!(a.age_of(b(1)), Some(1));
+        assert_eq!(a.age_of(b(3)), Some(0));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut acs = Acs::empty(&geometry(), 2, AnalysisKind::Must);
+        acs.update(MemBlock(0)); // set 0
+        acs.update(MemBlock(1)); // set 1
+        acs.update(MemBlock(2)); // set 2
+        assert_eq!(acs.age_of(MemBlock(0)), Some(0));
+        assert_eq!(acs.age_of(MemBlock(1)), Some(0));
+        assert_eq!(acs.age_of(MemBlock(2)), Some(0));
+    }
+
+    #[test]
+    fn single_way_state_holds_one_block_per_set() {
+        let g = CacheGeometry::new(1, 1, 16);
+        let mut acs = Acs::empty(&g, 1, AnalysisKind::Must);
+        acs.update(MemBlock(5));
+        assert!(acs.contains(MemBlock(5)));
+        acs.update(MemBlock(9));
+        assert!(!acs.contains(MemBlock(5)));
+        assert!(acs.contains(MemBlock(9)));
+    }
+
+    #[test]
+    fn update_is_idempotent_on_mru() {
+        let mut acs = Acs::empty(&geometry(), 4, AnalysisKind::Must);
+        acs.update(b(1));
+        acs.update(b(2));
+        let snapshot = acs.clone();
+        acs.update(b(2)); // already MRU
+        assert_eq!(acs, snapshot);
+    }
+
+    #[test]
+    fn must_join_with_empty_empties() {
+        let mut a = Acs::empty(&geometry(), 4, AnalysisKind::Must);
+        a.update(b(1));
+        let empty = Acs::empty(&geometry(), 4, AnalysisKind::Must);
+        a.join(&empty);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn may_join_with_empty_keeps() {
+        let mut a = Acs::empty(&geometry(), 4, AnalysisKind::May);
+        a.update(b(1));
+        let empty = Acs::empty(&geometry(), 4, AnalysisKind::May);
+        a.join(&empty);
+        assert!(a.contains(b(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn zero_assoc_panics() {
+        let _ = Acs::empty(&geometry(), 0, AnalysisKind::Must);
+    }
+}

@@ -1,0 +1,166 @@
+//! Cache hit/miss classifications (CHMC).
+
+use pwcet_cfg::{LoopId, NodeId};
+
+/// A persistence scope: where a first-miss reference pays its single miss
+/// per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// The whole program (entered exactly once).
+    Program,
+    /// A natural loop of the expanded graph.
+    Loop(LoopId),
+}
+
+/// The worst-case cache behavior of one instruction fetch (§II-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Chmc {
+    /// Guaranteed hit on every execution (Must analysis).
+    AlwaysHit,
+    /// At most one miss per entry of the scope (Persistence analysis).
+    FirstMiss(Scope),
+    /// Guaranteed miss on every execution (May analysis: block absent).
+    AlwaysMiss,
+    /// None of the above. The evaluation treats this as always-miss
+    /// (§IV-A).
+    NotClassified,
+}
+
+impl Chmc {
+    /// `true` if the reference can never miss.
+    pub fn is_always_hit(self) -> bool {
+        matches!(self, Chmc::AlwaysHit)
+    }
+
+    /// `true` if every execution must be charged a miss (always-miss or
+    /// not-classified, which the evaluation merges).
+    pub fn is_charged_per_execution(self) -> bool {
+        matches!(self, Chmc::AlwaysMiss | Chmc::NotClassified)
+    }
+
+    /// The first-miss scope, if this is a first-miss classification.
+    pub fn first_miss_scope(self) -> Option<Scope> {
+        match self {
+            Chmc::FirstMiss(scope) => Some(scope),
+            _ => None,
+        }
+    }
+}
+
+/// Classification counts, for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChmcStats {
+    /// Number of always-hit references.
+    pub always_hit: usize,
+    /// Number of first-miss references.
+    pub first_miss: usize,
+    /// Number of always-miss references.
+    pub always_miss: usize,
+    /// Number of unclassified references.
+    pub not_classified: usize,
+}
+
+impl ChmcStats {
+    /// Total classified references.
+    pub fn total(&self) -> usize {
+        self.always_hit + self.first_miss + self.always_miss + self.not_classified
+    }
+}
+
+/// Per-reference classifications for a whole expanded graph.
+///
+/// Indexed by `(node, reference index within the node)`; reference `i` of a
+/// node is its `i`-th instruction fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChmcMap {
+    per_node: Vec<Vec<Chmc>>,
+}
+
+impl ChmcMap {
+    pub(crate) fn new(per_node: Vec<Vec<Chmc>>) -> Self {
+        Self { per_node }
+    }
+
+    /// The classification of reference `index` of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, node: NodeId, index: usize) -> Chmc {
+        self.per_node[node][index]
+    }
+
+    /// All classifications of one node, in fetch order.
+    pub fn node(&self, node: NodeId) -> &[Chmc] {
+        &self.per_node[node]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// `true` when no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+
+    /// Aggregate class counts.
+    pub fn stats(&self) -> ChmcStats {
+        let mut stats = ChmcStats::default();
+        for classes in &self.per_node {
+            for c in classes {
+                match c {
+                    Chmc::AlwaysHit => stats.always_hit += 1,
+                    Chmc::FirstMiss(_) => stats.first_miss += 1,
+                    Chmc::AlwaysMiss => stats.always_miss += 1,
+                    Chmc::NotClassified => stats.not_classified += 1,
+                }
+            }
+        }
+        stats
+    }
+
+    /// Iterates over `(node, index, classification)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, usize, Chmc)> + '_ {
+        self.per_node
+            .iter()
+            .enumerate()
+            .flat_map(|(n, cs)| cs.iter().enumerate().map(move |(i, &c)| (n, i, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chmc_predicates() {
+        assert!(Chmc::AlwaysHit.is_always_hit());
+        assert!(!Chmc::AlwaysMiss.is_always_hit());
+        assert!(Chmc::AlwaysMiss.is_charged_per_execution());
+        assert!(Chmc::NotClassified.is_charged_per_execution());
+        assert!(!Chmc::FirstMiss(Scope::Program).is_charged_per_execution());
+        assert_eq!(
+            Chmc::FirstMiss(Scope::Loop(3)).first_miss_scope(),
+            Some(Scope::Loop(3))
+        );
+        assert_eq!(Chmc::AlwaysHit.first_miss_scope(), None);
+    }
+
+    #[test]
+    fn map_stats_count_classes() {
+        let map = ChmcMap::new(vec![
+            vec![Chmc::AlwaysHit, Chmc::AlwaysMiss],
+            vec![Chmc::FirstMiss(Scope::Program), Chmc::NotClassified, Chmc::AlwaysHit],
+        ]);
+        let stats = map.stats();
+        assert_eq!(stats.always_hit, 2);
+        assert_eq!(stats.first_miss, 1);
+        assert_eq!(stats.always_miss, 1);
+        assert_eq!(stats.not_classified, 1);
+        assert_eq!(stats.total(), 5);
+        assert_eq!(map.get(1, 0), Chmc::FirstMiss(Scope::Program));
+        assert_eq!(map.iter().count(), 5);
+    }
+}

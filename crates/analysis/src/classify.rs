@@ -1,0 +1,294 @@
+//! CHMC classification: combining Must, May and Persistence.
+
+use pwcet_cache::CacheGeometry;
+use pwcet_cfg::{ExpandedCfg, NodeId};
+
+use crate::acs::AnalysisKind;
+use crate::chmc::{Chmc, ChmcMap};
+use crate::fixpoint::analyze;
+use crate::persistence::persistent_scopes;
+
+/// Classifies every instruction fetch of the expanded graph at the given
+/// **effective associativity** (number of usable ways per set).
+///
+/// Precedence (§II-B1): always-hit (Must) over first-miss (Persistence)
+/// over always-miss (May absence) over not-classified. With `assoc == 0`
+/// every fetch is always-miss — the behavior of a fully disabled set.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub fn classify(cfg: &ExpandedCfg, geometry: &CacheGeometry, assoc: u32) -> ChmcMap {
+    if assoc == 0 {
+        return ChmcMap::new(
+            cfg.nodes()
+                .iter()
+                .map(|n| vec![Chmc::AlwaysMiss; n.addrs().len()])
+                .collect(),
+        );
+    }
+    let must = analyze(cfg, geometry, assoc, AnalysisKind::Must);
+    let may = analyze(cfg, geometry, assoc, AnalysisKind::May);
+    let persistence = persistent_scopes(cfg, geometry, assoc);
+
+    let per_node = cfg
+        .nodes()
+        .iter()
+        .map(|node| {
+            let id: NodeId = node.id();
+            let (Some(must_state), Some(may_state)) = (&must[id], &may[id]) else {
+                // Unreachable node: classify conservatively.
+                return vec![Chmc::NotClassified; node.addrs().len()];
+            };
+            let mut must_state = must_state.clone();
+            let mut may_state = may_state.clone();
+            node.addrs()
+                .iter()
+                .enumerate()
+                .map(|(i, &addr)| {
+                    let block = geometry.block_of(addr);
+                    let class = if must_state.contains(block) {
+                        Chmc::AlwaysHit
+                    } else if let Some(scope) = persistence[id][i] {
+                        Chmc::FirstMiss(scope)
+                    } else if !may_state.contains(block) {
+                        Chmc::AlwaysMiss
+                    } else {
+                        Chmc::NotClassified
+                    };
+                    must_state.update(block);
+                    may_state.update(block);
+                    class
+                })
+                .collect()
+        })
+        .collect();
+    ChmcMap::new(per_node)
+}
+
+/// Which references are guaranteed hits in the Shared Reliable Buffer.
+///
+/// Indexed like [`ChmcMap`]: `always_hit(node, index)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrbMap {
+    per_node: Vec<Vec<bool>>,
+}
+
+impl SrbMap {
+    /// `true` if reference `index` of `node` is always-hit in the SRB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn always_hit(&self, node: NodeId, index: usize) -> bool {
+        self.per_node[node][index]
+    }
+
+    /// Number of always-hit references.
+    pub fn hit_count(&self) -> usize {
+        self.per_node.iter().flatten().filter(|&&b| b).count()
+    }
+
+    /// Total references covered.
+    pub fn total(&self) -> usize {
+        self.per_node.iter().map(Vec::len).sum()
+    }
+}
+
+/// The SRB analysis of §III-B2: a Must analysis of a one-block cache
+/// through which **every** reference is routed.
+///
+/// This is the paper's conservative assumption: no information survives in
+/// the SRB between distinct series of successive accesses, because any
+/// intervening reference to a fully-faulty set may reload it. A reference
+/// is SRB-always-hit exactly when every immediately preceding fetch (on
+/// all paths) touches the same memory block — the buffer then provably
+/// holds the block even if the reference's own set is fully faulty.
+pub fn classify_srb(cfg: &ExpandedCfg, geometry: &CacheGeometry) -> SrbMap {
+    // One set, one way, same block size: the SRB as a cache.
+    let srb_geometry = CacheGeometry::new(1, 1, geometry.block_bytes());
+    let must = analyze(cfg, &srb_geometry, 1, AnalysisKind::Must);
+    let per_node = cfg
+        .nodes()
+        .iter()
+        .map(|node| {
+            let Some(state) = &must[node.id()] else {
+                return vec![false; node.addrs().len()];
+            };
+            let mut state = state.clone();
+            node.addrs()
+                .iter()
+                .map(|&addr| {
+                    let block = srb_geometry.block_of(addr);
+                    let hit = state.contains(block);
+                    state.update(block);
+                    hit
+                })
+                .collect()
+        })
+        .collect();
+    SrbMap { per_node }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chmc::Scope;
+    use pwcet_cfg::FunctionExtent;
+    use pwcet_progen::{stmt, Program};
+
+    fn build(program: Program) -> ExpandedCfg {
+        let compiled = program.compile(0x0040_0000).expect("compiles");
+        let extents: Vec<FunctionExtent> = compiled
+            .functions()
+            .iter()
+            .map(|f| FunctionExtent::new(f.name(), f.entry(), f.end()))
+            .collect();
+        let bounds: Vec<(u32, u32)> = compiled
+            .loop_bounds()
+            .iter()
+            .map(|lb| (lb.header, lb.bound))
+            .collect();
+        ExpandedCfg::build(compiled.image(), &extents, &bounds).expect("expands")
+    }
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::paper_default()
+    }
+
+    #[test]
+    fn straight_line_classifies_block_leaders_as_miss() {
+        // 61 instructions straight-line: first fetch of each 16-byte block
+        // misses once (program-persistent: the program fits), later
+        // fetches of the block always hit.
+        let cfg = build(Program::new("s").with_function("main", stmt::compute(60)));
+        let chmc = classify(&cfg, &geometry(), 4);
+        let stats = chmc.stats();
+        // 64 instructions = 16 blocks. Code fits the cache exactly, so
+        // block-leader fetches are first-miss (program scope), rest hit.
+        assert_eq!(stats.total(), 64);
+        assert_eq!(stats.always_hit, 48);
+        assert_eq!(stats.first_miss + stats.always_miss, 16);
+        assert_eq!(stats.not_classified, 0);
+    }
+
+    #[test]
+    fn tight_loop_body_hits_after_first_iteration() {
+        let cfg = build(Program::new("l").with_function("main", stmt::loop_(50, stmt::compute(8))));
+        let chmc = classify(&cfg, &geometry(), 4);
+        let l = &cfg.loops()[0];
+        // Every in-loop reference is at worst first-miss: the program is
+        // tiny, so nothing can be evicted.
+        for &node in &l.nodes {
+            for (i, &class) in chmc.node(node).iter().enumerate() {
+                assert!(
+                    matches!(class, Chmc::AlwaysHit | Chmc::FirstMiss(_)),
+                    "loop node {node} ref {i} got {class:?}"
+                );
+            }
+        }
+        assert_eq!(chmc.stats().not_classified, 0);
+    }
+
+    #[test]
+    fn zero_associativity_is_all_miss() {
+        let cfg = build(Program::new("z").with_function("main", stmt::compute(5)));
+        let chmc = classify(&cfg, &geometry(), 0);
+        assert_eq!(chmc.stats().always_miss, chmc.stats().total());
+    }
+
+    #[test]
+    fn lower_associativity_never_improves_classes() {
+        let cfg = build(Program::new("d").with_function(
+            "main",
+            stmt::loop_(20, stmt::seq([stmt::compute(100), stmt::call("f")])),
+        ).with_function("f", stmt::compute(120)));
+        let g = geometry();
+        let mut previous_hits = usize::MAX;
+        for assoc in (0..=4).rev() {
+            let stats = classify(&cfg, &g, assoc).stats();
+            assert!(
+                stats.always_hit <= previous_hits,
+                "assoc {assoc}: hits must not increase when ways shrink"
+            );
+            previous_hits = stats.always_hit;
+        }
+    }
+
+    #[test]
+    fn first_miss_scope_is_outermost_possible() {
+        // Small program: everything fits ⇒ scopes should be Program, not
+        // the loop.
+        let cfg = build(Program::new("sc").with_function("main", stmt::loop_(5, stmt::compute(4))));
+        let chmc = classify(&cfg, &geometry(), 4);
+        for (_, _, class) in chmc.iter() {
+            if let Chmc::FirstMiss(scope) = class {
+                assert_eq!(scope, Scope::Program);
+            }
+        }
+    }
+
+    #[test]
+    fn srb_hits_are_intra_block_successors() {
+        // Straight-line code: within a 16-byte block, fetches 2..4 follow
+        // a fetch to the same block ⇒ SRB-always-hit; block leaders are
+        // not.
+        let cfg = build(Program::new("srb").with_function("main", stmt::compute(28)));
+        let srb = classify_srb(&cfg, &geometry());
+        assert_eq!(srb.total(), 32); // 8 blocks
+        assert_eq!(srb.hit_count(), 24); // 3 of every 4 fetches
+    }
+
+    #[test]
+    fn srb_join_requires_agreement_on_all_paths() {
+        // A diamond whose sides end in different blocks: the first fetch
+        // after the join cannot be SRB-classified as hit unless both
+        // predecessors end in its block.
+        let cfg = build(Program::new("dj").with_function(
+            "main",
+            stmt::seq([stmt::if_else(stmt::compute(3), stmt::compute(17)), stmt::compute(8)]),
+        ));
+        let srb = classify_srb(&cfg, &geometry());
+        // The node after the join: its first fetch follows either the
+        // then-side `j` or the last else instruction — different blocks,
+        // so no SRB hit.
+        let join_node = cfg.preds()[cfg.exit()]
+            .first()
+            .copied()
+            .unwrap_or(cfg.exit());
+        let _ = join_node; // The precise node is layout-dependent;
+                           // assert the aggregate instead:
+        assert!(srb.hit_count() < srb.total());
+        assert!(srb.hit_count() > 0);
+    }
+
+    #[test]
+    fn srb_analysis_is_context_sensitive() {
+        // f is called twice; its entry fetch follows different callers'
+        // blocks, but *within* f the intra-block runs hit in both
+        // contexts.
+        let cfg = build(
+            Program::new("ctx")
+                .with_function("main", stmt::seq([stmt::call("f"), stmt::call("f")]))
+                .with_function("f", stmt::compute(6)),
+        );
+        let srb = classify_srb(&cfg, &geometry());
+        let f_nodes: Vec<_> = cfg
+            .nodes()
+            .iter()
+            .filter(|n| n.function() == "f")
+            .collect();
+        assert_eq!(f_nodes.len(), 2);
+        // The two instances may disagree only on their *entry* fetch
+        // (whose predecessor block depends on the caller); every interior
+        // fetch has the same (intra-instance) predecessor in both
+        // contexts, so interior classifications agree.
+        let interior_hits: Vec<Vec<bool>> = f_nodes
+            .iter()
+            .map(|n| {
+                (1..n.addrs().len())
+                    .map(|i| srb.always_hit(n.id(), i))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(interior_hits[0], interior_hits[1]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Conflict-set persistence analysis.
+//!
+//! A cache set holding at most `assoc` distinct blocks over a scope can
+//! never evict any of them while execution stays inside the scope: with
+//! LRU, evicting a block requires `assoc` *other* blocks of the same set
+//! to be accessed after it, and only `|conflicts| − 1 < assoc` exist. All
+//! references to such a set inside the scope are therefore *persistent*:
+//! at most one miss per scope entry.
+//!
+//! This per-set counting criterion is immune to the known unsoundness of
+//! the original ACS-based persistence domain and matches how Heptane
+//! bounds first-miss references.
+
+use std::collections::{BTreeSet, HashMap};
+
+use pwcet_cache::{CacheGeometry, MemBlock};
+use pwcet_cfg::{ExpandedCfg, LoopId};
+
+use crate::chmc::Scope;
+
+/// For every reference `(node, index)`, the *outermost* scope in which the
+/// referenced block is persistent (`None` if no scope qualifies).
+///
+/// Outermost is best: its entry count — and hence the first-miss budget —
+/// is smallest.
+pub fn persistent_scopes(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    assoc: u32,
+) -> Vec<Vec<Option<Scope>>> {
+    if assoc == 0 {
+        return cfg
+            .nodes()
+            .iter()
+            .map(|n| vec![None; n.addrs().len()])
+            .collect();
+    }
+
+    // Distinct blocks per cache set, for the program scope…
+    let mut program_conflicts: HashMap<u32, BTreeSet<MemBlock>> = HashMap::new();
+    for node in cfg.nodes() {
+        for &addr in node.addrs() {
+            let block = geometry.block_of(addr);
+            program_conflicts
+                .entry(geometry.set_of_block(block))
+                .or_default()
+                .insert(block);
+        }
+    }
+    // …and per loop scope.
+    let mut loop_conflicts: Vec<HashMap<u32, BTreeSet<MemBlock>>> =
+        vec![HashMap::new(); cfg.loops().len()];
+    for l in cfg.loops() {
+        for &node in &l.nodes {
+            for &addr in cfg.node(node).addrs() {
+                let block = geometry.block_of(addr);
+                loop_conflicts[l.id]
+                    .entry(geometry.set_of_block(block))
+                    .or_default()
+                    .insert(block);
+            }
+        }
+    }
+
+    let fits = |conflicts: &HashMap<u32, BTreeSet<MemBlock>>, set: u32| -> bool {
+        conflicts.get(&set).is_none_or(|blocks| blocks.len() <= assoc as usize)
+    };
+
+    cfg.nodes()
+        .iter()
+        .map(|node| {
+            // Enclosing loops from outermost to innermost.
+            let mut enclosing: Vec<LoopId> =
+                cfg.loops_containing(node.id()).map(|l| l.id).collect();
+            enclosing.reverse();
+            node.addrs()
+                .iter()
+                .map(|&addr| {
+                    let set = geometry.set_of(addr);
+                    if fits(&program_conflicts, set) {
+                        return Some(Scope::Program);
+                    }
+                    enclosing
+                        .iter()
+                        .find(|&&l| fits(&loop_conflicts[l], set))
+                        .map(|&l| Some(Scope::Loop(l)))
+                        .unwrap_or(None)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwcet_cfg::FunctionExtent;
+    use pwcet_progen::{stmt, Program};
+
+    fn build(program: Program) -> ExpandedCfg {
+        let compiled = program.compile(0x0040_0000).expect("compiles");
+        let extents: Vec<FunctionExtent> = compiled
+            .functions()
+            .iter()
+            .map(|f| FunctionExtent::new(f.name(), f.entry(), f.end()))
+            .collect();
+        let bounds: Vec<(u32, u32)> = compiled
+            .loop_bounds()
+            .iter()
+            .map(|lb| (lb.header, lb.bound))
+            .collect();
+        ExpandedCfg::build(compiled.image(), &extents, &bounds).expect("expands")
+    }
+
+    #[test]
+    fn small_program_is_program_persistent() {
+        // Whole program fits in the cache: every set sees ≤ 4 blocks.
+        let cfg = build(Program::new("small").with_function("main", stmt::loop_(9, stmt::compute(8))));
+        let g = CacheGeometry::paper_default();
+        let scopes = persistent_scopes(&cfg, &g, 4);
+        for node in cfg.nodes() {
+            for (i, scope) in scopes[node.id()].iter().enumerate() {
+                assert_eq!(
+                    *scope,
+                    Some(Scope::Program),
+                    "node {} ref {i} should be program-persistent",
+                    node.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_assoc_has_no_persistence() {
+        let cfg = build(Program::new("z").with_function("main", stmt::compute(2)));
+        let g = CacheGeometry::paper_default();
+        let scopes = persistent_scopes(&cfg, &g, 0);
+        assert!(scopes.iter().flatten().all(|s| s.is_none()));
+    }
+
+    #[test]
+    fn large_program_persists_only_in_inner_loops() {
+        // A loop body much larger than the cache: program scope conflicts
+        // exceed 4 blocks per set (64 blocks per 1 KB), but a small inner
+        // loop still fits.
+        let cfg = build(Program::new("big").with_function(
+            "main",
+            stmt::seq([
+                stmt::compute(1200), // 300 blocks: floods every set
+                stmt::loop_(10, stmt::compute(4)),
+            ]),
+        ));
+        let g = CacheGeometry::paper_default();
+        let scopes = persistent_scopes(&cfg, &g, 4);
+        // Flat straight-line code cannot be program-persistent everywhere.
+        let program_persistent = scopes
+            .iter()
+            .flatten()
+            .filter(|s| **s == Some(Scope::Program))
+            .count();
+        let total: usize = scopes.iter().map(Vec::len).sum();
+        assert!(program_persistent < total);
+        // The small trailing loop's body is persistent in that loop.
+        let l = &cfg.loops()[0];
+        let header_scopes = &scopes[l.header];
+        assert!(header_scopes
+            .iter()
+            .all(|s| matches!(s, Some(Scope::Loop(_)) | Some(Scope::Program))));
+    }
+
+    #[test]
+    fn lower_assoc_reduces_persistence() {
+        let cfg = build(
+            Program::new("shrink").with_function("main", stmt::loop_(6, stmt::compute(40))),
+        );
+        let g = CacheGeometry::paper_default();
+        let count = |assoc: u32| -> usize {
+            persistent_scopes(&cfg, &g, assoc)
+                .iter()
+                .flatten()
+                .filter(|s| s.is_some())
+                .count()
+        };
+        assert!(count(4) >= count(2));
+        assert!(count(2) >= count(1));
+        assert!(count(1) >= count(0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests: the abstract cache states are sound abstractions of
+//! the concrete LRU cache.
+//!
+//! For random access sequences (with joins exercised via randomized
+//! prefix merging):
+//!
+//! * **Must**: every block in the Must state is in the concrete cache,
+//!   and its concrete LRU age never exceeds its abstract age;
+//! * **May**: every block in the concrete cache is in the May state, and
+//!   its abstract age never exceeds its concrete age.
+
+use proptest::prelude::*;
+use pwcet_analysis::{Acs, AnalysisKind};
+use pwcet_cache::{CacheGeometry, LruSet, MemBlock};
+
+/// A concrete multi-set LRU cache driven alongside the abstract states.
+struct ConcreteCache {
+    geometry: CacheGeometry,
+    sets: Vec<LruSet>,
+}
+
+impl ConcreteCache {
+    fn new(geometry: CacheGeometry, assoc: u32) -> Self {
+        Self {
+            geometry,
+            sets: (0..geometry.sets())
+                .map(|_| LruSet::new(assoc as usize))
+                .collect(),
+        }
+    }
+
+    fn access(&mut self, block: MemBlock) {
+        let set = self.geometry.set_of_block(block) as usize;
+        self.sets[set].access(block);
+    }
+
+    fn age_of(&self, block: MemBlock) -> Option<usize> {
+        let set = self.geometry.set_of_block(block) as usize;
+        self.sets[set].stack().iter().position(|&b| b == block)
+    }
+}
+
+fn geometry() -> CacheGeometry {
+    CacheGeometry::new(4, 4, 16)
+}
+
+fn arb_trace() -> impl Strategy<Value = Vec<u32>> {
+    // Block ids 0..24 over 4 sets: plenty of conflicts.
+    proptest::collection::vec(0u32..24, 1..120)
+}
+
+proptest! {
+    #[test]
+    fn must_state_underapproximates_concrete(trace in arb_trace(), assoc in 1u32..=4) {
+        let g = geometry();
+        let mut concrete = ConcreteCache::new(g, assoc);
+        let mut must = Acs::empty(&g, assoc, AnalysisKind::Must);
+        for &b in &trace {
+            let block = MemBlock(b);
+            concrete.access(block);
+            must.update(block);
+            // Every Must block is cached, at age >= its abstract claim.
+            for probe in 0..24u32 {
+                let probe = MemBlock(probe);
+                if let Some(abstract_age) = must.age_of(probe) {
+                    let concrete_age = concrete.age_of(probe);
+                    prop_assert!(
+                        concrete_age.is_some(),
+                        "Must contains {probe} but the cache does not"
+                    );
+                    prop_assert!(
+                        concrete_age.unwrap() <= abstract_age,
+                        "{probe}: concrete age {} > abstract max age {}",
+                        concrete_age.unwrap(),
+                        abstract_age
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn may_state_overapproximates_concrete(trace in arb_trace(), assoc in 1u32..=4) {
+        let g = geometry();
+        let mut concrete = ConcreteCache::new(g, assoc);
+        let mut may = Acs::empty(&g, assoc, AnalysisKind::May);
+        for &b in &trace {
+            let block = MemBlock(b);
+            concrete.access(block);
+            may.update(block);
+            for probe in 0..24u32 {
+                let probe = MemBlock(probe);
+                if let Some(concrete_age) = concrete.age_of(probe) {
+                    let abstract_age = may.age_of(probe);
+                    prop_assert!(
+                        abstract_age.is_some(),
+                        "cache holds {probe} but May lost it"
+                    );
+                    prop_assert!(
+                        abstract_age.unwrap() <= concrete_age,
+                        "{probe}: abstract min age {} > concrete age {}",
+                        abstract_age.unwrap(),
+                        concrete_age
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joined_must_is_sound_for_both_histories(
+        prefix_a in arb_trace(),
+        prefix_b in arb_trace(),
+        suffix in arb_trace(),
+        assoc in 1u32..=4,
+    ) {
+        // Two alternative histories merge (control-flow join), then a
+        // common suffix executes. The joined Must state must be sound for
+        // BOTH concrete executions.
+        let g = geometry();
+        let mut must_a = Acs::empty(&g, assoc, AnalysisKind::Must);
+        let mut must_b = Acs::empty(&g, assoc, AnalysisKind::Must);
+        let mut concrete_a = ConcreteCache::new(g, assoc);
+        let mut concrete_b = ConcreteCache::new(g, assoc);
+        for &b in &prefix_a {
+            must_a.update(MemBlock(b));
+            concrete_a.access(MemBlock(b));
+        }
+        for &b in &prefix_b {
+            must_b.update(MemBlock(b));
+            concrete_b.access(MemBlock(b));
+        }
+        must_a.join(&must_b);
+        for &b in &suffix {
+            must_a.update(MemBlock(b));
+            concrete_a.access(MemBlock(b));
+            concrete_b.access(MemBlock(b));
+            for probe in 0..24u32 {
+                let probe = MemBlock(probe);
+                if let Some(abstract_age) = must_a.age_of(probe) {
+                    for (label, concrete) in
+                        [("A", &concrete_a), ("B", &concrete_b)]
+                    {
+                        let age = concrete.age_of(probe);
+                        prop_assert!(age.is_some(), "history {label} evicted {probe}");
+                        prop_assert!(
+                            age.unwrap() <= abstract_age,
+                            "history {label}: {probe} at {} > claimed {}",
+                            age.unwrap(),
+                            abstract_age
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joined_may_covers_both_histories(
+        prefix_a in arb_trace(),
+        prefix_b in arb_trace(),
+        suffix in arb_trace(),
+        assoc in 1u32..=4,
+    ) {
+        let g = geometry();
+        let mut may_a = Acs::empty(&g, assoc, AnalysisKind::May);
+        let mut may_b = Acs::empty(&g, assoc, AnalysisKind::May);
+        let mut concrete_a = ConcreteCache::new(g, assoc);
+        let mut concrete_b = ConcreteCache::new(g, assoc);
+        for &b in &prefix_a {
+            may_a.update(MemBlock(b));
+            concrete_a.access(MemBlock(b));
+        }
+        for &b in &prefix_b {
+            may_b.update(MemBlock(b));
+            concrete_b.access(MemBlock(b));
+        }
+        may_a.join(&may_b);
+        for &b in &suffix {
+            may_a.update(MemBlock(b));
+            concrete_a.access(MemBlock(b));
+            concrete_b.access(MemBlock(b));
+            for probe in 0..24u32 {
+                let probe = MemBlock(probe);
+                for (label, concrete) in [("A", &concrete_a), ("B", &concrete_b)] {
+                    if let Some(concrete_age) = concrete.age_of(probe) {
+                        let abstract_age = may_a.age_of(probe);
+                        prop_assert!(
+                            abstract_age.is_some(),
+                            "history {label}: May lost cached block {probe}"
+                        );
+                        prop_assert!(
+                            abstract_age.unwrap() <= concrete_age,
+                            "history {label}: {probe} min-age too high"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

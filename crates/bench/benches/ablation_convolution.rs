@@ -1,0 +1,64 @@
+//! Ablation A2: convolution pruning threshold and support cap vs. cost.
+//!
+//! Convolves 16 per-set penalty distributions (the paper geometry) under
+//! different [`ConvolutionParams`], measuring the cost of the conservative
+//! pruning strategy.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwcet_prob::{ConvolutionParams, DiscreteDistribution, FaultModel};
+
+/// Builds 16 realistic per-set distributions: binomial weights over
+/// monotone penalty points, different per set.
+fn per_set_distributions() -> Vec<DiscreteDistribution> {
+    let model = FaultModel::new(1e-4).expect("valid");
+    let pbf = model.block_failure_probability(128);
+    let pwf = model.way_fault_distribution(4, pbf);
+    (0..16u64)
+        .map(|s| {
+            let points = [
+                (0, pwf[0]),
+                (10 + 3 * s, pwf[1]),
+                (130 + 10 * s, pwf[2]),
+                (400 + 20 * s, pwf[3]),
+                (900 + 40 * s, pwf[4]),
+            ];
+            DiscreteDistribution::from_points(points).expect("valid points")
+        })
+        .collect()
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let sets = per_set_distributions();
+    let mut group = c.benchmark_group("convolution");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let configurations = [
+        ("exact", ConvolutionParams { prune_epsilon: 0.0, max_support: usize::MAX }),
+        ("default", ConvolutionParams::default()),
+        (
+            "tight_support",
+            ConvolutionParams { prune_epsilon: 1e-30, max_support: 256 },
+        ),
+        (
+            "aggressive",
+            ConvolutionParams { prune_epsilon: 1e-20, max_support: 64 },
+        ),
+    ];
+    for (label, params) in configurations {
+        group.bench_with_input(BenchmarkId::new("convolve_16_sets", label), &params, |b, params| {
+            b.iter(|| {
+                let d = DiscreteDistribution::convolve_all(&sets, params);
+                std::hint::black_box(d.quantile(1e-15))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convolution);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation A3: fault-miss-map computation cost.
+//!
+//! The FMM solves one ILP per (set, fault-count) pair whose objective has
+//! a positive delta; zero-delta pairs short-circuit. This bench measures
+//! the full `analyze` cost (dominated by the FMM) on benchmarks of
+//! different footprints, and the cost of the classification passes alone.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwcet_analysis::{classify, classify_srb};
+use pwcet_cache::CacheGeometry;
+use pwcet_core::{expand_compiled, AnalysisConfig, PwcetAnalyzer};
+
+fn bench_fmm(c: &mut Criterion) {
+    let config = AnalysisConfig::paper_default();
+    let analyzer = PwcetAnalyzer::new(config);
+
+    let mut group = c.benchmark_group("fmm");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    for name in ["bs", "crc"] {
+        let bench = pwcet_benchsuite::by_name(name).expect("benchmark exists");
+        group.bench_with_input(BenchmarkId::new("analyze_full", name), &bench, |b, bench| {
+            b.iter(|| std::hint::black_box(analyzer.analyze(&bench.program).expect("analyzes")))
+        });
+
+        let compiled = bench.program.compile(0x0040_0000).expect("compiles");
+        let cfg = expand_compiled(&compiled).expect("expands");
+        let geometry = CacheGeometry::paper_default();
+        group.bench_with_input(
+            BenchmarkId::new("classification_passes", name),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for assoc in 0..=geometry.ways() {
+                        hits += classify(cfg, &geometry, assoc).stats().always_hit;
+                    }
+                    hits += classify_srb(cfg, &geometry).hit_count();
+                    std::hint::black_box(hits)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fmm);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for the Figure 3 pipeline: full exceedance-curve
+//! computation (analysis + three estimates) and the cost of exceedance
+//! queries on a finished estimate.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwcet_core::{AnalysisConfig, Protection, PwcetAnalyzer};
+
+fn bench_fig3(c: &mut Criterion) {
+    let config = AnalysisConfig::paper_default();
+    let bench = pwcet_benchsuite::by_name("crc").expect("crc exists");
+
+    let mut group = c.benchmark_group("fig3");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("analyze_and_curves/crc", |b| {
+        b.iter(|| {
+            let fig = pwcet_bench::figure3(&bench, &config).expect("analyzes");
+            std::hint::black_box(fig.none.len() + fig.srb.len() + fig.rw.len())
+        })
+    });
+
+    let analysis = PwcetAnalyzer::new(config)
+        .analyze(&bench.program)
+        .expect("analyzes");
+    let estimate = analysis.estimate(Protection::None);
+    group.bench_function("exceedance_queries/crc", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in (0..50).map(|i| analysis.fault_free_wcet() + i * 100) {
+                acc += estimate.exceedance_of(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("estimate_assembly/crc", |b| {
+        b.iter(|| std::hint::black_box(analysis.estimate(Protection::SharedReliableBuffer)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Figure 4 pipeline: per-benchmark pWCET
+//! computation at the target probability for representative benchmarks of
+//! different sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwcet_bench::{run_benchmark, TARGET_PROBABILITY};
+use pwcet_core::AnalysisConfig;
+
+fn bench_fig4(c: &mut Criterion) {
+    let config = AnalysisConfig::paper_default();
+
+    let mut group = c.benchmark_group("fig4");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    // Tiny, medium, and nested benchmarks: the spread of analysis costs
+    // across Figure 4's population.
+    for name in ["bs", "crc", "insertsort"] {
+        let bench = pwcet_benchsuite::by_name(name).expect("benchmark exists");
+        group.bench_with_input(BenchmarkId::new("run_benchmark", name), &bench, |b, bench| {
+            b.iter(|| {
+                let (_, result) =
+                    run_benchmark(bench, &config, TARGET_PROBABILITY).expect("analyzes");
+                std::hint::black_box(result.pwcet_rw)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

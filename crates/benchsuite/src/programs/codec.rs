@@ -1,0 +1,181 @@
+//! Encoders, decoders and checksum kernels.
+
+use pwcet_progen::{stmt, Program};
+
+use crate::Benchmark;
+
+/// `adpcm` — ADPCM speech encoder/decoder.
+///
+/// Original: the largest "algorithmic" benchmark of the suite (~8 KB of
+/// code): a sample loop calling encode and decode paths, which themselves
+/// call quantization/filter helpers with small inner loops. The combined
+/// footprint far exceeds the 1 KB cache, but helpers are hot. `adpcm` is
+/// the benchmark whose full exceedance curve the paper plots (Figure 3).
+pub fn adpcm() -> Benchmark {
+    let program = Program::new("adpcm")
+        .with_function(
+            "main",
+            stmt::seq([
+                stmt::compute(20),
+                stmt::loop_(
+                    60, // sample frames
+                    stmt::seq([
+                        stmt::call("encode"),
+                        stmt::call("decode"),
+                        stmt::compute(10),
+                    ]),
+                ),
+                stmt::compute(8),
+            ]),
+        )
+        .with_function(
+            "encode",
+            stmt::seq([
+                stmt::compute(60), // high-pass + band split straight-line
+                stmt::loop_(6, stmt::call("quantl")),
+                stmt::compute(40),
+                stmt::if_else(stmt::compute(24), stmt::compute(30)),
+                stmt::call("upzero"),
+                stmt::compute(36),
+            ]),
+        )
+        .with_function(
+            "decode",
+            stmt::seq([
+                stmt::compute(52),
+                stmt::loop_(6, stmt::call("quantl")),
+                stmt::if_else(stmt::compute(28), stmt::compute(22)),
+                stmt::call("upzero"),
+                stmt::compute(44),
+            ]),
+        )
+        .with_function(
+            "quantl",
+            stmt::seq([
+                stmt::compute(8),
+                stmt::loop_(7, stmt::if_else(stmt::compute(3), stmt::compute(2))),
+                stmt::compute(6),
+            ]),
+        )
+        .with_function(
+            "upzero",
+            stmt::seq([
+                stmt::compute(6),
+                stmt::loop_(6, stmt::compute(9)),
+                stmt::compute(4),
+            ]),
+        );
+    Benchmark {
+        name: "adpcm",
+        description: "ADPCM encode/decode pipeline (large, helper-heavy; Figure 3's subject)",
+        program,
+    }
+}
+
+/// `compress` — in-memory data compression (hash + emit loop).
+///
+/// Original: a byte loop with hash-probe branches and occasional table
+/// resets; medium footprint with one dominant loop.
+pub fn compress() -> Benchmark {
+    let program = Program::new("compress")
+        .with_function(
+            "main",
+            stmt::seq([
+                stmt::compute(18),
+                stmt::loop_(
+                    50, // input bytes per analyzed buffer
+                    stmt::seq([
+                        stmt::compute(14), // hash computation
+                        stmt::if_else(
+                            stmt::compute(10), // hit: emit code
+                            stmt::seq([stmt::compute(16), stmt::call("cl_hash")]),
+                        ),
+                        stmt::compute(8),
+                    ]),
+                ),
+                stmt::compute(12), // flush
+            ]),
+        )
+        .with_function(
+            "cl_hash",
+            stmt::loop_(16, stmt::compute(6)), // partial table clear
+        );
+    Benchmark {
+        name: "compress",
+        description: "LZ-style byte compressor (branchy hash loop + table-clear helper)",
+        program,
+    }
+}
+
+/// `crc` — cyclic redundancy check over a 40-byte message.
+///
+/// Original: an outer byte loop with a table-driven fast path and a
+/// bit-serial slow path (8-iteration inner loop) — classic two-arm branch
+/// inside a hot loop.
+pub fn crc() -> Benchmark {
+    let program = Program::new("crc").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(30), // table setup prologue
+            stmt::loop_(
+                40,
+                stmt::seq([
+                    stmt::compute(17),
+                    stmt::if_else(
+                        stmt::compute(24), // table lookup arm
+                        stmt::loop_(8, stmt::compute(13)), // bit-serial arm
+                    ),
+                    stmt::compute(10),
+                ]),
+            ),
+            stmt::compute(14),
+        ]),
+    );
+    Benchmark {
+        name: "crc",
+        description: "CRC over 40 bytes (table arm vs. bit-serial arm in a hot loop)",
+        program,
+    }
+}
+
+/// `ndes` — lightweight DES-style block cipher.
+///
+/// Original: 16 Feistel rounds calling S-box/permutation helpers; ~2 KB
+/// of code with hot helpers called from every round.
+pub fn ndes() -> Benchmark {
+    let program = Program::new("ndes")
+        .with_function(
+            "main",
+            stmt::seq([
+                stmt::compute(24), // key schedule head
+                stmt::loop_(
+                    16,
+                    stmt::seq([
+                        stmt::call("f_round"),
+                        stmt::compute(12), // swap halves, round key advance
+                    ]),
+                ),
+                stmt::compute(16), // final permutation
+            ]),
+        )
+        .with_function(
+            "f_round",
+            stmt::seq([
+                stmt::compute(20), // expansion permutation
+                stmt::loop_(8, stmt::call("sbox")),
+                stmt::compute(18), // P permutation
+            ]),
+        )
+        .with_function(
+            "sbox",
+            stmt::seq([
+                stmt::compute(6),
+                stmt::if_else(stmt::compute(4), stmt::compute(4)),
+            ]),
+        );
+    Benchmark {
+        name: "ndes",
+        description: "16-round Feistel cipher with S-box helpers (hot call chain)",
+        program,
+    }
+}

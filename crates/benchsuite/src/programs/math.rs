@@ -1,0 +1,194 @@
+//! Numerical and math-library-style kernels.
+
+use pwcet_progen::{stmt, Program};
+
+use crate::Benchmark;
+
+/// `expint` — series expansion of the exponential integral.
+///
+/// Original: an outer loop (50 terms) whose body branches between a cheap
+/// continuation and an expensive inner summation loop.
+pub fn expint() -> Benchmark {
+    let program = Program::new("expint").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(28),
+            stmt::loop_(
+                50,
+                stmt::if_else(
+                    stmt::seq([stmt::compute(26), stmt::loop_(24, stmt::compute(18))]),
+                    stmt::compute(34),
+                ),
+            ),
+            stmt::compute(14),
+        ]),
+    );
+    Benchmark {
+        name: "expint",
+        description: "exponential-integral series (branch between cheap and loop-heavy arms)",
+        program,
+    }
+}
+
+/// `ludcmp` — LU decomposition and back-substitution of a 5×5 system.
+///
+/// Original: several sequential loop nests (elimination, forward and
+/// backward substitution) over a shared small matrix kernel.
+pub fn ludcmp() -> Benchmark {
+    let program = Program::new("ludcmp").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(32), // matrix/vector setup
+            // Elimination: k, i, j triangular nest (rectangular model).
+            stmt::loop_(
+                5,
+                stmt::seq([
+                    stmt::compute(15),
+                    stmt::loop_(
+                        5,
+                        stmt::seq([
+                            stmt::compute(24),
+                            stmt::loop_(5, stmt::compute(22)),
+                        ]),
+                    ),
+                ]),
+            ),
+            // Forward substitution.
+            stmt::loop_(5, stmt::seq([stmt::compute(15), stmt::loop_(5, stmt::compute(17))])),
+            // Backward substitution.
+            stmt::loop_(5, stmt::seq([stmt::compute(17), stmt::loop_(5, stmt::compute(17))])),
+            stmt::compute(12),
+        ]),
+    );
+    Benchmark {
+        name: "ludcmp",
+        description: "5x5 LU decomposition + substitutions (sequential loop nests)",
+        program,
+    }
+}
+
+/// `minver` — inversion of a 3×3 matrix.
+///
+/// Original: pivoting elimination with small fixed-bound nests and a
+/// determinant helper; moderately branchy straight-line math between
+/// loops.
+pub fn minver() -> Benchmark {
+    let program = Program::new("minver")
+        .with_function(
+            "main",
+            stmt::seq([
+                stmt::compute(38),
+                stmt::call("mmul"),
+                stmt::loop_(
+                    3,
+                    stmt::seq([
+                        stmt::compute(30), // pivot search straight-line
+                        stmt::if_else(stmt::compute(20), stmt::compute(5)), // row swap
+                        stmt::loop_(3, stmt::seq([stmt::compute(15), stmt::loop_(3, stmt::compute(15))])),
+                    ]),
+                ),
+                stmt::compute(24),
+            ]),
+        )
+        .with_function(
+            "mmul",
+            stmt::loop_(3, stmt::loop_(3, stmt::seq([stmt::compute(10), stmt::loop_(3, stmt::compute(13))]))),
+        );
+    Benchmark {
+        name: "minver",
+        description: "3x3 matrix inversion with pivoting (small nests + helper)",
+        program,
+    }
+}
+
+/// `qurt` — roots of a quadratic equation via Newton's square root.
+///
+/// Original: straight-line coefficient math around a `sqrt` helper whose
+/// iteration loop runs up to 19 times, called from both root branches.
+pub fn qurt() -> Benchmark {
+    let program = Program::new("qurt")
+        .with_function(
+            "main",
+            stmt::seq([
+                stmt::compute(42), // discriminant computation
+                stmt::if_else(
+                    stmt::seq([stmt::call("newton_sqrt"), stmt::compute(24)]),
+                    stmt::seq([stmt::call("newton_sqrt"), stmt::compute(28)]),
+                ),
+                stmt::compute(18),
+            ]),
+        )
+        .with_function(
+            "newton_sqrt",
+            stmt::seq([
+                stmt::compute(12),
+                stmt::loop_(19, stmt::seq([stmt::compute(22), stmt::if_else(stmt::compute(5), stmt::compute(5))])),
+            ]),
+        );
+    Benchmark {
+        name: "qurt",
+        description: "quadratic roots via an iterative square-root helper",
+        program,
+    }
+}
+
+/// `ud` — LU-based solver of a 5×5 linear system (no pivoting).
+///
+/// Original: triangular elimination and substitution nests over a compact
+/// kernel. The paper reports `ud` as the benchmark with the *minimum* SRB
+/// gain (25%): its temporal reuse sits deeper than the MRU position.
+pub fn ud() -> Benchmark {
+    let program = Program::new("ud").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(28),
+            stmt::loop_(
+                5,
+                stmt::seq([
+                    stmt::compute(19),
+                    stmt::loop_(
+                        5,
+                        stmt::seq([
+                            stmt::compute(32),
+                            stmt::loop_(5, stmt::compute(26)),
+                            stmt::compute(14),
+                        ]),
+                    ),
+                ]),
+            ),
+            stmt::loop_(5, stmt::seq([stmt::compute(21), stmt::loop_(5, stmt::compute(19))])),
+            stmt::compute(10),
+        ]),
+    );
+    Benchmark {
+        name: "ud",
+        description: "5x5 LU solver without pivoting (deep-temporal reuse)",
+        program,
+    }
+}
+
+/// `prime` — trial-division primality test.
+///
+/// Original: one division loop with an early-out branch over a tiny
+/// kernel; entirely MRU-resident.
+pub fn fac_like_prime() -> Benchmark {
+    let program = Program::new("prime").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(14),
+            stmt::loop_(
+                16,
+                stmt::seq([
+                    stmt::compute(18), // divide + remainder test
+                    stmt::if_else(stmt::compute(5), stmt::compute(7)),
+                ]),
+            ),
+            stmt::compute(8),
+        ]),
+    );
+    Benchmark {
+        name: "prime",
+        description: "trial-division primality test (tiny branchy loop)",
+        program,
+    }
+}

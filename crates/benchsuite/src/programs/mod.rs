@@ -1,0 +1,18 @@
+//! The 25 modelled benchmark programs, grouped by workload family.
+//!
+//! Footprint and loop-bound figures cited in each model's docs refer to
+//! the *original* Mälardalen benchmark; the models reproduce the relative
+//! shape (footprint vs. the 1 KB analyzed cache, loop nesting, call
+//! structure), not the absolute instruction counts.
+
+mod codec;
+mod control;
+mod math;
+mod signal;
+mod sort_search;
+
+pub use codec::{adpcm, compress, crc, ndes};
+pub use control::{cover, nsichneu, statemate};
+pub use math::{expint, fac_like_prime as prime, ludcmp, minver, qurt, ud};
+pub use signal::{edn, fdct, fft, fir, jfdctint};
+pub use sort_search::{bs, bsort100, cnt, fibcall, insertsort, matmult, ns};

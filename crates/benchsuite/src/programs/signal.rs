@@ -1,0 +1,146 @@
+//! Signal-processing kernels.
+
+use pwcet_progen::{stmt, Program};
+
+use crate::Benchmark;
+
+/// `edn` — vector/filter kernel collection (FIR, dot products, …).
+///
+/// Original: a sequence of independent medium loops over distinct code
+/// regions (~1.4 KB total), each with moderate bounds — mixed locality.
+pub fn edn() -> Benchmark {
+    let program = Program::new("edn").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(10),
+            // vec_mpy-style kernel.
+            stmt::loop_(150, stmt::compute(24)),
+            // mac-style kernel with a saturation branch.
+            stmt::loop_(
+                100,
+                stmt::seq([stmt::compute(28), stmt::if_else(stmt::compute(8), stmt::compute(10))]),
+            ),
+            // fir-style doubly nested kernel.
+            stmt::loop_(36, stmt::seq([stmt::compute(15), stmt::loop_(32, stmt::compute(19))])),
+            // latsynth-style kernel.
+            stmt::loop_(64, stmt::compute(32)),
+            stmt::compute(8),
+        ]),
+    );
+    Benchmark {
+        name: "edn",
+        description: "collection of DSP kernels run back to back (mixed locality)",
+        program,
+    }
+}
+
+/// `fdct` — fast discrete cosine transform of an 8×8 block.
+///
+/// Original: two sequential 8-iteration loops (rows then columns), each
+/// with a long straight-line butterfly body (~100 instructions).
+pub fn fdct() -> Benchmark {
+    let program = Program::new("fdct").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(8),
+            stmt::loop_(8, stmt::compute(104)), // row pass
+            stmt::loop_(8, stmt::compute(112)), // column pass
+            stmt::compute(6),
+        ]),
+    );
+    Benchmark {
+        name: "fdct",
+        description: "8x8 forward DCT: two 8-iteration loops with long butterfly bodies",
+        program,
+    }
+}
+
+/// `fft` — 1024-point complex FFT (radix-2, iterative).
+///
+/// Original: log₂(n) outer stages over butterfly loops plus a
+/// trigonometric helper called per butterfly group. The paper reports
+/// `fft` as the benchmark with the *minimum* RW gain (26%).
+pub fn fft() -> Benchmark {
+    let program = Program::new("fft")
+        .with_function(
+            "main",
+            stmt::seq([
+                stmt::compute(12), // bit-reversal setup
+                stmt::loop_(64, stmt::compute(21)), // bit-reversal permutation
+                stmt::loop_(
+                    10, // log2(1024) stages
+                    stmt::seq([
+                        stmt::compute(8),
+                        stmt::loop_(
+                            32, // butterfly groups per stage (model)
+                            stmt::seq([
+                                stmt::call("twiddle"),
+                                stmt::loop_(16, stmt::compute(42)), // butterflies
+                            ]),
+                        ),
+                    ]),
+                ),
+                stmt::compute(6),
+            ]),
+        )
+        .with_function(
+            "twiddle",
+            stmt::seq([
+                stmt::compute(22),
+                stmt::loop_(6, stmt::compute(18)), // sine series terms
+            ]),
+        );
+    Benchmark {
+        name: "fft",
+        description: "iterative radix-2 FFT with a trigonometric helper (deep temporal reuse)",
+        program,
+    }
+}
+
+/// `fir` — finite impulse response filter over 700 samples.
+///
+/// Original: outer sample loop (700) with an inner accumulation loop over
+/// the filter order (~35 taps in the analyzed window).
+pub fn fir() -> Benchmark {
+    let program = Program::new("fir").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(20),
+            stmt::loop_(
+                700,
+                stmt::seq([
+                    stmt::compute(12),
+                    stmt::loop_(35, stmt::compute(16)),
+                    stmt::compute(10), // store output sample
+                ]),
+            ),
+        ]),
+    );
+    Benchmark {
+        name: "fir",
+        description: "FIR filter: 700-sample outer loop, 35-tap inner accumulation",
+        program,
+    }
+}
+
+/// `jfdctint` — JPEG integer forward DCT.
+///
+/// Original: like `fdct` but with wider integer arithmetic: two
+/// 8-iteration passes with even longer straight-line bodies, exceeding
+/// the 1 KB cache when combined.
+pub fn jfdctint() -> Benchmark {
+    let program = Program::new("jfdctint").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(10),
+            stmt::loop_(8, stmt::compute(130)), // row pass
+            stmt::loop_(8, stmt::compute(138)), // column pass with descaling
+            stmt::compute(8),
+        ]),
+    );
+    Benchmark {
+        name: "jfdctint",
+        description: "JPEG integer 8x8 DCT: two long-bodied 8-iteration loops",
+        program,
+    }
+}

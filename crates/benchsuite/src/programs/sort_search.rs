@@ -1,0 +1,218 @@
+//! Sorting, searching and small array kernels.
+
+use pwcet_progen::{stmt, Program};
+
+use crate::Benchmark;
+
+/// `bs` — binary search of a 15-entry array.
+///
+/// Original: ~4 iterations over a tiny loop with one comparison branch.
+/// The whole benchmark fits in a handful of cache blocks, so the cache
+/// captures spatial locality plus temporal reuse in the MRU position —
+/// the paper's second category.
+pub fn bs() -> Benchmark {
+    let program = Program::new("bs").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(14), // array set-up
+            stmt::loop_(
+                4,
+                stmt::seq([
+                    stmt::compute(22), // midpoint arithmetic + load
+                    stmt::if_else(stmt::compute(8), stmt::compute(9)),
+                ]),
+            ),
+            stmt::compute(8), // result selection
+        ]),
+    );
+    Benchmark {
+        name: "bs",
+        description: "binary search over a 15-entry array (tiny, MRU-temporal)",
+        program,
+    }
+}
+
+/// `bsort100` — bubble sort of 100 integers.
+///
+/// Original: a 99×99 triangular nest of compare-and-swap iterations over
+/// a compact kernel. Modelled as a full rectangular nest (the analysis
+/// uses rectangular bounds anyway) with a swap branch in the body.
+pub fn bsort100() -> Benchmark {
+    let program = Program::new("bsort100").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(24), // array initialization prologue
+            stmt::loop_(
+                99,
+                stmt::seq([
+                    stmt::compute(10),
+                    stmt::loop_(
+                        99,
+                        stmt::seq([
+                            stmt::compute(16), // load pair, compare
+                            stmt::if_else(stmt::compute(14), stmt::compute(3)), // swap or not
+                        ]),
+                    ),
+                ]),
+            ),
+        ]),
+    );
+    Benchmark {
+        name: "bsort100",
+        description: "bubble sort of 100 integers (tight doubly-nested kernel)",
+        program,
+    }
+}
+
+/// `cnt` — counts non-negative values in a 10×10 matrix.
+///
+/// Original: two 10-bounded nested loops around a sum/count kernel with a
+/// sign test, plus separate initialization loops.
+pub fn cnt() -> Benchmark {
+    let program = Program::new("cnt")
+        .with_function(
+            "main",
+            stmt::seq([
+                stmt::call("init_matrix"),
+                stmt::loop_(
+                    10,
+                    stmt::loop_(
+                        10,
+                        stmt::seq([
+                            stmt::compute(18),
+                            stmt::if_else(stmt::compute(12), stmt::compute(9)),
+                        ]),
+                    ),
+                ),
+                stmt::compute(14),
+            ]),
+        )
+        .with_function(
+            "init_matrix",
+            stmt::loop_(10, stmt::loop_(10, stmt::compute(13))),
+        );
+    Benchmark {
+        name: "cnt",
+        description: "count/sum of positives in a 10x10 matrix (nested loops + helper)",
+        program,
+    }
+}
+
+/// `fibcall` — iterative Fibonacci(30).
+///
+/// Original: one 30-iteration loop over a ~10-instruction body; the whole
+/// program is a few cache blocks.
+pub fn fibcall() -> Benchmark {
+    let program = Program::new("fibcall").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(8),
+            stmt::loop_(30, stmt::compute(17)),
+            stmt::compute(5),
+        ]),
+    );
+    Benchmark {
+        name: "fibcall",
+        description: "iterative Fibonacci(30) (tiny single loop)",
+        program,
+    }
+}
+
+/// `insertsort` — insertion sort of 10 integers.
+///
+/// Original: outer loop over 9 elements, data-dependent inner
+/// shift loop (bounded by the element index; modelled with the worst
+/// rectangular bound).
+pub fn insertsort() -> Benchmark {
+    let program = Program::new("insertsort").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(14),
+            stmt::loop_(
+                9,
+                stmt::seq([
+                    stmt::compute(11),
+                    stmt::loop_(9, stmt::if_else(stmt::compute(12), stmt::compute(4))),
+                ]),
+            ),
+        ]),
+    );
+    Benchmark {
+        name: "insertsort",
+        description: "insertion sort of 10 integers (small nest, branchy inner loop)",
+        program,
+    }
+}
+
+/// `matmult` — 20×20 integer matrix multiplication.
+///
+/// Original: a perfect triple nest (20³ multiply-accumulate iterations)
+/// over a compact kernel plus initialization helpers. The paper uses
+/// `matmult` to illustrate reading Figure 4 (category 4: mixed locality).
+pub fn matmult() -> Benchmark {
+    let program = Program::new("matmult")
+        .with_function(
+            "main",
+            stmt::seq([
+                stmt::call("initialize"),
+                stmt::call("initialize"),
+                stmt::loop_(
+                    20,
+                    stmt::seq([
+                        stmt::compute(9),
+                        stmt::loop_(
+                            20,
+                            stmt::seq([
+                                stmt::compute(20), // result element setup
+                                stmt::loop_(20, stmt::compute(34)), // MAC kernel
+                                stmt::compute(12), // store element
+                            ]),
+                        ),
+                    ]),
+                ),
+            ]),
+        )
+        .with_function(
+            "initialize",
+            stmt::loop_(20, stmt::loop_(20, stmt::compute(15))),
+        );
+    Benchmark {
+        name: "matmult",
+        description: "20x20 matrix multiply (triple nest + init helpers; Figure 4's example)",
+        program,
+    }
+}
+
+/// `ns` — search in a 4-dimensional 5×5×5×5 array.
+///
+/// Original: four nested loops of bound 5 with an early-exit test;
+/// modelled with the worst-case full traversal and the test as a branch.
+pub fn ns() -> Benchmark {
+    let program = Program::new("ns").with_function(
+        "main",
+        stmt::seq([
+            stmt::compute(12),
+            stmt::loop_(
+                5,
+                stmt::loop_(
+                    5,
+                    stmt::loop_(
+                        5,
+                        stmt::loop_(
+                            5,
+                            stmt::seq([
+                                stmt::compute(26), // 4-level index arithmetic + load
+                                stmt::if_else(stmt::compute(6), stmt::compute(8)),
+                            ]),
+                        ),
+                    ),
+                ),
+            ),
+        ]),
+    );
+    Benchmark {
+        name: "ns",
+        description: "search in a 5^4 table (four-deep loop nest)",
+        program,
+    }
+}

@@ -1,0 +1,201 @@
+//! Permanent-fault maps over the physical cache blocks.
+
+use rand::Rng;
+
+use pwcet_prob::FaultModel;
+
+use crate::geometry::CacheGeometry;
+
+/// Which physical cache blocks `(set, way)` are disabled by permanent
+/// faults.
+///
+/// Fault maps describe *raw* physical faults; protection mechanisms
+/// interpret them (the Reliable Way masks faults in way 0, see
+/// [`ReliableWayCache`](crate::ReliableWayCache)).
+///
+/// # Example
+///
+/// ```
+/// use pwcet_cache::{CacheGeometry, FaultMap};
+///
+/// let g = CacheGeometry::paper_default();
+/// let map = FaultMap::from_faulty_blocks(&g, [(0, 1), (0, 2)]);
+/// assert_eq!(map.faulty_ways_in_set(0), 2);
+/// assert_eq!(map.faulty_ways_in_set(1), 0);
+/// assert!(map.is_faulty(0, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMap {
+    sets: u32,
+    ways: u32,
+    faulty: Vec<bool>,
+}
+
+impl FaultMap {
+    /// A map with no faults.
+    pub fn fault_free(geometry: &CacheGeometry) -> Self {
+        Self {
+            sets: geometry.sets(),
+            ways: geometry.ways(),
+            faulty: vec![false; (geometry.sets() * geometry.ways()) as usize],
+        }
+    }
+
+    /// A map with the listed `(set, way)` blocks faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is out of range.
+    pub fn from_faulty_blocks(
+        geometry: &CacheGeometry,
+        blocks: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        let mut map = Self::fault_free(geometry);
+        for (set, way) in blocks {
+            assert!(set < map.sets, "set {set} out of range");
+            assert!(way < map.ways, "way {way} out of range");
+            map.faulty[(set * map.ways + way) as usize] = true;
+        }
+        map
+    }
+
+    /// Samples a random fault map: every block fails independently with
+    /// probability `pbf` (Eq. 1 applied per block).
+    pub fn sample(geometry: &CacheGeometry, pbf: f64, rng: &mut impl Rng) -> Self {
+        let mut map = Self::fault_free(geometry);
+        for flag in &mut map.faulty {
+            *flag = rng.gen_bool(pbf.clamp(0.0, 1.0));
+        }
+        map
+    }
+
+    /// Samples using the paper's fault model: `pbf` derived from the
+    /// per-bit failure probability and the geometry's block size (Eq. 1).
+    pub fn sample_with_model(
+        geometry: &CacheGeometry,
+        model: &FaultModel,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let pbf = model.block_failure_probability(geometry.block_bits());
+        Self::sample(geometry, pbf, rng)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// `true` if the block at `(set, way)` is permanently faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn is_faulty(&self, set: u32, way: u32) -> bool {
+        assert!(set < self.sets && way < self.ways, "coordinates in range");
+        self.faulty[(set * self.ways + way) as usize]
+    }
+
+    /// Number of faulty ways in `set`.
+    pub fn faulty_ways_in_set(&self, set: u32) -> u32 {
+        (0..self.ways).filter(|&w| self.is_faulty(set, w)).count() as u32
+    }
+
+    /// Number of faulty ways in `set`, ignoring way 0 (the hardened way of
+    /// the RW mechanism, whose faults are masked).
+    pub fn faulty_unprotected_ways_in_set(&self, set: u32) -> u32 {
+        (1..self.ways).filter(|&w| self.is_faulty(set, w)).count() as u32
+    }
+
+    /// Total number of faulty blocks.
+    pub fn total_faulty(&self) -> u32 {
+        self.faulty.iter().filter(|&&f| f).count() as u32
+    }
+
+    /// Per-set faulty-way counts (`sets()` entries).
+    pub fn per_set_counts(&self) -> Vec<u32> {
+        (0..self.sets).map(|s| self.faulty_ways_in_set(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::paper_default()
+    }
+
+    #[test]
+    fn fault_free_has_no_faults() {
+        let map = FaultMap::fault_free(&geometry());
+        assert_eq!(map.total_faulty(), 0);
+        assert_eq!(map.per_set_counts(), vec![0; 16]);
+    }
+
+    #[test]
+    fn explicit_faults_are_recorded() {
+        let map = FaultMap::from_faulty_blocks(&geometry(), [(3, 0), (3, 3), (7, 1)]);
+        assert!(map.is_faulty(3, 0));
+        assert!(map.is_faulty(3, 3));
+        assert!(!map.is_faulty(3, 1));
+        assert_eq!(map.faulty_ways_in_set(3), 2);
+        assert_eq!(map.faulty_ways_in_set(7), 1);
+        assert_eq!(map.total_faulty(), 3);
+    }
+
+    #[test]
+    fn unprotected_count_ignores_way_zero() {
+        let map = FaultMap::from_faulty_blocks(&geometry(), [(2, 0), (2, 1)]);
+        assert_eq!(map.faulty_ways_in_set(2), 2);
+        assert_eq!(map.faulty_unprotected_ways_in_set(2), 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let a = FaultMap::sample(&geometry(), 0.3, &mut rng_a);
+        let b = FaultMap::sample(&geometry(), 0.3, &mut rng_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_rate_approximates_pbf() {
+        let big = CacheGeometry::new(1024, 4, 16);
+        let mut rng = StdRng::seed_from_u64(123);
+        let map = FaultMap::sample(&big, 0.25, &mut rng);
+        let rate = f64::from(map.total_faulty()) / f64::from(big.sets() * big.ways());
+        assert!((rate - 0.25).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn sampling_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(FaultMap::sample(&geometry(), 0.0, &mut rng).total_faulty(), 0);
+        assert_eq!(
+            FaultMap::sample(&geometry(), 1.0, &mut rng).total_faulty(),
+            64
+        );
+    }
+
+    #[test]
+    fn sample_with_model_uses_block_bits() {
+        let model = FaultModel::new(1.0).unwrap(); // every bit fails
+        let mut rng = StdRng::seed_from_u64(2);
+        let map = FaultMap::sample_with_model(&geometry(), &model, &mut rng);
+        assert_eq!(map.total_faulty(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_fault_panics() {
+        let _ = FaultMap::from_faulty_blocks(&geometry(), [(16, 0)]);
+    }
+}

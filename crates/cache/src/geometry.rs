@@ -1,0 +1,163 @@
+//! Cache configuration and address mapping.
+
+use std::fmt;
+
+/// A memory block identifier: the instruction address divided by the block
+/// size. Two addresses in the same memory block always hit together.
+///
+/// # Example
+///
+/// ```
+/// use pwcet_cache::CacheGeometry;
+///
+/// let g = CacheGeometry::paper_default();
+/// assert_eq!(g.block_of(0x0040_0000), g.block_of(0x0040_000c));
+/// assert_ne!(g.block_of(0x0040_0000), g.block_of(0x0040_0010));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemBlock(pub u32);
+
+impl fmt::Display for MemBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{:#x}", self.0)
+    }
+}
+
+/// A set-associative cache configuration (§II-A): `S` sets, `W` ways,
+/// blocks of `K` bits.
+///
+/// The paper's experiments fix 1 KB / 4 ways / 16-byte lines ⇒ 16 sets
+/// ([`paper_default`](Self::paper_default)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    sets: u32,
+    ways: u32,
+    block_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` and `block_bytes` are non-zero powers of two
+    /// (address mapping uses bit slicing) and `ways ≥ 1`.
+    pub fn new(sets: u32, ways: u32, block_bytes: u32) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(ways >= 1, "cache needs at least one way");
+        Self {
+            sets,
+            ways,
+            block_bytes,
+        }
+    }
+
+    /// The paper's configuration (§IV-A): 1 KB, 4-way, 16-byte lines,
+    /// 16 sets.
+    pub fn paper_default() -> Self {
+        Self::new(16, 4, 16)
+    }
+
+    /// Number of sets `S`.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Associativity `W`.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Block size `K` in bits (the exponent of Eq. 1).
+    pub fn block_bits(&self) -> u32 {
+        self.block_bytes * 8
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u32 {
+        self.sets * self.ways * self.block_bytes
+    }
+
+    /// The memory block containing `addr`.
+    pub fn block_of(&self, addr: u32) -> MemBlock {
+        MemBlock(addr / self.block_bytes)
+    }
+
+    /// The set index `addr` maps to.
+    pub fn set_of(&self, addr: u32) -> u32 {
+        self.block_of(addr).0 % self.sets
+    }
+
+    /// The set index a memory block maps to.
+    pub fn set_of_block(&self, block: MemBlock) -> u32 {
+        block.0 % self.sets
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B {}-way ({} sets x {}B lines)",
+            self.capacity_bytes(),
+            self.ways,
+            self.sets,
+            self.block_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_1kb_16_sets() {
+        let g = CacheGeometry::paper_default();
+        assert_eq!(g.sets(), 16);
+        assert_eq!(g.ways(), 4);
+        assert_eq!(g.block_bytes(), 16);
+        assert_eq!(g.block_bits(), 128);
+        assert_eq!(g.capacity_bytes(), 1024);
+    }
+
+    #[test]
+    fn block_and_set_mapping() {
+        let g = CacheGeometry::paper_default();
+        assert_eq!(g.block_of(0), MemBlock(0));
+        assert_eq!(g.block_of(15), MemBlock(0));
+        assert_eq!(g.block_of(16), MemBlock(1));
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(16), 1);
+        // 16 sets * 16 bytes = 256-byte stride wraps to the same set.
+        assert_eq!(g.set_of(0x100), 0);
+        assert_eq!(g.set_of_block(MemBlock(16)), 0);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let g = CacheGeometry::paper_default();
+        assert_eq!(g.to_string(), "1024B 4-way (16 sets x 16B lines)");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = CacheGeometry::new(3, 4, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _ = CacheGeometry::new(16, 0, 16);
+    }
+}

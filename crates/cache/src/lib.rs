@@ -1,0 +1,42 @@
+//! Instruction-cache substrate: geometry, permanent faults, and concrete
+//! machines.
+//!
+//! This crate models the hardware of §II-A and §III-A of the paper:
+//!
+//! * [`CacheGeometry`] — a set-associative instruction cache with LRU
+//!   replacement (`S` sets × `W` ways × `K`-bit blocks);
+//! * [`FaultMap`] — which cache blocks are disabled by permanent faults
+//!   (a block with ≥ 1 faulty bit is disabled; LRU-stack and control bits
+//!   are fault-free by assumption);
+//! * three executable cache machines implementing [`CacheSim`]:
+//!   [`UnprotectedCache`] (faulty ways shrink the LRU stack),
+//!   [`ReliableWayCache`] (way 0 is hardened — §III-A1), and
+//!   [`SrbCache`] (a shared reliable buffer consulted only when *all*
+//!   blocks of the referenced set are faulty — §III-A2).
+//!
+//! The machines are used by `pwcet-sim` for trace-driven validation of the
+//! static bounds computed in `pwcet-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use pwcet_cache::{CacheGeometry, CacheSim, FaultMap, UnprotectedCache};
+//!
+//! let geometry = CacheGeometry::paper_default(); // 1 KB: 16 sets × 4 ways × 16 B
+//! let faults = FaultMap::fault_free(&geometry);
+//! let mut cache = UnprotectedCache::new(geometry, &faults);
+//! assert!(cache.access(0x0040_0000).is_miss());
+//! assert!(cache.access(0x0040_0004).is_hit()); // same 16-byte block
+//! ```
+
+mod fault;
+mod geometry;
+mod lru;
+mod machine;
+mod timing;
+
+pub use fault::FaultMap;
+pub use geometry::{CacheGeometry, MemBlock};
+pub use lru::LruSet;
+pub use machine::{AccessOutcome, CacheSim, ReliableWayCache, SrbCache, UnprotectedCache};
+pub use timing::CacheTiming;

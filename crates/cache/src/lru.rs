@@ -1,0 +1,145 @@
+//! A concrete LRU stack for one cache set.
+
+use crate::geometry::MemBlock;
+
+/// The LRU state of one cache set with a (possibly fault-reduced)
+/// capacity.
+///
+/// Position 0 is the most-recently-used (MRU) block. Disabling faulty
+/// blocks shrinks the capacity — the paper's §II-A observation that the
+/// *position* of faulty ways is irrelevant under LRU.
+///
+/// # Example
+///
+/// ```
+/// use pwcet_cache::{LruSet, MemBlock};
+///
+/// let mut set = LruSet::new(2);
+/// assert!(!set.access(MemBlock(1))); // miss
+/// assert!(!set.access(MemBlock(2))); // miss
+/// assert!(set.access(MemBlock(1)));  // hit, renewed
+/// assert!(!set.access(MemBlock(3))); // miss, evicts 2
+/// assert!(!set.access(MemBlock(2))); // miss again
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LruSet {
+    capacity: usize,
+    stack: Vec<MemBlock>,
+}
+
+impl LruSet {
+    /// Creates an empty set holding at most `capacity` blocks (0 is
+    /// allowed: a fully-faulty set that can cache nothing).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            stack: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The number of usable ways.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The resident blocks, MRU first.
+    pub fn stack(&self) -> &[MemBlock] {
+        &self.stack
+    }
+
+    /// `true` if `block` is currently resident.
+    pub fn contains(&self, block: MemBlock) -> bool {
+        self.stack.contains(&block)
+    }
+
+    /// Accesses `block`: returns `true` on hit. Updates recency; on miss
+    /// the LRU block is evicted if the set is full.
+    pub fn access(&mut self, block: MemBlock) -> bool {
+        if let Some(pos) = self.stack.iter().position(|&b| b == block) {
+            self.stack.remove(pos);
+            self.stack.insert(0, block);
+            return true;
+        }
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.stack.len() == self.capacity {
+            self.stack.pop();
+        }
+        self.stack.insert(0, block);
+        false
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.stack.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mru_ordering_maintained() {
+        let mut set = LruSet::new(4);
+        for b in [1, 2, 3, 4] {
+            assert!(!set.access(MemBlock(b)));
+        }
+        assert_eq!(
+            set.stack(),
+            &[MemBlock(4), MemBlock(3), MemBlock(2), MemBlock(1)]
+        );
+        assert!(set.access(MemBlock(2)));
+        assert_eq!(
+            set.stack(),
+            &[MemBlock(2), MemBlock(4), MemBlock(3), MemBlock(1)]
+        );
+    }
+
+    #[test]
+    fn eviction_removes_lru() {
+        let mut set = LruSet::new(2);
+        set.access(MemBlock(1));
+        set.access(MemBlock(2));
+        set.access(MemBlock(3)); // evicts 1
+        assert!(!set.contains(MemBlock(1)));
+        assert!(set.contains(MemBlock(2)));
+        assert!(set.contains(MemBlock(3)));
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut set = LruSet::new(0);
+        assert!(!set.access(MemBlock(1)));
+        assert!(!set.access(MemBlock(1)));
+        assert!(set.stack().is_empty());
+    }
+
+    #[test]
+    fn repeated_access_always_hits_once_loaded() {
+        let mut set = LruSet::new(1);
+        assert!(!set.access(MemBlock(7)));
+        for _ in 0..10 {
+            assert!(set.access(MemBlock(7)));
+        }
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut set = LruSet::new(2);
+        set.access(MemBlock(1));
+        set.clear();
+        assert!(!set.contains(MemBlock(1)));
+        assert!(!set.access(MemBlock(1)));
+    }
+
+    #[test]
+    fn stack_never_exceeds_capacity() {
+        let mut set = LruSet::new(3);
+        for b in 0..100 {
+            set.access(MemBlock(b % 7));
+            assert!(set.stack().len() <= 3);
+        }
+    }
+}

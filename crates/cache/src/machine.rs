@@ -1,0 +1,421 @@
+//! Executable cache machines for the three protection levels.
+
+use crate::fault::FaultMap;
+use crate::geometry::{CacheGeometry, MemBlock};
+use crate::lru::LruSet;
+
+/// The result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// Served from the cache (or the SRB).
+    Hit,
+    /// Fetched from memory.
+    Miss,
+}
+
+impl AccessOutcome {
+    /// `true` for [`Hit`](AccessOutcome::Hit).
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// `true` for [`Miss`](AccessOutcome::Miss).
+    pub fn is_miss(self) -> bool {
+        matches!(self, AccessOutcome::Miss)
+    }
+}
+
+/// A trace-driven instruction cache simulator.
+///
+/// Implementations: [`UnprotectedCache`], [`ReliableWayCache`],
+/// [`SrbCache`]. All three share the access-counting API.
+pub trait CacheSim {
+    /// Performs one instruction fetch at `addr`.
+    fn access(&mut self, addr: u32) -> AccessOutcome;
+
+    /// The configured geometry.
+    fn geometry(&self) -> &CacheGeometry;
+
+    /// Accesses so far.
+    fn accesses(&self) -> u64;
+
+    /// Misses so far.
+    fn misses(&self) -> u64;
+
+    /// Empties all cache state and resets counters.
+    fn reset(&mut self);
+
+    /// Hits so far.
+    fn hits(&self) -> u64 {
+        self.accesses() - self.misses()
+    }
+}
+
+/// Shared state of the set array with per-set usable capacities.
+#[derive(Debug, Clone)]
+struct SetArray {
+    geometry: CacheGeometry,
+    sets: Vec<LruSet>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl SetArray {
+    fn new(geometry: CacheGeometry, capacities: Vec<usize>) -> Self {
+        assert_eq!(capacities.len(), geometry.sets() as usize);
+        Self {
+            geometry,
+            sets: capacities.into_iter().map(LruSet::new).collect(),
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_for(&mut self, addr: u32) -> (&mut LruSet, MemBlock) {
+        let block = self.geometry.block_of(addr);
+        let set = self.geometry.set_of(addr) as usize;
+        (&mut self.sets[set], block)
+    }
+
+    fn reset(&mut self) {
+        self.sets.iter_mut().for_each(LruSet::clear);
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+/// A faulty cache with no protection (§II): faulty ways are disabled, so a
+/// set with `f` faults keeps an LRU stack of `W − f` blocks; a fully
+/// faulty set can cache nothing.
+///
+/// # Example
+///
+/// ```
+/// use pwcet_cache::{CacheGeometry, CacheSim, FaultMap, UnprotectedCache};
+///
+/// let g = CacheGeometry::paper_default();
+/// // All four blocks of set 0 faulty: every access to set 0 misses.
+/// let faults = FaultMap::from_faulty_blocks(&g, (0..4).map(|w| (0, w)));
+/// let mut cache = UnprotectedCache::new(g, &faults);
+/// assert!(cache.access(0x0000).is_miss());
+/// assert!(cache.access(0x0000).is_miss()); // can never be cached
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnprotectedCache {
+    array: SetArray,
+}
+
+impl UnprotectedCache {
+    /// Creates the machine for a given fault map.
+    pub fn new(geometry: CacheGeometry, faults: &FaultMap) -> Self {
+        let capacities = (0..geometry.sets())
+            .map(|s| (geometry.ways() - faults.faulty_ways_in_set(s)) as usize)
+            .collect();
+        Self {
+            array: SetArray::new(geometry, capacities),
+        }
+    }
+}
+
+impl CacheSim for UnprotectedCache {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        self.array.accesses += 1;
+        let (set, block) = self.array.set_for(addr);
+        if set.access(block) {
+            AccessOutcome::Hit
+        } else {
+            self.array.misses += 1;
+            AccessOutcome::Miss
+        }
+    }
+
+    fn geometry(&self) -> &CacheGeometry {
+        &self.array.geometry
+    }
+
+    fn accesses(&self) -> u64 {
+        self.array.accesses
+    }
+
+    fn misses(&self) -> u64 {
+        self.array.misses
+    }
+
+    fn reset(&mut self) {
+        self.array.reset();
+    }
+}
+
+/// The Reliable Way machine (§III-A1): way 0 of every set is hardened, so
+/// its faults are masked and every set keeps at least one usable way — the
+/// worst case degenerates to a direct-mapped cache of `S` blocks, never
+/// worse.
+#[derive(Debug, Clone)]
+pub struct ReliableWayCache {
+    array: SetArray,
+}
+
+impl ReliableWayCache {
+    /// Creates the machine for a given (raw, unmasked) fault map.
+    pub fn new(geometry: CacheGeometry, faults: &FaultMap) -> Self {
+        let capacities = (0..geometry.sets())
+            .map(|s| (geometry.ways() - faults.faulty_unprotected_ways_in_set(s)) as usize)
+            .collect();
+        Self {
+            array: SetArray::new(geometry, capacities),
+        }
+    }
+}
+
+impl CacheSim for ReliableWayCache {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        self.array.accesses += 1;
+        let (set, block) = self.array.set_for(addr);
+        if set.access(block) {
+            AccessOutcome::Hit
+        } else {
+            self.array.misses += 1;
+            AccessOutcome::Miss
+        }
+    }
+
+    fn geometry(&self) -> &CacheGeometry {
+        &self.array.geometry
+    }
+
+    fn accesses(&self) -> u64 {
+        self.array.accesses
+    }
+
+    fn misses(&self) -> u64 {
+        self.array.misses
+    }
+
+    fn reset(&mut self) {
+        self.array.reset();
+    }
+}
+
+/// The Shared Reliable Buffer machine (§III-A2): one hardened block-sized
+/// buffer shared by all sets. The look-up is modified — the SRB is
+/// consulted *only* when every block of the referenced set is faulty; on
+/// an SRB miss the block is loaded into the SRB. Sets with at least one
+/// usable block never touch the SRB.
+#[derive(Debug, Clone)]
+pub struct SrbCache {
+    array: SetArray,
+    srb: Option<MemBlock>,
+    srb_hits: u64,
+}
+
+impl SrbCache {
+    /// Creates the machine for a given fault map.
+    pub fn new(geometry: CacheGeometry, faults: &FaultMap) -> Self {
+        let capacities = (0..geometry.sets())
+            .map(|s| (geometry.ways() - faults.faulty_ways_in_set(s)) as usize)
+            .collect();
+        Self {
+            array: SetArray::new(geometry, capacities),
+            srb: None,
+            srb_hits: 0,
+        }
+    }
+
+    /// Hits served by the SRB (a subset of [`hits`](CacheSim::hits)).
+    pub fn srb_hits(&self) -> u64 {
+        self.srb_hits
+    }
+}
+
+impl CacheSim for SrbCache {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        self.array.accesses += 1;
+        let (set, block) = self.array.set_for(addr);
+        if set.capacity() == 0 {
+            // All blocks of this set are faulty: route through the SRB.
+            if self.srb == Some(block) {
+                self.srb_hits += 1;
+                return AccessOutcome::Hit;
+            }
+            self.srb = Some(block);
+            self.array.misses += 1;
+            return AccessOutcome::Miss;
+        }
+        if set.access(block) {
+            AccessOutcome::Hit
+        } else {
+            self.array.misses += 1;
+            AccessOutcome::Miss
+        }
+    }
+
+    fn geometry(&self) -> &CacheGeometry {
+        &self.array.geometry
+    }
+
+    fn accesses(&self) -> u64 {
+        self.array.accesses
+    }
+
+    fn misses(&self) -> u64 {
+        self.array.misses
+    }
+
+    fn reset(&mut self) {
+        self.array.reset();
+        self.srb = None;
+        self.srb_hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::paper_default()
+    }
+
+    /// Addresses of distinct blocks that all map to set 0 (256-byte
+    /// stride in the paper geometry).
+    fn set0_addr(i: u32) -> u32 {
+        i * 256
+    }
+
+    #[test]
+    fn unprotected_fault_free_behaves_as_lru() {
+        let mut c = UnprotectedCache::new(geometry(), &FaultMap::fault_free(&geometry()));
+        // Fill set 0 with 4 blocks, then re-access the first: still a hit.
+        for i in 0..4 {
+            assert!(c.access(set0_addr(i)).is_miss());
+        }
+        assert!(c.access(set0_addr(0)).is_hit());
+        // A 5th block evicts the LRU (block 1).
+        assert!(c.access(set0_addr(4)).is_miss());
+        assert!(c.access(set0_addr(1)).is_miss());
+        assert_eq!(c.accesses(), 7);
+        assert_eq!(c.misses(), 6);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn faulty_ways_shrink_the_set() {
+        let faults = FaultMap::from_faulty_blocks(&geometry(), [(0, 1), (0, 3)]);
+        let mut c = UnprotectedCache::new(geometry(), &faults);
+        // Capacity 2: three distinct blocks thrash.
+        assert!(c.access(set0_addr(0)).is_miss());
+        assert!(c.access(set0_addr(1)).is_miss());
+        assert!(c.access(set0_addr(0)).is_hit());
+        assert!(c.access(set0_addr(2)).is_miss()); // evicts 1
+        assert!(c.access(set0_addr(1)).is_miss());
+    }
+
+    #[test]
+    fn fully_faulty_set_never_hits_unprotected() {
+        let faults = FaultMap::from_faulty_blocks(&geometry(), (0..4).map(|w| (0, w)));
+        let mut c = UnprotectedCache::new(geometry(), &faults);
+        for _ in 0..5 {
+            assert!(c.access(set0_addr(0)).is_miss());
+        }
+        // Other sets are unaffected.
+        assert!(c.access(16).is_miss());
+        assert!(c.access(16).is_hit());
+    }
+
+    #[test]
+    fn reliable_way_masks_way0_faults() {
+        // All four ways "faulty", but way 0 is hardened: capacity 1.
+        let faults = FaultMap::from_faulty_blocks(&geometry(), (0..4).map(|w| (0, w)));
+        let mut c = ReliableWayCache::new(geometry(), &faults);
+        assert!(c.access(set0_addr(0)).is_miss());
+        assert!(c.access(set0_addr(0)).is_hit()); // direct-mapped behavior
+        assert!(c.access(set0_addr(1)).is_miss());
+        assert!(c.access(set0_addr(0)).is_miss());
+    }
+
+    #[test]
+    fn reliable_way_never_worse_than_unprotected() {
+        let faults = FaultMap::from_faulty_blocks(
+            &geometry(),
+            [(0, 0), (0, 1), (0, 2), (0, 3), (1, 2), (2, 0)],
+        );
+        let trace: Vec<u32> = (0..200).map(|i| (i % 7) * 256 + (i % 3) * 16).collect();
+        let mut unp = UnprotectedCache::new(geometry(), &faults);
+        let mut rw = ReliableWayCache::new(geometry(), &faults);
+        for &a in &trace {
+            unp.access(a);
+            rw.access(a);
+        }
+        assert!(rw.misses() <= unp.misses());
+    }
+
+    #[test]
+    fn srb_serves_fully_faulty_set() {
+        let faults = FaultMap::from_faulty_blocks(&geometry(), (0..4).map(|w| (0, w)));
+        let mut c = SrbCache::new(geometry(), &faults);
+        // Sequential fetches within one 16-byte block: 1 miss + 3 hits.
+        assert!(c.access(0x0).is_miss());
+        assert!(c.access(0x4).is_hit());
+        assert!(c.access(0x8).is_hit());
+        assert!(c.access(0xc).is_hit());
+        assert_eq!(c.srb_hits(), 3);
+        // A different block of set 0 reloads the SRB.
+        assert!(c.access(set0_addr(1)).is_miss());
+        assert!(c.access(0x0).is_miss());
+    }
+
+    #[test]
+    fn srb_not_used_by_healthy_sets() {
+        let faults = FaultMap::from_faulty_blocks(&geometry(), (0..4).map(|w| (0, w)));
+        let mut c = SrbCache::new(geometry(), &faults);
+        assert!(c.access(0x0).is_miss()); // SRB now holds block 0 (set 0)
+        assert!(c.access(16).is_miss()); // set 1 is healthy: normal miss
+        assert!(c.access(16).is_hit());
+        assert_eq!(c.srb_hits(), 0);
+        assert!(c.access(0x0).is_hit()); // SRB kept its block meanwhile
+        assert_eq!(c.srb_hits(), 1);
+    }
+
+    #[test]
+    fn srb_never_worse_than_unprotected() {
+        let faults = FaultMap::from_faulty_blocks(
+            &geometry(),
+            [(0, 0), (0, 1), (0, 2), (0, 3), (5, 0), (5, 1), (5, 2), (5, 3)],
+        );
+        let trace: Vec<u32> = (0..400).map(|i| (i % 9) * 4 + (i % 5) * 256).collect();
+        let mut unp = UnprotectedCache::new(geometry(), &faults);
+        let mut srb = SrbCache::new(geometry(), &faults);
+        for &a in &trace {
+            unp.access(a);
+            srb.access(a);
+        }
+        assert!(srb.misses() <= unp.misses());
+    }
+
+    #[test]
+    fn machines_agree_when_fault_free() {
+        let faults = FaultMap::fault_free(&geometry());
+        let trace: Vec<u32> = (0..500).map(|i| (i * 12) % 2048).collect();
+        let mut unp = UnprotectedCache::new(geometry(), &faults);
+        let mut rw = ReliableWayCache::new(geometry(), &faults);
+        let mut srb = SrbCache::new(geometry(), &faults);
+        for &a in &trace {
+            let u = unp.access(a);
+            assert_eq!(u, rw.access(a));
+            assert_eq!(u, srb.access(a));
+        }
+        assert_eq!(unp.misses(), rw.misses());
+        assert_eq!(unp.misses(), srb.misses());
+    }
+
+    #[test]
+    fn reset_clears_state_and_counters() {
+        let mut c = UnprotectedCache::new(geometry(), &FaultMap::fault_free(&geometry()));
+        c.access(0);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(c.access(0).is_miss());
+    }
+}

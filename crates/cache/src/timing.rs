@@ -1,0 +1,94 @@
+//! Fetch timing parameters.
+
+use crate::machine::AccessOutcome;
+
+/// Cycle costs of instruction fetches.
+///
+/// The paper fixes "cache and memory latencies" to 1 and 100 cycles
+/// (§IV-A). This workspace charges `hit_cycles` for every fetch plus
+/// `miss_penalty_cycles` for each miss, so one converted hit→miss costs
+/// exactly `miss_penalty_cycles` extra — the unit of the fault miss map.
+///
+/// # Example
+///
+/// ```
+/// use pwcet_cache::{AccessOutcome, CacheTiming};
+///
+/// let t = CacheTiming::paper_default();
+/// assert_eq!(t.cycles_for(AccessOutcome::Hit), 1);
+/// assert_eq!(t.cycles_for(AccessOutcome::Miss), 101);
+/// assert_eq!(t.miss_penalty_cycles(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheTiming {
+    hit_cycles: u64,
+    miss_penalty_cycles: u64,
+}
+
+impl CacheTiming {
+    /// Creates a timing model.
+    pub fn new(hit_cycles: u64, miss_penalty_cycles: u64) -> Self {
+        Self {
+            hit_cycles,
+            miss_penalty_cycles,
+        }
+    }
+
+    /// The paper's parameters: 1-cycle cache, 100-cycle memory.
+    pub fn paper_default() -> Self {
+        Self::new(1, 100)
+    }
+
+    /// Cycles charged for every fetch (the cache latency).
+    pub fn hit_cycles(&self) -> u64 {
+        self.hit_cycles
+    }
+
+    /// Extra cycles charged per miss (the memory latency).
+    pub fn miss_penalty_cycles(&self) -> u64 {
+        self.miss_penalty_cycles
+    }
+
+    /// Total cycles for one fetch with the given outcome.
+    pub fn cycles_for(&self, outcome: AccessOutcome) -> u64 {
+        match outcome {
+            AccessOutcome::Hit => self.hit_cycles,
+            AccessOutcome::Miss => self.hit_cycles + self.miss_penalty_cycles,
+        }
+    }
+
+    /// Total cycles for a run of `fetches` fetches of which `misses`
+    /// missed.
+    pub fn total_cycles(&self, fetches: u64, misses: u64) -> u64 {
+        self.hit_cycles * fetches + self.miss_penalty_cycles * misses
+    }
+}
+
+impl Default for CacheTiming {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose() {
+        let t = CacheTiming::paper_default();
+        assert_eq!(t.total_cycles(10, 0), 10);
+        assert_eq!(t.total_cycles(10, 3), 310);
+        assert_eq!(
+            t.total_cycles(2, 1),
+            t.cycles_for(AccessOutcome::Hit) + t.cycles_for(AccessOutcome::Miss)
+        );
+    }
+
+    #[test]
+    fn custom_latencies() {
+        let t = CacheTiming::new(2, 50);
+        assert_eq!(t.cycles_for(AccessOutcome::Miss), 52);
+        assert_eq!(t.total_cycles(4, 2), 108);
+    }
+}

@@ -1,0 +1,105 @@
+//! Errors from control-flow reconstruction.
+
+use std::error::Error;
+use std::fmt;
+
+use pwcet_mips::MipsError;
+
+/// Errors from building per-function or expanded control-flow graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfgError {
+    /// The image could not be decoded at an address.
+    Decode(MipsError),
+    /// A control transfer targets an address outside every function.
+    TargetOutsideFunctions {
+        /// The transferring instruction's address.
+        from: u32,
+        /// The invalid target.
+        target: u32,
+    },
+    /// A `jal` targets an address that is not a function entry.
+    CallIntoBody {
+        /// The call site.
+        from: u32,
+        /// The target address.
+        target: u32,
+    },
+    /// A branch or jump leaves its function without using `jal`/`jr`.
+    InterFunctionBranch {
+        /// The transferring instruction's address.
+        from: u32,
+        /// The target address.
+        target: u32,
+    },
+    /// A natural loop has no bound annotation.
+    MissingLoopBound {
+        /// Address of the unannotated loop header.
+        header: u32,
+    },
+    /// The graph is irreducible (a retreating edge whose target does not
+    /// dominate its source); bounded-loop analysis requires reducibility.
+    Irreducible {
+        /// Source address of the offending edge.
+        from: u32,
+        /// Target address of the offending edge.
+        to: u32,
+    },
+    /// A function has no reachable exit.
+    NoExit(String),
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::Decode(e) => write!(f, "decode failure: {e}"),
+            CfgError::TargetOutsideFunctions { from, target } => write!(
+                f,
+                "instruction at {from:#010x} targets {target:#010x}, outside all functions"
+            ),
+            CfgError::CallIntoBody { from, target } => write!(
+                f,
+                "call at {from:#010x} targets {target:#010x}, not a function entry"
+            ),
+            CfgError::InterFunctionBranch { from, target } => write!(
+                f,
+                "branch at {from:#010x} crosses a function boundary to {target:#010x}"
+            ),
+            CfgError::MissingLoopBound { header } => {
+                write!(f, "loop with header {header:#010x} has no bound annotation")
+            }
+            CfgError::Irreducible { from, to } => write!(
+                f,
+                "irreducible control flow: retreating edge {from:#010x} -> {to:#010x}"
+            ),
+            CfgError::NoExit(name) => write!(f, "function `{name}` has no exit"),
+        }
+    }
+}
+
+impl Error for CfgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CfgError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MipsError> for CfgError {
+    fn from(e: MipsError) -> Self {
+        CfgError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_addresses() {
+        let e = CfgError::MissingLoopBound { header: 0x400010 };
+        assert!(e.to_string().contains("0x00400010"));
+        let e = CfgError::Irreducible { from: 4, to: 8 };
+        assert!(e.to_string().contains("irreducible"));
+    }
+}

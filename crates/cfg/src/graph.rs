@@ -1,0 +1,347 @@
+//! Generic graph algorithms over index-based adjacency lists.
+//!
+//! Shared by the per-function and expanded graphs: reverse postorder,
+//! dominator computation (Cooper–Harvey–Kennedy), and natural-loop
+//! detection with irreducibility reporting.
+
+use std::collections::BTreeSet;
+
+/// Reverse postorder of the nodes reachable from `entry`.
+///
+/// # Example
+///
+/// ```
+/// let succs = vec![vec![1, 2], vec![3], vec![3], vec![]];
+/// let rpo = pwcet_cfg::reverse_postorder(&succs, 0);
+/// assert_eq!(rpo[0], 0);
+/// assert_eq!(rpo[3], 3);
+/// ```
+pub fn reverse_postorder(succs: &[Vec<usize>], entry: usize) -> Vec<usize> {
+    let mut visited = vec![false; succs.len()];
+    let mut postorder = Vec::with_capacity(succs.len());
+    // Iterative DFS carrying an explicit successor cursor per frame.
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    visited[entry] = true;
+    while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+        if *cursor < succs[node].len() {
+            let next = succs[node][*cursor];
+            *cursor += 1;
+            if !visited[next] {
+                visited[next] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            postorder.push(node);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Immediate dominators of all nodes reachable from `entry`.
+///
+/// Returns `idom[n]`, with `idom[entry] == Some(entry)` and `None` for
+/// unreachable nodes. Uses the iterative algorithm of Cooper, Harvey and
+/// Kennedy over reverse postorder.
+pub fn dominators(succs: &[Vec<usize>], entry: usize) -> Vec<Option<usize>> {
+    let n = succs.len();
+    let rpo = reverse_postorder(succs, entry);
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &node) in rpo.iter().enumerate() {
+        rpo_index[node] = i;
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, outs) in succs.iter().enumerate() {
+        if rpo_index[u] == usize::MAX {
+            continue; // unreachable
+        }
+        for &v in outs {
+            preds[v].push(u);
+        }
+    }
+
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[entry] = Some(entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &node in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[node] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(current) => intersect(p, current, &idom, &rpo_index),
+                });
+            }
+            if new_idom.is_some() && idom[node] != new_idom {
+                idom[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(mut a: usize, mut b: usize, idom: &[Option<usize>], rpo_index: &[usize]) -> usize {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("processed node has an idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("processed node has an idom");
+        }
+    }
+    a
+}
+
+/// `true` if `dom` dominates `node` (both reachable).
+pub(crate) fn dominates(dom: usize, mut node: usize, idom: &[Option<usize>]) -> bool {
+    loop {
+        if node == dom {
+            return true;
+        }
+        match idom[node] {
+            Some(parent) if parent != node => node = parent,
+            _ => return false,
+        }
+    }
+}
+
+/// A natural loop found in a reducible graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// The unique header node (target of all back edges of this loop).
+    pub header: usize,
+    /// All nodes of the loop, header included.
+    pub nodes: BTreeSet<usize>,
+    /// The back edges `(latch, header)`.
+    pub back_edges: Vec<(usize, usize)>,
+    /// Index of the innermost enclosing loop in the returned vector.
+    pub parent: Option<usize>,
+    /// Nesting depth (outermost = 0).
+    pub depth: usize,
+}
+
+/// Finds all natural loops of the graph reachable from `entry`.
+///
+/// Loops sharing a header are merged. Loops are returned outermost-first
+/// (stable order: by header reverse-postorder index).
+///
+/// # Errors
+///
+/// Returns the offending retreating edge `(from, to)` if the graph is
+/// irreducible (the edge's target does not dominate its source).
+pub fn natural_loops(
+    succs: &[Vec<usize>],
+    entry: usize,
+) -> Result<Vec<LoopInfo>, (usize, usize)> {
+    let n = succs.len();
+    let idom = dominators(succs, entry);
+    let rpo = reverse_postorder(succs, entry);
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &node) in rpo.iter().enumerate() {
+        rpo_index[node] = i;
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, outs) in succs.iter().enumerate() {
+        if rpo_index[u] == usize::MAX {
+            continue;
+        }
+        for &v in outs {
+            preds[v].push(u);
+        }
+    }
+
+    // Classify retreating edges; every one must be a back edge.
+    let mut loops: Vec<LoopInfo> = Vec::new();
+    for &u in &rpo {
+        for &v in &succs[u] {
+            if rpo_index[v] <= rpo_index[u] {
+                // Retreating edge.
+                if !dominates(v, u, &idom) {
+                    return Err((u, v));
+                }
+                // Natural loop of (u, v): v plus all nodes reaching u
+                // without passing through v.
+                let mut nodes = BTreeSet::new();
+                nodes.insert(v);
+                let mut stack = vec![u];
+                while let Some(x) = stack.pop() {
+                    if nodes.insert(x) {
+                        for &p in &preds[x] {
+                            stack.push(p);
+                        }
+                    }
+                }
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == v) {
+                    existing.nodes.extend(nodes);
+                    existing.back_edges.push((u, v));
+                } else {
+                    loops.push(LoopInfo {
+                        header: v,
+                        nodes,
+                        back_edges: vec![(u, v)],
+                        parent: None,
+                        depth: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    // Establish nesting: parent = smallest strictly-containing loop.
+    loops.sort_by_key(|l| rpo_index[l.header]);
+    let snapshots: Vec<(usize, BTreeSet<usize>)> = loops
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (i, l.nodes.clone()))
+        .collect();
+    for i in 0..loops.len() {
+        let header = loops[i].header;
+        let mut best: Option<usize> = None;
+        for (j, nodes) in &snapshots {
+            if *j != i && nodes.contains(&header) && loops[*j].header != header {
+                best = match best {
+                    None => Some(*j),
+                    Some(b) if nodes.len() < snapshots[b].1.len() => Some(*j),
+                    keep => keep,
+                };
+            }
+        }
+        loops[i].parent = best;
+    }
+    // Depths by walking parent chains (parents sort before children is not
+    // guaranteed, so compute transitively).
+    for i in 0..loops.len() {
+        let mut depth = 0;
+        let mut cursor = loops[i].parent;
+        while let Some(p) = cursor {
+            depth += 1;
+            cursor = loops[p].parent;
+        }
+        loops[i].depth = depth;
+    }
+    Ok(loops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 -> {1,2} -> 3.
+    fn diamond() -> Vec<Vec<usize>> {
+        vec![vec![1, 2], vec![3], vec![3], vec![]]
+    }
+
+    /// Simple loop: 0 -> 1 -> 2 -> 1, 2 -> 3.
+    fn simple_loop() -> Vec<Vec<usize>> {
+        vec![vec![1], vec![2], vec![1, 3], vec![]]
+    }
+
+    /// Nested: 0 -> 1(h1) -> 2(h2) -> 3 -> 2, 3 -> 4 -> 1, 4 -> 5.
+    fn nested_loops() -> Vec<Vec<usize>> {
+        vec![
+            vec![1],
+            vec![2],
+            vec![3],
+            vec![2, 4],
+            vec![1, 5],
+            vec![],
+        ]
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_edges() {
+        let rpo = reverse_postorder(&diamond(), 0);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(*rpo.last().unwrap(), 3);
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn rpo_skips_unreachable() {
+        let succs = vec![vec![1], vec![], vec![1]];
+        let rpo = reverse_postorder(&succs, 0);
+        assert_eq!(rpo, vec![0, 1]);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let idom = dominators(&diamond(), 0);
+        assert_eq!(idom, vec![Some(0), Some(0), Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn dominators_of_chain() {
+        let succs = vec![vec![1], vec![2], vec![]];
+        let idom = dominators(&succs, 0);
+        assert_eq!(idom, vec![Some(0), Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn dominators_with_loop() {
+        let idom = dominators(&simple_loop(), 0);
+        assert_eq!(idom[1], Some(0));
+        assert_eq!(idom[2], Some(1));
+        assert_eq!(idom[3], Some(2));
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        let loops = natural_loops(&simple_loop(), 0).unwrap();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, 1);
+        assert_eq!(loops[0].nodes, BTreeSet::from([1, 2]));
+        assert_eq!(loops[0].back_edges, vec![(2, 1)]);
+        assert_eq!(loops[0].depth, 0);
+    }
+
+    #[test]
+    fn nested_loops_detected_with_depths() {
+        let loops = natural_loops(&nested_loops(), 0).unwrap();
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().find(|l| l.header == 1).unwrap();
+        let inner = loops.iter().find(|l| l.header == 2).unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.nodes.is_superset(&inner.nodes));
+        let inner_pos = loops.iter().position(|l| l.header == 2).unwrap();
+        assert_eq!(loops[inner_pos].parent, loops.iter().position(|l| l.header == 1));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let succs = vec![vec![1], vec![1, 2], vec![]];
+        let loops = natural_loops(&succs, 0).unwrap();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].nodes, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn irreducible_graph_rejected() {
+        // Two entries into a cycle: 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1.
+        let succs = vec![vec![1, 2], vec![2], vec![1]];
+        let result = natural_loops(&succs, 0);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn multiple_back_edges_merge_into_one_loop() {
+        // 0 -> 1 -> 2 -> 1 and 1 -> 3 -> 1; 3 -> 4.
+        let succs = vec![vec![1], vec![2, 3], vec![1], vec![1, 4], vec![]];
+        let loops = natural_loops(&succs, 0).unwrap();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, 1);
+        assert_eq!(loops[0].back_edges.len(), 2);
+        assert_eq!(loops[0].nodes, BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_loops() {
+        assert_eq!(natural_loops(&diamond(), 0).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Control-flow graph reconstruction and virtual inlining.
+//!
+//! The static analyses of the paper (cache analysis §II-B1, IPET §II-B2)
+//! operate on the control-flow graph of the *binary*. This crate rebuilds
+//! that graph from a [`pwcet_mips::BinaryImage`]:
+//!
+//! 1. [`FunctionCfg`] — per-function basic blocks and edges, decoded from
+//!    machine code given the function extents;
+//! 2. [`ExpandedCfg`] — the whole-program graph after **virtual inlining**
+//!    (Heptane's context expansion): every function body is duplicated per
+//!    call context, so the analyses are fully context-sensitive while the
+//!    duplicated blocks still reference the *same* instruction addresses
+//!    (and therefore the same cache blocks);
+//! 3. [`NaturalLoop`]s with dominator-based detection on the expanded
+//!    graph, each matched to a loop-bound annotation by header address.
+//!
+//! # Example
+//!
+//! ```
+//! use pwcet_progen::{stmt, Program};
+//! use pwcet_cfg::{ExpandedCfg, FunctionExtent};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let compiled = Program::new("p")
+//!     .with_function("main", stmt::loop_(4, stmt::call("f")))
+//!     .with_function("f", stmt::compute(2))
+//!     .compile(0x0040_0000)?;
+//! let extents: Vec<FunctionExtent> = compiled
+//!     .functions()
+//!     .iter()
+//!     .map(|f| FunctionExtent::new(f.name(), f.entry(), f.end()))
+//!     .collect();
+//! let bounds: Vec<(u32, u32)> = compiled
+//!     .loop_bounds()
+//!     .iter()
+//!     .map(|lb| (lb.header, lb.bound))
+//!     .collect();
+//! let cfg = ExpandedCfg::build(compiled.image(), &extents, &bounds)?;
+//! assert_eq!(cfg.loops().len(), 1);
+//! assert_eq!(cfg.loops()[0].bound, 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod expand;
+mod function;
+mod graph;
+
+pub use error::CfgError;
+pub use expand::{Context, ContextId, ExpandedCfg, ExpandedNode, LoopId, NaturalLoop, NodeId};
+pub use function::{BasicBlock, BlockId, CallSite, FunctionCfg, FunctionExtent};
+pub use graph::{dominators, natural_loops, reverse_postorder, LoopInfo};

@@ -1,0 +1,70 @@
+//! Errors of the end-to-end pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use pwcet_cfg::CfgError;
+use pwcet_ilp::IlpError;
+use pwcet_progen::ProgenError;
+
+/// Errors from [`PwcetAnalyzer`](crate::PwcetAnalyzer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Program validation or code generation failed.
+    Progen(ProgenError),
+    /// Control-flow reconstruction failed.
+    Cfg(CfgError),
+    /// An IPET or fault-miss-map ILP failed to solve.
+    Ilp(IlpError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Progen(e) => write!(f, "program generation failed: {e}"),
+            CoreError::Cfg(e) => write!(f, "control-flow reconstruction failed: {e}"),
+            CoreError::Ilp(e) => write!(f, "path analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Progen(e) => Some(e),
+            CoreError::Cfg(e) => Some(e),
+            CoreError::Ilp(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProgenError> for CoreError {
+    fn from(e: ProgenError) -> Self {
+        CoreError::Progen(e)
+    }
+}
+
+impl From<CfgError> for CoreError {
+    fn from(e: CfgError) -> Self {
+        CoreError::Cfg(e)
+    }
+}
+
+impl From<IlpError> for CoreError {
+    fn from(e: IlpError) -> Self {
+        CoreError::Ilp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: CoreError = ProgenError::MissingMain.into();
+        assert!(e.to_string().contains("main"));
+        let e: CoreError = IlpError::Infeasible.into();
+        assert!(e.to_string().contains("infeasible"));
+    }
+}

@@ -1,0 +1,181 @@
+//! The Fault Miss Map (§II-C, Figure 1a).
+
+use std::fmt;
+
+/// Per-set, per-fault-count upper bounds on additional misses.
+///
+/// Entry `(s, f)` bounds the number of extra misses — beyond what the
+/// fault-free WCET model already charges — that any execution path can
+/// suffer when exactly `f` ways of set `s` are disabled. Column `f = 0` is
+/// identically zero.
+///
+/// # Example
+///
+/// ```
+/// let mut fmm = pwcet_core::FaultMissMap::new(2, 4);
+/// fmm.set(0, 1, 10);
+/// fmm.set(0, 4, 130);
+/// assert_eq!(fmm.get(0, 1), 10);
+/// assert_eq!(fmm.get(0, 0), 0);
+/// assert_eq!(fmm.get(1, 4), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMissMap {
+    sets: u32,
+    ways: u32,
+    /// `entries[set * ways + (f - 1)]` for `f ∈ 1..=ways`.
+    entries: Vec<u64>,
+}
+
+impl FaultMissMap {
+    /// An all-zero map for `sets × ways`.
+    pub fn new(sets: u32, ways: u32) -> Self {
+        Self {
+            sets,
+            ways,
+            entries: vec![0; (sets * ways) as usize],
+        }
+    }
+
+    /// Number of sets (rows).
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Number of ways (columns `1..=ways`).
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// The bound for `f` faulty ways in `set` (`f = 0` returns 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set ≥ sets()` or `f > ways()`.
+    pub fn get(&self, set: u32, f: u32) -> u64 {
+        assert!(set < self.sets, "set {set} out of range");
+        assert!(f <= self.ways, "fault count {f} out of range");
+        if f == 0 {
+            0
+        } else {
+            self.entries[(set * self.ways + f - 1) as usize]
+        }
+    }
+
+    /// Sets the bound for `f ≥ 1` faulty ways in `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or `f == 0`.
+    pub fn set(&mut self, set: u32, f: u32, misses: u64) {
+        assert!(set < self.sets, "set {set} out of range");
+        assert!(f >= 1 && f <= self.ways, "fault count {f} out of range");
+        self.entries[(set * self.ways + f - 1) as usize] = misses;
+    }
+
+    /// The row of one set: bounds for `f = 1..=ways`.
+    pub fn row(&self, set: u32) -> &[u64] {
+        let start = (set * self.ways) as usize;
+        &self.entries[start..start + self.ways as usize]
+    }
+
+    /// Upper bound on extra misses for a concrete per-set fault
+    /// assignment (`counts[s]` faulty ways in set `s`) — the analytic
+    /// bound validated by Monte-Carlo simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` has the wrong length or an entry exceeds
+    /// `ways()`.
+    pub fn bound_for_fault_counts(&self, counts: &[u32]) -> u64 {
+        assert_eq!(counts.len(), self.sets as usize, "one count per set");
+        counts
+            .iter()
+            .enumerate()
+            .map(|(s, &f)| self.get(s as u32, f))
+            .sum()
+    }
+
+    /// `true` if every entry is zero (faults cannot add misses).
+    pub fn is_zero(&self) -> bool {
+        self.entries.iter().all(|&e| e == 0)
+    }
+
+    /// The largest entry of the map.
+    pub fn max_entry(&self) -> u64 {
+        self.entries.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for FaultMissMap {
+    /// Renders the map like Figure 1a: one row per set, one column per
+    /// fault count.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "set \\ faulty")?;
+        for c in 1..=self.ways {
+            write!(f, "\t{c}")?;
+        }
+        writeln!(f)?;
+        for s in 0..self.sets {
+            write!(f, "{s}")?;
+            for c in 1..=self.ways {
+                write!(f, "\t{}", self.get(s, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut fmm = FaultMissMap::new(16, 4);
+        fmm.set(3, 2, 42);
+        assert_eq!(fmm.get(3, 2), 42);
+        assert_eq!(fmm.get(3, 1), 0);
+        assert_eq!(fmm.row(3), &[0, 42, 0, 0]);
+        assert!(!fmm.is_zero());
+        assert_eq!(fmm.max_entry(), 42);
+    }
+
+    #[test]
+    fn f_zero_is_always_zero() {
+        let fmm = FaultMissMap::new(4, 4);
+        for s in 0..4 {
+            assert_eq!(fmm.get(s, 0), 0);
+        }
+        assert!(fmm.is_zero());
+    }
+
+    #[test]
+    fn bound_for_fault_counts_sums_rows() {
+        let mut fmm = FaultMissMap::new(2, 2);
+        fmm.set(0, 1, 10);
+        fmm.set(0, 2, 130);
+        fmm.set(1, 1, 14);
+        fmm.set(1, 2, 164);
+        assert_eq!(fmm.bound_for_fault_counts(&[1, 2]), 174);
+        assert_eq!(fmm.bound_for_fault_counts(&[0, 0]), 0);
+        assert_eq!(fmm.bound_for_fault_counts(&[2, 1]), 144);
+    }
+
+    #[test]
+    fn display_renders_figure_1a_shape() {
+        let mut fmm = FaultMissMap::new(2, 2);
+        fmm.set(0, 1, 10);
+        let rendered = fmm.to_string();
+        assert!(rendered.contains("set \\ faulty"));
+        assert!(rendered.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let fmm = FaultMissMap::new(2, 2);
+        let _ = fmm.get(2, 1);
+    }
+}

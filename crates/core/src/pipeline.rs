@@ -1,0 +1,468 @@
+//! The end-to-end analysis pipeline.
+
+use pwcet_analysis::{classify, classify_srb, Chmc, ChmcMap, SrbMap};
+use pwcet_cfg::{CfgError, ExpandedCfg, FunctionExtent};
+use pwcet_ipet::{ipet_bound, CostModel, RefCost};
+use pwcet_prob::DiscreteDistribution;
+use pwcet_progen::{CompiledProgram, Program};
+
+use crate::config::AnalysisConfig;
+use crate::error::CoreError;
+use crate::estimate::{Protection, PwcetEstimate};
+use crate::fmm::FaultMissMap;
+
+/// Builds the expanded control-flow graph of a compiled program (function
+/// extents and loop bounds are taken from the compilation metadata).
+///
+/// # Errors
+///
+/// Propagates [`CfgError`] from reconstruction.
+pub fn expand_compiled(compiled: &CompiledProgram) -> Result<ExpandedCfg, CfgError> {
+    let extents: Vec<FunctionExtent> = compiled
+        .functions()
+        .iter()
+        .map(|f| FunctionExtent::new(f.name(), f.entry(), f.end()))
+        .collect();
+    let bounds: Vec<(u32, u32)> = compiled
+        .loop_bounds()
+        .iter()
+        .map(|lb| (lb.header, lb.bound))
+        .collect();
+    ExpandedCfg::build(compiled.image(), &extents, &bounds)
+}
+
+/// The fault-aware pWCET analyzer (the paper's tool).
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct PwcetAnalyzer {
+    config: AnalysisConfig,
+}
+
+impl PwcetAnalyzer {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalysisConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Compiles and analyzes a structured program: fault-free WCET plus
+    /// the full fault miss map (all protection-independent work).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] wrapping compilation, reconstruction, or ILP
+    /// failures.
+    pub fn analyze(&self, program: &Program) -> Result<ProgramAnalysis, CoreError> {
+        let compiled = program.compile(self.config.code_base)?;
+        self.analyze_compiled(&compiled)
+    }
+
+    /// As [`analyze`](Self::analyze) for an already-compiled program.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] wrapping reconstruction or ILP failures.
+    pub fn analyze_compiled(
+        &self,
+        compiled: &CompiledProgram,
+    ) -> Result<ProgramAnalysis, CoreError> {
+        let cfg = expand_compiled(compiled)?;
+        let geometry = self.config.geometry;
+        let ways = geometry.ways();
+        let sets = geometry.sets();
+
+        // Fault-free WCET (§II-B).
+        let chmc_full = classify(&cfg, &geometry, ways);
+        let wcet_costs = CostModel::from_chmc(&cfg, &chmc_full, &self.config.timing);
+        let fault_free_wcet = ipet_bound(&cfg, &wcet_costs, &self.config.ipet)?;
+
+        // Fault miss map (§II-C): re-classify at every reduced
+        // associativity and maximize the per-set classification deltas.
+        let mut fmm = FaultMissMap::new(sets, ways);
+        for f in 1..=ways {
+            let chmc_reduced = classify(&cfg, &geometry, ways - f);
+            for s in 0..sets {
+                let (costs, has_delta) =
+                    delta_cost_model(&cfg, &geometry, s, &chmc_full, &chmc_reduced, None);
+                if has_delta {
+                    let bound = ipet_bound(&cfg, &costs, &self.config.ipet)?;
+                    fmm.set(s, f, bound);
+                }
+            }
+        }
+        // LRU associativity monotonicity: a set with more faults can never
+        // miss less, so each row may be monotonized. This keeps rows
+        // sound (the max of two upper bounds bounds the larger case) and
+        // makes the RW's stochastic dominance provable.
+        for s in 0..sets {
+            for f in 2..=ways {
+                let prev = fmm.get(s, f - 1);
+                if fmm.get(s, f) < prev {
+                    fmm.set(s, f, prev);
+                }
+            }
+        }
+
+        // SRB column (§III-B2): recompute `f = W` after removing
+        // references that provably hit in the shared reliable buffer.
+        let srb_map = classify_srb(&cfg, &geometry);
+        let mut srb_last_column = vec![0u64; sets as usize];
+        let chmc_zero = classify(&cfg, &geometry, 0);
+        for s in 0..sets {
+            let (costs, has_delta) = delta_cost_model(
+                &cfg,
+                &geometry,
+                s,
+                &chmc_full,
+                &chmc_zero,
+                Some(&srb_map),
+            );
+            let mut bound = if has_delta {
+                ipet_bound(&cfg, &costs, &self.config.ipet)?
+            } else {
+                0
+            };
+            // The SRB never outperforms a surviving way (an SRB hit is a
+            // guaranteed hit at associativity 1 too), so the column
+            // dominates the f = W − 1 column; enforce it defensively.
+            bound = bound.max(fmm.get(s, ways - 1));
+            srb_last_column[s as usize] = bound;
+        }
+
+        Ok(ProgramAnalysis {
+            config: self.config,
+            name: compiled.name().to_string(),
+            fault_free_wcet,
+            fmm,
+            srb_last_column,
+        })
+    }
+
+    /// Convenience: analyze and immediately estimate one protection level.
+    ///
+    /// # Errors
+    ///
+    /// As for [`analyze`](Self::analyze).
+    pub fn estimate(
+        &self,
+        program: &Program,
+        protection: Protection,
+    ) -> Result<PwcetEstimate, CoreError> {
+        Ok(self.analyze(program)?.estimate(protection))
+    }
+}
+
+/// The protection-independent analysis results of one program, from which
+/// estimates for every protection level are assembled cheaply.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    config: AnalysisConfig,
+    name: String,
+    fault_free_wcet: u64,
+    fmm: FaultMissMap,
+    srb_last_column: Vec<u64>,
+}
+
+impl ProgramAnalysis {
+    /// The analyzed program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The deterministic fault-free WCET in cycles.
+    pub fn fault_free_wcet(&self) -> u64 {
+        self.fault_free_wcet
+    }
+
+    /// The fault miss map (unprotected columns `f = 1..=W`).
+    pub fn fmm(&self) -> &FaultMissMap {
+        &self.fmm
+    }
+
+    /// The recomputed `f = W` column under the SRB, per set.
+    pub fn srb_last_column(&self) -> &[u64] {
+        &self.srb_last_column
+    }
+
+    /// The configuration the analysis ran with.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The fault-penalty distribution (in cycles) for one protection
+    /// level: per-set binomial mixtures over the fault miss map, convolved
+    /// across independent sets (§II-C) and scaled by the miss penalty.
+    pub fn penalty_distribution(&self, protection: Protection) -> DiscreteDistribution {
+        let geometry = self.config.geometry;
+        let ways = geometry.ways();
+        let pbf = self
+            .config
+            .fault_model
+            .block_failure_probability(geometry.block_bits());
+
+        let per_set: Vec<DiscreteDistribution> = (0..geometry.sets())
+            .map(|s| {
+                let points: Vec<(u64, f64)> = match protection {
+                    Protection::None => {
+                        let pwf = self.config.fault_model.way_fault_distribution(ways, pbf);
+                        (0..=ways)
+                            .map(|f| (self.fmm.get(s, f), pwf[f as usize]))
+                            .collect()
+                    }
+                    Protection::ReliableWay => {
+                        // Eq. 3: only W − 1 ways can fail; the all-faulty
+                        // point disappears.
+                        let pwf = self
+                            .config
+                            .fault_model
+                            .reliable_way_fault_distribution(ways, pbf);
+                        (0..ways)
+                            .map(|f| (self.fmm.get(s, f), pwf[f as usize]))
+                            .collect()
+                    }
+                    Protection::SharedReliableBuffer => {
+                        let pwf = self.config.fault_model.way_fault_distribution(ways, pbf);
+                        (0..=ways)
+                            .map(|f| {
+                                let misses = if f == ways {
+                                    self.srb_last_column[s as usize]
+                                } else {
+                                    self.fmm.get(s, f)
+                                };
+                                (misses, pwf[f as usize])
+                            })
+                            .collect()
+                    }
+                };
+                DiscreteDistribution::from_points(points)
+                    .expect("binomial weights form a distribution")
+            })
+            .collect();
+
+        DiscreteDistribution::convolve_all(&per_set, &self.config.convolution)
+            .scale_values(self.config.timing.miss_penalty_cycles())
+    }
+
+    /// Assembles the pWCET estimate for one protection level.
+    pub fn estimate(&self, protection: Protection) -> PwcetEstimate {
+        PwcetEstimate::new(
+            protection,
+            self.fault_free_wcet,
+            self.penalty_distribution(protection),
+        )
+    }
+}
+
+/// Builds the fault-miss-map objective for one set: the per-reference
+/// *extra-miss* deltas between the fault-free charging model and the
+/// reduced-associativity (or SRB) charging model.
+///
+/// Charged misses per model: always-hit → 0; first-miss(scope) → 1 per
+/// scope entry; always-miss / not-classified → 1 per execution (§IV-A
+/// merges NC into AM). The delta of each reference is clamped at 0, which
+/// keeps the ILP objective non-negative and remains sound.
+///
+/// Returns the cost model and whether any delta is positive (callers skip
+/// the ILP when not).
+fn delta_cost_model(
+    cfg: &ExpandedCfg,
+    geometry: &pwcet_cache::CacheGeometry,
+    set: u32,
+    old: &ChmcMap,
+    new: &ChmcMap,
+    srb: Option<&SrbMap>,
+) -> (CostModel, bool) {
+    let mut costs = CostModel::zero(cfg);
+    let mut has_delta = false;
+    for node in cfg.nodes() {
+        for (i, &addr) in node.addrs().iter().enumerate() {
+            if geometry.set_of(addr) != set {
+                continue;
+            }
+            // Under the SRB, a reference that provably hits the buffer is
+            // effectively always-hit even with a fully faulty set.
+            let new_class = match srb {
+                Some(srb_map) if srb_map.always_hit(node.id(), i) => Chmc::AlwaysHit,
+                _ => new.get(node.id(), i),
+            };
+            let cost = match (old.get(node.id(), i), new_class) {
+                // The new model charges nothing extra.
+                (_, Chmc::AlwaysHit) => RefCost::default(),
+                // Old charged per execution (AM and NC both charge every
+                // execution), new charges at most once per scope entry.
+                (Chmc::AlwaysMiss | Chmc::NotClassified, Chmc::FirstMiss(_)) => {
+                    RefCost::default()
+                }
+                // Same scope: identical charge on every path.
+                (Chmc::FirstMiss(old_scope), Chmc::FirstMiss(new_scope))
+                    if old_scope == new_scope =>
+                {
+                    RefCost::default()
+                }
+                // One extra miss per entry of the new scope.
+                (_, Chmc::FirstMiss(new_scope)) => {
+                    RefCost::with_first_extra(0, 1, new_scope)
+                }
+                // Old already charged every execution.
+                (
+                    Chmc::AlwaysMiss | Chmc::NotClassified,
+                    Chmc::AlwaysMiss | Chmc::NotClassified,
+                ) => RefCost::default(),
+                // Hit (or once-per-entry) becomes a miss on every
+                // execution.
+                (_, Chmc::AlwaysMiss | Chmc::NotClassified) => RefCost::per_execution(1),
+            };
+            if cost.per_execution > 0 || cost.first_extra > 0 {
+                has_delta = true;
+                costs.set(node.id(), i, cost);
+            }
+        }
+    }
+    (costs, has_delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwcet_progen::stmt;
+
+    fn analyzer() -> PwcetAnalyzer {
+        PwcetAnalyzer::new(AnalysisConfig::paper_default())
+    }
+
+    /// A loop working set that fits the cache: spatial locality only.
+    fn small_loop() -> Program {
+        Program::new("small_loop").with_function("main", stmt::loop_(50, stmt::compute(20)))
+    }
+
+    /// Straight-line code much larger than the cache.
+    fn streaming() -> Program {
+        Program::new("streaming").with_function("main", stmt::compute(1500))
+    }
+
+    #[test]
+    fn fault_free_model_yields_zero_penalty() {
+        let config = AnalysisConfig::paper_default().with_pfail(0.0).unwrap();
+        let analysis = PwcetAnalyzer::new(config).analyze(&small_loop()).unwrap();
+        for protection in Protection::all() {
+            let estimate = analysis.estimate(protection);
+            assert_eq!(estimate.pwcet_at(1e-15), analysis.fault_free_wcet());
+            assert_eq!(estimate.pwcet_at(1.0), analysis.fault_free_wcet());
+        }
+    }
+
+    #[test]
+    fn fmm_rows_are_monotone() {
+        let analysis = analyzer().analyze(&small_loop()).unwrap();
+        let fmm = analysis.fmm();
+        for s in 0..fmm.sets() {
+            for f in 1..=fmm.ways() {
+                assert!(
+                    fmm.get(s, f) >= fmm.get(s, f - 1),
+                    "row {s} must be monotone in the fault count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn srb_column_dominates_one_way_column() {
+        let analysis = analyzer().analyze(&small_loop()).unwrap();
+        for s in 0..analysis.fmm().sets() {
+            assert!(
+                analysis.srb_last_column()[s as usize]
+                    >= analysis.fmm().get(s, analysis.fmm().ways() - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn srb_column_never_exceeds_unprotected_column() {
+        let analysis = analyzer().analyze(&small_loop()).unwrap();
+        let ways = analysis.fmm().ways();
+        for s in 0..analysis.fmm().sets() {
+            assert!(
+                analysis.srb_last_column()[s as usize] <= analysis.fmm().get(s, ways),
+                "the SRB can only remove misses from the all-faulty column"
+            );
+        }
+    }
+
+    #[test]
+    fn protection_ordering_at_target_probability() {
+        for program in [small_loop(), streaming()] {
+            let analysis = analyzer().analyze(&program).unwrap();
+            let none = analysis.estimate(Protection::None);
+            let srb = analysis.estimate(Protection::SharedReliableBuffer);
+            let rw = analysis.estimate(Protection::ReliableWay);
+            let p = 1e-15;
+            assert!(
+                rw.pwcet_at(p) <= srb.pwcet_at(p),
+                "{}: RW must dominate SRB",
+                analysis.name()
+            );
+            assert!(
+                srb.pwcet_at(p) <= none.pwcet_at(p),
+                "{}: SRB must dominate no protection",
+                analysis.name()
+            );
+            assert!(none.pwcet_at(p) >= analysis.fault_free_wcet());
+            assert!(rw.pwcet_at(p) >= analysis.fault_free_wcet());
+        }
+    }
+
+    #[test]
+    fn spatial_only_program_fully_protected() {
+        // Streaming code has no temporal locality: every block is fetched
+        // once per traversal, so both mechanisms recover the fault-free
+        // WCET (category 1 of Figure 4): the only extra misses come from
+        // losing spatial locality within a block, which both preserve.
+        let analysis = analyzer().analyze(&streaming()).unwrap();
+        let rw = analysis.estimate(Protection::ReliableWay);
+        let p = 1e-15;
+        assert_eq!(rw.pwcet_at(p), analysis.fault_free_wcet());
+    }
+
+    #[test]
+    fn pwcet_grows_as_probability_shrinks() {
+        let analysis = analyzer().analyze(&small_loop()).unwrap();
+        let estimate = analysis.estimate(Protection::None);
+        let mut last = 0;
+        for p in [1.0, 1e-3, 1e-6, 1e-9, 1e-12, 1e-15] {
+            let value = estimate.pwcet_at(p);
+            assert!(value >= last, "pWCET must grow as p shrinks");
+            last = value;
+        }
+    }
+
+    #[test]
+    fn higher_pfail_means_higher_pwcet() {
+        let program = small_loop();
+        let mut last = 0;
+        for pfail in [1e-6, 1e-5, 1e-4, 1e-3] {
+            let config = AnalysisConfig::paper_default().with_pfail(pfail).unwrap();
+            let analysis = PwcetAnalyzer::new(config).analyze(&program).unwrap();
+            let value = analysis.estimate(Protection::None).pwcet_at(1e-15);
+            assert!(value >= last, "pfail {pfail}: pWCET must not decrease");
+            last = value;
+        }
+    }
+
+    #[test]
+    fn estimate_convenience_matches_two_step() {
+        let program = small_loop();
+        let one = analyzer()
+            .estimate(&program, Protection::ReliableWay)
+            .unwrap();
+        let two = analyzer()
+            .analyze(&program)
+            .unwrap()
+            .estimate(Protection::ReliableWay);
+        assert_eq!(one, two);
+    }
+}

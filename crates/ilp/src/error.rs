@@ -1,0 +1,41 @@
+//! Solver failure modes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from LP or ILP solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IlpError {
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective can grow without bound.
+    Unbounded,
+    /// The simplex iteration limit was hit (numerical trouble).
+    IterationLimit,
+    /// The branch-and-bound node limit was hit before proving optimality.
+    NodeLimit,
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::Infeasible => write!(f, "problem is infeasible"),
+            IlpError::Unbounded => write!(f, "objective is unbounded"),
+            IlpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            IlpError::NodeLimit => write!(f, "branch-and-bound node limit exceeded"),
+        }
+    }
+}
+
+impl Error for IlpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(IlpError::Infeasible.to_string(), "problem is infeasible");
+        assert!(IlpError::NodeLimit.to_string().contains("branch-and-bound"));
+    }
+}

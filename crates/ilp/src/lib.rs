@@ -1,0 +1,40 @@
+//! Linear and integer linear programming.
+//!
+//! The paper solves its IPET and fault-miss-map systems with CPLEX 12.5
+//! (§IV-A). This crate is the self-contained substitute: a dense two-phase
+//! primal [simplex](solve_lp) solver and a [branch-and-bound](Model::solve_ilp)
+//! layer for integrality.
+//!
+//! IPET instances are small network-flow-like problems whose LP relaxations
+//! are usually integral, so branch and bound rarely branches; it exists to
+//! *guarantee* integral optima. For maximization problems the LP relaxation
+//! optimum is itself a sound upper bound, which the WCET use-case can fall
+//! back on.
+//!
+//! # Example
+//!
+//! ```
+//! use pwcet_ilp::{ConstraintOp, Model};
+//!
+//! # fn main() -> Result<(), pwcet_ilp::IlpError> {
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x <= 2.5, integers.
+//! let mut m = Model::new();
+//! let x = m.add_var("x", 3.0);
+//! let y = m.add_var("y", 2.0);
+//! m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+//! m.add_constraint([(x, 1.0)], ConstraintOp::Le, 2.5);
+//! m.mark_integer(x);
+//! m.mark_integer(y);
+//! let solution = m.solve_ilp()?;
+//! assert_eq!(solution.objective.round() as i64, 10); // x = 2, y = 2
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod model;
+mod simplex;
+
+pub use error::IlpError;
+pub use model::{BranchAndBoundOptions, ConstraintOp, Model, Solution, VarId};
+pub use simplex::solve_lp;

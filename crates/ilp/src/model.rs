@@ -1,0 +1,363 @@
+//! Problem construction and branch-and-bound.
+
+use crate::error::IlpError;
+use crate::simplex::solve_lp;
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// Index into [`Solution::values`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintOp {
+    /// `≤ rhs`
+    Le,
+    /// `= rhs`
+    Eq,
+    /// `≥ rhs`
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) coeffs: Vec<(VarId, f64)>,
+    pub(crate) op: ConstraintOp,
+    pub(crate) rhs: f64,
+}
+
+/// An optimal (or best-found) assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The objective value at `values`.
+    pub objective: f64,
+    /// One value per variable, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// The value of `var`.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+}
+
+/// Limits for [`Model::solve_ilp_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchAndBoundOptions {
+    /// Maximum explored nodes before giving up.
+    pub max_nodes: usize,
+    /// Values within this distance of an integer count as integral.
+    pub integrality_tolerance: f64,
+}
+
+impl Default for BranchAndBoundOptions {
+    fn default() -> Self {
+        Self {
+            max_nodes: 50_000,
+            integrality_tolerance: 1e-6,
+        }
+    }
+}
+
+/// A maximization problem over non-negative variables.
+///
+/// All variables have lower bound 0 (adjustable via [`set_lower`]
+/// (Model::set_lower)) and optional upper bounds. Constraints are linear.
+/// Variables marked integer are enforced by branch and bound in
+/// [`solve_ilp`](Model::solve_ilp).
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    names: Vec<String>,
+    objective: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<Option<f64>>,
+    integer: Vec<bool>,
+    constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with the given objective coefficient; returns its
+    /// handle. The name is kept for debugging output only.
+    pub fn add_var(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        self.names.push(name.into());
+        self.objective.push(objective);
+        self.lower.push(0.0);
+        self.upper.push(None);
+        self.integer.push(false);
+        VarId(self.names.len() - 1)
+    }
+
+    /// Overwrites the objective coefficient of `var`.
+    pub fn set_objective(&mut self, var: VarId, coeff: f64) {
+        self.objective[var.index()] = coeff;
+    }
+
+    /// Sets an (inclusive) upper bound.
+    pub fn set_upper(&mut self, var: VarId, ub: f64) {
+        self.upper[var.index()] = Some(ub);
+    }
+
+    /// Sets an (inclusive) lower bound (default 0).
+    pub fn set_lower(&mut self, var: VarId, lb: f64) {
+        self.lower[var.index()] = lb;
+    }
+
+    /// Marks `var` as integral for [`solve_ilp`](Model::solve_ilp).
+    pub fn mark_integer(&mut self, var: VarId) {
+        self.integer[var.index()] = true;
+    }
+
+    /// Adds the constraint `Σ coeff·var  op  rhs`.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: impl IntoIterator<Item = (VarId, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) {
+        self.constraints.push(Constraint {
+            coeffs: coeffs.into_iter().collect(),
+            op,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints (excluding variable bounds).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    pub(crate) fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    pub(crate) fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    pub(crate) fn upper_bounds(&self) -> &[Option<f64>] {
+        &self.upper
+    }
+
+    pub(crate) fn lower_bounds(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Solves the LP relaxation.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve_lp`].
+    pub fn solve_lp(&self) -> Result<Solution, IlpError> {
+        solve_lp(self)
+    }
+
+    /// Solves the integer program with default options.
+    ///
+    /// # Errors
+    ///
+    /// [`IlpError`] variants from the relaxations, or
+    /// [`IlpError::NodeLimit`] if optimality could not be proven.
+    pub fn solve_ilp(&self) -> Result<Solution, IlpError> {
+        self.solve_ilp_with(&BranchAndBoundOptions::default())
+    }
+
+    /// Solves the integer program by depth-first branch and bound.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_ilp`](Model::solve_ilp).
+    pub fn solve_ilp_with(
+        &self,
+        options: &BranchAndBoundOptions,
+    ) -> Result<Solution, IlpError> {
+        let tol = options.integrality_tolerance;
+        let mut incumbent: Option<Solution> = None;
+        // Each node adds (var, is_upper, bound) tightenings.
+        let mut stack: Vec<Model> = vec![self.clone()];
+        let mut nodes = 0usize;
+
+        while let Some(node) = stack.pop() {
+            nodes += 1;
+            if nodes > options.max_nodes {
+                return Err(IlpError::NodeLimit);
+            }
+            let relaxed = match node.solve_lp() {
+                Ok(s) => s,
+                Err(IlpError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            if let Some(best) = &incumbent {
+                if relaxed.objective <= best.objective + 1e-9 {
+                    continue; // Bounded by the incumbent.
+                }
+            }
+            // Find the most fractional integer variable.
+            let mut branch: Option<(usize, f64)> = None;
+            let mut best_frac = tol;
+            for (i, &is_int) in self.integer.iter().enumerate() {
+                if !is_int {
+                    continue;
+                }
+                let v = relaxed.values[i];
+                let frac = (v - v.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch = Some((i, v));
+                }
+            }
+            match branch {
+                None => {
+                    // Integral (within tolerance): candidate incumbent.
+                    let mut rounded = relaxed.clone();
+                    for (i, &is_int) in self.integer.iter().enumerate() {
+                        if is_int {
+                            rounded.values[i] = rounded.values[i].round();
+                        }
+                    }
+                    let better = incumbent
+                        .as_ref()
+                        .is_none_or(|b| rounded.objective > b.objective + 1e-9);
+                    if better {
+                        incumbent = Some(rounded);
+                    }
+                }
+                Some((var, value)) => {
+                    let floor = value.floor();
+                    // Explore the "round up" child first (DFS): for WCET
+                    // maximization the up branch usually holds the optimum.
+                    let mut down = node.clone();
+                    let current_ub = down.upper[var];
+                    let new_ub = current_ub.map_or(floor, |u| u.min(floor));
+                    down.upper[var] = Some(new_ub);
+                    stack.push(down);
+
+                    let mut up = node;
+                    up.lower[var] = up.lower[var].max(floor + 1.0);
+                    stack.push(up);
+                }
+            }
+        }
+        incumbent.ok_or(IlpError::Infeasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ilp_rounds_down_fractional_lp() {
+        // LP optimum x = 2.5; ILP optimum x = 2.
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        m.add_constraint([(x, 2.0)], ConstraintOp::Le, 5.0);
+        m.mark_integer(x);
+        let lp = m.solve_lp().unwrap();
+        assert!((lp.objective - 2.5).abs() < 1e-6);
+        let ilp = m.solve_ilp().unwrap();
+        assert!((ilp.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 6b + 4c  s.t.  a + b + c <= 2 (integers, 0/1 via ub).
+        let mut m = Model::new();
+        let a = m.add_var("a", 10.0);
+        let b = m.add_var("b", 6.0);
+        let c = m.add_var("c", 4.0);
+        for v in [a, b, c] {
+            m.set_upper(v, 1.0);
+            m.mark_integer(v);
+        }
+        m.add_constraint([(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0);
+        let s = m.solve_ilp().unwrap();
+        assert!((s.objective - 16.0).abs() < 1e-9);
+        assert!((s.value(a) - 1.0).abs() < 1e-9);
+        assert!((s.value(b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_vertex_requires_branching() {
+        // max x + y  s.t.  2x + y <= 3, x + 2y <= 3 → LP vertex (1,1),
+        // integral already; tighten to force fractional: rhs 2 and 2 →
+        // vertex (2/3, 2/3), ILP optimum 1 at (1,0)/(0,1)… use that.
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint([(x, 2.0), (y, 1.0)], ConstraintOp::Le, 2.0);
+        m.add_constraint([(x, 1.0), (y, 2.0)], ConstraintOp::Le, 2.0);
+        m.mark_integer(x);
+        m.mark_integer(y);
+        let lp = m.solve_lp().unwrap();
+        assert!(lp.objective > 1.3); // fractional vertex (2/3, 2/3)
+        let ilp = m.solve_ilp().unwrap();
+        assert!((ilp.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_ilp_reported() {
+        // 2x = 1 has no integral solution (x integer).
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        m.add_constraint([(x, 2.0)], ConstraintOp::Eq, 1.0);
+        m.mark_integer(x);
+        assert_eq!(m.solve_ilp(), Err(IlpError::Infeasible));
+    }
+
+    #[test]
+    fn mixed_integer_keeps_continuous_vars() {
+        // x integer, y continuous: max x + y, x + y <= 2.5, x <= 1.9.
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 2.5);
+        m.add_constraint([(x, 1.0)], ConstraintOp::Le, 1.9);
+        m.mark_integer(x);
+        let s = m.solve_ilp().unwrap();
+        assert!((s.objective - 2.5).abs() < 1e-6);
+        assert!((s.value(x) - 1.0).abs() < 1e-9);
+        assert!((s.value(y) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_value_accessor() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        m.set_upper(x, 3.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.value(x) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        // A problem that needs more than one node with max_nodes = 1.
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        m.add_constraint([(x, 2.0)], ConstraintOp::Le, 5.0);
+        m.mark_integer(x);
+        let options = BranchAndBoundOptions {
+            max_nodes: 1,
+            ..Default::default()
+        };
+        assert_eq!(m.solve_ilp_with(&options), Err(IlpError::NodeLimit));
+    }
+}

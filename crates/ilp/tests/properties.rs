@@ -1,0 +1,143 @@
+//! Property tests: branch-and-bound agrees with exhaustive enumeration on
+//! small random integer programs.
+
+use proptest::prelude::*;
+use pwcet_ilp::{ConstraintOp, Model};
+
+#[derive(Debug, Clone)]
+struct SmallIlp {
+    /// Objective coefficients (up to 3 variables).
+    objective: Vec<i32>,
+    /// Each constraint: coefficients (same arity) and a rhs; all `<=`.
+    constraints: Vec<(Vec<i32>, i32)>,
+    /// Upper bound per variable (small, so enumeration is cheap).
+    upper: Vec<u8>,
+}
+
+fn arb_ilp() -> impl Strategy<Value = SmallIlp> {
+    (2usize..4)
+        .prop_flat_map(|n| {
+            let objective = proptest::collection::vec(-5i32..10, n..=n);
+            let constraint =
+                (proptest::collection::vec(-3i32..6, n..=n), 0i32..30).prop_map(|(c, r)| (c, r));
+            let constraints = proptest::collection::vec(constraint, 1..4);
+            let upper = proptest::collection::vec(1u8..6, n..=n);
+            (objective, constraints, upper)
+        })
+        .prop_map(|(objective, constraints, upper)| SmallIlp {
+            objective,
+            constraints,
+            upper,
+        })
+}
+
+/// Exhaustive optimum over the integer grid, or `None` if infeasible.
+fn brute_force(ilp: &SmallIlp) -> Option<i64> {
+    let n = ilp.objective.len();
+    let mut best: Option<i64> = None;
+    let mut assignment = vec![0i64; n];
+    fn recurse(
+        ilp: &SmallIlp,
+        idx: usize,
+        assignment: &mut Vec<i64>,
+        best: &mut Option<i64>,
+    ) {
+        if idx == assignment.len() {
+            for (coeffs, rhs) in &ilp.constraints {
+                let lhs: i64 = coeffs
+                    .iter()
+                    .zip(assignment.iter())
+                    .map(|(&c, &x)| i64::from(c) * x)
+                    .sum();
+                if lhs > i64::from(*rhs) {
+                    return;
+                }
+            }
+            let value: i64 = ilp
+                .objective
+                .iter()
+                .zip(assignment.iter())
+                .map(|(&c, &x)| i64::from(c) * x)
+                .sum();
+            if best.is_none() || value > best.unwrap() {
+                *best = Some(value);
+            }
+            return;
+        }
+        for v in 0..=i64::from(ilp.upper[idx]) {
+            assignment[idx] = v;
+            recurse(ilp, idx + 1, assignment, best);
+        }
+    }
+    recurse(ilp, 0, &mut assignment, &mut best);
+    best
+}
+
+fn to_model(ilp: &SmallIlp) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = ilp
+        .objective
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| m.add_var(format!("x{i}"), f64::from(c)))
+        .collect();
+    for (i, &ub) in ilp.upper.iter().enumerate() {
+        m.set_upper(vars[i], f64::from(ub));
+        m.mark_integer(vars[i]);
+    }
+    for (coeffs, rhs) in &ilp.constraints {
+        m.add_constraint(
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (vars[i], f64::from(c))),
+            ConstraintOp::Le,
+            f64::from(*rhs),
+        );
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(ilp in arb_ilp()) {
+        let expected = brute_force(&ilp).expect("x = 0 is always feasible here");
+        let model = to_model(&ilp);
+        let solution = model.solve_ilp().expect("bounded and feasible");
+        prop_assert!(
+            (solution.objective - expected as f64).abs() < 1e-6,
+            "solver found {} but brute force found {}",
+            solution.objective,
+            expected
+        );
+    }
+
+    #[test]
+    fn lp_relaxation_dominates_ilp(ilp in arb_ilp()) {
+        let model = to_model(&ilp);
+        let lp = model.solve_lp().expect("feasible");
+        let ilp_solution = model.solve_ilp().expect("feasible");
+        prop_assert!(lp.objective >= ilp_solution.objective - 1e-6);
+    }
+
+    #[test]
+    fn solutions_satisfy_constraints(ilp in arb_ilp()) {
+        let model = to_model(&ilp);
+        let s = model.solve_ilp().expect("feasible");
+        for (coeffs, rhs) in &ilp.constraints {
+            let lhs: f64 = coeffs
+                .iter()
+                .zip(&s.values)
+                .map(|(&c, &x)| f64::from(c) * x)
+                .sum();
+            prop_assert!(lhs <= f64::from(*rhs) + 1e-6);
+        }
+        for (i, &ub) in ilp.upper.iter().enumerate() {
+            prop_assert!(s.values[i] <= f64::from(ub) + 1e-6);
+            prop_assert!(s.values[i] >= -1e-9);
+            prop_assert!((s.values[i] - s.values[i].round()).abs() < 1e-6);
+        }
+    }
+}

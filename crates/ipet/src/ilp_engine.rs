@@ -1,0 +1,321 @@
+//! The IPET engine: worst-case path analysis as an integer linear program.
+
+use std::collections::HashMap;
+
+use pwcet_analysis::Scope;
+use pwcet_cfg::{ExpandedCfg, NodeId};
+use pwcet_ilp::{ConstraintOp, IlpError, Model, VarId};
+
+use crate::cost::CostModel;
+
+/// Options for [`ipet_bound`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpetOptions {
+    /// Require integral execution counts (branch and bound). When `false`
+    /// only the LP relaxation is solved — faster, and still a sound upper
+    /// bound for maximization.
+    pub require_integral: bool,
+}
+
+impl Default for IpetOptions {
+    fn default() -> Self {
+        Self {
+            require_integral: true,
+        }
+    }
+}
+
+/// Computes the maximum total cost over all structurally feasible paths —
+/// the IPET bound of §II-B2.
+///
+/// The ILP has one variable per node and per edge (execution counts), plus
+/// one variable per `(node, scope)` group of first-extra references.
+/// Constraints:
+///
+/// * flow conservation per node, with the entry/exit node executing once;
+/// * per loop: `Σ back-edge counts ≤ (bound − 1) · Σ entry-edge counts`;
+/// * per first-extra group `g` in node `n` with scope `s`:
+///   `y_g ≤ x_n` and `y_g ≤ entries(s)`.
+///
+/// The objective maximizes
+/// `Σ_n per_execution(n)·x_n + Σ_g first_extra(g)·y_g`.
+///
+/// # Errors
+///
+/// Propagates [`IlpError`] from the solver. Structurally valid graphs with
+/// finite loop bounds are always feasible and bounded.
+pub fn ipet_bound(
+    cfg: &ExpandedCfg,
+    costs: &CostModel,
+    options: &IpetOptions,
+) -> Result<u64, IlpError> {
+    let mut model = Model::new();
+
+    // Node variables with per-execution objective coefficients.
+    let node_vars: Vec<VarId> = cfg
+        .nodes()
+        .iter()
+        .map(|n| {
+            let var = model.add_var(
+                format!("x_n{}", n.id()),
+                costs.node_per_execution_total(n.id()) as f64,
+            );
+            if options.require_integral {
+                model.mark_integer(var);
+            }
+            var
+        })
+        .collect();
+
+    // Edge variables.
+    let edges = cfg.edges();
+    let mut edge_vars: HashMap<(NodeId, NodeId), VarId> = HashMap::new();
+    for &(u, v) in &edges {
+        let var = model.add_var(format!("x_e{u}_{v}"), 0.0);
+        if options.require_integral {
+            model.mark_integer(var);
+        }
+        edge_vars.insert((u, v), var);
+    }
+
+    // Flow conservation. The entry node receives one unit of virtual
+    // inflow; the exit node emits one unit of virtual outflow.
+    for node in cfg.nodes() {
+        let id = node.id();
+        let mut inflow: Vec<(VarId, f64)> = cfg.preds()[id]
+            .iter()
+            .map(|&p| (edge_vars[&(p, id)], 1.0))
+            .collect();
+        inflow.push((node_vars[id], -1.0));
+        let virtual_in = if id == cfg.entry() { -1.0 } else { 0.0 };
+        model.add_constraint(inflow, ConstraintOp::Eq, virtual_in);
+
+        let mut outflow: Vec<(VarId, f64)> = cfg.succs()[id]
+            .iter()
+            .map(|&s| (edge_vars[&(id, s)], 1.0))
+            .collect();
+        outflow.push((node_vars[id], -1.0));
+        let virtual_out = if id == cfg.exit() { -1.0 } else { 0.0 };
+        model.add_constraint(outflow, ConstraintOp::Eq, virtual_out);
+    }
+
+    // Loop bounds: back edges ≤ (bound − 1) × entry edges.
+    for l in cfg.loops() {
+        let mut coeffs: Vec<(VarId, f64)> = l
+            .back_edges
+            .iter()
+            .map(|&(u, v)| (edge_vars[&(u, v)], 1.0))
+            .collect();
+        for &(u, v) in &l.entry_edges {
+            coeffs.push((edge_vars[&(u, v)], -(f64::from(l.bound) - 1.0)));
+        }
+        model.add_constraint(coeffs, ConstraintOp::Le, 0.0);
+    }
+
+    // First-extra groups: one y per (node, scope) with summed deltas.
+    let mut groups: HashMap<(NodeId, Scope), u64> = HashMap::new();
+    for (node, _, cost) in costs.first_extra_refs() {
+        let scope = cost
+            .scope
+            .expect("first_extra > 0 requires a scope by construction");
+        *groups.entry((node, scope)).or_insert(0) += cost.first_extra;
+    }
+    let mut group_list: Vec<((NodeId, Scope), u64)> = groups.into_iter().collect();
+    group_list.sort_by_key(|&((n, s), _)| (n, scope_key(s)));
+    for ((node, scope), delta) in group_list {
+        let y = model.add_var(format!("y_n{node}"), delta as f64);
+        if options.require_integral {
+            model.mark_integer(y);
+        }
+        // y ≤ x_node.
+        model.add_constraint(
+            [(y, 1.0), (node_vars[node], -1.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        // y ≤ entries(scope).
+        match scope {
+            Scope::Program => {
+                model.set_upper(y, 1.0);
+            }
+            Scope::Loop(l) => {
+                let mut coeffs = vec![(y, 1.0)];
+                for &(u, v) in &cfg.loops()[l].entry_edges {
+                    coeffs.push((edge_vars[&(u, v)], -1.0));
+                }
+                model.add_constraint(coeffs, ConstraintOp::Le, 0.0);
+            }
+        }
+    }
+
+    let solution = if options.require_integral {
+        model.solve_ilp()?
+    } else {
+        model.solve_lp()?
+    };
+    // Costs are integral, so the optimum is integral up to float noise.
+    Ok(solution.objective.round().max(0.0) as u64)
+}
+
+fn scope_key(scope: Scope) -> usize {
+    match scope {
+        Scope::Program => usize::MAX,
+        Scope::Loop(l) => l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, RefCost};
+    use pwcet_cfg::FunctionExtent;
+    use pwcet_progen::{stmt, CompiledProgram, Program};
+
+    fn build(program: Program) -> (CompiledProgram, ExpandedCfg) {
+        let compiled = program.compile(0x0040_0000).expect("compiles");
+        let extents: Vec<FunctionExtent> = compiled
+            .functions()
+            .iter()
+            .map(|f| FunctionExtent::new(f.name(), f.entry(), f.end()))
+            .collect();
+        let bounds: Vec<(u32, u32)> = compiled
+            .loop_bounds()
+            .iter()
+            .map(|lb| (lb.header, lb.bound))
+            .collect();
+        let cfg = ExpandedCfg::build(compiled.image(), &extents, &bounds).expect("expands");
+        (compiled, cfg)
+    }
+
+    #[test]
+    fn straight_line_counts_every_fetch() {
+        let (compiled, cfg) = build(Program::new("s").with_function("main", stmt::compute(7)));
+        let unit = CostModel::uniform(&cfg, 1);
+        let bound = ipet_bound(&cfg, &unit, &IpetOptions::default()).unwrap();
+        assert_eq!(bound, compiled.max_fetches());
+        assert_eq!(bound, 11); // 3 prologue + 7 compute + 1 break
+    }
+
+    #[test]
+    fn loop_multiplies_body() {
+        let (compiled, cfg) =
+            build(Program::new("l").with_function("main", stmt::loop_(10, stmt::compute(2))));
+        let unit = CostModel::uniform(&cfg, 1);
+        let bound = ipet_bound(&cfg, &unit, &IpetOptions::default()).unwrap();
+        assert_eq!(bound, compiled.max_fetches());
+    }
+
+    #[test]
+    fn if_else_takes_heavier_branch() {
+        let (_, cfg) = build(
+            Program::new("b").with_function(
+                "main",
+                stmt::if_else(stmt::compute(2), stmt::compute(10)),
+            ),
+        );
+        let unit = CostModel::uniform(&cfg, 1);
+        let bound = ipet_bound(&cfg, &unit, &IpetOptions::default()).unwrap();
+        // prologue 3 + xori + beq + else(10) + break = 16: else branch
+        // (10 + 0) beats then (2 + 1 jump).
+        assert_eq!(bound, 16);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let (compiled, cfg) = build(
+            Program::new("n")
+                .with_function("main", stmt::loop_(4, stmt::loop_(6, stmt::compute(1)))),
+        );
+        let unit = CostModel::uniform(&cfg, 1);
+        let bound = ipet_bound(&cfg, &unit, &IpetOptions::default()).unwrap();
+        assert_eq!(bound, compiled.max_fetches());
+    }
+
+    #[test]
+    fn calls_are_counted_per_context() {
+        let (compiled, cfg) = build(
+            Program::new("c")
+                .with_function(
+                    "main",
+                    stmt::seq([stmt::call("f"), stmt::loop_(5, stmt::call("f"))]),
+                )
+                .with_function("f", stmt::compute(3)),
+        );
+        let unit = CostModel::uniform(&cfg, 1);
+        let bound = ipet_bound(&cfg, &unit, &IpetOptions::default()).unwrap();
+        assert_eq!(bound, compiled.max_fetches());
+    }
+
+    #[test]
+    fn first_extra_charged_once_per_loop_entry() {
+        // Loop of 10 iterations; one body reference has first_extra 100
+        // with the loop as scope: contributes 100, not 1000.
+        let (_, cfg) =
+            build(Program::new("fm").with_function("main", stmt::loop_(10, stmt::compute(2))));
+        let l = &cfg.loops()[0];
+        let mut costs = CostModel::zero(&cfg);
+        costs.set(
+            l.header,
+            0,
+            RefCost::with_first_extra(1, 100, Scope::Loop(l.id)),
+        );
+        let bound = ipet_bound(&cfg, &costs, &IpetOptions::default()).unwrap();
+        // 10 executions × 1 + 100 once.
+        assert_eq!(bound, 110);
+    }
+
+    #[test]
+    fn first_extra_with_program_scope_charged_once() {
+        let (_, cfg) =
+            build(Program::new("fp").with_function("main", stmt::loop_(10, stmt::compute(2))));
+        let l = &cfg.loops()[0];
+        let mut costs = CostModel::zero(&cfg);
+        costs.set(
+            l.header,
+            0,
+            RefCost::with_first_extra(0, 7, Scope::Program),
+        );
+        let bound = ipet_bound(&cfg, &costs, &IpetOptions::default()).unwrap();
+        assert_eq!(bound, 7);
+    }
+
+    #[test]
+    fn first_extra_in_nested_loop_charged_per_outer_entry() {
+        // Outer 3×, inner 4×: a ref persistent in the *inner* loop is
+        // charged once per inner-loop entry = 3 times.
+        let (_, cfg) = build(
+            Program::new("nest")
+                .with_function("main", stmt::loop_(3, stmt::loop_(4, stmt::compute(2)))),
+        );
+        let inner = cfg.loops().iter().find(|l| l.bound == 4).unwrap();
+        let mut costs = CostModel::zero(&cfg);
+        costs.set(
+            inner.header,
+            0,
+            RefCost::with_first_extra(0, 10, Scope::Loop(inner.id)),
+        );
+        let bound = ipet_bound(&cfg, &costs, &IpetOptions::default()).unwrap();
+        assert_eq!(bound, 30);
+    }
+
+    #[test]
+    fn lp_relaxation_dominates_ilp() {
+        let (_, cfg) = build(
+            Program::new("lp").with_function(
+                "main",
+                stmt::loop_(7, stmt::if_else(stmt::compute(5), stmt::compute(2))),
+            ),
+        );
+        let unit = CostModel::uniform(&cfg, 1);
+        let ilp = ipet_bound(&cfg, &unit, &IpetOptions::default()).unwrap();
+        let lp = ipet_bound(
+            &cfg,
+            &unit,
+            &IpetOptions {
+                require_integral: false,
+            },
+        )
+        .unwrap();
+        assert!(lp >= ilp);
+    }
+}

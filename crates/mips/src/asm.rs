@@ -1,0 +1,328 @@
+//! A two-pass assembler with symbolic labels.
+
+use std::collections::HashMap;
+
+use crate::error::MipsError;
+use crate::image::BinaryImage;
+use crate::inst::{Instruction, INSTRUCTION_BYTES};
+use crate::reg::Reg;
+
+/// An instruction whose control-flow target may be a yet-unresolved label.
+#[derive(Debug, Clone)]
+enum Item {
+    /// Fully resolved instruction.
+    Ready(Instruction),
+    /// `beq`/`bne` with a label target.
+    BranchEqNe {
+        equal: bool,
+        rs: Reg,
+        rt: Reg,
+        label: String,
+    },
+    /// `blez`/`bgtz` with a label target.
+    BranchZero { lez: bool, rs: Reg, label: String },
+    /// `j`/`jal` with a label target.
+    Jump { link: bool, label: String },
+}
+
+/// Builds machine code incrementally and resolves labels in a second pass.
+///
+/// # Example
+///
+/// ```
+/// use pwcet_mips::{Assembler, Instruction, Reg};
+///
+/// # fn main() -> Result<(), pwcet_mips::MipsError> {
+/// let mut asm = Assembler::new(0x0040_0000);
+/// asm.jal("callee");
+/// asm.push(Instruction::Break { code: 0 });
+/// asm.label("callee");
+/// asm.push(Instruction::Jr { rs: Reg::RA });
+/// let image = asm.assemble()?;
+/// assert_eq!(asm_label_addr(&asm), 0x0040_0008);
+/// # fn asm_label_addr(asm: &Assembler) -> u32 { asm.label_address("callee").unwrap() }
+/// assert_eq!(image.len_words(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    base: u32,
+    items: Vec<Item>,
+    labels: HashMap<String, u32>,
+    duplicate: Option<String>,
+}
+
+impl Assembler {
+    /// Creates an assembler emitting code from `base` (must be aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    pub fn new(base: u32) -> Self {
+        assert_eq!(base % INSTRUCTION_BYTES, 0, "code base must be aligned");
+        Self {
+            base,
+            items: Vec::new(),
+            labels: HashMap::new(),
+            duplicate: None,
+        }
+    }
+
+    /// The address the *next* pushed instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.base + (self.items.len() as u32) * INSTRUCTION_BYTES
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// Duplicate definitions are reported by [`assemble`](Self::assemble).
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.here()).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name);
+        }
+    }
+
+    /// The resolved address of a defined label, if any.
+    pub fn label_address(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// Appends a fully resolved instruction.
+    pub fn push(&mut self, inst: Instruction) {
+        self.items.push(Item::Ready(inst));
+    }
+
+    /// Appends `beq rs, rt, label`.
+    pub fn beq(&mut self, rs: Reg, rt: Reg, label: impl Into<String>) {
+        self.items.push(Item::BranchEqNe {
+            equal: true,
+            rs,
+            rt,
+            label: label.into(),
+        });
+    }
+
+    /// Appends `bne rs, rt, label`.
+    pub fn bne(&mut self, rs: Reg, rt: Reg, label: impl Into<String>) {
+        self.items.push(Item::BranchEqNe {
+            equal: false,
+            rs,
+            rt,
+            label: label.into(),
+        });
+    }
+
+    /// Appends `blez rs, label`.
+    pub fn blez(&mut self, rs: Reg, label: impl Into<String>) {
+        self.items.push(Item::BranchZero {
+            lez: true,
+            rs,
+            label: label.into(),
+        });
+    }
+
+    /// Appends `bgtz rs, label`.
+    pub fn bgtz(&mut self, rs: Reg, label: impl Into<String>) {
+        self.items.push(Item::BranchZero {
+            lez: false,
+            rs,
+            label: label.into(),
+        });
+    }
+
+    /// Appends `j label`.
+    pub fn j(&mut self, label: impl Into<String>) {
+        self.items.push(Item::Jump {
+            link: false,
+            label: label.into(),
+        });
+    }
+
+    /// Appends `jal label`.
+    pub fn jal(&mut self, label: impl Into<String>) {
+        self.items.push(Item::Jump {
+            link: true,
+            label: label.into(),
+        });
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Resolves all labels and produces the binary image.
+    ///
+    /// # Errors
+    ///
+    /// * [`MipsError::DuplicateLabel`] if a label was defined twice.
+    /// * [`MipsError::UndefinedLabel`] if a target label was never defined.
+    /// * [`MipsError::BranchOutOfRange`] if a branch displacement overflows
+    ///   its 16-bit field.
+    pub fn assemble(&self) -> Result<BinaryImage, MipsError> {
+        if let Some(name) = &self.duplicate {
+            return Err(MipsError::DuplicateLabel(name.clone()));
+        }
+        let mut words = Vec::with_capacity(self.items.len());
+        for (i, item) in self.items.iter().enumerate() {
+            let pc = self.base + (i as u32) * INSTRUCTION_BYTES;
+            let inst = match item {
+                Item::Ready(inst) => *inst,
+                Item::BranchEqNe { equal, rs, rt, label } => {
+                    let offset = self.branch_offset(pc, label)?;
+                    if *equal {
+                        Instruction::Beq { rs: *rs, rt: *rt, offset }
+                    } else {
+                        Instruction::Bne { rs: *rs, rt: *rt, offset }
+                    }
+                }
+                Item::BranchZero { lez, rs, label } => {
+                    let offset = self.branch_offset(pc, label)?;
+                    if *lez {
+                        Instruction::Blez { rs: *rs, offset }
+                    } else {
+                        Instruction::Bgtz { rs: *rs, offset }
+                    }
+                }
+                Item::Jump { link, label } => {
+                    let target_addr = self.resolve(label)?;
+                    let target = (target_addr >> 2) & 0x03ff_ffff;
+                    if *link {
+                        Instruction::Jal { target }
+                    } else {
+                        Instruction::J { target }
+                    }
+                }
+            };
+            words.push(inst.encode());
+        }
+        Ok(BinaryImage::new(self.base, words))
+    }
+
+    fn resolve(&self, label: &str) -> Result<u32, MipsError> {
+        self.labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| MipsError::UndefinedLabel(label.to_string()))
+    }
+
+    fn branch_offset(&self, pc: u32, label: &str) -> Result<i16, MipsError> {
+        let target = self.resolve(label)?;
+        let delta_words =
+            (i64::from(target) - i64::from(pc) - i64::from(INSTRUCTION_BYTES)) / 4;
+        i16::try_from(delta_words).map_err(|_| MipsError::BranchOutOfRange {
+            label: label.to_string(),
+            offset: delta_words,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut asm = Assembler::new(0x0040_0000);
+        asm.label("top");
+        asm.push(Instruction::NOP); // 0x00
+        asm.bne(Reg::T0, Reg::ZERO, "top"); // 0x04 -> offset -2
+        asm.beq(Reg::T0, Reg::ZERO, "end"); // 0x08 -> offset +1
+        asm.push(Instruction::NOP); // 0x0c
+        asm.label("end");
+        asm.push(Instruction::Break { code: 0 }); // 0x10
+        let image = asm.assemble().unwrap();
+        assert_eq!(
+            image.decode_at(0x0040_0004).unwrap(),
+            Instruction::Bne { rs: Reg::T0, rt: Reg::ZERO, offset: -2 }
+        );
+        assert_eq!(
+            image.decode_at(0x0040_0008).unwrap(),
+            Instruction::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 1 }
+        );
+        // Decoded targets point back at the labels.
+        let bne = image.decode_at(0x0040_0004).unwrap();
+        assert_eq!(bne.static_target(0x0040_0004), Some(0x0040_0000));
+        let beq = image.decode_at(0x0040_0008).unwrap();
+        assert_eq!(beq.static_target(0x0040_0008), Some(0x0040_0010));
+    }
+
+    #[test]
+    fn jumps_resolve_to_word_targets() {
+        let mut asm = Assembler::new(0x0040_0000);
+        asm.j("fin");
+        asm.push(Instruction::NOP);
+        asm.label("fin");
+        asm.push(Instruction::Break { code: 0 });
+        let image = asm.assemble().unwrap();
+        let j = image.decode_at(0x0040_0000).unwrap();
+        assert_eq!(j.static_target(0x0040_0000), Some(0x0040_0008));
+    }
+
+    #[test]
+    fn blez_bgtz_resolve() {
+        let mut asm = Assembler::new(0x0040_0000);
+        asm.label("a");
+        asm.blez(Reg::T0, "a");
+        asm.bgtz(Reg::T1, "a");
+        let image = asm.assemble().unwrap();
+        assert_eq!(
+            image.decode_at(0x0040_0000).unwrap(),
+            Instruction::Blez { rs: Reg::T0, offset: -1 }
+        );
+        assert_eq!(
+            image.decode_at(0x0040_0004).unwrap(),
+            Instruction::Bgtz { rs: Reg::T1, offset: -2 }
+        );
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let mut asm = Assembler::new(0);
+        asm.j("nowhere");
+        assert_eq!(
+            asm.assemble(),
+            Err(MipsError::UndefinedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_reported() {
+        let mut asm = Assembler::new(0);
+        asm.label("x");
+        asm.push(Instruction::NOP);
+        asm.label("x");
+        assert_eq!(asm.assemble(), Err(MipsError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn branch_out_of_range_is_reported() {
+        let mut asm = Assembler::new(0);
+        asm.label("far");
+        for _ in 0..40_000 {
+            asm.push(Instruction::NOP);
+        }
+        asm.bne(Reg::T0, Reg::ZERO, "far");
+        assert!(matches!(
+            asm.assemble(),
+            Err(MipsError::BranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut asm = Assembler::new(0x1000);
+        assert_eq!(asm.here(), 0x1000);
+        asm.push(Instruction::NOP);
+        assert_eq!(asm.here(), 0x1004);
+        assert_eq!(asm.len(), 1);
+        assert!(!asm.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared by the ISA components.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from decoding, assembling, or addressing MIPS code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MipsError {
+    /// A machine word does not decode to an instruction of the subset.
+    UnknownInstruction(u32),
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch target is too far away for a 16-bit instruction offset.
+    BranchOutOfRange {
+        /// The label whose distance overflowed.
+        label: String,
+        /// The required offset in instructions.
+        offset: i64,
+    },
+    /// An address lies outside the binary image.
+    AddressOutOfRange(u32),
+    /// An address is not 4-byte aligned.
+    MisalignedAddress(u32),
+}
+
+impl fmt::Display for MipsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MipsError::UnknownInstruction(w) => {
+                write!(f, "machine word {w:#010x} is not a known instruction")
+            }
+            MipsError::UndefinedLabel(l) => write!(f, "label `{l}` is not defined"),
+            MipsError::DuplicateLabel(l) => write!(f, "label `{l}` is defined twice"),
+            MipsError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` needs offset {offset}, beyond 16 bits")
+            }
+            MipsError::AddressOutOfRange(a) => {
+                write!(f, "address {a:#010x} is outside the binary image")
+            }
+            MipsError::MisalignedAddress(a) => {
+                write!(f, "address {a:#010x} is not 4-byte aligned")
+            }
+        }
+    }
+}
+
+impl Error for MipsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MipsError::UnknownInstruction(0xdead_beef)
+            .to_string()
+            .contains("0xdeadbeef"));
+        assert!(MipsError::UndefinedLabel("loop".into())
+            .to_string()
+            .contains("`loop`"));
+        assert!(MipsError::MisalignedAddress(3).to_string().contains("aligned"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Assembled machine code at a fixed base address.
+
+use crate::error::MipsError;
+use crate::inst::{Instruction, INSTRUCTION_BYTES};
+
+/// An immutable block of machine code placed at a base address.
+///
+/// The image is the hand-off artifact between the assembler, the
+/// control-flow reconstruction (`pwcet-cfg`) and the functional simulator
+/// (`pwcet-sim`) — exactly the role of the linked binary in the paper's
+/// toolchain.
+///
+/// # Example
+///
+/// ```
+/// use pwcet_mips::{BinaryImage, Instruction};
+///
+/// let image = BinaryImage::new(0x0040_0000, vec![Instruction::NOP.encode()]);
+/// assert!(image.contains(0x0040_0000));
+/// assert!(!image.contains(0x0040_0004));
+/// assert_eq!(image.decode_at(0x0040_0000), Ok(Instruction::NOP));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryImage {
+    base: u32,
+    words: Vec<u32>,
+}
+
+impl BinaryImage {
+    /// Creates an image from machine words starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned (code must be fetchable).
+    pub fn new(base: u32, words: Vec<u32>) -> Self {
+        assert_eq!(base % INSTRUCTION_BYTES, 0, "image base must be aligned");
+        Self { base, words }
+    }
+
+    /// The lowest code address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// One past the highest code address.
+    pub fn end(&self) -> u32 {
+        self.base + self.len_bytes()
+    }
+
+    /// Image size in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        (self.words.len() as u32) * INSTRUCTION_BYTES
+    }
+
+    /// Image size in instructions.
+    pub fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the image holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The raw machine words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// `true` if `addr` points at an instruction of this image.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// The machine word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MipsError::MisalignedAddress`] or [`MipsError::AddressOutOfRange`].
+    pub fn word_at(&self, addr: u32) -> Result<u32, MipsError> {
+        if addr % INSTRUCTION_BYTES != 0 {
+            return Err(MipsError::MisalignedAddress(addr));
+        }
+        if !self.contains(addr) {
+            return Err(MipsError::AddressOutOfRange(addr));
+        }
+        Ok(self.words[((addr - self.base) / INSTRUCTION_BYTES) as usize])
+    }
+
+    /// Decodes the instruction at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Address errors as for [`word_at`](Self::word_at), plus
+    /// [`MipsError::UnknownInstruction`] for undecodable words.
+    pub fn decode_at(&self, addr: u32) -> Result<Instruction, MipsError> {
+        Instruction::decode(self.word_at(addr)?)
+    }
+
+    /// Iterates over `(address, instruction)` pairs, decoding each word.
+    ///
+    /// # Errors
+    ///
+    /// The iterator yields `Err` for undecodable words.
+    pub fn iter_decoded(
+        &self,
+    ) -> impl Iterator<Item = (u32, Result<Instruction, MipsError>)> + '_ {
+        self.words.iter().enumerate().map(move |(i, &w)| {
+            (
+                self.base + (i as u32) * INSTRUCTION_BYTES,
+                Instruction::decode(w),
+            )
+        })
+    }
+
+    /// Renders a disassembly listing (one instruction per line), useful in
+    /// tests and debugging.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (addr, inst) in self.iter_decoded() {
+            let text = match inst {
+                Ok(i) => i.to_string(),
+                Err(_) => ".word".to_string(),
+            };
+            out.push_str(&format!("{addr:#010x}: {text}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn image() -> BinaryImage {
+        BinaryImage::new(
+            0x0040_0000,
+            vec![
+                Instruction::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 5 }.encode(),
+                Instruction::NOP.encode(),
+                Instruction::Break { code: 0 }.encode(),
+            ],
+        )
+    }
+
+    #[test]
+    fn bounds_and_lengths() {
+        let img = image();
+        assert_eq!(img.base(), 0x0040_0000);
+        assert_eq!(img.end(), 0x0040_000c);
+        assert_eq!(img.len_bytes(), 12);
+        assert_eq!(img.len_words(), 3);
+        assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn word_at_validates_addresses() {
+        let img = image();
+        assert!(img.word_at(0x0040_0001).is_err());
+        assert_eq!(
+            img.word_at(0x0040_000c),
+            Err(MipsError::AddressOutOfRange(0x0040_000c))
+        );
+        assert_eq!(img.word_at(0x0040_0004), Ok(0));
+    }
+
+    #[test]
+    fn decode_at_round_trips() {
+        let img = image();
+        assert_eq!(
+            img.decode_at(0x0040_0000),
+            Ok(Instruction::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 5 })
+        );
+        assert_eq!(img.decode_at(0x0040_0008), Ok(Instruction::Break { code: 0 }));
+    }
+
+    #[test]
+    fn iter_decoded_covers_whole_image() {
+        let img = image();
+        let addrs: Vec<u32> = img.iter_decoded().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![0x0040_0000, 0x0040_0004, 0x0040_0008]);
+    }
+
+    #[test]
+    fn disassembly_contains_mnemonics() {
+        let listing = image().disassemble();
+        assert!(listing.contains("addiu"));
+        assert!(listing.contains("nop"));
+        assert!(listing.contains("break"));
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_base_panics() {
+        let _ = BinaryImage::new(2, vec![]);
+    }
+}

@@ -1,0 +1,449 @@
+//! Instruction definitions and binary encoding/decoding.
+//!
+//! The encoding follows the MIPS-I opcode map: R-type instructions use
+//! opcode `0` with a `funct` field; I-type instructions carry a 16-bit
+//! immediate; J-type instructions carry a 26-bit word index.
+
+use std::fmt;
+
+use crate::error::MipsError;
+use crate::reg::Reg;
+
+/// Size of every instruction in bytes (MIPS is a fixed-width ISA).
+pub const INSTRUCTION_BYTES: u32 = 4;
+
+// Primary opcodes.
+const OP_SPECIAL: u32 = 0x00;
+const OP_J: u32 = 0x02;
+const OP_JAL: u32 = 0x03;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_BLEZ: u32 = 0x06;
+const OP_BGTZ: u32 = 0x07;
+const OP_ADDIU: u32 = 0x09;
+const OP_SLTI: u32 = 0x0a;
+const OP_SLTIU: u32 = 0x0b;
+const OP_ANDI: u32 = 0x0c;
+const OP_ORI: u32 = 0x0d;
+const OP_XORI: u32 = 0x0e;
+const OP_LUI: u32 = 0x0f;
+const OP_LW: u32 = 0x23;
+const OP_SW: u32 = 0x2b;
+
+// SPECIAL funct codes.
+const FN_SLL: u32 = 0x00;
+const FN_SRL: u32 = 0x02;
+const FN_SRA: u32 = 0x03;
+const FN_JR: u32 = 0x08;
+const FN_BREAK: u32 = 0x0d;
+const FN_ADDU: u32 = 0x21;
+const FN_SUBU: u32 = 0x23;
+const FN_AND: u32 = 0x24;
+const FN_OR: u32 = 0x25;
+const FN_XOR: u32 = 0x26;
+const FN_NOR: u32 = 0x27;
+const FN_SLT: u32 = 0x2a;
+const FN_SLTU: u32 = 0x2b;
+
+/// One MIPS-I subset instruction.
+///
+/// Branch offsets are in *instructions* relative to `pc + 4` (standard MIPS
+/// branch arithmetic); jump targets are absolute word indices within the
+/// current 256 MB segment.
+///
+/// # Example
+///
+/// ```
+/// use pwcet_mips::{Instruction, Reg};
+///
+/// let inst = Instruction::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+/// let word = inst.encode();
+/// assert_eq!(Instruction::decode(word).unwrap(), inst);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// `rd = rs + rt` (no overflow trap).
+    Addu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs - rt` (no overflow trap).
+    Subu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs & rt`.
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs | rt`.
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs ^ rt`.
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = !(rs | rt)`.
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = (rs as i32) < (rt as i32)`.
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = (rs as u32) < (rt as u32)`.
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rt << shamt`. `Sll {rd: $zero, rt: $zero, shamt: 0}` is `nop`.
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = rt >> shamt` (logical).
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = rt >> shamt` (arithmetic).
+    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    /// Indirect jump to the address in `rs` (function return).
+    Jr { rs: Reg },
+    /// Breakpoint; used by this workspace as the *halt* instruction.
+    Break { code: u32 },
+    /// `rt = rs + sign_extend(imm)`.
+    Addiu { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = (rs as i32) < sign_extend(imm)`.
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = (rs as u32) < sign_extend(imm) as u32`.
+    Sltiu { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = rs & zero_extend(imm)`.
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = rs | zero_extend(imm)`.
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = rs ^ zero_extend(imm)`.
+    Xori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = imm << 16`.
+    Lui { rt: Reg, imm: u16 },
+    /// `rt = mem[rs + sign_extend(offset)]`.
+    Lw { rt: Reg, base: Reg, offset: i16 },
+    /// `mem[rs + sign_extend(offset)] = rt`.
+    Sw { rt: Reg, base: Reg, offset: i16 },
+    /// Branch to `pc + 4 + (offset << 2)` if `rs == rt`.
+    Beq { rs: Reg, rt: Reg, offset: i16 },
+    /// Branch to `pc + 4 + (offset << 2)` if `rs != rt`.
+    Bne { rs: Reg, rt: Reg, offset: i16 },
+    /// Branch if `rs <= 0` (signed).
+    Blez { rs: Reg, offset: i16 },
+    /// Branch if `rs > 0` (signed).
+    Bgtz { rs: Reg, offset: i16 },
+    /// Absolute jump to word index `target` within the current segment.
+    J { target: u32 },
+    /// Jump-and-link: `$ra = pc + 4`, then jump.
+    Jal { target: u32 },
+}
+
+impl Instruction {
+    /// The canonical `nop` (`sll $zero, $zero, 0`).
+    pub const NOP: Instruction = Instruction::Sll {
+        rd: Reg::ZERO,
+        rt: Reg::ZERO,
+        shamt: 0,
+    };
+
+    /// Encodes the instruction to its 32-bit machine word.
+    pub fn encode(self) -> u32 {
+        use Instruction::*;
+        let r = |rs: Reg, rt: Reg, rd: Reg, shamt: u32, funct: u32| {
+            (rs.field() << 21) | (rt.field() << 16) | (rd.field() << 11) | (shamt << 6) | funct
+        };
+        let i = |op: u32, rs: Reg, rt: Reg, imm: u16| {
+            (op << 26) | (rs.field() << 21) | (rt.field() << 16) | u32::from(imm)
+        };
+        match self {
+            Addu { rd, rs, rt } => r(rs, rt, rd, 0, FN_ADDU),
+            Subu { rd, rs, rt } => r(rs, rt, rd, 0, FN_SUBU),
+            And { rd, rs, rt } => r(rs, rt, rd, 0, FN_AND),
+            Or { rd, rs, rt } => r(rs, rt, rd, 0, FN_OR),
+            Xor { rd, rs, rt } => r(rs, rt, rd, 0, FN_XOR),
+            Nor { rd, rs, rt } => r(rs, rt, rd, 0, FN_NOR),
+            Slt { rd, rs, rt } => r(rs, rt, rd, 0, FN_SLT),
+            Sltu { rd, rs, rt } => r(rs, rt, rd, 0, FN_SLTU),
+            Sll { rd, rt, shamt } => r(Reg::ZERO, rt, rd, u32::from(shamt & 0x1f), FN_SLL),
+            Srl { rd, rt, shamt } => r(Reg::ZERO, rt, rd, u32::from(shamt & 0x1f), FN_SRL),
+            Sra { rd, rt, shamt } => r(Reg::ZERO, rt, rd, u32::from(shamt & 0x1f), FN_SRA),
+            Jr { rs } => r(rs, Reg::ZERO, Reg::ZERO, 0, FN_JR),
+            Break { code } => ((code & 0xf_ffff) << 6) | FN_BREAK,
+            Addiu { rt, rs, imm } => i(OP_ADDIU, rs, rt, imm as u16),
+            Slti { rt, rs, imm } => i(OP_SLTI, rs, rt, imm as u16),
+            Sltiu { rt, rs, imm } => i(OP_SLTIU, rs, rt, imm as u16),
+            Andi { rt, rs, imm } => i(OP_ANDI, rs, rt, imm),
+            Ori { rt, rs, imm } => i(OP_ORI, rs, rt, imm),
+            Xori { rt, rs, imm } => i(OP_XORI, rs, rt, imm),
+            Lui { rt, imm } => i(OP_LUI, Reg::ZERO, rt, imm),
+            Lw { rt, base, offset } => i(OP_LW, base, rt, offset as u16),
+            Sw { rt, base, offset } => i(OP_SW, base, rt, offset as u16),
+            Beq { rs, rt, offset } => i(OP_BEQ, rs, rt, offset as u16),
+            Bne { rs, rt, offset } => i(OP_BNE, rs, rt, offset as u16),
+            Blez { rs, offset } => i(OP_BLEZ, rs, Reg::ZERO, offset as u16),
+            Bgtz { rs, offset } => i(OP_BGTZ, rs, Reg::ZERO, offset as u16),
+            J { target } => (OP_J << 26) | (target & 0x03ff_ffff),
+            Jal { target } => (OP_JAL << 26) | (target & 0x03ff_ffff),
+        }
+    }
+
+    /// Decodes a 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MipsError::UnknownInstruction`] for opcodes or funct codes
+    /// outside the implemented subset.
+    pub fn decode(word: u32) -> Result<Instruction, MipsError> {
+        use Instruction::*;
+        let op = word >> 26;
+        let rs = Reg::from_field(word >> 21);
+        let rt = Reg::from_field(word >> 16);
+        let rd = Reg::from_field(word >> 11);
+        let shamt = ((word >> 6) & 0x1f) as u8;
+        let imm = (word & 0xffff) as u16;
+        let simm = imm as i16;
+        Ok(match op {
+            OP_SPECIAL => match word & 0x3f {
+                FN_ADDU => Addu { rd, rs, rt },
+                FN_SUBU => Subu { rd, rs, rt },
+                FN_AND => And { rd, rs, rt },
+                FN_OR => Or { rd, rs, rt },
+                FN_XOR => Xor { rd, rs, rt },
+                FN_NOR => Nor { rd, rs, rt },
+                FN_SLT => Slt { rd, rs, rt },
+                FN_SLTU => Sltu { rd, rs, rt },
+                FN_SLL => Sll { rd, rt, shamt },
+                FN_SRL => Srl { rd, rt, shamt },
+                FN_SRA => Sra { rd, rt, shamt },
+                FN_JR => Jr { rs },
+                FN_BREAK => Break {
+                    code: (word >> 6) & 0xf_ffff,
+                },
+                _ => return Err(MipsError::UnknownInstruction(word)),
+            },
+            OP_ADDIU => Addiu { rt, rs, imm: simm },
+            OP_SLTI => Slti { rt, rs, imm: simm },
+            OP_SLTIU => Sltiu { rt, rs, imm: simm },
+            OP_ANDI => Andi { rt, rs, imm },
+            OP_ORI => Ori { rt, rs, imm },
+            OP_XORI => Xori { rt, rs, imm },
+            OP_LUI => Lui { rt, imm },
+            OP_LW => Lw {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_SW => Sw {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_BEQ => Beq {
+                rs,
+                rt,
+                offset: simm,
+            },
+            OP_BNE => Bne {
+                rs,
+                rt,
+                offset: simm,
+            },
+            OP_BLEZ => Blez { rs, offset: simm },
+            OP_BGTZ => Bgtz { rs, offset: simm },
+            OP_J => J {
+                target: word & 0x03ff_ffff,
+            },
+            OP_JAL => Jal {
+                target: word & 0x03ff_ffff,
+            },
+            _ => return Err(MipsError::UnknownInstruction(word)),
+        })
+    }
+
+    /// `true` for instructions that may divert control flow: branches,
+    /// jumps, indirect jumps and [`Break`](Instruction::Break) (halt).
+    pub fn is_control_flow(&self) -> bool {
+        use Instruction::*;
+        matches!(
+            self,
+            Beq { .. }
+                | Bne { .. }
+                | Blez { .. }
+                | Bgtz { .. }
+                | J { .. }
+                | Jal { .. }
+                | Jr { .. }
+                | Break { .. }
+        )
+    }
+
+    /// The branch/jump target address when executed at `pc`, if statically
+    /// known (`None` for `Jr`, `Break`, and non-control-flow instructions).
+    pub fn static_target(&self, pc: u32) -> Option<u32> {
+        use Instruction::*;
+        match *self {
+            Beq { offset, .. } | Bne { offset, .. } | Blez { offset, .. }
+            | Bgtz { offset, .. } => Some(
+                pc.wrapping_add(4)
+                    .wrapping_add((i32::from(offset) << 2) as u32),
+            ),
+            J { target } | Jal { target } => {
+                Some((pc.wrapping_add(4) & 0xf000_0000) | (target << 2))
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` if execution may continue at `pc + 4` (everything except
+    /// unconditional jumps, `jr`, and `break`).
+    pub fn falls_through(&self) -> bool {
+        use Instruction::*;
+        !matches!(self, J { .. } | Jr { .. } | Break { .. })
+    }
+
+    /// `true` for conditional branches.
+    pub fn is_conditional_branch(&self) -> bool {
+        use Instruction::*;
+        matches!(self, Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. })
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Addu { rd, rs, rt } => write!(f, "addu {rd}, {rs}, {rt}"),
+            Subu { rd, rs, rt } => write!(f, "subu {rd}, {rs}, {rt}"),
+            And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Nor { rd, rs, rt } => write!(f, "nor {rd}, {rs}, {rt}"),
+            Slt { rd, rs, rt } => write!(f, "slt {rd}, {rs}, {rt}"),
+            Sltu { rd, rs, rt } => write!(f, "sltu {rd}, {rs}, {rt}"),
+            Sll { rd, rt, shamt } if rd == Reg::ZERO && rt == Reg::ZERO && shamt == 0 => {
+                write!(f, "nop")
+            }
+            Sll { rd, rt, shamt } => write!(f, "sll {rd}, {rt}, {shamt}"),
+            Srl { rd, rt, shamt } => write!(f, "srl {rd}, {rt}, {shamt}"),
+            Sra { rd, rt, shamt } => write!(f, "sra {rd}, {rt}, {shamt}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Break { code } => write!(f, "break {code}"),
+            Addiu { rt, rs, imm } => write!(f, "addiu {rt}, {rs}, {imm}"),
+            Slti { rt, rs, imm } => write!(f, "slti {rt}, {rs}, {imm}"),
+            Sltiu { rt, rs, imm } => write!(f, "sltiu {rt}, {rs}, {imm}"),
+            Andi { rt, rs, imm } => write!(f, "andi {rt}, {rs}, {imm:#x}"),
+            Ori { rt, rs, imm } => write!(f, "ori {rt}, {rs}, {imm:#x}"),
+            Xori { rt, rs, imm } => write!(f, "xori {rt}, {rs}, {imm:#x}"),
+            Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            Lw { rt, base, offset } => write!(f, "lw {rt}, {offset}({base})"),
+            Sw { rt, base, offset } => write!(f, "sw {rt}, {offset}({base})"),
+            Beq { rs, rt, offset } => write!(f, "beq {rs}, {rt}, {offset}"),
+            Bne { rs, rt, offset } => write!(f, "bne {rs}, {rt}, {offset}"),
+            Blez { rs, offset } => write!(f, "blez {rs}, {offset}"),
+            Bgtz { rs, offset } => write!(f, "bgtz {rs}, {offset}"),
+            J { target } => write!(f, "j {:#010x}", target << 2),
+            Jal { target } => write!(f, "jal {:#010x}", target << 2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_instructions() -> Vec<Instruction> {
+        use Instruction::*;
+        vec![
+            Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
+            Subu { rd: Reg::S0, rs: Reg::S1, rt: Reg::S2 },
+            And { rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 },
+            Or { rd: Reg::V1, rs: Reg::A2, rt: Reg::A3 },
+            Xor { rd: Reg::T3, rs: Reg::T4, rt: Reg::T5 },
+            Nor { rd: Reg::T6, rs: Reg::T7, rt: Reg::T8 },
+            Slt { rd: Reg::T9, rs: Reg::S3, rt: Reg::S4 },
+            Sltu { rd: Reg::S5, rs: Reg::S6, rt: Reg::S7 },
+            Sll { rd: Reg::T0, rt: Reg::T1, shamt: 5 },
+            Srl { rd: Reg::T0, rt: Reg::T1, shamt: 31 },
+            Sra { rd: Reg::T0, rt: Reg::T1, shamt: 1 },
+            Jr { rs: Reg::RA },
+            Break { code: 42 },
+            Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: -100 },
+            Slti { rt: Reg::T1, rs: Reg::T0, imm: 77 },
+            Sltiu { rt: Reg::T1, rs: Reg::T0, imm: -1 },
+            Andi { rt: Reg::T2, rs: Reg::T3, imm: 0xffff },
+            Ori { rt: Reg::T2, rs: Reg::T3, imm: 0x8000 },
+            Xori { rt: Reg::T2, rs: Reg::T3, imm: 0x0001 },
+            Lui { rt: Reg::GP, imm: 0x1000 },
+            Lw { rt: Reg::T0, base: Reg::SP, offset: -4 },
+            Sw { rt: Reg::RA, base: Reg::SP, offset: 0 },
+            Beq { rs: Reg::T0, rt: Reg::ZERO, offset: -3 },
+            Bne { rs: Reg::T0, rt: Reg::T1, offset: 12 },
+            Blez { rs: Reg::T0, offset: 2 },
+            Bgtz { rs: Reg::T0, offset: -2 },
+            J { target: 0x0010_0000 },
+            Jal { target: 0x03ff_ffff },
+            Instruction::NOP,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for inst in all_sample_instructions() {
+            let word = inst.encode();
+            let back = Instruction::decode(word).unwrap_or_else(|e| panic!("{inst}: {e}"));
+            assert_eq!(back, inst, "round-trip of {inst} (word {word:#010x})");
+        }
+    }
+
+    #[test]
+    fn nop_encodes_to_zero() {
+        assert_eq!(Instruction::NOP.encode(), 0);
+        assert_eq!(Instruction::decode(0).unwrap(), Instruction::NOP);
+    }
+
+    #[test]
+    fn known_encodings_match_mips_manual() {
+        // addu $t0, $t1, $t2  =>  000000 01001 01010 01000 00000 100001
+        let addu = Instruction::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+        assert_eq!(addu.encode(), 0x012a_4021);
+        // addiu $t0, $zero, 1  =>  001001 00000 01000 0000000000000001
+        let addiu = Instruction::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 1 };
+        assert_eq!(addiu.encode(), 0x2408_0001);
+        // lw $t0, 4($sp)  =>  100011 11101 01000 0000000000000100
+        let lw = Instruction::Lw { rt: Reg::T0, base: Reg::SP, offset: 4 };
+        assert_eq!(lw.encode(), 0x8fa8_0004);
+        // jr $ra  =>  000000 11111 ... 001000
+        let jr = Instruction::Jr { rs: Reg::RA };
+        assert_eq!(jr.encode(), 0x03e0_0008);
+    }
+
+    #[test]
+    fn decode_rejects_unknown() {
+        // Opcode 0x3f is not in the subset.
+        assert!(matches!(
+            Instruction::decode(0xfc00_0000),
+            Err(MipsError::UnknownInstruction(_))
+        ));
+        // SPECIAL funct 0x3f is not in the subset.
+        assert!(matches!(
+            Instruction::decode(0x0000_003f),
+            Err(MipsError::UnknownInstruction(_))
+        ));
+    }
+
+    #[test]
+    fn branch_target_arithmetic() {
+        let pc = 0x0040_0010;
+        let b = Instruction::Bne { rs: Reg::T0, rt: Reg::ZERO, offset: -2 };
+        assert_eq!(b.static_target(pc), Some(0x0040_000c));
+        let fwd = Instruction::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 3 };
+        assert_eq!(fwd.static_target(pc), Some(0x0040_0020));
+    }
+
+    #[test]
+    fn jump_target_arithmetic() {
+        let pc = 0x0040_0010;
+        let j = Instruction::J { target: 0x0040_0100 >> 2 };
+        assert_eq!(j.static_target(pc), Some(0x0040_0100));
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Instruction::Jr { rs: Reg::RA }.is_control_flow());
+        assert!(!Instruction::Jr { rs: Reg::RA }.falls_through());
+        assert!(Instruction::NOP.falls_through());
+        assert!(!Instruction::NOP.is_control_flow());
+        let b = Instruction::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 1 };
+        assert!(b.is_conditional_branch());
+        assert!(b.falls_through());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Instruction::NOP.to_string(), "nop");
+        let lw = Instruction::Lw { rt: Reg::T0, base: Reg::SP, offset: -8 };
+        assert_eq!(lw.to_string(), "lw $t0, -8($sp)");
+    }
+}

@@ -1,0 +1,50 @@
+//! A MIPS-I subset instruction set architecture.
+//!
+//! The paper analyzes MIPS R2000/R3000 binaries (§IV-A). This crate provides
+//! the ISA substrate for the reproduction: a register file model, a binary
+//! instruction encoding faithful to the MIPS-I opcode map, a two-pass
+//! assembler with symbolic labels, and an immutable [`BinaryImage`] holding
+//! assembled machine code at a base address.
+//!
+//! # Deviation from MIPS-I
+//!
+//! Branch *delay slots* are not modelled: a taken branch transfers control
+//! immediately. Delay slots affect neither the shape of the fetch address
+//! stream (Heptane-era compilers fill them with `nop`s in the worst case)
+//! nor any part of the cache analysis; removing them keeps the control-flow
+//! reconstruction in `pwcet-cfg` and the simulator in `pwcet-sim` simple and
+//! bug-resistant. Branch target arithmetic is otherwise unchanged
+//! (`target = pc + 4 + (offset << 2)`).
+//!
+//! # Example
+//!
+//! ```
+//! use pwcet_mips::{Assembler, Instruction, Reg};
+//!
+//! # fn main() -> Result<(), pwcet_mips::MipsError> {
+//! let mut asm = Assembler::new(0x0040_0000);
+//! asm.label("start");
+//! asm.push(Instruction::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 3 });
+//! asm.label("loop");
+//! asm.push(Instruction::Addiu { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+//! asm.bne(Reg::T0, Reg::ZERO, "loop");
+//! asm.push(Instruction::Break { code: 0 });
+//! let image = asm.assemble()?;
+//! assert_eq!(image.len_words(), 4);
+//! let decoded = image.decode_at(0x0040_0004)?;
+//! assert_eq!(decoded, Instruction::Addiu { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod error;
+mod image;
+mod inst;
+mod reg;
+
+pub use asm::Assembler;
+pub use error::MipsError;
+pub use image::BinaryImage;
+pub use inst::{Instruction, INSTRUCTION_BYTES};
+pub use reg::Reg;

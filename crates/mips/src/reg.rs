@@ -1,0 +1,157 @@
+//! General-purpose register names of the MIPS calling convention.
+
+use std::fmt;
+
+/// One of the 32 MIPS general-purpose registers.
+///
+/// The wrapped index is guaranteed to be in `0..32`. Construct via the named
+/// constants or [`Reg::new`].
+///
+/// # Example
+///
+/// ```
+/// use pwcet_mips::Reg;
+///
+/// assert_eq!(Reg::T0.index(), 8);
+/// assert_eq!(Reg::new(8), Some(Reg::T0));
+/// assert_eq!(Reg::T0.to_string(), "$t0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// Function result 0.
+    pub const V0: Reg = Reg(2);
+    /// Function result 1.
+    pub const V1: Reg = Reg(3);
+    /// Argument 0.
+    pub const A0: Reg = Reg(4);
+    /// Argument 1.
+    pub const A1: Reg = Reg(5);
+    /// Argument 2.
+    pub const A2: Reg = Reg(6);
+    /// Argument 3.
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporary 0.
+    pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary 1.
+    pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary 2.
+    pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary 3.
+    pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary 4.
+    pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary 5.
+    pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary 6.
+    pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary 7.
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved 0.
+    pub const S0: Reg = Reg(16);
+    /// Callee-saved 1.
+    pub const S1: Reg = Reg(17);
+    /// Callee-saved 2.
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved 3.
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved 4.
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved 5.
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved 6.
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved 7.
+    pub const S7: Reg = Reg(23);
+    /// Caller-saved temporary 8.
+    pub const T8: Reg = Reg(24);
+    /// Caller-saved temporary 9.
+    pub const T9: Reg = Reg(25);
+    /// Kernel reserved 0.
+    pub const K0: Reg = Reg(26);
+    /// Kernel reserved 1.
+    pub const K1: Reg = Reg(27);
+    /// Global pointer.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index, returning `None` above 31.
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The register index in `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The register index as the `u32` field value used in encodings.
+    pub(crate) fn field(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// Decodes a 5-bit register field (masks to 5 bits, so always valid).
+    pub(crate) fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 32] = [
+            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3",
+            "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+        ];
+        f.write_str(NAMES[self.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants_have_conventional_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::V0.index(), 2);
+        assert_eq!(Reg::A0.index(), 4);
+        assert_eq!(Reg::T0.index(), 8);
+        assert_eq!(Reg::S0.index(), 16);
+        assert_eq!(Reg::T8.index(), 24);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::RA.index(), 31);
+    }
+
+    #[test]
+    fn new_validates_range() {
+        assert_eq!(Reg::new(31), Some(Reg::RA));
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::ZERO.to_string(), "$zero");
+        assert_eq!(Reg::SP.to_string(), "$sp");
+        assert_eq!(Reg::T9.to_string(), "$t9");
+    }
+
+    #[test]
+    fn field_round_trip() {
+        for i in 0..32u8 {
+            let r = Reg::new(i).unwrap();
+            assert_eq!(Reg::from_field(r.field()), r);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: instruction encoding is a bijection on the subset.
+
+use proptest::prelude::*;
+use pwcet_mips::{Instruction, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).expect("index < 32"))
+}
+
+fn r3() -> impl Strategy<Value = (Reg, Reg, Reg)> {
+    (arb_reg(), arb_reg(), arb_reg())
+}
+
+fn shift() -> impl Strategy<Value = (Reg, Reg, u8)> {
+    (arb_reg(), arb_reg(), 0u8..32)
+}
+
+fn imm_i() -> impl Strategy<Value = (Reg, Reg, i16)> {
+    (arb_reg(), arb_reg(), any::<i16>())
+}
+
+fn imm_u() -> impl Strategy<Value = (Reg, Reg, u16)> {
+    (arb_reg(), arb_reg(), any::<u16>())
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        r3().prop_map(|(rd, rs, rt)| Instruction::Addu { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Instruction::Subu { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Instruction::And { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Instruction::Or { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Instruction::Xor { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Instruction::Nor { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Instruction::Slt { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Instruction::Sltu { rd, rs, rt }),
+        shift().prop_map(|(rd, rt, shamt)| Instruction::Sll { rd, rt, shamt }),
+        shift().prop_map(|(rd, rt, shamt)| Instruction::Srl { rd, rt, shamt }),
+        shift().prop_map(|(rd, rt, shamt)| Instruction::Sra { rd, rt, shamt }),
+        arb_reg().prop_map(|rs| Instruction::Jr { rs }),
+        (0u32..0x10_0000).prop_map(|code| Instruction::Break { code }),
+        imm_i().prop_map(|(rt, rs, imm)| Instruction::Addiu { rt, rs, imm }),
+        imm_i().prop_map(|(rt, rs, imm)| Instruction::Slti { rt, rs, imm }),
+        imm_i().prop_map(|(rt, rs, imm)| Instruction::Sltiu { rt, rs, imm }),
+        imm_u().prop_map(|(rt, rs, imm)| Instruction::Andi { rt, rs, imm }),
+        imm_u().prop_map(|(rt, rs, imm)| Instruction::Ori { rt, rs, imm }),
+        imm_u().prop_map(|(rt, rs, imm)| Instruction::Xori { rt, rs, imm }),
+        (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Instruction::Lui { rt, imm }),
+        imm_i().prop_map(|(rt, base, offset)| Instruction::Lw { rt, base, offset }),
+        imm_i().prop_map(|(rt, base, offset)| Instruction::Sw { rt, base, offset }),
+        imm_i().prop_map(|(rs, rt, offset)| Instruction::Beq { rs, rt, offset }),
+        imm_i().prop_map(|(rs, rt, offset)| Instruction::Bne { rs, rt, offset }),
+        (arb_reg(), any::<i16>()).prop_map(|(rs, offset)| Instruction::Blez { rs, offset }),
+        (arb_reg(), any::<i16>()).prop_map(|(rs, offset)| Instruction::Bgtz { rs, offset }),
+        (0u32..=0x03ff_ffff).prop_map(|target| Instruction::J { target }),
+        (0u32..=0x03ff_ffff).prop_map(|target| Instruction::Jal { target }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(inst in arb_instruction()) {
+        let word = inst.encode();
+        let back = Instruction::decode(word);
+        prop_assert_eq!(back, Ok(inst));
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = Instruction::decode(word);
+    }
+
+    #[test]
+    fn decoded_reencodes_identically(word in any::<u32>()) {
+        if let Ok(inst) = Instruction::decode(word) {
+            // Every successfully decoded word re-encodes to a word that
+            // decodes to the same instruction (encode may normalize unused
+            // fields, e.g. rs of shifts).
+            prop_assert_eq!(Instruction::decode(inst.encode()), Ok(inst));
+        }
+    }
+
+    #[test]
+    fn display_never_empty(inst in arb_instruction()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+}

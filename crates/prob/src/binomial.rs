@@ -1,0 +1,110 @@
+//! Exact binomial probabilities for small `n`.
+//!
+//! The fault model only ever needs `n ≤ W` (cache associativity, typically
+//! ≤ 32), so direct evaluation in `f64` is both exact enough and fast.
+
+/// Binomial coefficient `C(n, k)` computed in `f64`.
+///
+/// Uses the multiplicative formula, which is exact in `f64` for the small
+/// `n` used by cache fault models (`n ≤ 64` stays well within 2^53).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(pwcet_prob::binomial_coefficient(4, 2), 6.0);
+/// ```
+pub fn binomial_coefficient(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0_f64;
+    for i in 0..k {
+        result = result * f64::from(n - i) / f64::from(i + 1);
+    }
+    result.round()
+}
+
+/// Probability of exactly `k` successes among `n` independent trials with
+/// success probability `p`: `C(n,k) p^k (1-p)^(n-k)`.
+///
+/// This is Eq. 2 of the paper when `n = W` and `p = pbf`, and Eq. 3 when
+/// `n = W − 1` (Reliable Way).
+///
+/// # Example
+///
+/// ```
+/// let p = pwcet_prob::binomial_pmf(4, 0, 0.5);
+/// assert!((p - 0.0625).abs() < 1e-12);
+/// ```
+pub fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    binomial_coefficient(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficient_small_values() {
+        assert_eq!(binomial_coefficient(0, 0), 1.0);
+        assert_eq!(binomial_coefficient(4, 0), 1.0);
+        assert_eq!(binomial_coefficient(4, 1), 4.0);
+        assert_eq!(binomial_coefficient(4, 2), 6.0);
+        assert_eq!(binomial_coefficient(4, 3), 4.0);
+        assert_eq!(binomial_coefficient(4, 4), 1.0);
+        assert_eq!(binomial_coefficient(4, 5), 0.0);
+    }
+
+    #[test]
+    fn coefficient_symmetry() {
+        for n in 0..32u32 {
+            for k in 0..=n {
+                assert_eq!(
+                    binomial_coefficient(n, k),
+                    binomial_coefficient(n, n - k),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coefficient_pascal_rule() {
+        for n in 1..32u32 {
+            for k in 1..n {
+                let lhs = binomial_coefficient(n, k);
+                let rhs = binomial_coefficient(n - 1, k - 1) + binomial_coefficient(n - 1, k);
+                assert_eq!(lhs, rhs, "Pascal rule at ({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &p in &[0.0, 1e-6, 0.0127, 0.3, 0.5, 0.9, 1.0] {
+            for n in 0..12u32 {
+                let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+                assert!((total - 1.0).abs() < 1e-12, "n={n} p={p} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_probabilities() {
+        assert_eq!(binomial_pmf(4, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(4, 1, 0.0), 0.0);
+        assert_eq!(binomial_pmf(4, 4, 1.0), 1.0);
+        assert_eq!(binomial_pmf(4, 3, 1.0), 0.0);
+    }
+
+    #[test]
+    fn pmf_mean_matches_np() {
+        let (n, p) = (8u32, 0.3);
+        let mean: f64 = (0..=n).map(|k| f64::from(k) * binomial_pmf(n, k, p)).sum();
+        assert!((mean - f64::from(n) * p).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building probabilistic objects from invalid inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbError {
+    /// A probability value was outside `[0, 1]` or not finite.
+    InvalidProbability(f64),
+    /// The probabilities of a distribution sum to more than one (beyond
+    /// floating-point tolerance).
+    MassExceedsOne(f64),
+    /// A distribution was built with an empty support and no tail mass.
+    EmptySupport,
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::InvalidProbability(p) => {
+                write!(f, "probability {p} is not within [0, 1]")
+            }
+            ProbError::MassExceedsOne(m) => {
+                write!(f, "distribution mass {m} exceeds one")
+            }
+            ProbError::EmptySupport => write!(f, "distribution has an empty support"),
+        }
+    }
+}
+
+impl Error for ProbError {}
+
+pub(crate) fn check_probability(p: f64) -> Result<f64, ProbError> {
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        Err(ProbError::InvalidProbability(p))
+    } else {
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ProbError::InvalidProbability(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = ProbError::MassExceedsOne(1.2);
+        assert!(e.to_string().contains("exceeds one"));
+        assert_eq!(ProbError::EmptySupport.to_string(), "distribution has an empty support");
+    }
+
+    #[test]
+    fn check_probability_accepts_bounds() {
+        assert_eq!(check_probability(0.0), Ok(0.0));
+        assert_eq!(check_probability(1.0), Ok(1.0));
+        assert_eq!(check_probability(0.5), Ok(0.5));
+    }
+
+    #[test]
+    fn check_probability_rejects_out_of_range() {
+        assert!(check_probability(-0.1).is_err());
+        assert!(check_probability(1.1).is_err());
+        assert!(check_probability(f64::NAN).is_err());
+        assert!(check_probability(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! The permanent-fault model of §II-A of the paper.
+
+use crate::binomial::binomial_pmf;
+use crate::error::{check_probability, ProbError};
+
+/// Permanent-fault model for SRAM cells.
+///
+/// Every SRAM cell (bit) fails permanently and independently with
+/// probability `pfail`; fault locations are random (§II-A). A cache block
+/// with at least one faulty bit is disabled.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), pwcet_prob::ProbError> {
+/// let model = pwcet_prob::FaultModel::new(1e-4)?;
+/// let pbf = model.block_failure_probability(128);
+/// assert!(pbf > 0.012 && pbf < 0.013); // 1 - (1 - 1e-4)^128
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    pfail: f64,
+}
+
+impl FaultModel {
+    /// Creates a fault model from a per-bit permanent failure probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidProbability`] if `pfail` is not a finite
+    /// probability in `[0, 1]`.
+    pub fn new(pfail: f64) -> Result<Self, ProbError> {
+        Ok(Self {
+            pfail: check_probability(pfail)?,
+        })
+    }
+
+    /// A fault-free model (`pfail = 0`), useful as a baseline.
+    pub fn fault_free() -> Self {
+        Self { pfail: 0.0 }
+    }
+
+    /// The per-bit failure probability `pfail`.
+    pub fn pfail(&self) -> f64 {
+        self.pfail
+    }
+
+    /// Probability that a cache block of `block_bits` bits is faulty
+    /// (Eq. 1): `pbf = 1 − (1 − pfail)^K`.
+    ///
+    /// Computed as `-expm1(K · ln(1 − pfail))` for precision at small
+    /// `pfail`.
+    pub fn block_failure_probability(&self, block_bits: u32) -> f64 {
+        if self.pfail == 0.0 {
+            return 0.0;
+        }
+        if self.pfail == 1.0 {
+            return if block_bits == 0 { 0.0 } else { 1.0 };
+        }
+        -f64::from(block_bits).mul_add((-self.pfail).ln_1p(), 0.0).exp_m1()
+    }
+
+    /// Distribution of the number of faulty ways among `ways` in one set
+    /// (Eq. 2): `pwf(w) = C(W,w) pbf^w (1 − pbf)^(W−w)`.
+    ///
+    /// The returned vector has `ways + 1` entries indexed by `w`.
+    pub fn way_fault_distribution(&self, ways: u32, pbf: f64) -> Vec<f64> {
+        (0..=ways).map(|w| binomial_pmf(ways, w, pbf)).collect()
+    }
+
+    /// Distribution of the number of *disabled* ways under the Reliable Way
+    /// mechanism (Eq. 3): the hardened way masks its own faults, so only
+    /// `W − 1` ways can fail, and `w` ranges over `0..W`.
+    ///
+    /// The returned vector has `ways` entries indexed by `w` (the entry for
+    /// `w = W` is absent because it has probability zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`: a zero-way cache cannot carry a reliable way.
+    pub fn reliable_way_fault_distribution(&self, ways: u32, pbf: f64) -> Vec<f64> {
+        assert!(ways > 0, "reliable way requires at least one way");
+        (0..ways).map(|w| binomial_pmf(ways - 1, w, pbf)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pbf_matches_direct_formula() {
+        let model = FaultModel::new(1e-4).unwrap();
+        let direct = 1.0 - (1.0 - 1e-4_f64).powi(128);
+        let pbf = model.block_failure_probability(128);
+        assert!((pbf - direct).abs() < 1e-12, "pbf={pbf} direct={direct}");
+    }
+
+    #[test]
+    fn pbf_paper_configuration_value() {
+        // pfail = 1e-4, 16-byte (128-bit) blocks: pbf ≈ 1.2719e-2.
+        let model = FaultModel::new(1e-4).unwrap();
+        let pbf = model.block_failure_probability(128);
+        assert!((pbf - 0.012719).abs() < 1e-5, "pbf={pbf}");
+    }
+
+    #[test]
+    fn pbf_zero_and_one_bits() {
+        let model = FaultModel::new(0.5).unwrap();
+        assert_eq!(model.block_failure_probability(0), 0.0);
+        assert!((model.block_failure_probability(1) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pbf_extreme_pfail() {
+        assert_eq!(FaultModel::fault_free().block_failure_probability(128), 0.0);
+        let dead = FaultModel::new(1.0).unwrap();
+        assert_eq!(dead.block_failure_probability(128), 1.0);
+        assert_eq!(dead.block_failure_probability(0), 0.0);
+    }
+
+    #[test]
+    fn pbf_monotone_in_block_size() {
+        let model = FaultModel::new(1e-3).unwrap();
+        let mut last = 0.0;
+        for bits in [1u32, 8, 32, 128, 512, 4096] {
+            let pbf = model.block_failure_probability(bits);
+            assert!(pbf >= last);
+            last = pbf;
+        }
+    }
+
+    #[test]
+    fn way_distribution_sums_to_one() {
+        let model = FaultModel::new(1e-4).unwrap();
+        let pbf = model.block_failure_probability(128);
+        let dist = model.way_fault_distribution(4, pbf);
+        assert_eq!(dist.len(), 5);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliable_way_distribution_matches_eq3() {
+        let model = FaultModel::new(1e-4).unwrap();
+        let pbf = model.block_failure_probability(128);
+        let rw = model.reliable_way_fault_distribution(4, pbf);
+        assert_eq!(rw.len(), 4);
+        let total: f64 = rw.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Eq. 3 with w = 0: (1 - pbf)^(W-1).
+        assert!((rw[0] - (1.0 - pbf).powi(3)).abs() < 1e-15);
+        // The all-ways-faulty point is eliminated entirely: rw has no index 4.
+    }
+
+    #[test]
+    fn reliable_way_no_fault_likelier_than_unprotected() {
+        let model = FaultModel::new(1e-3).unwrap();
+        let pbf = model.block_failure_probability(128);
+        let base = model.way_fault_distribution(4, pbf);
+        let rw = model.reliable_way_fault_distribution(4, pbf);
+        assert!(rw[0] > base[0]);
+    }
+
+    #[test]
+    fn invalid_pfail_rejected() {
+        assert!(FaultModel::new(-0.5).is_err());
+        assert!(FaultModel::new(2.0).is_err());
+        assert!(FaultModel::new(f64::NAN).is_err());
+    }
+}

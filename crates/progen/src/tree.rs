@@ -1,0 +1,186 @@
+//! The structure tree: syntax-directed shape of the generated code.
+//!
+//! Heptane's original WCET engine \[14\] computes worst-case times bottom-up
+//! over a tree mirroring the program syntax. The code generator emits this
+//! tree alongside the machine code; `pwcet-ipet` evaluates it as an
+//! independent oracle for the IPET engine.
+
+use std::collections::HashMap;
+
+/// One node of the structure tree of a compiled function.
+///
+/// Every instruction address of the function appears in exactly one
+/// [`Straight`](StructureNode::Straight) leaf or [`Call`](StructureNode::Call)
+/// site, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureNode {
+    /// A run of straight-line instruction addresses.
+    Straight(Vec<u32>),
+    /// Children executed in order.
+    Seq(Vec<StructureNode>),
+    /// A counted loop. `header` is the address of the first body
+    /// instruction (the target of the back edge); the body — including the
+    /// trailing decrement and back-branch — executes exactly `bound` times
+    /// per entry.
+    Loop {
+        /// Back-edge target address.
+        header: u32,
+        /// Body executions per loop entry.
+        bound: u32,
+        /// Loop body.
+        body: Box<StructureNode>,
+    },
+    /// A two-way branch (the condition instructions live in the preceding
+    /// straight run; the `then` side ends with the jump over `else`).
+    IfElse {
+        /// Side taken when the direction toggle is odd.
+        then_branch: Box<StructureNode>,
+        /// Side taken when the direction toggle is even.
+        else_branch: Box<StructureNode>,
+    },
+    /// A function call: the `jal` at address `site` transfers to `callee`.
+    Call {
+        /// Address of the `jal` instruction.
+        site: u32,
+        /// Name of the called function.
+        callee: String,
+    },
+}
+
+impl StructureNode {
+    /// All instruction addresses of this node, *excluding* called
+    /// functions' bodies (the `jal` site itself is included).
+    pub fn own_addresses(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_own(&mut out);
+        out
+    }
+
+    fn collect_own(&self, out: &mut Vec<u32>) {
+        match self {
+            StructureNode::Straight(addrs) => out.extend_from_slice(addrs),
+            StructureNode::Seq(children) => {
+                children.iter().for_each(|c| c.collect_own(out));
+            }
+            StructureNode::Loop { body, .. } => body.collect_own(out),
+            StructureNode::IfElse {
+                then_branch,
+                else_branch,
+            } => {
+                then_branch.collect_own(out);
+                else_branch.collect_own(out);
+            }
+            StructureNode::Call { site, .. } => out.push(*site),
+        }
+    }
+
+    /// All loop headers in this node (not entering callees).
+    pub fn own_loop_headers(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_headers(&mut out);
+        out
+    }
+
+    fn collect_headers(&self, out: &mut Vec<u32>) {
+        match self {
+            StructureNode::Straight(_) | StructureNode::Call { .. } => {}
+            StructureNode::Seq(children) => {
+                children.iter().for_each(|c| c.collect_headers(out));
+            }
+            StructureNode::Loop { header, body, .. } => {
+                out.push(*header);
+                body.collect_headers(out);
+            }
+            StructureNode::IfElse {
+                then_branch,
+                else_branch,
+            } => {
+                then_branch.collect_headers(out);
+                else_branch.collect_headers(out);
+            }
+        }
+    }
+
+    /// Upper bound on the number of instruction fetches one execution of
+    /// this node can perform, inlining callees from `trees`.
+    ///
+    /// This is the tree-engine WCET with a unit cost per fetch and no
+    /// cache; used in tests as a sanity oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a callee is missing from `trees` (validated programs
+    /// cannot trigger this).
+    pub fn max_fetches(&self, trees: &HashMap<String, StructureNode>) -> u64 {
+        match self {
+            StructureNode::Straight(addrs) => addrs.len() as u64,
+            StructureNode::Seq(children) => {
+                children.iter().map(|c| c.max_fetches(trees)).sum()
+            }
+            StructureNode::Loop { bound, body, .. } => {
+                u64::from(*bound) * body.max_fetches(trees)
+            }
+            StructureNode::IfElse {
+                then_branch,
+                else_branch,
+            } => then_branch
+                .max_fetches(trees)
+                .max(else_branch.max_fetches(trees)),
+            StructureNode::Call { callee, .. } => {
+                1 + trees
+                    .get(callee)
+                    .unwrap_or_else(|| panic!("callee `{callee}` missing from tree map"))
+                    .max_fetches(trees)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(addrs: &[u32]) -> StructureNode {
+        StructureNode::Straight(addrs.to_vec())
+    }
+
+    #[test]
+    fn own_addresses_in_order() {
+        let tree = StructureNode::Seq(vec![
+            leaf(&[0, 4]),
+            StructureNode::Loop {
+                header: 8,
+                bound: 3,
+                body: Box::new(leaf(&[8, 12])),
+            },
+            StructureNode::Call {
+                site: 16,
+                callee: "f".into(),
+            },
+        ]);
+        assert_eq!(tree.own_addresses(), vec![0, 4, 8, 12, 16]);
+        assert_eq!(tree.own_loop_headers(), vec![8]);
+    }
+
+    #[test]
+    fn max_fetches_composes() {
+        let mut trees = HashMap::new();
+        trees.insert("f".to_string(), leaf(&[100, 104, 108]));
+        let tree = StructureNode::Seq(vec![
+            leaf(&[0]),
+            StructureNode::Loop {
+                header: 4,
+                bound: 10,
+                body: Box::new(StructureNode::IfElse {
+                    then_branch: Box::new(leaf(&[4, 8])),
+                    else_branch: Box::new(StructureNode::Call {
+                        site: 12,
+                        callee: "f".into(),
+                    }),
+                }),
+            },
+        ]);
+        // 1 + 10 * max(2, 1 + 3) = 41.
+        assert_eq!(tree.max_fetches(&trees), 41);
+    }
+}

@@ -1,0 +1,355 @@
+//! A functional simulator for the MIPS subset.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use pwcet_mips::{BinaryImage, Instruction, MipsError, Reg};
+use pwcet_progen::CompiledProgram;
+
+use crate::trace::FetchTrace;
+
+/// Errors raised during simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Instruction fetch or decode failed.
+    Fetch(MipsError),
+    /// A load or store used a non-word-aligned address.
+    MisalignedAccess(u32),
+    /// The step limit was exceeded (runaway program).
+    StepLimit(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Fetch(e) => write!(f, "fetch failed: {e}"),
+            SimError::MisalignedAccess(a) => {
+                write!(f, "misaligned data access at {a:#010x}")
+            }
+            SimError::StepLimit(n) => write!(f, "program exceeded {n} steps"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Fetch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MipsError> for SimError {
+    fn from(e: MipsError) -> Self {
+        SimError::Fetch(e)
+    }
+}
+
+/// Architectural state of one simulated core.
+///
+/// Registers are initialized to zero (register 0 is hard-wired); data
+/// memory is a sparse word-addressed store defaulting to zero.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    image: &'a BinaryImage,
+    regs: [u32; 32],
+    pc: u32,
+    memory: HashMap<u32, u32>,
+    halted: bool,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator starting at `entry`.
+    pub fn new(image: &'a BinaryImage, entry: u32) -> Self {
+        Self {
+            image,
+            regs: [0; 32],
+            pc: entry,
+            memory: HashMap::new(),
+            halted: false,
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// `true` once a `break` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a register (writes to `$zero` are ignored).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r.index() != 0 {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    /// Reads a data-memory word (unwritten memory reads as zero).
+    pub fn load_word(&self, addr: u32) -> Result<u32, SimError> {
+        if addr % 4 != 0 {
+            return Err(SimError::MisalignedAccess(addr));
+        }
+        Ok(self.memory.get(&addr).copied().unwrap_or(0))
+    }
+
+    /// Writes a data-memory word.
+    pub fn store_word(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        if addr % 4 != 0 {
+            return Err(SimError::MisalignedAccess(addr));
+        }
+        self.memory.insert(addr, value);
+        Ok(())
+    }
+
+    /// Executes one instruction; returns the address fetched.
+    ///
+    /// # Errors
+    ///
+    /// Fetch/decode and alignment errors; calling after halt is an error
+    /// of the caller (`debug_assert`ed).
+    pub fn step(&mut self) -> Result<u32, SimError> {
+        debug_assert!(!self.halted, "step after halt");
+        let fetch_pc = self.pc;
+        let inst = self.image.decode_at(fetch_pc)?;
+        let mut next_pc = fetch_pc.wrapping_add(4);
+        use Instruction::*;
+        match inst {
+            Addu { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt))),
+            Subu { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt))),
+            And { rd, rs, rt } => self.set_reg(rd, self.reg(rs) & self.reg(rt)),
+            Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
+            Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
+            Nor { rd, rs, rt } => self.set_reg(rd, !(self.reg(rs) | self.reg(rt))),
+            Slt { rd, rs, rt } => {
+                self.set_reg(rd, u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)))
+            }
+            Sltu { rd, rs, rt } => self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt))),
+            Sll { rd, rt, shamt } => self.set_reg(rd, self.reg(rt) << shamt),
+            Srl { rd, rt, shamt } => self.set_reg(rd, self.reg(rt) >> shamt),
+            Sra { rd, rt, shamt } => {
+                self.set_reg(rd, ((self.reg(rt) as i32) >> shamt) as u32)
+            }
+            Jr { rs } => next_pc = self.reg(rs),
+            Break { .. } => self.halted = true,
+            Addiu { rt, rs, imm } => {
+                self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32))
+            }
+            Slti { rt, rs, imm } => {
+                self.set_reg(rt, u32::from((self.reg(rs) as i32) < i32::from(imm)))
+            }
+            Sltiu { rt, rs, imm } => {
+                self.set_reg(rt, u32::from(self.reg(rs) < (imm as i32 as u32)))
+            }
+            Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & u32::from(imm)),
+            Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | u32::from(imm)),
+            Xori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) ^ u32::from(imm)),
+            Lui { rt, imm } => self.set_reg(rt, u32::from(imm) << 16),
+            Lw { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                let value = self.load_word(addr)?;
+                self.set_reg(rt, value);
+            }
+            Sw { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.store_word(addr, self.reg(rt))?;
+            }
+            Beq { rs, rt, .. } => {
+                if self.reg(rs) == self.reg(rt) {
+                    next_pc = inst.static_target(fetch_pc).expect("branch target");
+                }
+            }
+            Bne { rs, rt, .. } => {
+                if self.reg(rs) != self.reg(rt) {
+                    next_pc = inst.static_target(fetch_pc).expect("branch target");
+                }
+            }
+            Blez { rs, .. } => {
+                if (self.reg(rs) as i32) <= 0 {
+                    next_pc = inst.static_target(fetch_pc).expect("branch target");
+                }
+            }
+            Bgtz { rs, .. } => {
+                if (self.reg(rs) as i32) > 0 {
+                    next_pc = inst.static_target(fetch_pc).expect("branch target");
+                }
+            }
+            J { .. } => next_pc = inst.static_target(fetch_pc).expect("jump target"),
+            Jal { .. } => {
+                self.set_reg(Reg::RA, fetch_pc.wrapping_add(4));
+                next_pc = inst.static_target(fetch_pc).expect("jump target");
+            }
+        }
+        self.pc = next_pc;
+        Ok(fetch_pc)
+    }
+
+    /// Runs until `break` or `max_steps`, recording every fetch.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::StepLimit`] if the program does not halt in time, plus
+    /// any per-step error.
+    pub fn run(&mut self, max_steps: u64) -> Result<FetchTrace, SimError> {
+        let mut fetches = Vec::new();
+        for _ in 0..max_steps {
+            fetches.push(self.step()?);
+            if self.halted {
+                return Ok(FetchTrace::new(fetches));
+            }
+        }
+        Err(SimError::StepLimit(max_steps))
+    }
+}
+
+/// Executes a compiled program from its entry point to `break`.
+///
+/// # Errors
+///
+/// See [`Simulator::run`].
+pub fn simulate(compiled: &CompiledProgram, max_steps: u64) -> Result<FetchTrace, SimError> {
+    Simulator::new(compiled.image(), compiled.entry()).run(max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwcet_progen::{stmt, Program};
+
+    fn run(program: Program) -> FetchTrace {
+        let compiled = program.compile(0x0040_0000).expect("compiles");
+        simulate(&compiled, 10_000_000).expect("halts")
+    }
+
+    #[test]
+    fn straight_line_fetch_count() {
+        let trace = run(Program::new("s").with_function("main", stmt::compute(5)));
+        assert_eq!(trace.len(), 9); // 3 prologue + 5 + break
+    }
+
+    #[test]
+    fn loop_iterates_exactly_bound_times() {
+        let trace = run(Program::new("l").with_function("main", stmt::loop_(7, stmt::compute(2))));
+        // 3 prologue + 1 init + 7 × (2 + decrement + bne) + 1 break.
+        assert_eq!(trace.len(), 3 + 1 + 7 * 4 + 1);
+    }
+
+    #[test]
+    fn nested_loops_multiply_iterations() {
+        let trace = run(
+            Program::new("n").with_function("main", stmt::loop_(3, stmt::loop_(4, stmt::compute(1)))),
+        );
+        // Inner body per outer iteration: init(1) + 4 × 3 + — see codegen.
+        // Just assert against the structural bound, which is exact here.
+        let compiled = Program::new("n")
+            .with_function("main", stmt::loop_(3, stmt::loop_(4, stmt::compute(1))))
+            .compile(0x0040_0000)
+            .unwrap();
+        assert_eq!(trace.len() as u64, compiled.max_fetches());
+    }
+
+    #[test]
+    fn if_else_alternates_sides() {
+        // Two successive branches: the toggle makes them take different
+        // sides, so the fetch count is then-side + else-side + glue.
+        let program = Program::new("alt").with_function(
+            "main",
+            stmt::loop_(2, stmt::if_else(stmt::compute(10), stmt::compute(2))),
+        );
+        let compiled = program.compile(0x0040_0000).unwrap();
+        let trace = simulate(&compiled, 100_000).unwrap();
+        // One iteration takes then (10 + j = 11), the other else (2):
+        // strictly between always-then and always-else.
+        let always_else = compiled.max_fetches() - 2 * (10 + 1) + 2 * 2;
+        let always_then = compiled.max_fetches();
+        assert!(trace.len() as u64 > always_else);
+        assert!((trace.len() as u64) < always_then);
+    }
+
+    #[test]
+    fn calls_return_correctly() {
+        let trace = run(
+            Program::new("c")
+                .with_function("main", stmt::seq([stmt::call("f"), stmt::call("f")]))
+                .with_function("f", stmt::compute(3)),
+        );
+        let compiled = Program::new("c")
+            .with_function("main", stmt::seq([stmt::call("f"), stmt::call("f")]))
+            .with_function("f", stmt::compute(3))
+            .compile(0x0040_0000)
+            .unwrap();
+        assert_eq!(trace.len() as u64, compiled.max_fetches());
+    }
+
+    #[test]
+    fn calls_inside_loops_restore_counters() {
+        // The callee itself loops: its $s0 usage must not corrupt the
+        // caller's loop counter (saved/restored via the stack).
+        let program = Program::new("save")
+            .with_function("main", stmt::loop_(5, stmt::call("g")))
+            .with_function("g", stmt::loop_(3, stmt::compute(2)));
+        let compiled = program.compile(0x0040_0000).unwrap();
+        let trace = simulate(&compiled, 1_000_000).unwrap();
+        assert_eq!(trace.len() as u64, compiled.max_fetches());
+    }
+
+    #[test]
+    fn trace_is_within_image() {
+        let program = Program::new("w").with_function("main", stmt::loop_(3, stmt::compute(4)));
+        let compiled = program.compile(0x0040_0000).unwrap();
+        let trace = simulate(&compiled, 100_000).unwrap();
+        for &addr in trace.addrs() {
+            assert!(compiled.image().contains(addr));
+        }
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let compiled = Program::new("x")
+            .with_function("main", stmt::compute(50))
+            .compile(0x0040_0000)
+            .unwrap();
+        let result = simulate(&compiled, 10);
+        assert_eq!(result, Err(SimError::StepLimit(10)));
+    }
+
+    #[test]
+    fn register_zero_is_hardwired() {
+        let image = pwcet_mips::BinaryImage::new(
+            0,
+            vec![
+                pwcet_mips::Instruction::Addiu { rt: Reg::ZERO, rs: Reg::ZERO, imm: 42 }.encode(),
+                pwcet_mips::Instruction::Break { code: 0 }.encode(),
+            ],
+        );
+        let mut sim = Simulator::new(&image, 0);
+        sim.run(10).unwrap();
+        assert_eq!(sim.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let image = pwcet_mips::BinaryImage::new(
+            0,
+            vec![
+                pwcet_mips::Instruction::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 1234 }.encode(),
+                pwcet_mips::Instruction::Lui { rt: Reg::SP, imm: 0x7fff }.encode(),
+                pwcet_mips::Instruction::Sw { rt: Reg::T0, base: Reg::SP, offset: -8 }.encode(),
+                pwcet_mips::Instruction::Lw { rt: Reg::T1, base: Reg::SP, offset: -8 }.encode(),
+                pwcet_mips::Instruction::Break { code: 0 }.encode(),
+            ],
+        );
+        let mut sim = Simulator::new(&image, 0);
+        sim.run(10).unwrap();
+        assert_eq!(sim.reg(Reg::T1), 1234);
+    }
+}

@@ -1,0 +1,41 @@
+//! Execution-based validation of the static pWCET bounds.
+//!
+//! The paper's claims are *analytic*; this crate provides the empirical
+//! check the reproduction needs:
+//!
+//! 1. a functional [`Simulator`] for the MIPS subset, producing the
+//!    instruction [`FetchTrace`] of a real program run;
+//! 2. [`replay`] of traces through the concrete cache machines of
+//!    `pwcet-cache` (unprotected / RW / SRB) under arbitrary
+//!    [`FaultMap`](pwcet_cache::FaultMap)s;
+//! 3. [`validation`] helpers asserting the soundness contract: for every
+//!    sampled fault map, simulated execution time never exceeds
+//!    `WCET_ff + penalty_bound(map)`, and the empirical exceedance curve
+//!    stays below the analytic one ([`monte_carlo`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pwcet_progen::{stmt, Program};
+//! use pwcet_sim::{simulate, Simulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let compiled = Program::new("p")
+//!     .with_function("main", stmt::loop_(5, stmt::compute(3)))
+//!     .compile(0x0040_0000)?;
+//! let trace = simulate(&compiled, 100_000)?;
+//! // 3 prologue + init + 5 × (3 compute + decrement + bne) + break.
+//! assert_eq!(trace.len(), 30);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cpu;
+mod monte_carlo;
+mod trace;
+mod validation;
+
+pub use cpu::{simulate, SimError, Simulator};
+pub use monte_carlo::{monte_carlo, MonteCarloConfig, MonteCarloReport};
+pub use trace::{machine_for, replay, simulated_cycles, FetchTrace};
+pub use validation::{analytic_bound_for_map, validation, ValidationOutcome};

@@ -1,0 +1,200 @@
+//! Monte-Carlo comparison of empirical and analytic exceedance.
+//!
+//! The analytic penalty distribution is exact over the binomial fault
+//! model, but its per-map values are ILP *bounds*. Sampling fault maps,
+//! simulating, and comparing the resulting empirical exceedance curve with
+//! the analytic curve provides the EVT-style empirical cross-check for the
+//! reproduction: the analytic curve must dominate the empirical one
+//! (within sampling noise).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pwcet_cache::FaultMap;
+use pwcet_core::{ProgramAnalysis, Protection, PwcetEstimate};
+
+use crate::trace::{simulated_cycles, FetchTrace};
+
+/// Parameters of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarloConfig {
+    /// Number of fault maps to sample.
+    pub samples: usize,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        Self {
+            samples: 1000,
+            seed: 0xDA7E_2016,
+        }
+    }
+}
+
+/// The sampled execution times and the analytic estimate they validate.
+#[derive(Debug, Clone)]
+pub struct MonteCarloReport {
+    protection: Protection,
+    samples: Vec<u64>,
+    estimate: PwcetEstimate,
+}
+
+impl MonteCarloReport {
+    /// The protection level sampled.
+    pub fn protection(&self) -> Protection {
+        self.protection
+    }
+
+    /// The simulated execution times, one per sampled fault map.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// The analytic estimate for the same configuration.
+    pub fn estimate(&self) -> &PwcetEstimate {
+        &self.estimate
+    }
+
+    /// Empirical `P(time > value)` over the samples.
+    pub fn empirical_exceedance(&self, value: u64) -> f64 {
+        let above = self.samples.iter().filter(|&&t| t > value).count();
+        above as f64 / self.samples.len() as f64
+    }
+
+    /// `true` when the analytic exceedance dominates the empirical one at
+    /// `value`, allowing `tolerance` of sampling noise.
+    pub fn analytic_dominates_at(&self, value: u64, tolerance: f64) -> bool {
+        self.estimate.exceedance_of(value) + tolerance >= self.empirical_exceedance(value)
+    }
+
+    /// The largest simulated time (never exceeds the analytic pWCET at
+    /// probability 0 … i.e. the distribution maximum).
+    pub fn max_sample(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Samples fault maps, simulates the trace on the corresponding machine,
+/// and pairs the outcomes with the analytic estimate.
+pub fn monte_carlo(
+    analysis: &ProgramAnalysis,
+    protection: Protection,
+    trace: &FetchTrace,
+    config: &MonteCarloConfig,
+) -> MonteCarloReport {
+    let analysis_config = analysis.config();
+    let geometry = analysis_config.geometry;
+    let pbf = analysis_config
+        .fault_model
+        .block_failure_probability(geometry.block_bits());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let samples = (0..config.samples)
+        .map(|_| {
+            let faults = FaultMap::sample(&geometry, pbf, &mut rng);
+            simulated_cycles(
+                trace,
+                protection,
+                geometry,
+                &faults,
+                &analysis_config.timing,
+            )
+        })
+        .collect();
+    MonteCarloReport {
+        protection,
+        samples,
+        estimate: analysis.estimate(protection),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::simulate;
+    use pwcet_core::{AnalysisConfig, PwcetAnalyzer};
+    use pwcet_progen::{stmt, Program};
+
+    fn setup() -> (ProgramAnalysis, FetchTrace) {
+        let program = Program::new("mc").with_function(
+            "main",
+            stmt::loop_(20, stmt::seq([stmt::compute(40), stmt::loop_(4, stmt::compute(10))])),
+        );
+        // A high pfail makes faults common enough for a small sample
+        // count to probe the distribution body.
+        let config = AnalysisConfig::paper_default().with_pfail(1e-3).unwrap();
+        let analysis = PwcetAnalyzer::new(config).analyze(&program).unwrap();
+        let compiled = program.compile(0x0040_0000).unwrap();
+        let trace = simulate(&compiled, 10_000_000).unwrap();
+        (analysis, trace)
+    }
+
+    #[test]
+    fn analytic_curve_dominates_empirical() {
+        let (analysis, trace) = setup();
+        for protection in Protection::all() {
+            let report = monte_carlo(
+                &analysis,
+                protection,
+                &trace,
+                &MonteCarloConfig {
+                    samples: 400,
+                    seed: 7,
+                },
+            );
+            // Check at a spread of values including the curve body.
+            let wcet = analysis.fault_free_wcet();
+            for value in [
+                wcet,
+                wcet + 100,
+                wcet + 1_000,
+                wcet + 10_000,
+                report.max_sample(),
+            ] {
+                assert!(
+                    report.analytic_dominates_at(value, 0.05),
+                    "{protection}: empirical {} > analytic {} at {}",
+                    report.empirical_exceedance(value),
+                    report.estimate().exceedance_of(value),
+                    value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn samples_never_exceed_per_map_bounds_aggregate() {
+        let (analysis, trace) = setup();
+        let report = monte_carlo(
+            &analysis,
+            Protection::None,
+            &trace,
+            &MonteCarloConfig {
+                samples: 200,
+                seed: 9,
+            },
+        );
+        // The absolute worst analytic value: every set fully faulty.
+        let geometry = analysis.config().geometry;
+        let worst: u64 = (0..geometry.sets())
+            .map(|s| analysis.fmm().get(s, geometry.ways()))
+            .sum::<u64>()
+            * analysis.config().timing.miss_penalty_cycles()
+            + analysis.fault_free_wcet();
+        assert!(report.max_sample() <= worst);
+        assert_eq!(report.samples().len(), 200);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (analysis, trace) = setup();
+        let config = MonteCarloConfig {
+            samples: 50,
+            seed: 11,
+        };
+        let a = monte_carlo(&analysis, Protection::ReliableWay, &trace, &config);
+        let b = monte_carlo(&analysis, Protection::ReliableWay, &trace, &config);
+        assert_eq!(a.samples(), b.samples());
+    }
+}

@@ -1,0 +1,170 @@
+//! Soundness validators: simulated executions against static bounds.
+
+use pwcet_cache::FaultMap;
+use pwcet_core::{ProgramAnalysis, Protection};
+
+use crate::trace::{simulated_cycles, FetchTrace};
+
+/// Result of validating one fault map against the analytic bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationOutcome {
+    /// Simulated execution cycles for the map.
+    pub simulated: u64,
+    /// The analytic per-map bound `WCET_ff + Σ_s FMM[s][f_s] × penalty`.
+    pub bound: u64,
+}
+
+impl ValidationOutcome {
+    /// `true` when the static bound holds (the soundness contract).
+    pub fn holds(&self) -> bool {
+        self.simulated <= self.bound
+    }
+}
+
+/// The analytic execution-time bound for one *concrete* fault map: the
+/// fault-free WCET plus the fault-miss-map entries selected by the map's
+/// per-set fault counts (the value whose distribution over random maps is
+/// the paper's penalty distribution).
+pub fn analytic_bound_for_map(
+    analysis: &ProgramAnalysis,
+    protection: Protection,
+    faults: &FaultMap,
+) -> u64 {
+    let config = analysis.config();
+    let ways = config.geometry.ways();
+    let extra_misses: u64 = (0..config.geometry.sets())
+        .map(|s| {
+            let f = match protection {
+                // The hardened way masks its own faults.
+                Protection::ReliableWay => faults.faulty_unprotected_ways_in_set(s),
+                _ => faults.faulty_ways_in_set(s),
+            };
+            match protection {
+                Protection::SharedReliableBuffer if f == ways => {
+                    analysis.srb_last_column()[s as usize]
+                }
+                _ => analysis.fmm().get(s, f),
+            }
+        })
+        .sum();
+    analysis.fault_free_wcet() + extra_misses * config.timing.miss_penalty_cycles()
+}
+
+/// Validates one trace against one fault map for one protection level.
+pub fn validation(
+    analysis: &ProgramAnalysis,
+    protection: Protection,
+    trace: &FetchTrace,
+    faults: &FaultMap,
+) -> ValidationOutcome {
+    let config = analysis.config();
+    let simulated = simulated_cycles(
+        trace,
+        protection,
+        config.geometry,
+        faults,
+        &config.timing,
+    );
+    ValidationOutcome {
+        simulated,
+        bound: analytic_bound_for_map(analysis, protection, faults),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::simulate;
+    use pwcet_core::{AnalysisConfig, PwcetAnalyzer};
+    use pwcet_progen::{stmt, Program};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn program() -> Program {
+        Program::new("v").with_function(
+            "main",
+            stmt::seq([
+                stmt::loop_(12, stmt::if_else(stmt::compute(30), stmt::compute(8))),
+                stmt::loop_(5, stmt::compute(60)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn fault_free_simulation_within_wcet() {
+        let analyzer = PwcetAnalyzer::new(AnalysisConfig::paper_default());
+        let analysis = analyzer.analyze(&program()).unwrap();
+        let compiled = program().compile(0x0040_0000).unwrap();
+        let trace = simulate(&compiled, 10_000_000).unwrap();
+        let faults = FaultMap::fault_free(&analysis.config().geometry);
+        for protection in Protection::all() {
+            let outcome = validation(&analysis, protection, &trace, &faults);
+            assert!(
+                outcome.holds(),
+                "{protection}: simulated {} > bound {}",
+                outcome.simulated,
+                outcome.bound
+            );
+            // With no faults the bound is exactly the fault-free WCET.
+            assert_eq!(outcome.bound, analysis.fault_free_wcet());
+        }
+    }
+
+    #[test]
+    fn random_fault_maps_within_bounds() {
+        let analyzer = PwcetAnalyzer::new(AnalysisConfig::paper_default());
+        let analysis = analyzer.analyze(&program()).unwrap();
+        let compiled = program().compile(0x0040_0000).unwrap();
+        let trace = simulate(&compiled, 10_000_000).unwrap();
+        let geometry = analysis.config().geometry;
+        let mut rng = StdRng::seed_from_u64(2024);
+        // Exaggerated block-failure probabilities exercise multi-fault
+        // sets that realistic pfail almost never samples.
+        for pbf in [0.05, 0.3, 0.7, 1.0] {
+            for _ in 0..40 {
+                let faults = FaultMap::sample(&geometry, pbf, &mut rng);
+                for protection in Protection::all() {
+                    let outcome = validation(&analysis, protection, &trace, &faults);
+                    assert!(
+                        outcome.holds(),
+                        "{protection} pbf={pbf}: simulated {} > bound {} (faults {:?})",
+                        outcome.simulated,
+                        outcome.bound,
+                        faults.per_set_counts()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_faulty_map_bound_matches_last_columns() {
+        let analyzer = PwcetAnalyzer::new(AnalysisConfig::paper_default());
+        let analysis = analyzer.analyze(&program()).unwrap();
+        let geometry = analysis.config().geometry;
+        let all_faulty = FaultMap::sample(&geometry, 1.0, &mut StdRng::seed_from_u64(0));
+        let ways = geometry.ways();
+        // Unprotected: sum of column W.
+        let unp = analytic_bound_for_map(&analysis, Protection::None, &all_faulty);
+        let expect: u64 = (0..geometry.sets())
+            .map(|s| analysis.fmm().get(s, ways))
+            .sum::<u64>()
+            * 100
+            + analysis.fault_free_wcet();
+        assert_eq!(unp, expect);
+        // RW: every set keeps the hardened way → column W−1.
+        let rw = analytic_bound_for_map(&analysis, Protection::ReliableWay, &all_faulty);
+        let expect_rw: u64 = (0..geometry.sets())
+            .map(|s| analysis.fmm().get(s, ways - 1))
+            .sum::<u64>()
+            * 100
+            + analysis.fault_free_wcet();
+        assert_eq!(rw, expect_rw);
+        // SRB: the recomputed column.
+        let srb =
+            analytic_bound_for_map(&analysis, Protection::SharedReliableBuffer, &all_faulty);
+        let expect_srb: u64 =
+            analysis.srb_last_column().iter().sum::<u64>() * 100 + analysis.fault_free_wcet();
+        assert_eq!(srb, expect_srb);
+    }
+}

@@ -1,0 +1,67 @@
+//! Protection trade-off study: which mechanism pays off for which kind of
+//! program?
+//!
+//! Reproduces the §IV-B reasoning on three contrast programs:
+//! streaming code (spatial locality only), a tiny resident loop
+//! (MRU-temporal), and a cache-straining loop (deep temporal), then shows
+//! where each mechanism lands between the unprotected and fault-free
+//! bounds.
+//!
+//! ```text
+//! cargo run --release --example protection_tradeoff
+//! ```
+
+use fault_aware_pwcet::core::{AnalysisConfig, Protection, PwcetAnalyzer};
+use fault_aware_pwcet::progen::{stmt, Program};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analyzer = PwcetAnalyzer::new(AnalysisConfig::paper_default());
+    let target = 1e-15;
+
+    let workloads = [
+        (
+            "streaming (spatial only)",
+            // 6 KB of straight-line code: each block visited once.
+            Program::new("streaming").with_function("main", stmt::compute(1500)),
+        ),
+        (
+            "resident loop (MRU temporal)",
+            // ~200 B loop: one live block per set, hits in MRU position.
+            Program::new("resident")
+                .with_function("main", stmt::loop_(200, stmt::compute(40))),
+        ),
+        (
+            "straining loop (deep temporal)",
+            // ~900 B loop body: 2–3 live blocks per set, reuse beyond MRU.
+            Program::new("straining")
+                .with_function("main", stmt::loop_(50, stmt::compute(220))),
+        ),
+    ];
+
+    println!("pWCET at p = 1e-15, normalized to the unprotected estimate:");
+    println!("{:<30} {:>10} {:>8} {:>8} {:>8}", "workload", "fault-free", "RW", "SRB", "none");
+    for (label, program) in workloads {
+        let analysis = analyzer.analyze(&program)?;
+        let none = analysis.estimate(Protection::None).pwcet_at(target) as f64;
+        let rw = analysis.estimate(Protection::ReliableWay).pwcet_at(target) as f64;
+        let srb = analysis
+            .estimate(Protection::SharedReliableBuffer)
+            .pwcet_at(target) as f64;
+        let ff = analysis.fault_free_wcet() as f64;
+        println!(
+            "{:<30} {:>10.3} {:>8.3} {:>8.3} {:>8.3}",
+            label,
+            ff / none,
+            rw / none,
+            srb / none,
+            1.0
+        );
+    }
+
+    println!();
+    println!("Reading guide (matches the paper's categories):");
+    println!(" * streaming: both mechanisms reach the fault-free bound (category 1);");
+    println!(" * resident loop: RW reaches it, the SRB cannot preserve MRU reuse (category 2);");
+    println!(" * straining loop: deep reuse is lost either way — partial, similar gains (category 3).");
+    Ok(())
+}

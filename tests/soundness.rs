@@ -1,0 +1,80 @@
+//! Workspace-level soundness: static bounds vs. simulated execution on
+//! suite benchmarks and randomly generated programs.
+
+use fault_aware_pwcet::benchsuite;
+use fault_aware_pwcet::cache::FaultMap;
+use fault_aware_pwcet::core::{AnalysisConfig, Protection, PwcetAnalyzer};
+use fault_aware_pwcet::progen::{GeneratorConfig, ProgramGenerator};
+use fault_aware_pwcet::sim::{simulate, validation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn suite_benchmarks_respect_bounds_under_random_faults() {
+    let analyzer = PwcetAnalyzer::new(AnalysisConfig::paper_default());
+    let mut rng = StdRng::seed_from_u64(20160321);
+    for name in ["bs", "fibcall", "prime", "crc"] {
+        let bench = benchsuite::by_name(name).expect("benchmark exists");
+        let analysis = analyzer.analyze(&bench.program).expect("analyzes");
+        let compiled = bench.program.compile(0x0040_0000).expect("compiles");
+        let trace = simulate(&compiled, 50_000_000).expect("halts");
+        let geometry = analysis.config().geometry;
+        for pbf in [0.1, 0.5, 1.0] {
+            for _ in 0..10 {
+                let faults = FaultMap::sample(&geometry, pbf, &mut rng);
+                for protection in Protection::all() {
+                    let outcome = validation(&analysis, protection, &trace, &faults);
+                    assert!(
+                        outcome.holds(),
+                        "{name}/{protection} pbf={pbf}: {} > {}",
+                        outcome.simulated,
+                        outcome.bound
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_programs_respect_bounds_under_random_faults() {
+    let analyzer = PwcetAnalyzer::new(AnalysisConfig::paper_default());
+    let generator_config = GeneratorConfig {
+        helper_functions: 2,
+        max_stmt_depth: 4,
+        max_loop_bound: 10,
+        max_compute: 40,
+        max_seq_len: 3,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    for seed in 0..8 {
+        let mut generator = ProgramGenerator::new(generator_config, seed);
+        let program = generator.generate(format!("fuzz_{seed}"));
+        let analysis = analyzer.analyze(&program).expect("analyzes");
+        let compiled = program.compile(0x0040_0000).expect("compiles");
+        let trace = simulate(&compiled, 50_000_000).expect("halts");
+        let geometry = analysis.config().geometry;
+        // Fault-free first: the deterministic WCET must hold.
+        let fault_free = FaultMap::fault_free(&geometry);
+        let outcome = validation(&analysis, Protection::None, &trace, &fault_free);
+        assert!(
+            outcome.holds(),
+            "seed {seed}: fault-free {} > WCET {}",
+            outcome.simulated,
+            outcome.bound
+        );
+        // Then adversarially dense fault maps.
+        for _ in 0..6 {
+            let faults = FaultMap::sample(&geometry, 0.6, &mut rng);
+            for protection in Protection::all() {
+                let outcome = validation(&analysis, protection, &trace, &faults);
+                assert!(
+                    outcome.holds(),
+                    "seed {seed}/{protection}: {} > {}",
+                    outcome.simulated,
+                    outcome.bound
+                );
+            }
+        }
+    }
+}
