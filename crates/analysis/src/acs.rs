@@ -172,10 +172,10 @@ impl Acs {
                             joined[age].insert(b);
                         }
                     }
-                    for age_b in 0..self.assoc {
+                    for (age_b, joined_level) in joined.iter_mut().enumerate() {
                         for &b in &other.ages[other.slot(set, age_b)] {
                             if self.age_in_set(set, b).is_none() {
-                                joined[age_b].insert(b);
+                                joined_level.insert(b);
                             }
                         }
                     }

@@ -152,7 +152,11 @@ mod tests {
     fn map_stats_count_classes() {
         let map = ChmcMap::new(vec![
             vec![Chmc::AlwaysHit, Chmc::AlwaysMiss],
-            vec![Chmc::FirstMiss(Scope::Program), Chmc::NotClassified, Chmc::AlwaysHit],
+            vec![
+                Chmc::FirstMiss(Scope::Program),
+                Chmc::NotClassified,
+                Chmc::AlwaysHit,
+            ],
         ]);
         let stats = map.stats();
         assert_eq!(stats.always_hit, 2);

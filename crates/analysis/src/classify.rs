@@ -197,10 +197,14 @@ mod tests {
 
     #[test]
     fn lower_associativity_never_improves_classes() {
-        let cfg = build(Program::new("d").with_function(
-            "main",
-            stmt::loop_(20, stmt::seq([stmt::compute(100), stmt::call("f")])),
-        ).with_function("f", stmt::compute(120)));
+        let cfg = build(
+            Program::new("d")
+                .with_function(
+                    "main",
+                    stmt::loop_(20, stmt::seq([stmt::compute(100), stmt::call("f")])),
+                )
+                .with_function("f", stmt::compute(120)),
+        );
         let g = geometry();
         let mut previous_hits = usize::MAX;
         for assoc in (0..=4).rev() {
@@ -244,7 +248,10 @@ mod tests {
         // predecessors end in its block.
         let cfg = build(Program::new("dj").with_function(
             "main",
-            stmt::seq([stmt::if_else(stmt::compute(3), stmt::compute(17)), stmt::compute(8)]),
+            stmt::seq([
+                stmt::if_else(stmt::compute(3), stmt::compute(17)),
+                stmt::compute(8),
+            ]),
         ));
         let srb = classify_srb(&cfg, &geometry());
         // The node after the join: its first fetch follows either the
@@ -271,11 +278,7 @@ mod tests {
                 .with_function("f", stmt::compute(6)),
         );
         let srb = classify_srb(&cfg, &geometry());
-        let f_nodes: Vec<_> = cfg
-            .nodes()
-            .iter()
-            .filter(|n| n.function() == "f")
-            .collect();
+        let f_nodes: Vec<_> = cfg.nodes().iter().filter(|n| n.function() == "f").collect();
         assert_eq!(f_nodes.len(), 2);
         // The two instances may disagree only on their *entry* fetch
         // (whose predecessor block depends on the caller); every interior

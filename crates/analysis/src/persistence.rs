@@ -63,7 +63,9 @@ pub fn persistent_scopes(
     }
 
     let fits = |conflicts: &HashMap<u32, BTreeSet<MemBlock>>, set: u32| -> bool {
-        conflicts.get(&set).is_none_or(|blocks| blocks.len() <= assoc as usize)
+        conflicts
+            .get(&set)
+            .is_none_or(|blocks| blocks.len() <= assoc as usize)
     };
 
     cfg.nodes()
@@ -115,7 +117,8 @@ mod tests {
     #[test]
     fn small_program_is_program_persistent() {
         // Whole program fits in the cache: every set sees ≤ 4 blocks.
-        let cfg = build(Program::new("small").with_function("main", stmt::loop_(9, stmt::compute(8))));
+        let cfg =
+            build(Program::new("small").with_function("main", stmt::loop_(9, stmt::compute(8))));
         let g = CacheGeometry::paper_default();
         let scopes = persistent_scopes(&cfg, &g, 4);
         for node in cfg.nodes() {
@@ -170,9 +173,8 @@ mod tests {
 
     #[test]
     fn lower_assoc_reduces_persistence() {
-        let cfg = build(
-            Program::new("shrink").with_function("main", stmt::loop_(6, stmt::compute(40))),
-        );
+        let cfg =
+            build(Program::new("shrink").with_function("main", stmt::loop_(6, stmt::compute(40))));
         let g = CacheGeometry::paper_default();
         let count = |assoc: u32| -> usize {
             persistent_scopes(&cfg, &g, assoc)

@@ -38,24 +38,40 @@ fn bench_convolution(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
 
     let configurations = [
-        ("exact", ConvolutionParams { prune_epsilon: 0.0, max_support: usize::MAX }),
+        (
+            "exact",
+            ConvolutionParams {
+                prune_epsilon: 0.0,
+                max_support: usize::MAX,
+            },
+        ),
         ("default", ConvolutionParams::default()),
         (
             "tight_support",
-            ConvolutionParams { prune_epsilon: 1e-30, max_support: 256 },
+            ConvolutionParams {
+                prune_epsilon: 1e-30,
+                max_support: 256,
+            },
         ),
         (
             "aggressive",
-            ConvolutionParams { prune_epsilon: 1e-20, max_support: 64 },
+            ConvolutionParams {
+                prune_epsilon: 1e-20,
+                max_support: 64,
+            },
         ),
     ];
     for (label, params) in configurations {
-        group.bench_with_input(BenchmarkId::new("convolve_16_sets", label), &params, |b, params| {
-            b.iter(|| {
-                let d = DiscreteDistribution::convolve_all(&sets, params);
-                std::hint::black_box(d.quantile(1e-15))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("convolve_16_sets", label),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    let d = DiscreteDistribution::convolve_all(&sets, params);
+                    std::hint::black_box(d.quantile(1e-15))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -24,9 +24,13 @@ fn bench_fmm(c: &mut Criterion) {
 
     for name in ["bs", "crc"] {
         let bench = pwcet_benchsuite::by_name(name).expect("benchmark exists");
-        group.bench_with_input(BenchmarkId::new("analyze_full", name), &bench, |b, bench| {
-            b.iter(|| std::hint::black_box(analyzer.analyze(&bench.program).expect("analyzes")))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("analyze_full", name),
+            &bench,
+            |b, bench| {
+                b.iter(|| std::hint::black_box(analyzer.analyze(&bench.program).expect("analyzes")))
+            },
+        );
 
         let compiled = bench.program.compile(0x0040_0000).expect("compiles");
         let cfg = expand_compiled(&compiled).expect("expands");

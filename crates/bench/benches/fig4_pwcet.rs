@@ -21,13 +21,17 @@ fn bench_fig4(c: &mut Criterion) {
     // across Figure 4's population.
     for name in ["bs", "crc", "insertsort"] {
         let bench = pwcet_benchsuite::by_name(name).expect("benchmark exists");
-        group.bench_with_input(BenchmarkId::new("run_benchmark", name), &bench, |b, bench| {
-            b.iter(|| {
-                let (_, result) =
-                    run_benchmark(bench, &config, TARGET_PROBABILITY).expect("analyzes");
-                std::hint::black_box(result.pwcet_rw)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("run_benchmark", name),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    let (_, result) =
+                        run_benchmark(bench, &config, TARGET_PROBABILITY).expect("analyzes");
+                    std::hint::black_box(result.pwcet_rw)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,144 @@
+//! Pipeline ablation: sequential vs. parallel `analyze_compiled`.
+//!
+//! Measures the staged shared-context pipeline of `pwcet-core` in its
+//! sequential reference mode and with the fan-out of per-`(set, fault)`
+//! delta ILP solves across worker threads, then records the comparison in
+//! `BENCH_pipeline.json` at the workspace root.
+//!
+//! ```text
+//! cargo bench -p pwcet-bench --bench pipeline_parallel
+//! ```
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwcet_core::{AnalysisConfig, Parallelism, PwcetAnalyzer};
+
+const PROGRAM: &str = "adpcm";
+
+fn configs() -> [(&'static str, AnalysisConfig); 2] {
+    let base = AnalysisConfig::paper_default();
+    [
+        ("sequential", base.with_parallelism(Parallelism::Sequential)),
+        ("parallel", base.with_parallelism(Parallelism::Auto)),
+    ]
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let bench = pwcet_benchsuite::by_name(PROGRAM).expect("benchmark exists");
+    let compiled = bench
+        .program
+        .compile(AnalysisConfig::paper_default().code_base)
+        .expect("compiles");
+
+    let mut group = c.benchmark_group("pipeline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    for (label, config) in configs() {
+        let analyzer = PwcetAnalyzer::new(config);
+        group.bench_with_input(
+            BenchmarkId::new("analyze_compiled", label),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    criterion::black_box(analyzer.analyze_compiled(compiled).expect("analyzes"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let programs: Vec<_> = ["bs", "crc", "matmult", "fir"]
+        .iter()
+        .map(|name| {
+            pwcet_benchsuite::by_name(name)
+                .expect("benchmark exists")
+                .program
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    for (label, config) in configs() {
+        let analyzer = PwcetAnalyzer::new(config);
+        group.bench_with_input(
+            BenchmarkId::new("analyze_batch_4", label),
+            &programs,
+            |b, programs| {
+                b.iter(|| criterion::black_box(analyzer.analyze_batch(programs).expect("analyzes")))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Folds the measurements into `BENCH_pipeline.json` at the workspace root.
+fn emit_json(c: &mut Criterion) {
+    if c.is_test_mode() {
+        // One-shot smoke runs (`cargo test` / CI) record 1-iteration
+        // noise; never let that overwrite a real measurement.
+        return;
+    }
+    let mean_of = |needle: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name.contains(needle))
+            .map(|r| r.mean_ns)
+    };
+    let (Some(seq), Some(par)) = (
+        mean_of("analyze_compiled/sequential"),
+        mean_of("analyze_compiled/parallel"),
+    ) else {
+        // `cargo test` one-shot mode measures nothing meaningful.
+        return;
+    };
+    let (batch_seq, batch_par) = (
+        mean_of("analyze_batch_4/sequential").unwrap_or(0.0),
+        mean_of("analyze_batch_4/parallel").unwrap_or(0.0),
+    );
+    let threads = Parallelism::Auto.worker_count(usize::MAX);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"pipeline_parallel\",\n",
+            "  \"program\": \"{program}\",\n",
+            "  \"threads\": {threads},\n",
+            "  \"analyze_compiled_sequential_ns\": {seq:.0},\n",
+            "  \"analyze_compiled_parallel_ns\": {par:.0},\n",
+            "  \"analyze_compiled_speedup\": {speedup:.3},\n",
+            "  \"analyze_batch4_sequential_ns\": {bseq:.0},\n",
+            "  \"analyze_batch4_parallel_ns\": {bpar:.0},\n",
+            "  \"analyze_batch4_speedup\": {bspeedup:.3},\n",
+            "  \"note\": \"speedup scales with available cores; 1 on a single-core runner\",\n",
+            "  \"command\": \"cargo bench -p pwcet-bench --bench pipeline_parallel\"\n",
+            "}}\n"
+        ),
+        program = PROGRAM,
+        threads = threads,
+        seq = seq,
+        par = par,
+        speedup = seq / par,
+        bseq = batch_seq,
+        bpar = batch_par,
+        bspeedup = if batch_par > 0.0 {
+            batch_seq / batch_par
+        } else {
+            0.0
+        },
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, json).expect("workspace root is writable");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_pipeline, bench_batch, emit_json);
+criterion_main!(benches);

@@ -12,7 +12,10 @@ fn main() {
     let config = AnalysisConfig::paper_default();
     let fig = figure3(&bench, &config).expect("adpcm analyzes");
 
-    println!("# Figure 3: exceedance curves for {} (pfail = 1e-4)", fig.name);
+    println!(
+        "# Figure 3: exceedance curves for {} (pfail = 1e-4)",
+        fig.name
+    );
     println!("protection\tpwcet_cycles\texceedance");
     for (label, curve) in [("none", &fig.none), ("SRB", &fig.srb), ("RW", &fig.rw)] {
         for point in curve {

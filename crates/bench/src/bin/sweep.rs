@@ -33,12 +33,8 @@ fn main() {
     println!("benchmark\ttarget_p\tpwcet_none\tpwcet_srb\tpwcet_rw");
     for name in SWEPT_BENCHMARKS {
         let bench = pwcet_benchsuite::by_name(name).expect("benchmark exists");
-        let rows = sweep_target(
-            &bench,
-            &config,
-            &[1e-3, 1e-6, 1e-9, 1e-12, 1e-15, 1e-18],
-        )
-        .expect("analyzes");
+        let rows = sweep_target(&bench, &config, &[1e-3, 1e-6, 1e-9, 1e-12, 1e-15, 1e-18])
+            .expect("analyzes");
         for (p, none, srb, rw) in rows {
             println!("{name}\t{p:.0e}\t{none}\t{srb}\t{rw}");
         }

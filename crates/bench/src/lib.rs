@@ -120,8 +120,15 @@ pub fn run_benchmark(
 ) -> Result<(ProgramAnalysis, BenchmarkResult), CoreError> {
     let analyzer = PwcetAnalyzer::new(*config);
     let analysis = analyzer.analyze(&bench.program)?;
-    let result = BenchmarkResult {
-        name: bench.name.to_string(),
+    let result = result_of(bench.name, &analysis, target_p);
+    Ok((analysis, result))
+}
+
+/// Evaluates a finished analysis at `target_p` under all three protection
+/// levels.
+fn result_of(name: &str, analysis: &ProgramAnalysis, target_p: f64) -> BenchmarkResult {
+    BenchmarkResult {
+        name: name.to_string(),
         fault_free_wcet: analysis.fault_free_wcet(),
         pwcet_none: analysis.estimate(Protection::None).pwcet_at(target_p),
         pwcet_srb: analysis
@@ -130,11 +137,12 @@ pub fn run_benchmark(
         pwcet_rw: analysis
             .estimate(Protection::ReliableWay)
             .pwcet_at(target_p),
-    };
-    Ok((analysis, result))
+    }
 }
 
-/// Runs the whole suite (Figure 4's population).
+/// Runs the whole suite (Figure 4's population) through
+/// [`PwcetAnalyzer::analyze_batch`], parallelizing across benchmarks
+/// according to `config.parallelism`.
 ///
 /// # Errors
 ///
@@ -143,10 +151,14 @@ pub fn run_suite(
     config: &AnalysisConfig,
     target_p: f64,
 ) -> Result<Vec<BenchmarkResult>, CoreError> {
-    pwcet_benchsuite::all()
+    let benches = pwcet_benchsuite::all();
+    let programs: Vec<_> = benches.iter().map(|b| b.program.clone()).collect();
+    let analyses = PwcetAnalyzer::new(*config).analyze_batch(&programs)?;
+    Ok(benches
         .iter()
-        .map(|bench| run_benchmark(bench, config, target_p).map(|(_, r)| r))
-        .collect()
+        .zip(&analyses)
+        .map(|(bench, analysis)| result_of(bench.name, analysis, target_p))
+        .collect())
 }
 
 /// The three exceedance curves of Figure 3 for one benchmark.
@@ -177,7 +189,9 @@ pub fn figure3(bench: &Benchmark, config: &AnalysisConfig) -> Result<Figure3, Co
         srb: analysis
             .estimate(Protection::SharedReliableBuffer)
             .exceedance_curve(),
-        rw: analysis.estimate(Protection::ReliableWay).exceedance_curve(),
+        rw: analysis
+            .estimate(Protection::ReliableWay)
+            .exceedance_curve(),
     })
 }
 
@@ -286,12 +300,16 @@ pub fn sweep_pfail(
     pfails: &[f64],
     target_p: f64,
 ) -> Result<Vec<(f64, u64, u64, u64)>, CoreError> {
+    // The fault model does not affect the CFG or the classifications, so
+    // the whole sweep shares one context and every memoized CHMC level.
+    let context = PwcetAnalyzer::new(*config).build_context(&bench.program)?;
     let mut rows = Vec::with_capacity(pfails.len());
     for &pfail in pfails {
         let Ok(cfg) = config.with_pfail(pfail) else {
             continue;
         };
-        let (_, r) = run_benchmark(bench, &cfg, target_p)?;
+        let analysis = PwcetAnalyzer::new(cfg).analyze_with_context(&context)?;
+        let r = result_of(bench.name, &analysis, target_p);
         rows.push((pfail, r.pwcet_none, r.pwcet_srb, r.pwcet_rw));
     }
     Ok(rows)
@@ -349,10 +367,7 @@ mod tests {
             pwcet_srb: srb,
             pwcet_none: none,
         };
-        assert_eq!(
-            result(100, 100, 100, 200).category(),
-            Category::FullyMasked
-        );
+        assert_eq!(result(100, 100, 100, 200).category(), Category::FullyMasked);
         assert_eq!(result(100, 100, 150, 200).category(), Category::RwMasked);
         assert_eq!(
             result(100, 150, 150, 200).category(),
@@ -412,12 +427,7 @@ mod tests {
     #[test]
     fn sweep_target_is_monotone() {
         let bench = pwcet_benchsuite::by_name("fibcall").unwrap();
-        let rows = sweep_target(
-            &bench,
-            &fast_config(),
-            &[1e-3, 1e-6, 1e-9, 1e-12, 1e-15],
-        )
-        .unwrap();
+        let rows = sweep_target(&bench, &fast_config(), &[1e-3, 1e-6, 1e-9, 1e-12, 1e-15]).unwrap();
         for pair in rows.windows(2) {
             assert!(pair[1].1 >= pair[0].1, "none pWCET grows as p shrinks");
             assert!(pair[1].3 >= pair[0].3, "rw pWCET grows as p shrinks");

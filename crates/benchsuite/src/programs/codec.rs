@@ -122,7 +122,7 @@ pub fn crc() -> Benchmark {
                 stmt::seq([
                     stmt::compute(17),
                     stmt::if_else(
-                        stmt::compute(24), // table lookup arm
+                        stmt::compute(24),                 // table lookup arm
                         stmt::loop_(8, stmt::compute(13)), // bit-serial arm
                     ),
                     stmt::compute(10),

@@ -46,17 +46,20 @@ pub fn ludcmp() -> Benchmark {
                     stmt::compute(15),
                     stmt::loop_(
                         5,
-                        stmt::seq([
-                            stmt::compute(24),
-                            stmt::loop_(5, stmt::compute(22)),
-                        ]),
+                        stmt::seq([stmt::compute(24), stmt::loop_(5, stmt::compute(22))]),
                     ),
                 ]),
             ),
             // Forward substitution.
-            stmt::loop_(5, stmt::seq([stmt::compute(15), stmt::loop_(5, stmt::compute(17))])),
+            stmt::loop_(
+                5,
+                stmt::seq([stmt::compute(15), stmt::loop_(5, stmt::compute(17))]),
+            ),
             // Backward substitution.
-            stmt::loop_(5, stmt::seq([stmt::compute(17), stmt::loop_(5, stmt::compute(17))])),
+            stmt::loop_(
+                5,
+                stmt::seq([stmt::compute(17), stmt::loop_(5, stmt::compute(17))]),
+            ),
             stmt::compute(12),
         ]),
     );
@@ -82,9 +85,12 @@ pub fn minver() -> Benchmark {
                 stmt::loop_(
                     3,
                     stmt::seq([
-                        stmt::compute(30), // pivot search straight-line
+                        stmt::compute(30),                                  // pivot search straight-line
                         stmt::if_else(stmt::compute(20), stmt::compute(5)), // row swap
-                        stmt::loop_(3, stmt::seq([stmt::compute(15), stmt::loop_(3, stmt::compute(15))])),
+                        stmt::loop_(
+                            3,
+                            stmt::seq([stmt::compute(15), stmt::loop_(3, stmt::compute(15))]),
+                        ),
                     ]),
                 ),
                 stmt::compute(24),
@@ -92,7 +98,13 @@ pub fn minver() -> Benchmark {
         )
         .with_function(
             "mmul",
-            stmt::loop_(3, stmt::loop_(3, stmt::seq([stmt::compute(10), stmt::loop_(3, stmt::compute(13))]))),
+            stmt::loop_(
+                3,
+                stmt::loop_(
+                    3,
+                    stmt::seq([stmt::compute(10), stmt::loop_(3, stmt::compute(13))]),
+                ),
+            ),
         );
     Benchmark {
         name: "minver",
@@ -122,7 +134,13 @@ pub fn qurt() -> Benchmark {
             "newton_sqrt",
             stmt::seq([
                 stmt::compute(12),
-                stmt::loop_(19, stmt::seq([stmt::compute(22), stmt::if_else(stmt::compute(5), stmt::compute(5))])),
+                stmt::loop_(
+                    19,
+                    stmt::seq([
+                        stmt::compute(22),
+                        stmt::if_else(stmt::compute(5), stmt::compute(5)),
+                    ]),
+                ),
             ]),
         );
     Benchmark {
@@ -156,7 +174,10 @@ pub fn ud() -> Benchmark {
                     ),
                 ]),
             ),
-            stmt::loop_(5, stmt::seq([stmt::compute(21), stmt::loop_(5, stmt::compute(19))])),
+            stmt::loop_(
+                5,
+                stmt::seq([stmt::compute(21), stmt::loop_(5, stmt::compute(19))]),
+            ),
             stmt::compute(10),
         ]),
     );

@@ -18,10 +18,16 @@ pub fn edn() -> Benchmark {
             // mac-style kernel with a saturation branch.
             stmt::loop_(
                 100,
-                stmt::seq([stmt::compute(28), stmt::if_else(stmt::compute(8), stmt::compute(10))]),
+                stmt::seq([
+                    stmt::compute(28),
+                    stmt::if_else(stmt::compute(8), stmt::compute(10)),
+                ]),
             ),
             // fir-style doubly nested kernel.
-            stmt::loop_(36, stmt::seq([stmt::compute(15), stmt::loop_(32, stmt::compute(19))])),
+            stmt::loop_(
+                36,
+                stmt::seq([stmt::compute(15), stmt::loop_(32, stmt::compute(19))]),
+            ),
             // latsynth-style kernel.
             stmt::loop_(64, stmt::compute(32)),
             stmt::compute(8),
@@ -65,7 +71,7 @@ pub fn fft() -> Benchmark {
         .with_function(
             "main",
             stmt::seq([
-                stmt::compute(12), // bit-reversal setup
+                stmt::compute(12),                  // bit-reversal setup
                 stmt::loop_(64, stmt::compute(21)), // bit-reversal permutation
                 stmt::loop_(
                     10, // log2(1024) stages

@@ -49,7 +49,7 @@ pub fn bsort100() -> Benchmark {
                     stmt::loop_(
                         99,
                         stmt::seq([
-                            stmt::compute(16), // load pair, compare
+                            stmt::compute(16),                                  // load pair, compare
                             stmt::if_else(stmt::compute(14), stmt::compute(3)), // swap or not
                         ]),
                     ),
@@ -163,9 +163,9 @@ pub fn matmult() -> Benchmark {
                         stmt::loop_(
                             20,
                             stmt::seq([
-                                stmt::compute(20), // result element setup
+                                stmt::compute(20),                  // result element setup
                                 stmt::loop_(20, stmt::compute(34)), // MAC kernel
-                                stmt::compute(12), // store element
+                                stmt::compute(12),                  // store element
                             ]),
                         ),
                     ]),

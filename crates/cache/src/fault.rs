@@ -178,7 +178,10 @@ mod tests {
     #[test]
     fn sampling_extremes() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(FaultMap::sample(&geometry(), 0.0, &mut rng).total_faulty(), 0);
+        assert_eq!(
+            FaultMap::sample(&geometry(), 0.0, &mut rng).total_faulty(),
+            0
+        );
         assert_eq!(
             FaultMap::sample(&geometry(), 1.0, &mut rng).total_faulty(),
             64

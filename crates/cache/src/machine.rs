@@ -380,7 +380,16 @@ mod tests {
     fn srb_never_worse_than_unprotected() {
         let faults = FaultMap::from_faulty_blocks(
             &geometry(),
-            [(0, 0), (0, 1), (0, 2), (0, 3), (5, 0), (5, 1), (5, 2), (5, 3)],
+            [
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (5, 0),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+            ],
         );
         let trace: Vec<u32> = (0..400).map(|i| (i % 9) * 4 + (i % 5) * 256).collect();
         let mut unp = UnprotectedCache::new(geometry(), &faults);

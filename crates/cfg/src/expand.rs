@@ -199,12 +199,11 @@ impl ExpandedCfg {
         }
 
         // Loops on the expanded graph.
-        let raw_loops = graph::natural_loops(&succs, entry).map_err(|(u, v)| {
-            CfgError::Irreducible {
+        let raw_loops =
+            graph::natural_loops(&succs, entry).map_err(|(u, v)| CfgError::Irreducible {
                 from: nodes[u].addrs.first().copied().unwrap_or(0),
                 to: nodes[v].addrs.first().copied().unwrap_or(0),
-            }
-        })?;
+            })?;
         let bound_map: HashMap<u32, u32> = bounds.iter().copied().collect();
         let mut loops = Vec::with_capacity(raw_loops.len());
         for (id, info) in raw_loops.into_iter().enumerate() {
@@ -479,11 +478,8 @@ mod tests {
         );
         // Two contexts for f plus the root.
         assert_eq!(cfg.contexts().len(), 3);
-        let f_instances: Vec<&ExpandedNode> = cfg
-            .nodes()
-            .iter()
-            .filter(|n| n.function() == "f")
-            .collect();
+        let f_instances: Vec<&ExpandedNode> =
+            cfg.nodes().iter().filter(|n| n.function() == "f").collect();
         assert_eq!(f_instances.len(), 2);
         // Same addresses (same code), different contexts.
         assert_eq!(f_instances[0].addrs(), f_instances[1].addrs());
@@ -570,10 +566,7 @@ mod tests {
         // f appears twice in the expanded graph, so refs exceed the image.
         let f_len = compiled.function("f").unwrap();
         let f_words = ((f_len.end() - f_len.entry()) / 4) as usize;
-        assert_eq!(
-            cfg.total_refs(),
-            compiled.image().len_words() + f_words
-        );
+        assert_eq!(cfg.total_refs(), compiled.image().len_words() + f_words);
     }
 
     #[test]

@@ -312,10 +312,22 @@ mod tests {
     /// instructions, then break.
     fn loop_image() -> (BinaryImage, FunctionExtent) {
         let mut asm = Assembler::new(0x0040_0000);
-        asm.push(Instruction::Addiu { rt: Reg::S0, rs: Reg::ZERO, imm: 3 }); // 0x00
+        asm.push(Instruction::Addiu {
+            rt: Reg::S0,
+            rs: Reg::ZERO,
+            imm: 3,
+        }); // 0x00
         asm.label("head");
-        asm.push(Instruction::Addu { rd: Reg::T0, rs: Reg::T0, rt: Reg::T1 }); // 0x04
-        asm.push(Instruction::Addiu { rt: Reg::S0, rs: Reg::S0, imm: -1 }); // 0x08
+        asm.push(Instruction::Addu {
+            rd: Reg::T0,
+            rs: Reg::T0,
+            rt: Reg::T1,
+        }); // 0x04
+        asm.push(Instruction::Addiu {
+            rt: Reg::S0,
+            rs: Reg::S0,
+            imm: -1,
+        }); // 0x08
         asm.bne(Reg::S0, Reg::ZERO, "head"); // 0x0c
         asm.push(Instruction::Break { code: 0 }); // 0x10
         let image = asm.assemble().unwrap();
@@ -330,7 +342,10 @@ mod tests {
         // Blocks: [init], [head..bne], [break].
         assert_eq!(cfg.blocks().len(), 3);
         assert_eq!(cfg.blocks()[0].addrs(), &[0x0040_0000]);
-        assert_eq!(cfg.blocks()[1].addrs(), &[0x0040_0004, 0x0040_0008, 0x0040_000c]);
+        assert_eq!(
+            cfg.blocks()[1].addrs(),
+            &[0x0040_0004, 0x0040_0008, 0x0040_000c]
+        );
         assert_eq!(cfg.blocks()[2].addrs(), &[0x0040_0010]);
         assert_eq!(cfg.succs()[0], vec![1]);
         // Back edge first (branch target), then fall-through.
@@ -373,8 +388,7 @@ mod tests {
         asm.label("end");
         asm.push(Instruction::Break { code: 0 }); // 0x10
         let image = asm.assemble().unwrap();
-        let cfg =
-            FunctionCfg::build(&image, &FunctionExtent::new("main", 0, 0x14)).unwrap();
+        let cfg = FunctionCfg::build(&image, &FunctionExtent::new("main", 0, 0x14)).unwrap();
         assert_eq!(cfg.blocks().len(), 4);
         // Branch block -> {else, then}.
         let mut s = cfg.succs()[0].clone();
@@ -396,7 +410,10 @@ mod tests {
         let result = FunctionCfg::build(&image, &FunctionExtent::new("f", 0x04, 0x0c));
         assert!(matches!(
             result,
-            Err(CfgError::InterFunctionBranch { from: 0x04, target: 0 })
+            Err(CfgError::InterFunctionBranch {
+                from: 0x04,
+                target: 0
+            })
         ));
     }
 

@@ -135,10 +135,7 @@ pub struct LoopInfo {
 ///
 /// Returns the offending retreating edge `(from, to)` if the graph is
 /// irreducible (the edge's target does not dominate its source).
-pub fn natural_loops(
-    succs: &[Vec<usize>],
-    entry: usize,
-) -> Result<Vec<LoopInfo>, (usize, usize)> {
+pub fn natural_loops(succs: &[Vec<usize>], entry: usize) -> Result<Vec<LoopInfo>, (usize, usize)> {
     let n = succs.len();
     let idom = dominators(succs, entry);
     let rpo = reverse_postorder(succs, entry);
@@ -244,14 +241,7 @@ mod tests {
 
     /// Nested: 0 -> 1(h1) -> 2(h2) -> 3 -> 2, 3 -> 4 -> 1, 4 -> 5.
     fn nested_loops() -> Vec<Vec<usize>> {
-        vec![
-            vec![1],
-            vec![2],
-            vec![3],
-            vec![2, 4],
-            vec![1, 5],
-            vec![],
-        ]
+        vec![vec![1], vec![2], vec![3], vec![2, 4], vec![1, 5], vec![]]
     }
 
     #[test]
@@ -310,7 +300,10 @@ mod tests {
         assert_eq!(inner.depth, 1);
         assert!(outer.nodes.is_superset(&inner.nodes));
         let inner_pos = loops.iter().position(|l| l.header == 2).unwrap();
-        assert_eq!(loops[inner_pos].parent, loops.iter().position(|l| l.header == 1));
+        assert_eq!(
+            loops[inner_pos].parent,
+            loops.iter().position(|l| l.header == 1)
+        );
     }
 
     #[test]

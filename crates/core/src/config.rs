@@ -2,6 +2,7 @@
 
 use pwcet_cache::{CacheGeometry, CacheTiming};
 use pwcet_ipet::IpetOptions;
+use pwcet_par::Parallelism;
 use pwcet_prob::{ConvolutionParams, FaultModel};
 
 /// All parameters of a pWCET analysis run.
@@ -23,6 +24,10 @@ pub struct AnalysisConfig {
     pub ipet: IpetOptions,
     /// Base address programs are compiled at.
     pub code_base: u32,
+    /// How fan-out stages (classification levels, per-`(set, fault)` ILP
+    /// solves, batched programs) are scheduled. The sequential and
+    /// parallel modes produce bit-identical results.
+    pub parallelism: Parallelism,
 }
 
 impl AnalysisConfig {
@@ -35,6 +40,7 @@ impl AnalysisConfig {
             convolution: ConvolutionParams::default(),
             ipet: IpetOptions::default(),
             code_base: 0x0040_0000,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -47,6 +53,13 @@ impl AnalysisConfig {
     pub fn with_pfail(mut self, pfail: f64) -> Result<Self, pwcet_prob::ProbError> {
         self.fault_model = FaultModel::new(pfail)?;
         Ok(self)
+    }
+
+    /// The same setup with a different fan-out scheduling mode.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 

@@ -1,0 +1,195 @@
+//! The shared, reusable analysis context of one compiled program.
+//!
+//! Every stage of the pipeline consumes the same three artifacts: the
+//! expanded control-flow graph, the CHMC classification at some effective
+//! associativity, and the SRB hit map. The seed pipeline recomputed the
+//! classification from scratch for every reduced associativity on every
+//! call; [`AnalysisContext`] builds the CFG once and memoizes each
+//! classification level behind a [`OnceLock`], so concurrent fan-out
+//! stages (and repeated analyses of the same program) share one immutable
+//! copy.
+//!
+//! The context is `Send + Sync`: worker threads of the per-`(set, fault)`
+//! ILP fan-out borrow it freely.
+
+use std::sync::OnceLock;
+
+use pwcet_analysis::{classify, classify_srb, ChmcMap, SrbMap};
+use pwcet_cache::CacheGeometry;
+use pwcet_cfg::{CfgError, ExpandedCfg};
+use pwcet_par::{par_for_each_index, Parallelism};
+use pwcet_progen::CompiledProgram;
+
+use crate::pipeline::expand_compiled;
+
+/// Immutable per-program analysis state, shared by all pipeline stages.
+///
+/// # Example
+///
+/// ```
+/// use pwcet_cache::CacheGeometry;
+/// use pwcet_core::AnalysisContext;
+/// use pwcet_progen::{stmt, Program};
+///
+/// # fn main() -> Result<(), pwcet_core::CoreError> {
+/// let compiled = Program::new("demo")
+///     .with_function("main", stmt::loop_(10, stmt::compute(8)))
+///     .compile(0x0040_0000)?;
+/// let context = AnalysisContext::build(&compiled, CacheGeometry::paper_default())?;
+/// // Classification levels are memoized: repeated queries are free.
+/// let full = context.chmc(context.geometry().ways());
+/// assert_eq!(full.len(), context.chmc(context.geometry().ways()).len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AnalysisContext {
+    name: String,
+    cfg: ExpandedCfg,
+    geometry: CacheGeometry,
+    /// `chmc[a]` is the classification at effective associativity `a`.
+    chmc: Vec<OnceLock<ChmcMap>>,
+    srb: OnceLock<SrbMap>,
+}
+
+impl AnalysisContext {
+    /// Reconstructs the expanded CFG of `compiled` and wraps it in a fresh
+    /// context for `geometry` (no classification is run yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CfgError`] from CFG reconstruction.
+    pub fn build(compiled: &CompiledProgram, geometry: CacheGeometry) -> Result<Self, CfgError> {
+        let cfg = expand_compiled(compiled)?;
+        Ok(Self::from_cfg(compiled.name(), cfg, geometry))
+    }
+
+    /// Wraps an already-expanded CFG.
+    pub fn from_cfg(name: impl Into<String>, cfg: ExpandedCfg, geometry: CacheGeometry) -> Self {
+        let levels = geometry.ways() as usize + 1;
+        Self {
+            name: name.into(),
+            cfg,
+            geometry,
+            chmc: (0..levels).map(|_| OnceLock::new()).collect(),
+            srb: OnceLock::new(),
+        }
+    }
+
+    /// The analyzed program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The expanded control-flow graph.
+    pub fn cfg(&self) -> &ExpandedCfg {
+        &self.cfg
+    }
+
+    /// The cache geometry the classifications are computed for.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// The CHMC classification at effective associativity `assoc`,
+    /// computing and caching it on first use (thread-safe).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `assoc` exceeds the geometry's associativity.
+    pub fn chmc(&self, assoc: u32) -> &ChmcMap {
+        self.chmc
+            .get(assoc as usize)
+            .unwrap_or_else(|| panic!("associativity {assoc} out of range"))
+            .get_or_init(|| classify(&self.cfg, &self.geometry, assoc))
+    }
+
+    /// The SRB hit map (§III-B2), computed and cached on first use.
+    pub fn srb(&self) -> &SrbMap {
+        self.srb
+            .get_or_init(|| classify_srb(&self.cfg, &self.geometry))
+    }
+
+    /// Eagerly fills every classification level (`0..=W`) and the SRB map,
+    /// fanning the independent fixpoints out across worker threads.
+    ///
+    /// Levels already computed are skipped; the call is idempotent.
+    pub fn prewarm(&self, parallelism: Parallelism) {
+        // Level W (the fault-free classification) plus the SRB map are the
+        // two jobs every analysis needs first; the reduced levels follow.
+        let levels = self.chmc.len();
+        par_for_each_index(parallelism, levels + 1, |job| {
+            if job == levels {
+                let _ = self.srb();
+            } else {
+                let _ = self.chmc(job as u32);
+            }
+        });
+    }
+
+    /// Number of classification levels already materialized (test/debug
+    /// introspection).
+    pub fn warmed_levels(&self) -> usize {
+        self.chmc.iter().filter(|lock| lock.get().is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwcet_progen::{stmt, Program};
+
+    fn context() -> AnalysisContext {
+        let compiled = Program::new("ctx")
+            .with_function("main", stmt::loop_(30, stmt::compute(24)))
+            .compile(0x0040_0000)
+            .unwrap();
+        AnalysisContext::build(&compiled, CacheGeometry::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn memoizes_classification_levels() {
+        let ctx = context();
+        assert_eq!(ctx.warmed_levels(), 0);
+        let first = ctx.chmc(4) as *const ChmcMap;
+        let second = ctx.chmc(4) as *const ChmcMap;
+        assert_eq!(first, second, "second query must hit the cache");
+        assert_eq!(ctx.warmed_levels(), 1);
+    }
+
+    #[test]
+    fn prewarm_fills_every_level() {
+        let ctx = context();
+        ctx.prewarm(Parallelism::threads(3));
+        assert_eq!(ctx.warmed_levels(), 5);
+        ctx.prewarm(Parallelism::Sequential); // idempotent
+        assert_eq!(ctx.warmed_levels(), 5);
+    }
+
+    #[test]
+    fn prewarmed_levels_match_direct_classification() {
+        let ctx = context();
+        ctx.prewarm(Parallelism::threads(2));
+        for assoc in 0..=4u32 {
+            let direct = classify(ctx.cfg(), ctx.geometry(), assoc);
+            let warmed = ctx.chmc(assoc);
+            assert_eq!(warmed.len(), direct.len());
+            for (node, index, class) in direct.iter() {
+                assert_eq!(warmed.get(node, index), class);
+            }
+        }
+    }
+
+    #[test]
+    fn context_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisContext>();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_level_panics() {
+        let ctx = context();
+        let _ = ctx.chmc(5);
+    }
+}

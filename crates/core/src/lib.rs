@@ -21,6 +21,19 @@
 //! 5. **pWCET**: `pWCET(p) = WCET_ff + penalty quantile at p`, exposed as
 //!    quantiles and full exceedance curves ([`PwcetEstimate`]).
 //!
+//! # Staged, shared-context pipeline
+//!
+//! The stages run over one immutable [`AnalysisContext`] per program:
+//! the expanded CFG is built once, every CHMC classification level
+//! (`0..=W`) is memoized, and the per-`(set, fault)` delta ILP solves fan
+//! out across worker threads according to
+//! [`AnalysisConfig::parallelism`]. The sequential mode
+//! ([`Parallelism::Sequential`]) produces bit-identical results — see
+//! `tests/parallel_equivalence.rs`. Use
+//! [`PwcetAnalyzer::analyze_batch`] to parallelize across whole programs
+//! and [`PwcetAnalyzer::analyze_with_context`] to reuse a context across
+//! fault-model sweeps.
+//!
 //! # Example
 //!
 //! ```
@@ -41,13 +54,16 @@
 //! ```
 
 mod config;
+mod context;
 mod error;
 mod estimate;
 mod fmm;
 mod pipeline;
 
 pub use config::AnalysisConfig;
+pub use context::AnalysisContext;
 pub use error::CoreError;
 pub use estimate::{Protection, PwcetEstimate};
 pub use fmm::FaultMissMap;
 pub use pipeline::{expand_compiled, ProgramAnalysis, PwcetAnalyzer};
+pub use pwcet_par::Parallelism;

@@ -1,12 +1,29 @@
 //! The end-to-end analysis pipeline.
+//!
+//! The pipeline is staged around one shared [`AnalysisContext`]:
+//!
+//! 1. **Context** — expand the CFG once ([`expand_compiled`]);
+//! 2. **Classify** — fill the memoized CHMC levels `0..=W` and the SRB
+//!    map, fanning the independent fixpoints across workers;
+//! 3. **Solve** — fan the per-`(set, fault)` delta ILPs (§II-C) and the
+//!    per-set SRB column ILPs (§III-B2) out across workers;
+//! 4. **Convolve** — combine per-set penalty distributions with the
+//!    balanced reduction tree of [`DiscreteDistribution::convolve_all`].
+//!
+//! The sequential mode ([`Parallelism::Sequential`]) runs the identical
+//! stages on the calling thread and produces bit-identical results — the
+//! property tests in `crates/core/tests/parallel_equivalence.rs` pin that
+//! guarantee down.
 
-use pwcet_analysis::{classify, classify_srb, Chmc, ChmcMap, SrbMap};
+use pwcet_analysis::{Chmc, ChmcMap, SrbMap};
 use pwcet_cfg::{CfgError, ExpandedCfg, FunctionExtent};
 use pwcet_ipet::{ipet_bound, CostModel, RefCost};
+use pwcet_par::{par_map, Parallelism};
 use pwcet_prob::DiscreteDistribution;
 use pwcet_progen::{CompiledProgram, Program};
 
 use crate::config::AnalysisConfig;
+use crate::context::AnalysisContext;
 use crate::error::CoreError;
 use crate::estimate::{Protection, PwcetEstimate};
 use crate::fmm::FaultMissMap;
@@ -71,28 +88,67 @@ impl PwcetAnalyzer {
         &self,
         compiled: &CompiledProgram,
     ) -> Result<ProgramAnalysis, CoreError> {
-        let cfg = expand_compiled(compiled)?;
+        let context = AnalysisContext::build(compiled, self.config.geometry)?;
+        self.analyze_with_context(&context)
+    }
+
+    /// As [`analyze_compiled`](Self::analyze_compiled) over a prebuilt
+    /// (and possibly already warmed) shared context. Repeated analyses of
+    /// the same program — e.g. configuration sweeps that only vary the
+    /// fault model — reuse every memoized classification level.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] wrapping ILP failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the context was built for a different cache geometry.
+    pub fn analyze_with_context(
+        &self,
+        context: &AnalysisContext,
+    ) -> Result<ProgramAnalysis, CoreError> {
+        assert_eq!(
+            *context.geometry(),
+            self.config.geometry,
+            "context geometry must match the analyzer configuration"
+        );
+        let parallelism = self.config.parallelism;
+        let cfg = context.cfg();
         let geometry = self.config.geometry;
         let ways = geometry.ways();
         let sets = geometry.sets();
 
-        // Fault-free WCET (§II-B).
-        let chmc_full = classify(&cfg, &geometry, ways);
-        let wcet_costs = CostModel::from_chmc(&cfg, &chmc_full, &self.config.timing);
-        let fault_free_wcet = ipet_bound(&cfg, &wcet_costs, &self.config.ipet)?;
+        // Stage 2 (classify): all CHMC levels and the SRB map. The
+        // fixpoints are independent, so they fan out as one job each.
+        context.prewarm(parallelism);
 
-        // Fault miss map (§II-C): re-classify at every reduced
-        // associativity and maximize the per-set classification deltas.
+        // Fault-free WCET (§II-B).
+        let chmc_full = context.chmc(ways);
+        let wcet_costs = CostModel::from_chmc(cfg, chmc_full, &self.config.timing);
+        let fault_free_wcet = ipet_bound(cfg, &wcet_costs, &self.config.ipet)?;
+
+        // Stage 3 (solve): fault miss map (§II-C). Every `(set, fault)`
+        // delta ILP is independent; fan them out and fold the results back
+        // in job order, which keeps the outcome bit-identical to the
+        // sequential reference.
+        let jobs: Vec<(u32, u32)> = (1..=ways)
+            .flat_map(|f| (0..sets).map(move |s| (s, f)))
+            .collect();
+        let bounds = par_map(parallelism, &jobs, |&(s, f)| -> Result<u64, CoreError> {
+            let (costs, has_delta) =
+                delta_cost_model(cfg, &geometry, s, chmc_full, context.chmc(ways - f), None);
+            if has_delta {
+                Ok(ipet_bound(cfg, &costs, &self.config.ipet)?)
+            } else {
+                Ok(0)
+            }
+        });
         let mut fmm = FaultMissMap::new(sets, ways);
-        for f in 1..=ways {
-            let chmc_reduced = classify(&cfg, &geometry, ways - f);
-            for s in 0..sets {
-                let (costs, has_delta) =
-                    delta_cost_model(&cfg, &geometry, s, &chmc_full, &chmc_reduced, None);
-                if has_delta {
-                    let bound = ipet_bound(&cfg, &costs, &self.config.ipet)?;
-                    fmm.set(s, f, bound);
-                }
+        for (&(s, f), bound) in jobs.iter().zip(bounds) {
+            let bound = bound?;
+            if bound > 0 {
+                fmm.set(s, f, bound);
             }
         }
         // LRU associativity monotonicity: a set with more faults can never
@@ -110,37 +166,81 @@ impl PwcetAnalyzer {
 
         // SRB column (§III-B2): recompute `f = W` after removing
         // references that provably hit in the shared reliable buffer.
-        let srb_map = classify_srb(&cfg, &geometry);
-        let mut srb_last_column = vec![0u64; sets as usize];
-        let chmc_zero = classify(&cfg, &geometry, 0);
-        for s in 0..sets {
-            let (costs, has_delta) = delta_cost_model(
-                &cfg,
-                &geometry,
-                s,
-                &chmc_full,
-                &chmc_zero,
-                Some(&srb_map),
-            );
-            let mut bound = if has_delta {
-                ipet_bound(&cfg, &costs, &self.config.ipet)?
+        // One independent ILP per set — same fan-out shape as stage 3.
+        let srb_map = context.srb();
+        let chmc_zero = context.chmc(0);
+        let srb_jobs: Vec<u32> = (0..sets).collect();
+        let srb_bounds = par_map(parallelism, &srb_jobs, |&s| -> Result<u64, CoreError> {
+            let (costs, has_delta) =
+                delta_cost_model(cfg, &geometry, s, chmc_full, chmc_zero, Some(srb_map));
+            if has_delta {
+                Ok(ipet_bound(cfg, &costs, &self.config.ipet)?)
             } else {
-                0
-            };
+                Ok(0)
+            }
+        });
+        let mut srb_last_column = vec![0u64; sets as usize];
+        for (s, bound) in srb_bounds.into_iter().enumerate() {
             // The SRB never outperforms a surviving way (an SRB hit is a
             // guaranteed hit at associativity 1 too), so the column
             // dominates the f = W − 1 column; enforce it defensively.
-            bound = bound.max(fmm.get(s, ways - 1));
-            srb_last_column[s as usize] = bound;
+            srb_last_column[s] = bound?.max(fmm.get(s as u32, ways - 1));
         }
 
         Ok(ProgramAnalysis {
             config: self.config,
-            name: compiled.name().to_string(),
+            name: context.name().to_string(),
             fault_free_wcet,
             fmm,
             srb_last_column,
         })
+    }
+
+    /// Analyzes a batch of programs, parallelizing **across** programs.
+    ///
+    /// Each program gets an independent context; nothing but the
+    /// configuration is shared. With more than one program the inner
+    /// per-program fan-out runs sequentially so the workers are not
+    /// oversubscribed; the per-program results are bit-identical to
+    /// one-by-one [`analyze`](Self::analyze) calls either way.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CoreError`] in program order, if any analysis fails.
+    pub fn analyze_batch(&self, programs: &[Program]) -> Result<Vec<ProgramAnalysis>, CoreError> {
+        let inner = if programs.len() > 1 {
+            Parallelism::Sequential
+        } else {
+            self.config.parallelism
+        };
+        let program_analyzer = Self::new(self.config.with_parallelism(inner));
+        par_map(self.config.parallelism, programs, |program| {
+            program_analyzer.analyze(program)
+        })
+        .into_iter()
+        .map(|result| {
+            result.map(|mut analysis| {
+                // The sequential override is batch-internal scheduling; the
+                // analysis must carry (and later estimate with) the
+                // caller's configuration.
+                analysis.config = self.config;
+                analysis
+            })
+        })
+        .collect()
+    }
+
+    /// Compiles `program` and builds a shared [`AnalysisContext`] from
+    /// this analyzer's configuration (code base and cache geometry),
+    /// guaranteeing the context matches
+    /// [`analyze_with_context`](Self::analyze_with_context).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] wrapping compilation or reconstruction failures.
+    pub fn build_context(&self, program: &Program) -> Result<AnalysisContext, CoreError> {
+        let compiled = program.compile(self.config.code_base)?;
+        Ok(AnalysisContext::build(&compiled, self.config.geometry)?)
     }
 
     /// Convenience: analyze and immediately estimate one protection level.
@@ -197,6 +297,10 @@ impl ProgramAnalysis {
     /// The fault-penalty distribution (in cycles) for one protection
     /// level: per-set binomial mixtures over the fault miss map, convolved
     /// across independent sets (§II-C) and scaled by the miss penalty.
+    ///
+    /// The per-set distributions are combined by the balanced reduction
+    /// tree of [`DiscreteDistribution::convolve_all`] — `O(n log n)`
+    /// support growth instead of the quadratic left fold.
     pub fn penalty_distribution(&self, protection: Protection) -> DiscreteDistribution {
         let geometry = self.config.geometry;
         let ways = geometry.ways();
@@ -244,8 +348,12 @@ impl ProgramAnalysis {
             })
             .collect();
 
-        DiscreteDistribution::convolve_all(&per_set, &self.config.convolution)
-            .scale_values(self.config.timing.miss_penalty_cycles())
+        DiscreteDistribution::convolve_all_parallel(
+            &per_set,
+            &self.config.convolution,
+            self.config.parallelism,
+        )
+        .scale_values(self.config.timing.miss_penalty_cycles())
     }
 
     /// Assembles the pWCET estimate for one protection level.
@@ -295,9 +403,7 @@ fn delta_cost_model(
                 (_, Chmc::AlwaysHit) => RefCost::default(),
                 // Old charged per execution (AM and NC both charge every
                 // execution), new charges at most once per scope entry.
-                (Chmc::AlwaysMiss | Chmc::NotClassified, Chmc::FirstMiss(_)) => {
-                    RefCost::default()
-                }
+                (Chmc::AlwaysMiss | Chmc::NotClassified, Chmc::FirstMiss(_)) => RefCost::default(),
                 // Same scope: identical charge on every path.
                 (Chmc::FirstMiss(old_scope), Chmc::FirstMiss(new_scope))
                     if old_scope == new_scope =>
@@ -305,9 +411,7 @@ fn delta_cost_model(
                     RefCost::default()
                 }
                 // One extra miss per entry of the new scope.
-                (_, Chmc::FirstMiss(new_scope)) => {
-                    RefCost::with_first_extra(0, 1, new_scope)
-                }
+                (_, Chmc::FirstMiss(new_scope)) => RefCost::with_first_extra(0, 1, new_scope),
                 // Old already charged every execution.
                 (
                     Chmc::AlwaysMiss | Chmc::NotClassified,
@@ -464,5 +568,71 @@ mod tests {
             .unwrap()
             .estimate(Protection::ReliableWay);
         assert_eq!(one, two);
+    }
+
+    #[test]
+    fn shared_context_reuse_matches_fresh_analysis() {
+        let program = small_loop();
+        let compiled = program.compile(0x0040_0000).unwrap();
+        let config = AnalysisConfig::paper_default();
+        let context = AnalysisContext::build(&compiled, config.geometry).unwrap();
+
+        // Two sweeps over the fault model reuse one context.
+        for pfail in [1e-5, 1e-4] {
+            let swept = config.with_pfail(pfail).unwrap();
+            let via_context = PwcetAnalyzer::new(swept)
+                .analyze_with_context(&context)
+                .unwrap();
+            let fresh = PwcetAnalyzer::new(swept).analyze(&program).unwrap();
+            assert_eq!(via_context.fmm(), fresh.fmm());
+            assert_eq!(via_context.srb_last_column(), fresh.srb_last_column());
+            assert_eq!(via_context.fault_free_wcet(), fresh.fault_free_wcet());
+        }
+    }
+
+    #[test]
+    fn analyze_batch_matches_individual_analyses() {
+        let programs = [small_loop(), streaming()];
+        let analyzer = analyzer();
+        let batch = analyzer.analyze_batch(&programs).unwrap();
+        assert_eq!(batch.len(), 2);
+        for (program, batched) in programs.iter().zip(&batch) {
+            let single = analyzer.analyze(program).unwrap();
+            assert_eq!(batched.name(), single.name());
+            assert_eq!(batched.fault_free_wcet(), single.fault_free_wcet());
+            assert_eq!(batched.fmm(), single.fmm());
+            assert_eq!(batched.srb_last_column(), single.srb_last_column());
+        }
+    }
+
+    #[test]
+    fn analyze_batch_preserves_caller_config() {
+        let config = AnalysisConfig::paper_default().with_parallelism(Parallelism::threads(3));
+        let batch = PwcetAnalyzer::new(config)
+            .analyze_batch(&[small_loop(), streaming()])
+            .unwrap();
+        for analysis in &batch {
+            // The batch-internal sequential override must not leak into
+            // the returned analyses.
+            assert_eq!(analysis.config().parallelism, Parallelism::threads(3));
+        }
+    }
+
+    #[test]
+    fn analyze_batch_of_empty_and_single() {
+        let analyzer = analyzer();
+        assert!(analyzer.analyze_batch(&[]).unwrap().is_empty());
+        let single = analyzer.analyze_batch(&[small_loop()]).unwrap();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].name(), "small_loop");
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry must match")]
+    fn mismatched_context_geometry_panics() {
+        let compiled = small_loop().compile(0x0040_0000).unwrap();
+        let other_geometry = pwcet_cache::CacheGeometry::new(8, 2, 16);
+        let context = AnalysisContext::build(&compiled, other_geometry).unwrap();
+        let _ = analyzer().analyze_with_context(&context);
     }
 }

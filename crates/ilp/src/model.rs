@@ -185,10 +185,7 @@ impl Model {
     /// # Errors
     ///
     /// As for [`solve_ilp`](Model::solve_ilp).
-    pub fn solve_ilp_with(
-        &self,
-        options: &BranchAndBoundOptions,
-    ) -> Result<Solution, IlpError> {
+    pub fn solve_ilp_with(&self, options: &BranchAndBoundOptions) -> Result<Solution, IlpError> {
         let tol = options.integrality_tolerance;
         let mut incumbent: Option<Solution> = None;
         // Each node adds (var, is_upper, bound) tightenings.
@@ -359,5 +356,16 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(m.solve_ilp_with(&options), Err(IlpError::NodeLimit));
+    }
+
+    /// Worker threads of the pipeline fan-out build and solve models
+    /// concurrently (immutable model, per-worker solver scratch); keep
+    /// the solver state `Send + Sync` by construction.
+    #[test]
+    fn solver_state_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Model>();
+        assert_send_sync::<Solution>();
+        assert_send_sync::<BranchAndBoundOptions>();
     }
 }

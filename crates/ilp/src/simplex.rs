@@ -86,14 +86,8 @@ impl Tableau {
 
         let m = rows.len();
         // One slack/surplus column per inequality; one artificial per Ge/Eq.
-        let n_slack = rows
-            .iter()
-            .filter(|r| r.op != ConstraintOp::Eq)
-            .count();
-        let n_artificial = rows
-            .iter()
-            .filter(|r| r.op != ConstraintOp::Le)
-            .count();
+        let n_slack = rows.iter().filter(|r| r.op != ConstraintOp::Eq).count();
+        let n_artificial = rows.iter().filter(|r| r.op != ConstraintOp::Le).count();
         let n_total = n + n_slack + n_artificial;
         let artificial_start = n + n_slack;
 
@@ -141,8 +135,8 @@ impl Tableau {
         // Phase 1: minimize the sum of artificial variables.
         if self.artificial_start < self.n_total {
             let mut objective = vec![0.0; self.n_total];
-            for col in self.artificial_start..self.n_total {
-                objective[col] = -1.0;
+            for coeff in &mut objective[self.artificial_start..] {
+                *coeff = -1.0;
             }
             let phase1 = self.run(&objective, iteration_limit)?;
             if phase1 < -1e-7 {
@@ -152,8 +146,8 @@ impl Tableau {
             // rows where it is impossible are redundant (all-zero).
             for row in 0..m {
                 if self.basis[row] >= self.artificial_start {
-                    if let Some(col) = (0..self.artificial_start)
-                        .find(|&c| self.rows[row][c].abs() > EPS)
+                    if let Some(col) =
+                        (0..self.artificial_start).find(|&c| self.rows[row][c].abs() > EPS)
                     {
                         self.pivot(row, col);
                     }
@@ -207,8 +201,8 @@ impl Tableau {
         for row in 0..m {
             let cb = objective.get(self.basis[row]).copied().unwrap_or(0.0);
             if cb != 0.0 {
-                for col in 0..=self.n_total {
-                    z[col] += cb * self.rows[row][col];
+                for (z_val, &tableau) in z.iter_mut().zip(&self.rows[row]) {
+                    *z_val += cb * tableau;
                 }
             }
         }
@@ -259,8 +253,8 @@ impl Tableau {
             // Update the z-row exactly like a tableau row.
             let scale = z[entering];
             if scale.abs() > EPS {
-                for col in 0..=self.n_total {
-                    z[col] -= scale * self.rows[leaving][col];
+                for (z_val, &tableau) in z.iter_mut().zip(&self.rows[leaving]) {
+                    *z_val -= scale * tableau;
                 }
             }
             z[entering] = 0.0;

@@ -36,12 +36,7 @@ fn brute_force(ilp: &SmallIlp) -> Option<i64> {
     let n = ilp.objective.len();
     let mut best: Option<i64> = None;
     let mut assignment = vec![0i64; n];
-    fn recurse(
-        ilp: &SmallIlp,
-        idx: usize,
-        assignment: &mut Vec<i64>,
-        best: &mut Option<i64>,
-    ) {
+    fn recurse(ilp: &SmallIlp, idx: usize, assignment: &mut Vec<i64>, best: &mut Option<i64>) {
         if idx == assignment.len() {
             for (coeffs, rhs) in &ilp.constraints {
                 let lhs: i64 = coeffs

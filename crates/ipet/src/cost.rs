@@ -198,4 +198,13 @@ mod tests {
         assert_eq!(costs.get(cfg.entry(), 1), cost);
         assert_eq!(costs.first_extra_refs().count(), 1);
     }
+
+    /// The parallel fault-miss-map fan-out shares cost models across
+    /// worker threads; keep them `Send + Sync` by construction.
+    #[test]
+    fn cost_model_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CostModel>();
+        assert_send_sync::<RefCost>();
+    }
 }

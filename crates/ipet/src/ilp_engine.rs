@@ -128,11 +128,7 @@ pub fn ipet_bound(
             model.mark_integer(y);
         }
         // y ≤ x_node.
-        model.add_constraint(
-            [(y, 1.0), (node_vars[node], -1.0)],
-            ConstraintOp::Le,
-            0.0,
-        );
+        model.add_constraint([(y, 1.0), (node_vars[node], -1.0)], ConstraintOp::Le, 0.0);
         // y ≤ entries(scope).
         match scope {
             Scope::Program => {
@@ -208,10 +204,8 @@ mod tests {
     #[test]
     fn if_else_takes_heavier_branch() {
         let (_, cfg) = build(
-            Program::new("b").with_function(
-                "main",
-                stmt::if_else(stmt::compute(2), stmt::compute(10)),
-            ),
+            Program::new("b")
+                .with_function("main", stmt::if_else(stmt::compute(2), stmt::compute(10))),
         );
         let unit = CostModel::uniform(&cfg, 1);
         let bound = ipet_bound(&cfg, &unit, &IpetOptions::default()).unwrap();
@@ -270,11 +264,7 @@ mod tests {
             build(Program::new("fp").with_function("main", stmt::loop_(10, stmt::compute(2))));
         let l = &cfg.loops()[0];
         let mut costs = CostModel::zero(&cfg);
-        costs.set(
-            l.header,
-            0,
-            RefCost::with_first_extra(0, 7, Scope::Program),
-        );
+        costs.set(l.header, 0, RefCost::with_first_extra(0, 7, Scope::Program));
         let bound = ipet_bound(&cfg, &costs, &IpetOptions::default()).unwrap();
         assert_eq!(bound, 7);
     }
@@ -300,12 +290,10 @@ mod tests {
 
     #[test]
     fn lp_relaxation_dominates_ilp() {
-        let (_, cfg) = build(
-            Program::new("lp").with_function(
-                "main",
-                stmt::loop_(7, stmt::if_else(stmt::compute(5), stmt::compute(2))),
-            ),
-        );
+        let (_, cfg) = build(Program::new("lp").with_function(
+            "main",
+            stmt::loop_(7, stmt::if_else(stmt::compute(5), stmt::compute(2))),
+        ));
         let unit = CostModel::uniform(&cfg, 1);
         let ilp = ipet_bound(&cfg, &unit, &IpetOptions::default()).unwrap();
         let lp = ipet_bound(

@@ -50,10 +50,7 @@ pub fn tree_bound(compiled: &CompiledProgram, cfg: &ExpandedCfg, costs: &CostMod
     let mut loop_of: HashMap<(ContextId, u32), LoopId> = HashMap::new();
     for l in cfg.loops() {
         let header = cfg.node(l.header);
-        loop_of.insert(
-            (header.context(), header.addrs()[0]),
-            l.id,
-        );
+        loop_of.insert((header.context(), header.addrs()[0]), l.id);
     }
 
     let evaluator = Evaluator {
@@ -84,22 +81,14 @@ impl Evaluator<'_> {
             .expect("tree call string exists as an expanded context")
     }
 
-    fn eval(
-        &self,
-        node: &StructureNode,
-        call_string: &mut Vec<u32>,
-    ) -> (u64, HashMap<Scope, u64>) {
+    fn eval(&self, node: &StructureNode, call_string: &mut Vec<u32>) -> (u64, HashMap<Scope, u64>) {
         match node {
             StructureNode::Straight(addrs) => {
                 let ctx = self.context_id(call_string);
                 let mut cycles = 0u64;
                 let mut pending: HashMap<Scope, u64> = HashMap::new();
                 for &addr in addrs {
-                    let cost = self
-                        .cost_of
-                        .get(&(ctx, addr))
-                        .copied()
-                        .unwrap_or_default();
+                    let cost = self.cost_of.get(&(ctx, addr)).copied().unwrap_or_default();
                     cycles += cost.per_execution;
                     if cost.first_extra > 0 {
                         let scope = cost.scope.expect("first_extra requires scope");
@@ -145,11 +134,7 @@ impl Evaluator<'_> {
             }
             StructureNode::Call { site, callee } => {
                 let ctx = self.context_id(call_string);
-                let jal_cost = self
-                    .cost_of
-                    .get(&(ctx, *site))
-                    .copied()
-                    .unwrap_or_default();
+                let jal_cost = self.cost_of.get(&(ctx, *site)).copied().unwrap_or_default();
                 let mut cycles = jal_cost.per_execution;
                 let mut pending: HashMap<Scope, u64> = HashMap::new();
                 if jal_cost.first_extra > 0 {

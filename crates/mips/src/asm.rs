@@ -175,12 +175,25 @@ impl Assembler {
             let pc = self.base + (i as u32) * INSTRUCTION_BYTES;
             let inst = match item {
                 Item::Ready(inst) => *inst,
-                Item::BranchEqNe { equal, rs, rt, label } => {
+                Item::BranchEqNe {
+                    equal,
+                    rs,
+                    rt,
+                    label,
+                } => {
                     let offset = self.branch_offset(pc, label)?;
                     if *equal {
-                        Instruction::Beq { rs: *rs, rt: *rt, offset }
+                        Instruction::Beq {
+                            rs: *rs,
+                            rt: *rt,
+                            offset,
+                        }
                     } else {
-                        Instruction::Bne { rs: *rs, rt: *rt, offset }
+                        Instruction::Bne {
+                            rs: *rs,
+                            rt: *rt,
+                            offset,
+                        }
                     }
                 }
                 Item::BranchZero { lez, rs, label } => {
@@ -215,8 +228,7 @@ impl Assembler {
 
     fn branch_offset(&self, pc: u32, label: &str) -> Result<i16, MipsError> {
         let target = self.resolve(label)?;
-        let delta_words =
-            (i64::from(target) - i64::from(pc) - i64::from(INSTRUCTION_BYTES)) / 4;
+        let delta_words = (i64::from(target) - i64::from(pc) - i64::from(INSTRUCTION_BYTES)) / 4;
         i16::try_from(delta_words).map_err(|_| MipsError::BranchOutOfRange {
             label: label.to_string(),
             offset: delta_words,
@@ -241,11 +253,19 @@ mod tests {
         let image = asm.assemble().unwrap();
         assert_eq!(
             image.decode_at(0x0040_0004).unwrap(),
-            Instruction::Bne { rs: Reg::T0, rt: Reg::ZERO, offset: -2 }
+            Instruction::Bne {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: -2
+            }
         );
         assert_eq!(
             image.decode_at(0x0040_0008).unwrap(),
-            Instruction::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 1 }
+            Instruction::Beq {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: 1
+            }
         );
         // Decoded targets point back at the labels.
         let bne = image.decode_at(0x0040_0004).unwrap();
@@ -275,11 +295,17 @@ mod tests {
         let image = asm.assemble().unwrap();
         assert_eq!(
             image.decode_at(0x0040_0000).unwrap(),
-            Instruction::Blez { rs: Reg::T0, offset: -1 }
+            Instruction::Blez {
+                rs: Reg::T0,
+                offset: -1
+            }
         );
         assert_eq!(
             image.decode_at(0x0040_0004).unwrap(),
-            Instruction::Bgtz { rs: Reg::T1, offset: -2 }
+            Instruction::Bgtz {
+                rs: Reg::T1,
+                offset: -2
+            }
         );
     }
 

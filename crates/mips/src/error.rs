@@ -34,7 +34,10 @@ impl fmt::Display for MipsError {
             MipsError::UndefinedLabel(l) => write!(f, "label `{l}` is not defined"),
             MipsError::DuplicateLabel(l) => write!(f, "label `{l}` is defined twice"),
             MipsError::BranchOutOfRange { label, offset } => {
-                write!(f, "branch to `{label}` needs offset {offset}, beyond 16 bits")
+                write!(
+                    f,
+                    "branch to `{label}` needs offset {offset}, beyond 16 bits"
+                )
             }
             MipsError::AddressOutOfRange(a) => {
                 write!(f, "address {a:#010x} is outside the binary image")
@@ -60,6 +63,8 @@ mod tests {
         assert!(MipsError::UndefinedLabel("loop".into())
             .to_string()
             .contains("`loop`"));
-        assert!(MipsError::MisalignedAddress(3).to_string().contains("aligned"));
+        assert!(MipsError::MisalignedAddress(3)
+            .to_string()
+            .contains("aligned"));
     }
 }

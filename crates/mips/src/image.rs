@@ -78,7 +78,7 @@ impl BinaryImage {
     ///
     /// [`MipsError::MisalignedAddress`] or [`MipsError::AddressOutOfRange`].
     pub fn word_at(&self, addr: u32) -> Result<u32, MipsError> {
-        if addr % INSTRUCTION_BYTES != 0 {
+        if !addr.is_multiple_of(INSTRUCTION_BYTES) {
             return Err(MipsError::MisalignedAddress(addr));
         }
         if !self.contains(addr) {
@@ -102,9 +102,7 @@ impl BinaryImage {
     /// # Errors
     ///
     /// The iterator yields `Err` for undecodable words.
-    pub fn iter_decoded(
-        &self,
-    ) -> impl Iterator<Item = (u32, Result<Instruction, MipsError>)> + '_ {
+    pub fn iter_decoded(&self) -> impl Iterator<Item = (u32, Result<Instruction, MipsError>)> + '_ {
         self.words.iter().enumerate().map(move |(i, &w)| {
             (
                 self.base + (i as u32) * INSTRUCTION_BYTES,
@@ -137,7 +135,12 @@ mod tests {
         BinaryImage::new(
             0x0040_0000,
             vec![
-                Instruction::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 5 }.encode(),
+                Instruction::Addiu {
+                    rt: Reg::T0,
+                    rs: Reg::ZERO,
+                    imm: 5,
+                }
+                .encode(),
                 Instruction::NOP.encode(),
                 Instruction::Break { code: 0 }.encode(),
             ],
@@ -170,9 +173,16 @@ mod tests {
         let img = image();
         assert_eq!(
             img.decode_at(0x0040_0000),
-            Ok(Instruction::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 5 })
+            Ok(Instruction::Addiu {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 5
+            })
         );
-        assert_eq!(img.decode_at(0x0040_0008), Ok(Instruction::Break { code: 0 }));
+        assert_eq!(
+            img.decode_at(0x0040_0008),
+            Ok(Instruction::Break { code: 0 })
+        );
     }
 
     #[test]

@@ -264,11 +264,12 @@ impl Instruction {
     pub fn static_target(&self, pc: u32) -> Option<u32> {
         use Instruction::*;
         match *self {
-            Beq { offset, .. } | Bne { offset, .. } | Blez { offset, .. }
-            | Bgtz { offset, .. } => Some(
-                pc.wrapping_add(4)
-                    .wrapping_add((i32::from(offset) << 2) as u32),
-            ),
+            Beq { offset, .. } | Bne { offset, .. } | Blez { offset, .. } | Bgtz { offset, .. } => {
+                Some(
+                    pc.wrapping_add(4)
+                        .wrapping_add((i32::from(offset) << 2) as u32),
+                )
+            }
             J { target } | Jal { target } => {
                 Some((pc.wrapping_add(4) & 0xf000_0000) | (target << 2))
             }
@@ -336,34 +337,131 @@ mod tests {
     fn all_sample_instructions() -> Vec<Instruction> {
         use Instruction::*;
         vec![
-            Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
-            Subu { rd: Reg::S0, rs: Reg::S1, rt: Reg::S2 },
-            And { rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 },
-            Or { rd: Reg::V1, rs: Reg::A2, rt: Reg::A3 },
-            Xor { rd: Reg::T3, rs: Reg::T4, rt: Reg::T5 },
-            Nor { rd: Reg::T6, rs: Reg::T7, rt: Reg::T8 },
-            Slt { rd: Reg::T9, rs: Reg::S3, rt: Reg::S4 },
-            Sltu { rd: Reg::S5, rs: Reg::S6, rt: Reg::S7 },
-            Sll { rd: Reg::T0, rt: Reg::T1, shamt: 5 },
-            Srl { rd: Reg::T0, rt: Reg::T1, shamt: 31 },
-            Sra { rd: Reg::T0, rt: Reg::T1, shamt: 1 },
+            Addu {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+            Subu {
+                rd: Reg::S0,
+                rs: Reg::S1,
+                rt: Reg::S2,
+            },
+            And {
+                rd: Reg::V0,
+                rs: Reg::A0,
+                rt: Reg::A1,
+            },
+            Or {
+                rd: Reg::V1,
+                rs: Reg::A2,
+                rt: Reg::A3,
+            },
+            Xor {
+                rd: Reg::T3,
+                rs: Reg::T4,
+                rt: Reg::T5,
+            },
+            Nor {
+                rd: Reg::T6,
+                rs: Reg::T7,
+                rt: Reg::T8,
+            },
+            Slt {
+                rd: Reg::T9,
+                rs: Reg::S3,
+                rt: Reg::S4,
+            },
+            Sltu {
+                rd: Reg::S5,
+                rs: Reg::S6,
+                rt: Reg::S7,
+            },
+            Sll {
+                rd: Reg::T0,
+                rt: Reg::T1,
+                shamt: 5,
+            },
+            Srl {
+                rd: Reg::T0,
+                rt: Reg::T1,
+                shamt: 31,
+            },
+            Sra {
+                rd: Reg::T0,
+                rt: Reg::T1,
+                shamt: 1,
+            },
             Jr { rs: Reg::RA },
             Break { code: 42 },
-            Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: -100 },
-            Slti { rt: Reg::T1, rs: Reg::T0, imm: 77 },
-            Sltiu { rt: Reg::T1, rs: Reg::T0, imm: -1 },
-            Andi { rt: Reg::T2, rs: Reg::T3, imm: 0xffff },
-            Ori { rt: Reg::T2, rs: Reg::T3, imm: 0x8000 },
-            Xori { rt: Reg::T2, rs: Reg::T3, imm: 0x0001 },
-            Lui { rt: Reg::GP, imm: 0x1000 },
-            Lw { rt: Reg::T0, base: Reg::SP, offset: -4 },
-            Sw { rt: Reg::RA, base: Reg::SP, offset: 0 },
-            Beq { rs: Reg::T0, rt: Reg::ZERO, offset: -3 },
-            Bne { rs: Reg::T0, rt: Reg::T1, offset: 12 },
-            Blez { rs: Reg::T0, offset: 2 },
-            Bgtz { rs: Reg::T0, offset: -2 },
-            J { target: 0x0010_0000 },
-            Jal { target: 0x03ff_ffff },
+            Addiu {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: -100,
+            },
+            Slti {
+                rt: Reg::T1,
+                rs: Reg::T0,
+                imm: 77,
+            },
+            Sltiu {
+                rt: Reg::T1,
+                rs: Reg::T0,
+                imm: -1,
+            },
+            Andi {
+                rt: Reg::T2,
+                rs: Reg::T3,
+                imm: 0xffff,
+            },
+            Ori {
+                rt: Reg::T2,
+                rs: Reg::T3,
+                imm: 0x8000,
+            },
+            Xori {
+                rt: Reg::T2,
+                rs: Reg::T3,
+                imm: 0x0001,
+            },
+            Lui {
+                rt: Reg::GP,
+                imm: 0x1000,
+            },
+            Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: -4,
+            },
+            Sw {
+                rt: Reg::RA,
+                base: Reg::SP,
+                offset: 0,
+            },
+            Beq {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: -3,
+            },
+            Bne {
+                rs: Reg::T0,
+                rt: Reg::T1,
+                offset: 12,
+            },
+            Blez {
+                rs: Reg::T0,
+                offset: 2,
+            },
+            Bgtz {
+                rs: Reg::T0,
+                offset: -2,
+            },
+            J {
+                target: 0x0010_0000,
+            },
+            Jal {
+                target: 0x03ff_ffff,
+            },
             Instruction::NOP,
         ]
     }
@@ -386,13 +484,25 @@ mod tests {
     #[test]
     fn known_encodings_match_mips_manual() {
         // addu $t0, $t1, $t2  =>  000000 01001 01010 01000 00000 100001
-        let addu = Instruction::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+        let addu = Instruction::Addu {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        };
         assert_eq!(addu.encode(), 0x012a_4021);
         // addiu $t0, $zero, 1  =>  001001 00000 01000 0000000000000001
-        let addiu = Instruction::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 1 };
+        let addiu = Instruction::Addiu {
+            rt: Reg::T0,
+            rs: Reg::ZERO,
+            imm: 1,
+        };
         assert_eq!(addiu.encode(), 0x2408_0001);
         // lw $t0, 4($sp)  =>  100011 11101 01000 0000000000000100
-        let lw = Instruction::Lw { rt: Reg::T0, base: Reg::SP, offset: 4 };
+        let lw = Instruction::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            offset: 4,
+        };
         assert_eq!(lw.encode(), 0x8fa8_0004);
         // jr $ra  =>  000000 11111 ... 001000
         let jr = Instruction::Jr { rs: Reg::RA };
@@ -416,16 +526,26 @@ mod tests {
     #[test]
     fn branch_target_arithmetic() {
         let pc = 0x0040_0010;
-        let b = Instruction::Bne { rs: Reg::T0, rt: Reg::ZERO, offset: -2 };
+        let b = Instruction::Bne {
+            rs: Reg::T0,
+            rt: Reg::ZERO,
+            offset: -2,
+        };
         assert_eq!(b.static_target(pc), Some(0x0040_000c));
-        let fwd = Instruction::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 3 };
+        let fwd = Instruction::Beq {
+            rs: Reg::T0,
+            rt: Reg::ZERO,
+            offset: 3,
+        };
         assert_eq!(fwd.static_target(pc), Some(0x0040_0020));
     }
 
     #[test]
     fn jump_target_arithmetic() {
         let pc = 0x0040_0010;
-        let j = Instruction::J { target: 0x0040_0100 >> 2 };
+        let j = Instruction::J {
+            target: 0x0040_0100 >> 2,
+        };
         assert_eq!(j.static_target(pc), Some(0x0040_0100));
     }
 
@@ -435,7 +555,11 @@ mod tests {
         assert!(!Instruction::Jr { rs: Reg::RA }.falls_through());
         assert!(Instruction::NOP.falls_through());
         assert!(!Instruction::NOP.is_control_flow());
-        let b = Instruction::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 1 };
+        let b = Instruction::Beq {
+            rs: Reg::T0,
+            rt: Reg::ZERO,
+            offset: 1,
+        };
         assert!(b.is_conditional_branch());
         assert!(b.falls_through());
     }
@@ -443,7 +567,11 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Instruction::NOP.to_string(), "nop");
-        let lw = Instruction::Lw { rt: Reg::T0, base: Reg::SP, offset: -8 };
+        let lw = Instruction::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            offset: -8,
+        };
         assert_eq!(lw.to_string(), "lw $t0, -8($sp)");
     }
 }

@@ -1,0 +1,183 @@
+//! Deterministic fork–join parallelism for the analysis pipeline.
+//!
+//! The build image cannot fetch rayon, so this crate provides the small
+//! fork–join slice the pipeline needs on plain `std::thread::scope`: a
+//! work-stealing-free shared-counter [`par_map`] whose output is
+//! **bit-identical** to the sequential map (results land in input order,
+//! and the mapped function runs exactly once per item).
+//!
+//! [`Parallelism`] is the user-facing knob carried in the analysis
+//! configuration: `Sequential` (the reference mode), `Auto` (one worker
+//! per available core, overridable with the `PWCET_THREADS` environment
+//! variable), or an explicit thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use pwcet_par::{par_map, Parallelism};
+//!
+//! let squares = par_map(Parallelism::threads(4), &[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! let same = par_map(Parallelism::Sequential, &[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, same);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a fan-out stage schedules its work items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Run items in order on the calling thread (the reference mode the
+    /// property tests compare against).
+    Sequential,
+    /// One worker per available core; the `PWCET_THREADS` environment
+    /// variable overrides the count when set to a positive integer.
+    Auto,
+    /// Exactly this many workers.
+    Threads(NonZeroUsize),
+}
+
+impl Parallelism {
+    /// An explicit thread count (`Sequential` when `threads` is 0 or 1).
+    pub fn threads(threads: usize) -> Self {
+        match NonZeroUsize::new(threads) {
+            Some(n) if n.get() > 1 => Self::Threads(n),
+            _ => Self::Sequential,
+        }
+    }
+
+    /// The number of workers a stage with `items` work items will use.
+    pub fn worker_count(self, items: usize) -> usize {
+        let configured = match self {
+            Self::Sequential => 1,
+            Self::Auto => std::env::var("PWCET_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+                }),
+            Self::Threads(n) => n.get(),
+        };
+        configured.min(items).max(1)
+    }
+}
+
+impl Default for Parallelism {
+    /// [`Parallelism::Auto`].
+    fn default() -> Self {
+        Self::Auto
+    }
+}
+
+/// Maps `f` over `items`, fanning out across worker threads.
+///
+/// The result vector is in input order and bit-identical to
+/// `items.iter().map(f).collect()` whenever `f` is deterministic: every
+/// item is processed exactly once and its output is stored at the item's
+/// index. A panic in `f` propagates to the caller.
+pub fn par_map<T, U, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = parallelism.worker_count(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                let output = f(item);
+                *slots[index].lock().expect("no poisoned slot") = Some(output);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned slot")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+/// Runs `f` for every index in `0..count` in parallel, discarding outputs.
+pub fn par_for_each_index<F>(parallelism: Parallelism, count: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    par_map(parallelism, &indices, |&i| f(i));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Auto,
+            Parallelism::threads(2),
+            Parallelism::threads(7),
+        ] {
+            assert_eq!(par_map(parallelism, &items, |&x| x * x + 1), sequential);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(Parallelism::threads(4), &[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_items() {
+        assert_eq!(Parallelism::threads(8).worker_count(3), 3);
+        assert_eq!(Parallelism::threads(8).worker_count(0), 1);
+        assert_eq!(Parallelism::Sequential.worker_count(100), 1);
+        assert!(Parallelism::Auto.worker_count(100) >= 1);
+    }
+
+    #[test]
+    fn threads_normalizes_degenerate_counts() {
+        assert_eq!(Parallelism::threads(0), Parallelism::Sequential);
+        assert_eq!(Parallelism::threads(1), Parallelism::Sequential);
+        assert_ne!(Parallelism::threads(2), Parallelism::Sequential);
+    }
+
+    #[test]
+    fn for_each_index_visits_all() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        par_for_each_index(Parallelism::threads(4), hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(Parallelism::threads(2), &[1, 2, 3], |&x| {
+                assert!(x < 3, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

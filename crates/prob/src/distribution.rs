@@ -13,6 +13,8 @@
 
 use std::fmt;
 
+use pwcet_par::{par_map, Parallelism};
+
 use crate::error::{check_probability, ProbError};
 
 /// Tolerance applied when checking that total probability mass does not
@@ -280,8 +282,7 @@ impl DiscreteDistribution {
     /// saturate at `u64::MAX` (conservatively high).
     #[must_use]
     pub fn convolve_with(&self, other: &Self, params: &ConvolutionParams) -> Self {
-        let mut sums: Vec<(u64, f64)> =
-            Vec::with_capacity(self.points.len() * other.points.len());
+        let mut sums: Vec<(u64, f64)> = Vec::with_capacity(self.points.len() * other.points.len());
         for &(va, pa) in &self.points {
             for &(vb, pb) in &other.points {
                 sums.push((va.saturating_add(vb), pa * pb));
@@ -294,17 +295,28 @@ impl DiscreteDistribution {
         let tail = self.tail * (finite_b + other.tail) + other.tail * finite_a;
 
         sums.sort_by_key(|&(v, _)| v);
-        let mut result = Self {
-            points: sums,
-            tail,
-        };
+        let mut result = Self { points: sums, tail };
         result.merge_duplicates();
         result.prune(params);
         result
     }
 
-    /// Convolves a sequence of independent distributions (left fold from
-    /// [`zero`](Self::zero)).
+    /// Convolves a sequence of independent distributions with a balanced
+    /// reduction tree.
+    ///
+    /// The left fold convolves an ever-growing accumulator against each
+    /// small per-set distribution — quadratic support growth over the
+    /// sequence. The balanced tree pairs neighbors level by level, so
+    /// every intermediate support stays as small as possible:
+    /// `O(n log n)` total work for bounded per-part supports.
+    ///
+    /// Conservatism is identical to [`convolve_with`](Self::convolve_with)
+    /// — every pairwise step moves pruned/compacted mass to *larger*
+    /// penalties, and the composition of conservative steps is
+    /// conservative. Up to that pruning (and floating-point association)
+    /// the result equals the left fold
+    /// ([`convolve_all_sequential`](Self::convolve_all_sequential), kept
+    /// as the reference for the property tests).
     ///
     /// # Example
     ///
@@ -321,6 +333,55 @@ impl DiscreteDistribution {
     /// ```
     #[must_use]
     pub fn convolve_all(parts: &[Self], params: &ConvolutionParams) -> Self {
+        Self::convolve_all_parallel(parts, params, Parallelism::Sequential)
+    }
+
+    /// As [`convolve_all`](Self::convolve_all), fanning each tree level's
+    /// independent pairwise convolutions out across worker threads.
+    ///
+    /// The pairing is fixed by index, so the result is **bit-identical**
+    /// for every [`Parallelism`] mode.
+    #[must_use]
+    pub fn convolve_all_parallel(
+        parts: &[Self],
+        params: &ConvolutionParams,
+        parallelism: Parallelism,
+    ) -> Self {
+        // One tree level: convolve neighbor pairs, carry an odd leftover.
+        fn reduce_level(
+            level: &[DiscreteDistribution],
+            params: &ConvolutionParams,
+            parallelism: Parallelism,
+        ) -> Vec<DiscreteDistribution> {
+            let pairs: Vec<&[DiscreteDistribution]> = level.chunks(2).collect();
+            par_map(parallelism, &pairs, |chunk| match *chunk {
+                [ref a, ref b] => a.convolve_with(b, params),
+                [ref odd] => odd.clone(),
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            })
+        }
+
+        match parts {
+            [] => Self::zero(),
+            // Match the fold semantics: a single part is still pruned.
+            [only] => Self::zero().convolve_with(only, params),
+            _ => {
+                // The first level borrows `parts` directly — no upfront
+                // clone of the whole input.
+                let mut level = reduce_level(parts, params, parallelism);
+                while level.len() > 1 {
+                    level = reduce_level(&level, params, parallelism);
+                }
+                level.pop().expect("non-empty input leaves one root")
+            }
+        }
+    }
+
+    /// The quadratic left-fold reference implementation of
+    /// [`convolve_all`](Self::convolve_all) (kept for the equivalence
+    /// property tests and the convolution ablation bench).
+    #[must_use]
+    pub fn convolve_all_sequential(parts: &[Self], params: &ConvolutionParams) -> Self {
         let mut acc = Self::zero();
         for part in parts {
             acc = acc.convolve_with(part, params);
@@ -615,5 +676,57 @@ mod tests {
         let last = *total.points().last().unwrap();
         assert_eq!(last.0, 4);
         assert!((last.1 - 1e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tree_matches_left_fold_without_pruning() {
+        let params = ConvolutionParams {
+            prune_epsilon: 0.0,
+            max_support: usize::MAX,
+        };
+        let parts: Vec<DiscreteDistribution> = (1..=7u64)
+            .map(|s| dist(&[(0, 0.9), (3 * s, 0.06), (10 * s, 0.04)]))
+            .collect();
+        let tree = DiscreteDistribution::convolve_all(&parts, &params);
+        let fold = DiscreteDistribution::convolve_all_sequential(&parts, &params);
+        assert_eq!(tree.support_len(), fold.support_len());
+        assert!((tree.total_mass() - fold.total_mass()).abs() < 1e-12);
+        for (&(vt, pt), &(vf, pf)) in tree.points().iter().zip(fold.points()) {
+            assert_eq!(vt, vf);
+            assert!((pt - pf).abs() < 1e-12, "probability at {vt} diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_tree_is_bit_identical_to_sequential_tree() {
+        let parts: Vec<DiscreteDistribution> = (0..16u64)
+            .map(|s| dist(&[(0, 0.95), (10 + s, 0.04), (100 + 7 * s, 0.01)]))
+            .collect();
+        let params = ConvolutionParams::default();
+        let sequential =
+            DiscreteDistribution::convolve_all_parallel(&parts, &params, Parallelism::Sequential);
+        for threads in [2, 5, 16] {
+            let parallel = DiscreteDistribution::convolve_all_parallel(
+                &parts,
+                &params,
+                Parallelism::threads(threads),
+            );
+            assert_eq!(sequential, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn convolve_all_edge_cases_match_fold() {
+        let params = ConvolutionParams::default();
+        let empty: [DiscreteDistribution; 0] = [];
+        assert_eq!(
+            DiscreteDistribution::convolve_all(&empty, &params),
+            DiscreteDistribution::zero()
+        );
+        let single = [dist(&[(5, 0.5), (9, 0.5)])];
+        assert_eq!(
+            DiscreteDistribution::convolve_all(&single, &params),
+            DiscreteDistribution::convolve_all_sequential(&single, &params)
+        );
     }
 }

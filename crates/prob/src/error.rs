@@ -47,7 +47,10 @@ mod tests {
         assert!(e.to_string().contains("1.5"));
         let e = ProbError::MassExceedsOne(1.2);
         assert!(e.to_string().contains("exceeds one"));
-        assert_eq!(ProbError::EmptySupport.to_string(), "distribution has an empty support");
+        assert_eq!(
+            ProbError::EmptySupport.to_string(),
+            "distribution has an empty support"
+        );
     }
 
     #[test]

@@ -59,7 +59,9 @@ impl FaultModel {
         if self.pfail == 1.0 {
             return if block_bits == 0 { 0.0 } else { 1.0 };
         }
-        -f64::from(block_bits).mul_add((-self.pfail).ln_1p(), 0.0).exp_m1()
+        -f64::from(block_bits)
+            .mul_add((-self.pfail).ln_1p(), 0.0)
+            .exp_m1()
     }
 
     /// Distribution of the number of faulty ways among `ways` in one set

@@ -255,8 +255,7 @@ impl Program {
             .iter()
             .map(|f| (f.name(), f.body().callees()))
             .collect();
-        let mut color: HashMap<&str, Color> =
-            graph.keys().map(|&k| (k, Color::White)).collect();
+        let mut color: HashMap<&str, Color> = graph.keys().map(|&k| (k, Color::White)).collect();
 
         fn visit<'a>(
             node: &'a str,
@@ -266,9 +265,7 @@ impl Program {
             color.insert(node, Color::Gray);
             for &next in graph.get(node).into_iter().flatten() {
                 match color.get(next) {
-                    Some(Color::Gray) => {
-                        return Err(ProgenError::RecursiveCall(next.to_string()))
-                    }
+                    Some(Color::Gray) => return Err(ProgenError::RecursiveCall(next.to_string())),
                     Some(Color::White) => visit(next, graph, color)?,
                     _ => {}
                 }

@@ -475,9 +475,7 @@ mod tests {
 
     #[test]
     fn nested_loops_use_distinct_counters() {
-        let c = compile(
-            &Program::new("n").with_function("main", loop_(3, loop_(4, compute(1)))),
-        );
+        let c = compile(&Program::new("n").with_function("main", loop_(3, loop_(4, compute(1)))));
         assert_eq!(c.loop_bounds().len(), 2);
         let listing = c.image().disassemble();
         assert!(listing.contains("addiu $s0, $zero, 3"));
@@ -515,9 +513,7 @@ mod tests {
 
     #[test]
     fn if_else_branch_targets() {
-        let c = compile(
-            &Program::new("b").with_function("main", if_else(compute(2), compute(3))),
-        );
+        let c = compile(&Program::new("b").with_function("main", if_else(compute(2), compute(3))));
         let listing = c.image().disassemble();
         assert!(listing.contains("xori $t9, $t9, 0x1"));
         assert!(listing.contains("beq $t9, $zero"));
@@ -548,7 +544,10 @@ mod tests {
         let expected: Vec<u32> = (0..c.image().len_words() as u32)
             .map(|i| BASE + i * 4)
             .collect();
-        assert_eq!(covered, expected, "each instruction in exactly one tree leaf");
+        assert_eq!(
+            covered, expected,
+            "each instruction in exactly one tree leaf"
+        );
     }
 
     #[test]

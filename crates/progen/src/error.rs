@@ -41,7 +41,10 @@ impl fmt::Display for ProgenError {
                 write!(f, "loop bound {b} exceeds the supported maximum of 32767")
             }
             ProgenError::LoopTooDeep(d) => {
-                write!(f, "loop nesting depth {d} exceeds the supported maximum of 8")
+                write!(
+                    f,
+                    "loop nesting depth {d} exceeds the supported maximum of 8"
+                )
             }
             ProgenError::Assembler(e) => write!(f, "generated code failed to assemble: {e}"),
         }
@@ -70,7 +73,11 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(ProgenError::MissingMain.to_string().contains("main"));
-        assert!(ProgenError::RecursiveCall("f".into()).to_string().contains("`f`"));
-        assert!(ProgenError::LoopBoundTooLarge(99999).to_string().contains("99999"));
+        assert!(ProgenError::RecursiveCall("f".into())
+            .to_string()
+            .contains("`f`"));
+        assert!(ProgenError::LoopBoundTooLarge(99999)
+            .to_string()
+            .contains("99999"));
     }
 }

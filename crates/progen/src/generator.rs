@@ -126,7 +126,9 @@ mod tests {
         for seed in 0..25 {
             let mut generator = ProgramGenerator::new(GeneratorConfig::default(), seed);
             let program = generator.generate(format!("random_{seed}"));
-            program.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            program
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             let compiled = program
                 .compile(0x0040_0000)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));

@@ -114,12 +114,8 @@ impl StructureNode {
     pub fn max_fetches(&self, trees: &HashMap<String, StructureNode>) -> u64 {
         match self {
             StructureNode::Straight(addrs) => addrs.len() as u64,
-            StructureNode::Seq(children) => {
-                children.iter().map(|c| c.max_fetches(trees)).sum()
-            }
-            StructureNode::Loop { bound, body, .. } => {
-                u64::from(*bound) * body.max_fetches(trees)
-            }
+            StructureNode::Seq(children) => children.iter().map(|c| c.max_fetches(trees)).sum(),
+            StructureNode::Loop { bound, body, .. } => u64::from(*bound) * body.max_fetches(trees),
             StructureNode::IfElse {
                 then_branch,
                 else_branch,

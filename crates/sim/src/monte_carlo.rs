@@ -119,7 +119,10 @@ mod tests {
     fn setup() -> (ProgramAnalysis, FetchTrace) {
         let program = Program::new("mc").with_function(
             "main",
-            stmt::loop_(20, stmt::seq([stmt::compute(40), stmt::loop_(4, stmt::compute(10))])),
+            stmt::loop_(
+                20,
+                stmt::seq([stmt::compute(40), stmt::loop_(4, stmt::compute(10))]),
+            ),
         );
         // A high pfail makes faults common enough for a small sample
         // count to probe the distribution body.

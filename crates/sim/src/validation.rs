@@ -58,13 +58,7 @@ pub fn validation(
     faults: &FaultMap,
 ) -> ValidationOutcome {
     let config = analysis.config();
-    let simulated = simulated_cycles(
-        trace,
-        protection,
-        config.geometry,
-        faults,
-        &config.timing,
-    );
+    let simulated = simulated_cycles(trace, protection, config.geometry, faults, &config.timing);
     ValidationOutcome {
         simulated,
         bound: analytic_bound_for_map(analysis, protection, faults),
@@ -161,8 +155,7 @@ mod tests {
             + analysis.fault_free_wcet();
         assert_eq!(rw, expect_rw);
         // SRB: the recomputed column.
-        let srb =
-            analytic_bound_for_map(&analysis, Protection::SharedReliableBuffer, &all_faulty);
+        let srb = analytic_bound_for_map(&analysis, Protection::SharedReliableBuffer, &all_faulty);
         let expect_srb: u64 =
             analysis.srb_last_column().iter().sum::<u64>() * 100 + analysis.fault_free_wcet();
         assert_eq!(srb, expect_srb);

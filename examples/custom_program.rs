@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ),
             ]),
         )
-        .with_function("actuate", stmt::seq([stmt::compute(25), stmt::loop_(4, stmt::compute(6))]));
+        .with_function(
+            "actuate",
+            stmt::seq([stmt::compute(25), stmt::loop_(4, stmt::compute(6))]),
+        );
 
     // Stage 1: compile to MIPS machine code.
     let compiled = program.compile(0x0040_0000)?;

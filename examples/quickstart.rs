@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for protection in Protection::all() {
         let estimate = analysis.estimate(protection);
         let pwcet = estimate.pwcet_at(target);
-        let overhead =
-            100.0 * (pwcet as f64 / analysis.fault_free_wcet() as f64 - 1.0);
+        let overhead = 100.0 * (pwcet as f64 / analysis.fault_free_wcet() as f64 - 1.0);
         println!(
             "pWCET@1e-15 [{protection:>13}]: {pwcet:>9} cycles  (+{overhead:.1}% over fault-free)"
         );

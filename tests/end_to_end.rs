@@ -55,7 +55,9 @@ fn exceedance_curves_are_valid_ccdfs() {
 
 #[test]
 fn fault_free_configuration_collapses_to_deterministic_wcet() {
-    let config = AnalysisConfig::paper_default().with_pfail(0.0).expect("valid");
+    let config = AnalysisConfig::paper_default()
+        .with_pfail(0.0)
+        .expect("valid");
     let analyzer = PwcetAnalyzer::new(config);
     let bench = benchsuite::by_name("fibcall").expect("fibcall exists");
     let analysis = analyzer.analyze(&bench.program).expect("analyzes");

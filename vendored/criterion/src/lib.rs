@@ -1,0 +1,339 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build image has no access to crates.io, so the workspace vendors the
+//! narrow slice of `criterion` its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Compared to upstream this harness does no statistical outlier analysis:
+//! it warms up, times a wall-clock window of iterations, and reports the
+//! mean. Results are kept on the [`Criterion`] value
+//! ([`Criterion::results`]) so a bench target can post-process them (the
+//! workspace uses this to emit `BENCH_pipeline.json`).
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! targets) every benchmark body runs exactly once, so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified benchmark name (`group/function/parameter`).
+    pub name: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of iterations the mean was computed over.
+    pub iterations: u64,
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id for a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test` switches to one-shot mode).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name.to_string(), f);
+        self
+    }
+
+    /// All measurements finished so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// `true` when running one-shot under `cargo test` (`--test`):
+    /// timings are smoke-test noise, not measurements.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+}
+
+/// A group of benchmarks sharing timing parameters.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on measured iterations (upstream semantics approximated).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Wall-clock time spent warming up before measuring.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Wall-clock time spent measuring.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Benchmarks `f` under `id` (a string or [`BenchmarkId`]).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = self.full_name(&id.into_benchmark_id());
+        let result = run_bench(
+            &full_name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            self.criterion.test_mode,
+            &mut f,
+        );
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; measurements are already
+    /// recorded).
+    pub fn finish(self) {}
+
+    fn full_name(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.name)
+        }
+    }
+}
+
+/// Conversion of the accepted `bench_function` id forms.
+pub trait IntoBenchmarkId {
+    /// The normalized id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Drives the iterations of one benchmark body.
+pub struct Bencher {
+    mode: BencherMode,
+    total: Duration,
+    iterations: u64,
+}
+
+enum BencherMode {
+    /// Run once (under `cargo test`).
+    Once,
+    /// Keep iterating until the deadline passes.
+    Measure { deadline: Instant },
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BencherMode::Once => {
+                let start = Instant::now();
+                black_box(routine());
+                self.total += start.elapsed();
+                self.iterations = 1;
+            }
+            BencherMode::Measure { deadline } => loop {
+                let start = Instant::now();
+                black_box(routine());
+                self.total += start.elapsed();
+                self.iterations += 1;
+                if Instant::now() >= deadline {
+                    break;
+                }
+            },
+        }
+    }
+}
+
+fn run_bench<F>(
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    f: &mut F,
+) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    if !test_mode {
+        // Warm-up window: run the body without recording.
+        let mut warmup = Bencher {
+            mode: BencherMode::Measure {
+                deadline: Instant::now() + warm_up_time,
+            },
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut warmup);
+    }
+
+    let mut bencher = Bencher {
+        mode: if test_mode {
+            BencherMode::Once
+        } else {
+            BencherMode::Measure {
+                deadline: Instant::now() + measurement_time,
+            }
+        },
+        total: Duration::ZERO,
+        iterations: 0,
+    };
+    // Upstream runs `sample_size` samples; approximate by growing the
+    // window until at least that many iterations were seen.
+    f(&mut bencher);
+    while !test_mode && (bencher.iterations as usize) < sample_size {
+        f(&mut bencher);
+    }
+
+    let iterations = bencher.iterations.max(1);
+    let mean_ns = bencher.total.as_nanos() as f64 / iterations as f64;
+    println!(
+        "{name:<60} time: {:>12.1} ns/iter  ({iterations} iters)",
+        mean_ns
+    );
+    BenchResult {
+        name: name.to_string(),
+        mean_ns,
+        iterations,
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_results() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            group.bench_function("f", |b| b.iter(|| black_box(2 + 2)));
+            group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "g/f");
+        assert_eq!(results[1].name, "g/with_input/7");
+        assert!(results.iter().all(|r| r.iterations >= 3));
+    }
+}
