@@ -187,6 +187,42 @@ impl Acs {
         }
     }
 
+    /// Projects this state onto a smaller effective associativity: ages
+    /// `0..assoc` are kept verbatim, blocks at ages `>= assoc` are dropped.
+    ///
+    /// For this age-based domain the projection is an **exact
+    /// homomorphism** with respect to [`update`](Self::update) and
+    /// [`join`](Self::join): a hit at a surviving age behaves identically
+    /// in both widths, a hit at a truncated age is exactly a miss of the
+    /// narrower cache (ages shift, the oldest surviving age falls out of
+    /// the window), and both joins act age-pointwise. Truncating the
+    /// converged states of associativity `a` therefore yields *exactly*
+    /// the converged states of associativity `assoc` — the warm-start
+    /// invariant the incremental classification builds on, pinned
+    /// empirically by `tests/incremental_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero or exceeds this state's associativity.
+    #[must_use]
+    pub fn truncate(&self, assoc: u32) -> Acs {
+        assert!(assoc > 0, "zero-way states are meaningless");
+        let assoc = assoc as usize;
+        assert!(
+            assoc <= self.assoc,
+            "cannot truncate to a larger associativity"
+        );
+        let ages = (0..self.sets as usize)
+            .flat_map(|set| (0..assoc).map(move |age| self.ages[self.slot(set, age)].clone()))
+            .collect();
+        Self {
+            kind: self.kind,
+            sets: self.sets,
+            assoc,
+            ages,
+        }
+    }
+
     fn age_in_set(&self, set: usize, block: MemBlock) -> Option<usize> {
         (0..self.assoc).find(|&age| self.ages[self.slot(set, age)].contains(&block))
     }
@@ -327,5 +363,71 @@ mod tests {
     #[should_panic(expected = "meaningless")]
     fn zero_assoc_panics() {
         let _ = Acs::empty(&geometry(), 0, AnalysisKind::Must);
+    }
+
+    #[test]
+    fn truncate_drops_old_ages_only() {
+        let mut acs = Acs::empty(&geometry(), 4, AnalysisKind::Must);
+        for i in 0..4 {
+            acs.update(b(i));
+        }
+        let narrow = acs.truncate(2);
+        assert_eq!(narrow.assoc(), 2);
+        assert_eq!(narrow.age_of(b(3)), Some(0));
+        assert_eq!(narrow.age_of(b(2)), Some(1));
+        assert!(!narrow.contains(b(1)));
+        assert!(!narrow.contains(b(0)));
+    }
+
+    #[test]
+    fn truncate_commutes_with_update() {
+        // The homomorphism property on a concrete access sequence: project
+        // then update == update then project, for hits at surviving ages,
+        // hits at truncated ages, and misses.
+        for kind in [AnalysisKind::Must, AnalysisKind::May] {
+            let mut wide = Acs::empty(&geometry(), 4, kind);
+            for i in 0..4 {
+                wide.update(b(i));
+            }
+            for access in [b(3), b(1), b(0), b(7), b(2)] {
+                let mut projected = wide.truncate(2);
+                projected.update(access);
+                wide.update(access);
+                assert_eq!(wide.truncate(2), projected, "{kind:?} access {access}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_commutes_with_join() {
+        for kind in [AnalysisKind::Must, AnalysisKind::May] {
+            let mut a = Acs::empty(&geometry(), 4, kind);
+            let mut c = Acs::empty(&geometry(), 4, kind);
+            for i in 0..4 {
+                a.update(b(i));
+            }
+            for i in [2u32, 5, 1, 3] {
+                c.update(b(i));
+            }
+            let mut projected = a.truncate(3);
+            projected.join(&c.truncate(3));
+            a.join(&c);
+            assert_eq!(a.truncate(3), projected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn truncate_to_same_width_is_identity() {
+        let mut acs = Acs::empty(&geometry(), 4, AnalysisKind::May);
+        acs.update(b(1));
+        acs.update(b(2));
+        assert_eq!(acs.truncate(4), acs);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger associativity")]
+    fn truncate_cannot_widen() {
+        let acs = Acs::empty(&geometry(), 2, AnalysisKind::Must);
+        let _ = acs.truncate(3);
     }
 }

@@ -3,10 +3,53 @@
 use pwcet_cache::CacheGeometry;
 use pwcet_cfg::{ExpandedCfg, NodeId};
 
-use crate::acs::AnalysisKind;
-use crate::chmc::{Chmc, ChmcMap};
-use crate::fixpoint::analyze;
+use crate::acs::{Acs, AnalysisKind};
+use crate::chmc::{Chmc, ChmcMap, Scope};
+use crate::fixpoint::{analyze, analyze_seeded};
 use crate::persistence::persistent_scopes;
+
+/// How the per-level CHMC fixpoints of a context are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ClassificationMode {
+    /// Every associativity level runs its own cold fixpoint (the
+    /// reference mode the differential tests compare against).
+    Cold,
+    /// Only the full-associativity level runs cold; every lower level is
+    /// warm-started from the age-truncated converged states of the
+    /// nearest higher level ([`classify_level_from`]). Bit-identical to
+    /// [`Cold`](Self::Cold) — `tests/incremental_equivalence.rs` pins the
+    /// guarantee across the whole benchmark suite.
+    #[default]
+    Incremental,
+}
+
+/// The converged analysis artifacts of one associativity level: the CHMC
+/// classification plus the Must/May fixpoint states it was read off,
+/// kept so lower levels can be warm-started from them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedLevel {
+    assoc: u32,
+    chmc: ChmcMap,
+    must: Vec<Option<Acs>>,
+    may: Vec<Option<Acs>>,
+}
+
+impl ClassifiedLevel {
+    /// The effective associativity this level was classified at.
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// The classification.
+    pub fn chmc(&self) -> &ChmcMap {
+        &self.chmc
+    }
+
+    /// Consumes the level, keeping only the classification.
+    pub fn into_chmc(self) -> ChmcMap {
+        self.chmc
+    }
+}
 
 /// Classifies every instruction fetch of the expanded graph at the given
 /// **effective associativity** (number of usable ways per set).
@@ -15,20 +58,93 @@ use crate::persistence::persistent_scopes;
 /// over always-miss (May absence) over not-classified. With `assoc == 0`
 /// every fetch is always-miss — the behavior of a fully disabled set.
 ///
+/// This is the cold reference path; see [`classify_level_from`] for the
+/// warm-started incremental variant.
+///
 /// See the [crate docs](crate) for an end-to-end example.
 pub fn classify(cfg: &ExpandedCfg, geometry: &CacheGeometry, assoc: u32) -> ChmcMap {
+    classify_level(cfg, geometry, assoc).into_chmc()
+}
+
+/// As [`classify`], additionally returning the converged Must/May states
+/// so the next-lower level can be warm-started from them.
+pub fn classify_level(cfg: &ExpandedCfg, geometry: &CacheGeometry, assoc: u32) -> ClassifiedLevel {
     if assoc == 0 {
-        return ChmcMap::new(
+        return zero_level(cfg);
+    }
+    let must = analyze(cfg, geometry, assoc, AnalysisKind::Must);
+    let may = analyze(cfg, geometry, assoc, AnalysisKind::May);
+    combine(cfg, geometry, assoc, must, may)
+}
+
+/// Classifies at `assoc` by **warm-starting** both fixpoints from the
+/// age-truncated converged states of `warmer` (a level with strictly
+/// larger associativity) instead of from the cold lattice top.
+///
+/// Because [`Acs::truncate`] is an exact homomorphism of the abstract
+/// domain, the truncated seed already *is* the fixpoint of the narrower
+/// analysis; the worklist loop merely verifies stability in one pass, so
+/// the result is bit-identical to [`classify_level`] at a fraction of
+/// the cost. Were the seed ever to disagree, the chaotic iteration would
+/// still converge to a sound solution — warm starting cannot compromise
+/// soundness, only (theoretically) precision, and the differential suite
+/// pins exactness.
+///
+/// # Panics
+///
+/// Panics when `assoc` is not strictly below the warmer level's
+/// associativity.
+pub fn classify_level_from(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    warmer: &ClassifiedLevel,
+    assoc: u32,
+) -> ClassifiedLevel {
+    assert!(
+        assoc < warmer.assoc,
+        "warm start requires a strictly wider source level \
+         (have {}, requested {assoc})",
+        warmer.assoc
+    );
+    if assoc == 0 {
+        return zero_level(cfg);
+    }
+    let truncate_all = |states: &[Option<Acs>]| -> Vec<Option<Acs>> {
+        states
+            .iter()
+            .map(|s| s.as_ref().map(|acs| acs.truncate(assoc)))
+            .collect()
+    };
+    let must = analyze_seeded(cfg, geometry, truncate_all(&warmer.must));
+    let may = analyze_seeded(cfg, geometry, truncate_all(&warmer.may));
+    combine(cfg, geometry, assoc, must, may)
+}
+
+/// The trivial level of a fully disabled set: every fetch always misses.
+fn zero_level(cfg: &ExpandedCfg) -> ClassifiedLevel {
+    ClassifiedLevel {
+        assoc: 0,
+        chmc: ChmcMap::new(
             cfg.nodes()
                 .iter()
                 .map(|n| vec![Chmc::AlwaysMiss; n.addrs().len()])
                 .collect(),
-        );
+        ),
+        must: vec![None; cfg.nodes().len()],
+        may: vec![None; cfg.nodes().len()],
     }
-    let must = analyze(cfg, geometry, assoc, AnalysisKind::Must);
-    let may = analyze(cfg, geometry, assoc, AnalysisKind::May);
-    let persistence = persistent_scopes(cfg, geometry, assoc);
+}
 
+/// Reads the classification off converged Must/May states (§II-B1
+/// precedence: Must > Persistence > May-absence > not-classified).
+fn combine(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    assoc: u32,
+    must: Vec<Option<Acs>>,
+    may: Vec<Option<Acs>>,
+) -> ClassifiedLevel {
+    let persistence: Vec<Vec<Option<Scope>>> = persistent_scopes(cfg, geometry, assoc);
     let per_node = cfg
         .nodes()
         .iter()
@@ -61,7 +177,12 @@ pub fn classify(cfg: &ExpandedCfg, geometry: &CacheGeometry, assoc: u32) -> Chmc
                 .collect()
         })
         .collect();
-    ChmcMap::new(per_node)
+    ClassifiedLevel {
+        assoc,
+        chmc: ChmcMap::new(per_node),
+        must,
+        may,
+    }
 }
 
 /// Which references are guaranteed hits in the Shared Reliable Buffer.
@@ -228,6 +349,58 @@ mod tests {
                 assert_eq!(scope, Scope::Program);
             }
         }
+    }
+
+    #[test]
+    fn warm_started_levels_match_cold_classification() {
+        // A program with loops, calls, and branches whose working set
+        // exceeds the cache — the hard case for the warm-start chain.
+        let cfg = build(
+            Program::new("warm")
+                .with_function(
+                    "main",
+                    stmt::loop_(
+                        15,
+                        stmt::seq([
+                            stmt::compute(120),
+                            stmt::call("f"),
+                            stmt::if_else(stmt::compute(9), stmt::loop_(4, stmt::compute(22))),
+                        ]),
+                    ),
+                )
+                .with_function("f", stmt::compute(70)),
+        );
+        let g = geometry();
+        let mut warmer = classify_level(&cfg, &g, 4);
+        for assoc in (0..4u32).rev() {
+            let cold = classify_level(&cfg, &g, assoc);
+            let warm = classify_level_from(&cfg, &g, &warmer, assoc);
+            assert_eq!(warm, cold, "assoc {assoc} must be bit-identical");
+            if assoc > 0 {
+                warmer = warm;
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_skipping_levels_matches_cold() {
+        // Truncation is transitive: seeding level 1 directly from level 4
+        // (not the adjacent level 2) is equally exact.
+        let cfg =
+            build(Program::new("skip").with_function("main", stmt::loop_(10, stmt::compute(90))));
+        let g = geometry();
+        let full = classify_level(&cfg, &g, 4);
+        let direct = classify_level_from(&cfg, &g, &full, 1);
+        assert_eq!(direct, classify_level(&cfg, &g, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly wider")]
+    fn warm_start_cannot_widen() {
+        let cfg = build(Program::new("n").with_function("main", stmt::compute(4)));
+        let g = geometry();
+        let narrow = classify_level(&cfg, &g, 2);
+        let _ = classify_level_from(&cfg, &g, &narrow, 3);
     }
 
     #[test]

@@ -22,9 +22,50 @@ pub fn analyze(
 ) -> Vec<Option<Acs>> {
     let mut entry_states: Vec<Option<Acs>> = vec![None; cfg.nodes().len()];
     entry_states[cfg.entry()] = Some(Acs::empty(geometry, assoc, kind));
+    solve(cfg, geometry, entry_states)
+}
 
-    // Iterate in reverse postorder until stable. RPO makes the common
-    // acyclic parts converge in one pass; loops need a handful of rounds.
+/// As [`analyze`], but starting from `seed` states instead of the
+/// uninitialized (⊤) lattice element.
+///
+/// The worklist loop runs the identical chaotic iteration to
+/// stabilization, so any stable result satisfies the dataflow
+/// inequalities and is therefore a *sound* solution. When the seed
+/// over-approximates the cold fixpoint — as the age-truncated converged
+/// states of a higher associativity level do (see
+/// [`Acs::truncate`]) — the iteration converges to **exactly** the cold
+/// fixpoint, typically in the single verification pass: this is the
+/// warm-start path of the incremental CHMC classification.
+///
+/// # Panics
+///
+/// Panics when `seed` does not cover every node of `cfg`.
+pub fn analyze_seeded(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    seed: Vec<Option<Acs>>,
+) -> Vec<Option<Acs>> {
+    assert_eq!(
+        seed.len(),
+        cfg.nodes().len(),
+        "seed must cover every node of the graph"
+    );
+    assert!(
+        seed[cfg.entry()].is_some(),
+        "seed must include an entry state"
+    );
+    solve(cfg, geometry, seed)
+}
+
+/// Chaotic iteration in reverse postorder until stable. RPO makes the
+/// common acyclic parts converge in one pass; loops need a handful of
+/// rounds (or a single verification pass when warm-started at the
+/// fixpoint).
+fn solve(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    mut entry_states: Vec<Option<Acs>>,
+) -> Vec<Option<Acs>> {
     let rpo = cfg.reverse_postorder();
     let mut changed = true;
     while changed {
@@ -110,6 +151,39 @@ mod tests {
         // …but May records them as possibly present.
         let header_may = may[header].as_ref().unwrap();
         assert!(header_may.len() >= header_must.len());
+    }
+
+    #[test]
+    fn seeded_from_truncation_matches_cold_fixpoint() {
+        let cfg = build(
+            Program::new("w")
+                .with_function(
+                    "main",
+                    stmt::loop_(8, stmt::seq([stmt::compute(40), stmt::call("f")])),
+                )
+                .with_function("f", stmt::if_else(stmt::compute(12), stmt::compute(30))),
+        );
+        let g = CacheGeometry::paper_default();
+        for kind in [AnalysisKind::Must, AnalysisKind::May] {
+            let wide = analyze(&cfg, &g, 4, kind);
+            for assoc in (1..4u32).rev() {
+                let cold = analyze(&cfg, &g, assoc, kind);
+                let seed: Vec<Option<Acs>> = wide
+                    .iter()
+                    .map(|s| s.as_ref().map(|acs| acs.truncate(assoc)))
+                    .collect();
+                let warm = analyze_seeded(&cfg, &g, seed);
+                assert_eq!(warm, cold, "{kind:?} assoc {assoc}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn seeded_requires_full_coverage() {
+        let cfg = build(Program::new("p").with_function("main", stmt::compute(4)));
+        let g = CacheGeometry::paper_default();
+        let _ = analyze_seeded(&cfg, &g, vec![]);
     }
 
     #[test]

@@ -56,6 +56,9 @@ mod persistence;
 
 pub use acs::{Acs, AnalysisKind};
 pub use chmc::{Chmc, ChmcMap, ChmcStats, Scope};
-pub use classify::{classify, classify_srb, SrbMap};
-pub use fixpoint::analyze;
+pub use classify::{
+    classify, classify_level, classify_level_from, classify_srb, ClassificationMode,
+    ClassifiedLevel, SrbMap,
+};
+pub use fixpoint::{analyze, analyze_seeded};
 pub use persistence::persistent_scopes;

@@ -1,20 +1,30 @@
-//! Pipeline ablation: sequential vs. parallel `analyze_compiled`.
+//! Pipeline ablation: sequential vs. parallel `analyze_compiled`, and
+//! cold vs. warm repeated analysis.
 //!
 //! Measures the staged shared-context pipeline of `pwcet-core` in its
 //! sequential reference mode and with the fan-out of per-`(set, fault)`
-//! delta ILP solves across worker threads, then records the comparison in
-//! `BENCH_pipeline.json` at the workspace root.
+//! delta ILP solves across worker threads, plus a `pfail` sensitivity
+//! sweep in the cold reference mode (fresh context and cold fixpoints
+//! per point) against the warm mode (shared [`ContextCache`] and
+//! incremental warm-started classification), then records the comparison
+//! in `BENCH_pipeline.json` at the workspace root.
 //!
 //! ```text
 //! cargo bench -p pwcet-bench --bench pipeline_parallel
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pwcet_core::{AnalysisConfig, Parallelism, PwcetAnalyzer};
+use pwcet_bench::{sweep_pfail_cached, TARGET_PROBABILITY};
+use pwcet_core::{
+    AnalysisConfig, ClassificationMode, ContextCache, Parallelism, Protection, PwcetAnalyzer,
+};
 
 const PROGRAM: &str = "adpcm";
+const SWEEP_PROGRAM: &str = "crc";
+const SWEEP_PFAILS: [f64; 4] = [1e-6, 1e-5, 1e-4, 1e-3];
 
 fn configs() -> [(&'static str, AnalysisConfig); 2] {
     let base = AnalysisConfig::paper_default();
@@ -81,6 +91,61 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold vs. warm sweep: the cold row rebuilds context + cold fixpoints at
+/// every `pfail` point; the warm row shares one cached, incrementally
+/// classified context across all points.
+fn bench_sweep(c: &mut Criterion) {
+    let bench = pwcet_benchsuite::by_name(SWEEP_PROGRAM).expect("benchmark exists");
+    let cold_config = AnalysisConfig::paper_default()
+        .with_classification(ClassificationMode::Cold)
+        .with_parallelism(Parallelism::Sequential);
+    let warm_config = AnalysisConfig::paper_default().with_parallelism(Parallelism::Sequential);
+
+    let mut group = c.benchmark_group("sweep_pfail");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function(BenchmarkId::new("pfail4", "cold"), |b| {
+        b.iter(|| {
+            // Mirrors one `sweep_pfail` row per point — analysis plus the
+            // three protection estimates — but rebuilds the context and
+            // re-converges every fixpoint from scratch each time.
+            for pfail in SWEEP_PFAILS {
+                let config = cold_config.with_pfail(pfail).expect("valid pfail");
+                let analysis = PwcetAnalyzer::new(config)
+                    .analyze(&bench.program)
+                    .expect("analyzes");
+                for protection in Protection::all() {
+                    criterion::black_box(
+                        analysis.estimate(protection).pwcet_at(TARGET_PROBABILITY),
+                    );
+                }
+            }
+        })
+    });
+    // The cache outlives the iterations: after the very first point the
+    // steady state is 100% hits, which is exactly the repeated-sweep
+    // workload the cache exists for.
+    let cache = Arc::new(ContextCache::default());
+    group.bench_function(BenchmarkId::new("pfail4", "warm"), |b| {
+        b.iter(|| {
+            criterion::black_box(
+                sweep_pfail_cached(
+                    &bench,
+                    &warm_config,
+                    &SWEEP_PFAILS,
+                    TARGET_PROBABILITY,
+                    &cache,
+                )
+                .expect("sweeps"),
+            )
+        })
+    });
+    group.finish();
+}
+
 /// Folds the measurements into `BENCH_pipeline.json` at the workspace root.
 fn emit_json(c: &mut Criterion) {
     if c.is_test_mode() {
@@ -105,6 +170,10 @@ fn emit_json(c: &mut Criterion) {
         mean_of("analyze_batch_4/sequential").unwrap_or(0.0),
         mean_of("analyze_batch_4/parallel").unwrap_or(0.0),
     );
+    let (sweep_cold, sweep_warm) = (
+        mean_of("pfail4/cold").unwrap_or(0.0),
+        mean_of("pfail4/warm").unwrap_or(0.0),
+    );
     let threads = Parallelism::Auto.worker_count(usize::MAX);
     let json = format!(
         concat!(
@@ -118,7 +187,12 @@ fn emit_json(c: &mut Criterion) {
             "  \"analyze_batch4_sequential_ns\": {bseq:.0},\n",
             "  \"analyze_batch4_parallel_ns\": {bpar:.0},\n",
             "  \"analyze_batch4_speedup\": {bspeedup:.3},\n",
-            "  \"note\": \"speedup scales with available cores; 1 on a single-core runner\",\n",
+            "  \"sweep_program\": \"{sweep_program}\",\n",
+            "  \"sweep_pfail_points\": {sweep_points},\n",
+            "  \"sweep_pfail_cold_ns\": {scold:.0},\n",
+            "  \"sweep_pfail_warm_ns\": {swarm:.0},\n",
+            "  \"sweep_pfail_warm_speedup\": {sspeedup:.3},\n",
+            "  \"note\": \"parallel speedup scales with available cores (1 on a single-core runner); the warm speedup is algorithmic (context cache + incremental classification) and shows up on any machine\",\n",
             "  \"command\": \"cargo bench -p pwcet-bench --bench pipeline_parallel\"\n",
             "}}\n"
         ),
@@ -134,11 +208,20 @@ fn emit_json(c: &mut Criterion) {
         } else {
             0.0
         },
+        sweep_program = SWEEP_PROGRAM,
+        sweep_points = SWEEP_PFAILS.len(),
+        scold = sweep_cold,
+        swarm = sweep_warm,
+        sspeedup = if sweep_warm > 0.0 {
+            sweep_cold / sweep_warm
+        } else {
+            0.0
+        },
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     std::fs::write(path, json).expect("workspace root is writable");
     println!("wrote {path}");
 }
 
-criterion_group!(benches, bench_pipeline, bench_batch, emit_json);
+criterion_group!(benches, bench_pipeline, bench_batch, bench_sweep, emit_json);
 criterion_main!(benches);

@@ -12,8 +12,12 @@
 //! All numbers derive from [`run_benchmark`]/[`run_suite`]; binaries only
 //! format them as TSV.
 
+use std::sync::Arc;
+
 use pwcet_benchsuite::Benchmark;
-use pwcet_core::{AnalysisConfig, CoreError, ProgramAnalysis, Protection, PwcetAnalyzer};
+use pwcet_core::{
+    AnalysisConfig, ContextCache, CoreError, ProgramAnalysis, Protection, PwcetAnalyzer,
+};
 use pwcet_prob::ExceedancePoint;
 
 /// The paper's target exceedance probability (10⁻¹⁵ per activation, §IV-A).
@@ -151,9 +155,28 @@ pub fn run_suite(
     config: &AnalysisConfig,
     target_p: f64,
 ) -> Result<Vec<BenchmarkResult>, CoreError> {
+    run_suite_cached(config, target_p, &Arc::new(ContextCache::default()))
+}
+
+/// As [`run_suite`] over a caller-owned [`ContextCache`]: the first run
+/// populates one context per benchmark, every later run over the same
+/// cache (another target probability, another `pfail`, a re-run) reuses
+/// them — CFG reconstruction and every classification fixpoint are
+/// skipped. Results are bit-identical to the uncached path.
+///
+/// # Errors
+///
+/// Fails on the first benchmark whose analysis fails.
+pub fn run_suite_cached(
+    config: &AnalysisConfig,
+    target_p: f64,
+    cache: &Arc<ContextCache>,
+) -> Result<Vec<BenchmarkResult>, CoreError> {
     let benches = pwcet_benchsuite::all();
     let programs: Vec<_> = benches.iter().map(|b| b.program.clone()).collect();
-    let analyses = PwcetAnalyzer::new(*config).analyze_batch(&programs)?;
+    let analyses = PwcetAnalyzer::new(*config)
+        .with_cache(Arc::clone(cache))
+        .analyze_batch(&programs)?;
     Ok(benches
         .iter()
         .zip(&analyses)
@@ -300,15 +323,40 @@ pub fn sweep_pfail(
     pfails: &[f64],
     target_p: f64,
 ) -> Result<Vec<(f64, u64, u64, u64)>, CoreError> {
-    // The fault model does not affect the CFG or the classifications, so
-    // the whole sweep shares one context and every memoized CHMC level.
-    let context = PwcetAnalyzer::new(*config).build_context(&bench.program)?;
+    sweep_pfail_cached(
+        bench,
+        config,
+        pfails,
+        target_p,
+        &Arc::new(ContextCache::default()),
+    )
+}
+
+/// As [`sweep_pfail`] over a caller-owned [`ContextCache`]. The fault
+/// model does not affect the CFG or the classifications, so every sweep
+/// point after the first is a cache hit that reuses one shared context
+/// and every memoized CHMC level; a cache shared across calls makes even
+/// the first point of later sweeps free.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`]; invalid `pfail` values are skipped.
+pub fn sweep_pfail_cached(
+    bench: &Benchmark,
+    config: &AnalysisConfig,
+    pfails: &[f64],
+    target_p: f64,
+    cache: &Arc<ContextCache>,
+) -> Result<Vec<(f64, u64, u64, u64)>, CoreError> {
+    let compiled = bench.program.compile(config.code_base)?;
     let mut rows = Vec::with_capacity(pfails.len());
     for &pfail in pfails {
         let Ok(cfg) = config.with_pfail(pfail) else {
             continue;
         };
-        let analysis = PwcetAnalyzer::new(cfg).analyze_with_context(&context)?;
+        let analysis = PwcetAnalyzer::new(cfg)
+            .with_cache(Arc::clone(cache))
+            .analyze_compiled(&compiled)?;
         let r = result_of(bench.name, &analysis, target_p);
         rows.push((pfail, r.pwcet_none, r.pwcet_srb, r.pwcet_rw));
     }
@@ -422,6 +470,30 @@ mod tests {
         assert_eq!(s.min_gain_rw.0, "b");
         assert_eq!(s.category_counts[0], 1);
         assert_eq!(s.category_counts.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_and_hits() {
+        let bench = pwcet_benchsuite::by_name("fibcall").unwrap();
+        let config = fast_config();
+        let pfails = [1e-5, 1e-4, 1e-3];
+        let plain = sweep_pfail(&bench, &config, &pfails, TARGET_PROBABILITY).unwrap();
+        let cache = Arc::new(ContextCache::default());
+        let cached =
+            sweep_pfail_cached(&bench, &config, &pfails, TARGET_PROBABILITY, &cache).unwrap();
+        assert_eq!(plain, cached, "cache must not change a single row");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.misses, stats.hits),
+            (1, 2),
+            "three points share one context"
+        );
+        // A second sweep over the same cache is answered entirely from it.
+        let again =
+            sweep_pfail_cached(&bench, &config, &pfails, TARGET_PROBABILITY, &cache).unwrap();
+        assert_eq!(cached, again);
+        assert_eq!(cache.stats().hits, 5);
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]

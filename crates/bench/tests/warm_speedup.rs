@@ -1,0 +1,85 @@
+//! The warm paths must actually be cheaper than the cold paths.
+//!
+//! Two layers: a deterministic *work* assertion (the warm sweep performs
+//! no classification fixpoints beyond the first point — always on), and a
+//! wall-clock smoke (warm is not slower than cold — `#[ignore]`d by
+//! default because timing on shared runners is noisy; the nightly CI step
+//! runs it via `--include-ignored`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pwcet_bench::{sweep_pfail_cached, TARGET_PROBABILITY};
+use pwcet_core::{AnalysisConfig, ClassificationMode, ContextCache, Protection, PwcetAnalyzer};
+
+const PROGRAM: &str = "crc";
+const PFAILS: [f64; 3] = [1e-5, 1e-4, 1e-3];
+
+fn cold_config() -> AnalysisConfig {
+    AnalysisConfig::paper_default().with_classification(ClassificationMode::Cold)
+}
+
+/// One full cold run per sweep point: fresh context, cold fixpoints,
+/// and the same three protection estimates a `sweep_pfail` row computes.
+fn sweep_cold(bench: &pwcet_benchsuite::Benchmark) {
+    for pfail in PFAILS {
+        let config = cold_config().with_pfail(pfail).unwrap();
+        let analysis = PwcetAnalyzer::new(config)
+            .analyze(&bench.program)
+            .expect("analyzes");
+        for protection in Protection::all() {
+            std::hint::black_box(analysis.estimate(protection).pwcet_at(TARGET_PROBABILITY));
+        }
+    }
+}
+
+#[test]
+fn warm_sweep_reuses_one_context() {
+    let bench = pwcet_benchsuite::by_name(PROGRAM).expect("benchmark exists");
+    let cache = Arc::new(ContextCache::default());
+    let rows = sweep_pfail_cached(
+        &bench,
+        &AnalysisConfig::paper_default(),
+        &PFAILS,
+        TARGET_PROBABILITY,
+        &cache,
+    )
+    .expect("sweeps");
+    assert_eq!(rows.len(), PFAILS.len());
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "only the first point builds a context");
+    assert_eq!(stats.hits as usize, PFAILS.len() - 1);
+}
+
+#[test]
+#[ignore = "wall-clock comparison; run by the nightly CI --include-ignored step"]
+fn warm_sweep_is_not_slower_than_cold() {
+    let bench = pwcet_benchsuite::by_name(PROGRAM).expect("benchmark exists");
+    // Untimed warm-up so neither side pays one-time costs (lazy statics,
+    // allocator growth, branch predictors).
+    sweep_cold(&bench);
+
+    let cold_start = Instant::now();
+    sweep_cold(&bench);
+    let cold = cold_start.elapsed();
+
+    let cache = Arc::new(ContextCache::default());
+    let warm_start = Instant::now();
+    sweep_pfail_cached(
+        &bench,
+        &AnalysisConfig::paper_default(),
+        &PFAILS,
+        TARGET_PROBABILITY,
+        &cache,
+    )
+    .expect("sweeps");
+    let warm = warm_start.elapsed();
+
+    // The warm sweep shares one incrementally-classified context across
+    // all points; the cold sweep rebuilds everything per point. A 10%
+    // grace bound absorbs scheduler noise without masking regressions.
+    assert!(
+        warm.as_secs_f64() <= cold.as_secs_f64() * 1.10,
+        "warm sweep ({warm:?}) must not be slower than cold sweep ({cold:?})"
+    );
+}

@@ -1,5 +1,6 @@
 //! Analysis configuration.
 
+use pwcet_analysis::ClassificationMode;
 use pwcet_cache::{CacheGeometry, CacheTiming};
 use pwcet_ipet::IpetOptions;
 use pwcet_par::Parallelism;
@@ -28,6 +29,11 @@ pub struct AnalysisConfig {
     /// solves, batched programs) are scheduled. The sequential and
     /// parallel modes produce bit-identical results.
     pub parallelism: Parallelism,
+    /// How the CHMC levels of a context are computed: `Incremental`
+    /// warm-starts each level from the adjacent one (the default);
+    /// `Cold` runs every fixpoint from scratch (the reference mode). The
+    /// two produce bit-identical classifications.
+    pub classification: ClassificationMode,
 }
 
 impl AnalysisConfig {
@@ -41,6 +47,7 @@ impl AnalysisConfig {
             ipet: IpetOptions::default(),
             code_base: 0x0040_0000,
             parallelism: Parallelism::Auto,
+            classification: ClassificationMode::Incremental,
         }
     }
 
@@ -59,6 +66,13 @@ impl AnalysisConfig {
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// The same setup with a different classification mode.
+    #[must_use]
+    pub fn with_classification(mut self, mode: ClassificationMode) -> Self {
+        self.classification = mode;
         self
     }
 }

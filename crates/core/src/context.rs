@@ -9,18 +9,39 @@
 //! stages (and repeated analyses of the same program) share one immutable
 //! copy.
 //!
+//! Under [`ClassificationMode::Incremental`] (the default) only the
+//! full-associativity level runs a cold fixpoint: every lower level is
+//! **warm-started** from the age-truncated converged states of the
+//! nearest already-computed higher level, which is exact for this
+//! abstract domain (see [`pwcet_analysis::Acs::truncate`]) and turns the
+//! `W + 1` cold fixpoints of a full classification into one cold run plus
+//! `W` single-pass verifications. [`ClassificationMode::Cold`] keeps the
+//! independent cold fixpoints as the reference mode the differential
+//! suite compares against.
+//!
 //! The context is `Send + Sync`: worker threads of the per-`(set, fault)`
 //! ILP fan-out borrow it freely.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
-use pwcet_analysis::{classify, classify_srb, ChmcMap, SrbMap};
-use pwcet_cache::CacheGeometry;
+use pwcet_analysis::{
+    classify_level, classify_level_from, classify_srb, ChmcMap, ClassificationMode,
+    ClassifiedLevel, SrbMap,
+};
+use pwcet_cache::{CacheGeometry, CacheTiming};
 use pwcet_cfg::{CfgError, ExpandedCfg};
-use pwcet_par::{par_for_each_index, Parallelism};
+use pwcet_ipet::IpetOptions;
+use pwcet_par::{par_for_each_index, par_join, Parallelism};
 use pwcet_progen::CompiledProgram;
 
-use crate::pipeline::expand_compiled;
+use crate::error::CoreError;
+use crate::pipeline::{expand_compiled, SolveArtifacts};
+
+/// The configuration slice the protection-independent solve stage
+/// actually depends on. The fault model, convolution parameters, and
+/// parallelism are deliberately absent: they don't change the FMM, the
+/// SRB columns, or the fault-free WCET.
+pub(crate) type SolveKey = (CacheTiming, IpetOptions);
 
 /// Immutable per-program analysis state, shared by all pipeline stages.
 ///
@@ -47,32 +68,77 @@ pub struct AnalysisContext {
     name: String,
     cfg: ExpandedCfg,
     geometry: CacheGeometry,
-    /// `chmc[a]` is the classification at effective associativity `a`.
-    chmc: Vec<OnceLock<ChmcMap>>,
+    mode: ClassificationMode,
+    /// `levels[a]` holds the classification at effective associativity
+    /// `a`. Only the map is retained per level; the converged Must/May
+    /// states live in [`full`](Self::full) alone.
+    levels: Vec<OnceLock<ChmcMap>>,
+    /// The full-associativity level with its converged Must/May states —
+    /// the one warm-start source (truncation is transitive, so seeding
+    /// any lower level directly from `W` is as exact as chaining through
+    /// adjacent levels). Keeping states for this single level bounds the
+    /// context's memory at one fixpoint's worth instead of `W + 1`.
+    /// Incremental mode only; cold mode uses `levels[W]`.
+    full: OnceLock<ClassifiedLevel>,
     srb: OnceLock<SrbMap>,
+    /// Solve-stage products per `(timing, IPET)` configuration. A plain
+    /// linear scan: real workloads touch one or two keys per context.
+    solved: Mutex<Vec<(SolveKey, Arc<SolveArtifacts>)>>,
 }
 
 impl AnalysisContext {
     /// Reconstructs the expanded CFG of `compiled` and wraps it in a fresh
-    /// context for `geometry` (no classification is run yet).
+    /// context for `geometry` (no classification is run yet), using the
+    /// default incremental classification mode.
     ///
     /// # Errors
     ///
     /// Propagates [`CfgError`] from CFG reconstruction.
     pub fn build(compiled: &CompiledProgram, geometry: CacheGeometry) -> Result<Self, CfgError> {
-        let cfg = expand_compiled(compiled)?;
-        Ok(Self::from_cfg(compiled.name(), cfg, geometry))
+        Self::build_with_mode(compiled, geometry, ClassificationMode::default())
     }
 
-    /// Wraps an already-expanded CFG.
+    /// As [`build`](Self::build) with an explicit classification mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CfgError`] from CFG reconstruction.
+    pub fn build_with_mode(
+        compiled: &CompiledProgram,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Result<Self, CfgError> {
+        let cfg = expand_compiled(compiled)?;
+        Ok(Self::from_cfg_with_mode(
+            compiled.name(),
+            cfg,
+            geometry,
+            mode,
+        ))
+    }
+
+    /// Wraps an already-expanded CFG (incremental mode).
     pub fn from_cfg(name: impl Into<String>, cfg: ExpandedCfg, geometry: CacheGeometry) -> Self {
+        Self::from_cfg_with_mode(name, cfg, geometry, ClassificationMode::default())
+    }
+
+    /// Wraps an already-expanded CFG with an explicit classification mode.
+    pub fn from_cfg_with_mode(
+        name: impl Into<String>,
+        cfg: ExpandedCfg,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Self {
         let levels = geometry.ways() as usize + 1;
         Self {
             name: name.into(),
             cfg,
             geometry,
-            chmc: (0..levels).map(|_| OnceLock::new()).collect(),
+            mode,
+            levels: (0..levels).map(|_| OnceLock::new()).collect(),
+            full: OnceLock::new(),
             srb: OnceLock::new(),
+            solved: Mutex::new(Vec::new()),
         }
     }
 
@@ -91,6 +157,19 @@ impl AnalysisContext {
         &self.geometry
     }
 
+    /// How classification levels are computed (cold vs. warm-started).
+    pub fn mode(&self) -> ClassificationMode {
+        self.mode
+    }
+
+    /// The full-associativity level — the single cold fixpoint of the
+    /// incremental mode, retained with its states as the warm-start
+    /// source for every lower level.
+    fn full_level(&self) -> &ClassifiedLevel {
+        self.full
+            .get_or_init(|| classify_level(&self.cfg, &self.geometry, self.geometry.ways()))
+    }
+
     /// The CHMC classification at effective associativity `assoc`,
     /// computing and caching it on first use (thread-safe).
     ///
@@ -98,10 +177,30 @@ impl AnalysisContext {
     ///
     /// Panics when `assoc` exceeds the geometry's associativity.
     pub fn chmc(&self, assoc: u32) -> &ChmcMap {
-        self.chmc
+        let ways = self.geometry.ways();
+        let lock = self
+            .levels
             .get(assoc as usize)
-            .unwrap_or_else(|| panic!("associativity {assoc} out of range"))
-            .get_or_init(|| classify(&self.cfg, &self.geometry, assoc))
+            .unwrap_or_else(|| panic!("associativity {assoc} out of range"));
+        match self.mode {
+            ClassificationMode::Cold => {
+                lock.get_or_init(|| classify_level(&self.cfg, &self.geometry, assoc).into_chmc())
+            }
+            // The full level keeps its states; answer from it directly.
+            ClassificationMode::Incremental if assoc == ways => self.full_level().chmc(),
+            ClassificationMode::Incremental => lock.get_or_init(|| {
+                if assoc == 0 {
+                    // Trivial: a fully disabled set always misses.
+                    classify_level(&self.cfg, &self.geometry, 0).into_chmc()
+                } else {
+                    // Warm start straight from level W (materializing it
+                    // first if needed — a different OnceLock, so the
+                    // nested init cannot deadlock).
+                    classify_level_from(&self.cfg, &self.geometry, self.full_level(), assoc)
+                        .into_chmc()
+                }
+            }),
+        }
     }
 
     /// The SRB hit map (§III-B2), computed and cached on first use.
@@ -110,41 +209,104 @@ impl AnalysisContext {
             .get_or_init(|| classify_srb(&self.cfg, &self.geometry))
     }
 
-    /// Eagerly fills every classification level (`0..=W`) and the SRB map,
-    /// fanning the independent fixpoints out across worker threads.
+    /// Eagerly fills every classification level (`0..=W`) and the SRB map.
+    ///
+    /// In the cold mode the `W + 2` fixpoints are independent jobs fanned
+    /// out across worker threads. In the incremental mode level `W` runs
+    /// cold and seeds every lower level, which runs as one job alongside
+    /// the independent SRB fixpoint via [`par_join`].
     ///
     /// Levels already computed are skipped; the call is idempotent.
     pub fn prewarm(&self, parallelism: Parallelism) {
-        // Level W (the fault-free classification) plus the SRB map are the
-        // two jobs every analysis needs first; the reduced levels follow.
-        let levels = self.chmc.len();
-        par_for_each_index(parallelism, levels + 1, |job| {
-            if job == levels {
-                let _ = self.srb();
-            } else {
-                let _ = self.chmc(job as u32);
+        match self.mode {
+            ClassificationMode::Cold => {
+                let levels = self.levels.len();
+                par_for_each_index(parallelism, levels + 1, |job| {
+                    if job == levels {
+                        let _ = self.srb();
+                    } else {
+                        let _ = self.chmc(job as u32);
+                    }
+                });
             }
-        });
+            ClassificationMode::Incremental => {
+                par_join(
+                    parallelism,
+                    || {
+                        // Descending: W runs cold, every lower level is
+                        // warm-started from its retained states.
+                        for assoc in (0..self.levels.len() as u32).rev() {
+                            let _ = self.chmc(assoc);
+                        }
+                    },
+                    || {
+                        let _ = self.srb();
+                    },
+                );
+            }
+        }
     }
 
     /// Number of classification levels already materialized (test/debug
     /// introspection).
     pub fn warmed_levels(&self) -> usize {
-        self.chmc.iter().filter(|lock| lock.get().is_some()).count()
+        // In incremental mode level W lives in `full`, not in `levels`;
+        // the two stores are disjoint across modes, so the sum is exact.
+        self.levels
+            .iter()
+            .filter(|lock| lock.get().is_some())
+            .count()
+            + usize::from(self.full.get().is_some())
+    }
+
+    /// The memoized solve-stage artifacts for `key`, running `compute` on
+    /// the first request. The (expensive, ILP-heavy) computation runs
+    /// outside the lock; when two threads race on the same key the first
+    /// insert wins and the loser adopts it, so every caller observes one
+    /// shared value. Failures are not cached.
+    pub(crate) fn solve_artifacts(
+        &self,
+        key: SolveKey,
+        compute: impl FnOnce() -> Result<SolveArtifacts, CoreError>,
+    ) -> Result<Arc<SolveArtifacts>, CoreError> {
+        {
+            let solved = self.solved.lock().expect("solve memo lock");
+            if let Some((_, artifacts)) = solved.iter().find(|(k, _)| *k == key) {
+                return Ok(Arc::clone(artifacts));
+            }
+        }
+        let artifacts = Arc::new(compute()?);
+        let mut solved = self.solved.lock().expect("solve memo lock");
+        if let Some((_, existing)) = solved.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(existing));
+        }
+        solved.push((key, Arc::clone(&artifacts)));
+        Ok(artifacts)
+    }
+
+    /// Number of distinct `(timing, IPET)` configurations whose solve
+    /// artifacts are memoized (test/debug introspection).
+    pub fn solved_configurations(&self) -> usize {
+        self.solved.lock().expect("solve memo lock").len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pwcet_analysis::classify;
     use pwcet_progen::{stmt, Program};
 
     fn context() -> AnalysisContext {
+        context_with_mode(ClassificationMode::Incremental)
+    }
+
+    fn context_with_mode(mode: ClassificationMode) -> AnalysisContext {
         let compiled = Program::new("ctx")
             .with_function("main", stmt::loop_(30, stmt::compute(24)))
             .compile(0x0040_0000)
             .unwrap();
-        AnalysisContext::build(&compiled, CacheGeometry::paper_default()).unwrap()
+        AnalysisContext::build_with_mode(&compiled, CacheGeometry::paper_default(), mode).unwrap()
     }
 
     #[test]
@@ -159,25 +321,39 @@ mod tests {
 
     #[test]
     fn prewarm_fills_every_level() {
-        let ctx = context();
-        ctx.prewarm(Parallelism::threads(3));
-        assert_eq!(ctx.warmed_levels(), 5);
-        ctx.prewarm(Parallelism::Sequential); // idempotent
-        assert_eq!(ctx.warmed_levels(), 5);
+        for mode in [ClassificationMode::Cold, ClassificationMode::Incremental] {
+            let ctx = context_with_mode(mode);
+            ctx.prewarm(Parallelism::threads(3));
+            assert_eq!(ctx.warmed_levels(), 5, "{mode:?}");
+            ctx.prewarm(Parallelism::Sequential); // idempotent
+            assert_eq!(ctx.warmed_levels(), 5, "{mode:?}");
+        }
     }
 
     #[test]
     fn prewarmed_levels_match_direct_classification() {
-        let ctx = context();
-        ctx.prewarm(Parallelism::threads(2));
-        for assoc in 0..=4u32 {
-            let direct = classify(ctx.cfg(), ctx.geometry(), assoc);
-            let warmed = ctx.chmc(assoc);
-            assert_eq!(warmed.len(), direct.len());
-            for (node, index, class) in direct.iter() {
-                assert_eq!(warmed.get(node, index), class);
+        for mode in [ClassificationMode::Cold, ClassificationMode::Incremental] {
+            let ctx = context_with_mode(mode);
+            ctx.prewarm(Parallelism::threads(2));
+            for assoc in 0..=4u32 {
+                let direct = classify(ctx.cfg(), ctx.geometry(), assoc);
+                let warmed = ctx.chmc(assoc);
+                assert_eq!(warmed, &direct, "{mode:?} assoc {assoc}");
             }
         }
+    }
+
+    #[test]
+    fn lazy_incremental_query_chains_from_full_associativity() {
+        let ctx = context();
+        // Querying a middle level first must materialize level W (the one
+        // cold fixpoint) and chain down — and still be bit-identical.
+        let direct = classify(ctx.cfg(), ctx.geometry(), 2);
+        assert_eq!(ctx.chmc(2), &direct);
+        assert!(
+            ctx.warmed_levels() >= 2,
+            "the warm chain materializes the full-associativity source too"
+        );
     }
 
     #[test]

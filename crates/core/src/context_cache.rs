@@ -1,0 +1,435 @@
+//! Content-addressed cache of [`AnalysisContext`]s.
+//!
+//! Sweeps and batch runs repeatedly analyze the same program images:
+//! every `pfail` point of a sensitivity sweep, every protection level of
+//! a comparison, and every re-run of the suite rebuilds an identical
+//! CFG and re-converges identical classification fixpoints. The
+//! [`ContextCache`] makes those repeats nearly free: contexts are keyed
+//! by a **content fingerprint** of everything that determines the CFG
+//! and the CHMC classification — the program image (base address and
+//! machine words), the function extents and loop bounds the CFG expander
+//! consumes, the cache geometry, and the classification mode — and are
+//! shared as [`Arc`]s, so a hit also reuses every classification level
+//! already memoized inside the context.
+//!
+//! Knobs that *don't* affect the CFG or the classification — the fault
+//! model (`pfail`), protection level, IPET options, convolution pruning,
+//! parallelism — are deliberately **excluded** from the key: analyses
+//! that only vary those share one entry, which is the entire point.
+//! `crates/core/tests/context_cache.rs` pins both directions (distinct
+//! keys for geometry changes, shared keys across `pfail`).
+//!
+//! Eviction is least-recently-used with a fixed capacity; hit/miss/
+//! eviction counters are exposed via [`ContextCache::stats`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use pwcet_analysis::ClassificationMode;
+use pwcet_cache::CacheGeometry;
+use pwcet_cfg::CfgError;
+use pwcet_progen::CompiledProgram;
+
+use crate::context::AnalysisContext;
+
+/// Default number of cached contexts — comfortably above the benchmark
+/// suite size, so a full-suite sweep never thrashes.
+pub const DEFAULT_CONTEXT_CAPACITY: usize = 64;
+
+/// Counters and occupancy of a [`ContextCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContextCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a fresh context.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum number of entries.
+    pub capacity: usize,
+}
+
+impl ContextCacheStats {
+    /// Hit fraction over all lookups (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    context: Arc<AnalysisContext>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe, content-addressed, LRU-evicting store of shared
+/// [`AnalysisContext`]s.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pwcet_core::{AnalysisConfig, ContextCache, PwcetAnalyzer};
+/// use pwcet_progen::{stmt, Program};
+///
+/// # fn main() -> Result<(), pwcet_core::CoreError> {
+/// let cache = Arc::new(ContextCache::new(8));
+/// let analyzer =
+///     PwcetAnalyzer::new(AnalysisConfig::paper_default()).with_cache(Arc::clone(&cache));
+/// let program = Program::new("p").with_function("main", stmt::loop_(10, stmt::compute(8)));
+/// analyzer.analyze(&program)?;
+/// analyzer.analyze(&program)?; // context (CFG + classifications) reused
+/// let stats = cache.stats();
+/// assert_eq!((stats.misses, stats.hits), (1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ContextCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for ContextCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CONTEXT_CAPACITY)
+    }
+}
+
+impl ContextCache {
+    /// An empty cache holding at most `capacity` contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity cache can never hit");
+        Self {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The content fingerprint a `(program, geometry, mode)` triple is
+    /// filed under: an FNV-1a hash of the image base and words, the
+    /// function extents, the loop bounds, the cache geometry, and the
+    /// classification mode — everything that shapes the CFG and the
+    /// CHMC, and nothing that doesn't.
+    pub fn key_of(
+        compiled: &CompiledProgram,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> u64 {
+        let mut hash = Fnv1a::new();
+        hash.write_u32(compiled.image().base());
+        for &word in compiled.image().words() {
+            hash.write_u32(word);
+        }
+        // The CFG expander consumes extents and loop bounds alongside the
+        // raw image; two images with identical bytes but different
+        // metadata classify differently.
+        for function in compiled.functions() {
+            hash.write_bytes(function.name().as_bytes());
+            hash.write_u32(function.entry());
+            hash.write_u32(function.end());
+        }
+        for bound in compiled.loop_bounds() {
+            hash.write_u32(bound.header);
+            hash.write_u32(bound.bound);
+        }
+        hash.write_u32(geometry.sets());
+        hash.write_u32(geometry.ways());
+        hash.write_u32(geometry.block_bytes());
+        hash.write_u32(match mode {
+            ClassificationMode::Cold => 0,
+            ClassificationMode::Incremental => 1,
+        });
+        hash.finish()
+    }
+
+    /// Returns the cached context for the triple, building (and caching)
+    /// it on a miss. The expensive build runs outside the lock; when two
+    /// threads race on the same key, the first insert wins and the loser
+    /// adopts the winner's context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CfgError`] from context construction (nothing is
+    /// cached on failure).
+    pub fn get_or_build(
+        &self,
+        compiled: &CompiledProgram,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Result<Arc<AnalysisContext>, CfgError> {
+        let key = Self::key_of(compiled, geometry, mode);
+        {
+            let mut inner = self.inner.lock().expect("context cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let context = Arc::clone(&entry.context);
+                inner.hits += 1;
+                return Ok(context);
+            }
+            inner.misses += 1;
+        }
+
+        let built = Arc::new(AnalysisContext::build_with_mode(compiled, geometry, mode)?);
+
+        let mut inner = self.inner.lock().expect("context cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let context = match inner.entries.get_mut(&key) {
+            // A racing builder got here first; keep its (possibly already
+            // warmed) context and drop ours.
+            Some(entry) => {
+                entry.last_used = tick;
+                Arc::clone(&entry.context)
+            }
+            None => {
+                inner.entries.insert(
+                    key,
+                    Entry {
+                        context: Arc::clone(&built),
+                        last_used: tick,
+                    },
+                );
+                built
+            }
+        };
+        while inner.entries.len() > self.capacity {
+            let oldest = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty over-capacity cache");
+            inner.entries.remove(&oldest);
+            inner.evictions += 1;
+        }
+        Ok(context)
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> ContextCacheStats {
+        let inner = self.inner.lock().expect("context cache lock");
+        ContextCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of cached contexts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("context cache lock").entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("context cache lock")
+            .entries
+            .clear();
+    }
+}
+
+/// Minimal 64-bit FNV-1a — deterministic across platforms and processes,
+/// unlike `DefaultHasher`, which randomizes per process.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        // Length prefix keeps concatenated fields unambiguous.
+        for b in (bytes.len() as u32).to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        for b in value.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwcet_progen::{stmt, Program};
+
+    fn compiled(name: &str, iterations: u32) -> CompiledProgram {
+        Program::new(name)
+            .with_function("main", stmt::loop_(iterations, stmt::compute(12)))
+            .compile(0x0040_0000)
+            .unwrap()
+    }
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::paper_default()
+    }
+
+    #[test]
+    fn hit_returns_the_same_context() {
+        let cache = ContextCache::new(4);
+        let program = compiled("p", 10);
+        let a = cache
+            .get_or_build(&program, geometry(), ClassificationMode::Incremental)
+            .unwrap();
+        let b = cache
+            .get_or_build(&program, geometry(), ClassificationMode::Incremental)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the context");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_preserves_memoized_levels() {
+        let cache = ContextCache::new(4);
+        let program = compiled("p", 10);
+        let first = cache
+            .get_or_build(&program, geometry(), ClassificationMode::Incremental)
+            .unwrap();
+        first.prewarm(pwcet_par::Parallelism::Sequential);
+        let second = cache
+            .get_or_build(&program, geometry(), ClassificationMode::Incremental)
+            .unwrap();
+        assert_eq!(second.warmed_levels(), 5, "warm levels survive the hit");
+    }
+
+    #[test]
+    fn different_content_gets_different_entries() {
+        let cache = ContextCache::new(8);
+        let mode = ClassificationMode::Incremental;
+        let a = compiled("a", 10);
+        let b = compiled("b", 11);
+        cache.get_or_build(&a, geometry(), mode).unwrap();
+        cache.get_or_build(&b, geometry(), mode).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 2, 2));
+    }
+
+    #[test]
+    fn name_alone_does_not_change_the_key() {
+        // Content-addressed: two identically-shaped programs with
+        // different names share one image, hence one context.
+        let mode = ClassificationMode::Incremental;
+        let a = compiled("first", 10);
+        let b = compiled("second", 10);
+        assert_eq!(
+            ContextCache::key_of(&a, geometry(), mode),
+            ContextCache::key_of(&b, geometry(), mode)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = ContextCache::new(2);
+        let mode = ClassificationMode::Incremental;
+        let a = compiled("a", 5);
+        let b = compiled("b", 6);
+        let c = compiled("c", 7);
+        cache.get_or_build(&a, geometry(), mode).unwrap();
+        cache.get_or_build(&b, geometry(), mode).unwrap();
+        // Touch `a` so `b` is the LRU entry.
+        cache.get_or_build(&a, geometry(), mode).unwrap();
+        cache.get_or_build(&c, geometry(), mode).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // `a` survives (hit), `b` was evicted (miss).
+        cache.get_or_build(&a, geometry(), mode).unwrap();
+        cache.get_or_build(&b, geometry(), mode).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = ContextCache::new(4);
+        let mode = ClassificationMode::Incremental;
+        cache
+            .get_or_build(&compiled("p", 5), geometry(), mode)
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _ = ContextCache::new(0);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_context() {
+        let cache = Arc::new(ContextCache::new(4));
+        let program = Arc::new(compiled("p", 20));
+        let contexts: Vec<Arc<AnalysisContext>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let program = Arc::clone(&program);
+                    scope.spawn(move || {
+                        cache
+                            .get_or_build(&program, geometry(), ClassificationMode::Incremental)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // All callers end up with the same entry, whatever the race.
+        assert_eq!(cache.len(), 1);
+        for context in &contexts[1..] {
+            assert!(Arc::ptr_eq(&contexts[0], context));
+        }
+    }
+}

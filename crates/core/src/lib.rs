@@ -25,14 +25,18 @@
 //!
 //! The stages run over one immutable [`AnalysisContext`] per program:
 //! the expanded CFG is built once, every CHMC classification level
-//! (`0..=W`) is memoized, and the per-`(set, fault)` delta ILP solves fan
-//! out across worker threads according to
-//! [`AnalysisConfig::parallelism`]. The sequential mode
+//! (`0..=W`) is memoized — and, under the default
+//! [`ClassificationMode::Incremental`], warm-started from the adjacent
+//! level so only the full-associativity fixpoint ever runs cold — and
+//! the per-`(set, fault)` delta ILP solves fan out across worker threads
+//! according to [`AnalysisConfig::parallelism`]. The sequential mode
 //! ([`Parallelism::Sequential`]) produces bit-identical results — see
 //! `tests/parallel_equivalence.rs`. Use
-//! [`PwcetAnalyzer::analyze_batch`] to parallelize across whole programs
-//! and [`PwcetAnalyzer::analyze_with_context`] to reuse a context across
-//! fault-model sweeps.
+//! [`PwcetAnalyzer::analyze_batch`] to parallelize across whole programs,
+//! [`PwcetAnalyzer::analyze_with_context`] to reuse a context across
+//! fault-model sweeps, and [`PwcetAnalyzer::with_cache`] to share a
+//! content-addressed [`ContextCache`] of contexts across programs,
+//! sweeps, and repeated suite runs.
 //!
 //! # Example
 //!
@@ -55,6 +59,7 @@
 
 mod config;
 mod context;
+mod context_cache;
 mod error;
 mod estimate;
 mod fmm;
@@ -62,8 +67,10 @@ mod pipeline;
 
 pub use config::AnalysisConfig;
 pub use context::AnalysisContext;
+pub use context_cache::{ContextCache, ContextCacheStats, DEFAULT_CONTEXT_CAPACITY};
 pub use error::CoreError;
 pub use estimate::{Protection, PwcetEstimate};
 pub use fmm::FaultMissMap;
 pub use pipeline::{expand_compiled, ProgramAnalysis, PwcetAnalyzer};
+pub use pwcet_analysis::ClassificationMode;
 pub use pwcet_par::Parallelism;

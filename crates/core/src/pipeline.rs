@@ -15,6 +15,8 @@
 //! property tests in `crates/core/tests/parallel_equivalence.rs` pin that
 //! guarantee down.
 
+use std::sync::Arc;
+
 use pwcet_analysis::{Chmc, ChmcMap, SrbMap};
 use pwcet_cfg::{CfgError, ExpandedCfg, FunctionExtent};
 use pwcet_ipet::{ipet_bound, CostModel, RefCost};
@@ -24,6 +26,7 @@ use pwcet_progen::{CompiledProgram, Program};
 
 use crate::config::AnalysisConfig;
 use crate::context::AnalysisContext;
+use crate::context_cache::ContextCache;
 use crate::error::CoreError;
 use crate::estimate::{Protection, PwcetEstimate};
 use crate::fmm::FaultMissMap;
@@ -54,12 +57,33 @@ pub fn expand_compiled(compiled: &CompiledProgram) -> Result<ExpandedCfg, CfgErr
 #[derive(Debug, Clone)]
 pub struct PwcetAnalyzer {
     config: AnalysisConfig,
+    cache: Option<Arc<ContextCache>>,
 }
 
 impl PwcetAnalyzer {
-    /// Creates an analyzer with the given configuration.
+    /// Creates an analyzer with the given configuration (no context
+    /// cache; every analysis builds a fresh context).
     pub fn new(config: AnalysisConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            cache: None,
+        }
+    }
+
+    /// Attaches a shared [`ContextCache`]: analyses of programs whose
+    /// content fingerprint is already cached reuse the stored context —
+    /// CFG and every memoized classification level — instead of
+    /// rebuilding them. Sweeps and repeated suite runs become nearly
+    /// free; results are bit-identical either way.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<ContextCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached context cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ContextCache>> {
+        self.cache.as_ref()
     }
 
     /// The configuration in use.
@@ -88,14 +112,38 @@ impl PwcetAnalyzer {
         &self,
         compiled: &CompiledProgram,
     ) -> Result<ProgramAnalysis, CoreError> {
-        let context = AnalysisContext::build(compiled, self.config.geometry)?;
-        self.analyze_with_context(&context)
+        match &self.cache {
+            Some(cache) => {
+                let context = cache.get_or_build(
+                    compiled,
+                    self.config.geometry,
+                    self.config.classification,
+                )?;
+                let mut analysis = self.analyze_with_context(&context)?;
+                // The cache key is content-addressed and name-blind: a hit
+                // may hand back a context built for an identically-shaped
+                // program with another name. Report the caller's name.
+                analysis.name = compiled.name().to_string();
+                Ok(analysis)
+            }
+            None => {
+                let context = AnalysisContext::build_with_mode(
+                    compiled,
+                    self.config.geometry,
+                    self.config.classification,
+                )?;
+                self.analyze_with_context(&context)
+            }
+        }
     }
 
     /// As [`analyze_compiled`](Self::analyze_compiled) over a prebuilt
     /// (and possibly already warmed) shared context. Repeated analyses of
     /// the same program — e.g. configuration sweeps that only vary the
-    /// fault model — reuse every memoized classification level.
+    /// fault model — reuse every memoized classification level **and**
+    /// the protection-independent solve artifacts (fault-free WCET, FMM,
+    /// SRB columns), which the context memoizes per `(timing, IPET)`
+    /// configuration: a `pfail` sweep pays the ILP stage exactly once.
     ///
     /// # Errors
     ///
@@ -113,96 +161,27 @@ impl PwcetAnalyzer {
             self.config.geometry,
             "context geometry must match the analyzer configuration"
         );
-        let parallelism = self.config.parallelism;
-        let cfg = context.cfg();
-        let geometry = self.config.geometry;
-        let ways = geometry.ways();
-        let sets = geometry.sets();
-
-        // Stage 2 (classify): all CHMC levels and the SRB map. The
-        // fixpoints are independent, so they fan out as one job each.
-        context.prewarm(parallelism);
-
-        // Fault-free WCET (§II-B).
-        let chmc_full = context.chmc(ways);
-        let wcet_costs = CostModel::from_chmc(cfg, chmc_full, &self.config.timing);
-        let fault_free_wcet = ipet_bound(cfg, &wcet_costs, &self.config.ipet)?;
-
-        // Stage 3 (solve): fault miss map (§II-C). Every `(set, fault)`
-        // delta ILP is independent; fan them out and fold the results back
-        // in job order, which keeps the outcome bit-identical to the
-        // sequential reference.
-        let jobs: Vec<(u32, u32)> = (1..=ways)
-            .flat_map(|f| (0..sets).map(move |s| (s, f)))
-            .collect();
-        let bounds = par_map(parallelism, &jobs, |&(s, f)| -> Result<u64, CoreError> {
-            let (costs, has_delta) =
-                delta_cost_model(cfg, &geometry, s, chmc_full, context.chmc(ways - f), None);
-            if has_delta {
-                Ok(ipet_bound(cfg, &costs, &self.config.ipet)?)
-            } else {
-                Ok(0)
-            }
-        });
-        let mut fmm = FaultMissMap::new(sets, ways);
-        for (&(s, f), bound) in jobs.iter().zip(bounds) {
-            let bound = bound?;
-            if bound > 0 {
-                fmm.set(s, f, bound);
-            }
-        }
-        // LRU associativity monotonicity: a set with more faults can never
-        // miss less, so each row may be monotonized. This keeps rows
-        // sound (the max of two upper bounds bounds the larger case) and
-        // makes the RW's stochastic dominance provable.
-        for s in 0..sets {
-            for f in 2..=ways {
-                let prev = fmm.get(s, f - 1);
-                if fmm.get(s, f) < prev {
-                    fmm.set(s, f, prev);
-                }
-            }
-        }
-
-        // SRB column (§III-B2): recompute `f = W` after removing
-        // references that provably hit in the shared reliable buffer.
-        // One independent ILP per set — same fan-out shape as stage 3.
-        let srb_map = context.srb();
-        let chmc_zero = context.chmc(0);
-        let srb_jobs: Vec<u32> = (0..sets).collect();
-        let srb_bounds = par_map(parallelism, &srb_jobs, |&s| -> Result<u64, CoreError> {
-            let (costs, has_delta) =
-                delta_cost_model(cfg, &geometry, s, chmc_full, chmc_zero, Some(srb_map));
-            if has_delta {
-                Ok(ipet_bound(cfg, &costs, &self.config.ipet)?)
-            } else {
-                Ok(0)
-            }
-        });
-        let mut srb_last_column = vec![0u64; sets as usize];
-        for (s, bound) in srb_bounds.into_iter().enumerate() {
-            // The SRB never outperforms a surviving way (an SRB hit is a
-            // guaranteed hit at associativity 1 too), so the column
-            // dominates the f = W − 1 column; enforce it defensively.
-            srb_last_column[s] = bound?.max(fmm.get(s as u32, ways - 1));
-        }
-
+        let artifacts = context.solve_artifacts((self.config.timing, self.config.ipet), || {
+            solve_protection_independent(context, &self.config)
+        })?;
         Ok(ProgramAnalysis {
             config: self.config,
             name: context.name().to_string(),
-            fault_free_wcet,
-            fmm,
-            srb_last_column,
+            artifacts,
         })
     }
 
     /// Analyzes a batch of programs, parallelizing **across** programs.
     ///
-    /// Each program gets an independent context; nothing but the
-    /// configuration is shared. With more than one program the inner
-    /// per-program fan-out runs sequentially so the workers are not
-    /// oversubscribed; the per-program results are bit-identical to
-    /// one-by-one [`analyze`](Self::analyze) calls either way.
+    /// Without an attached [`ContextCache`] each program gets an
+    /// independent context and nothing but the configuration is shared;
+    /// with one ([`with_cache`](Self::with_cache)) the worker threads
+    /// share it, so duplicate images inside the batch — and across
+    /// repeated batch runs — reuse one context. With more than one
+    /// program the inner per-program fan-out runs sequentially so the
+    /// workers are not oversubscribed; the per-program results are
+    /// bit-identical to one-by-one [`analyze`](Self::analyze) calls
+    /// either way.
     ///
     /// # Errors
     ///
@@ -213,7 +192,8 @@ impl PwcetAnalyzer {
         } else {
             self.config.parallelism
         };
-        let program_analyzer = Self::new(self.config.with_parallelism(inner));
+        let mut program_analyzer = Self::new(self.config.with_parallelism(inner));
+        program_analyzer.cache = self.cache.clone();
         par_map(self.config.parallelism, programs, |program| {
             program_analyzer.analyze(program)
         })
@@ -240,7 +220,11 @@ impl PwcetAnalyzer {
     /// [`CoreError`] wrapping compilation or reconstruction failures.
     pub fn build_context(&self, program: &Program) -> Result<AnalysisContext, CoreError> {
         let compiled = program.compile(self.config.code_base)?;
-        Ok(AnalysisContext::build(&compiled, self.config.geometry)?)
+        Ok(AnalysisContext::build_with_mode(
+            &compiled,
+            self.config.geometry,
+            self.config.classification,
+        )?)
     }
 
     /// Convenience: analyze and immediately estimate one protection level.
@@ -257,15 +241,112 @@ impl PwcetAnalyzer {
     }
 }
 
+/// The protection-independent products of the ILP solve stage: everything
+/// an estimate needs that does not depend on the fault model. Memoized
+/// inside [`AnalysisContext`] per `(timing, IPET)` configuration and
+/// shared by every [`ProgramAnalysis`] derived from the same context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SolveArtifacts {
+    pub(crate) fault_free_wcet: u64,
+    pub(crate) fmm: FaultMissMap,
+    pub(crate) srb_last_column: Vec<u64>,
+}
+
+/// Stages 2–3 over a shared context: classification prewarm, fault-free
+/// WCET, the per-`(set, fault)` delta ILPs of the fault miss map, and the
+/// per-set SRB column ILPs.
+fn solve_protection_independent(
+    context: &AnalysisContext,
+    config: &AnalysisConfig,
+) -> Result<SolveArtifacts, CoreError> {
+    let parallelism = config.parallelism;
+    let cfg = context.cfg();
+    let geometry = config.geometry;
+    let ways = geometry.ways();
+    let sets = geometry.sets();
+
+    // Stage 2 (classify): all CHMC levels and the SRB map (cold mode fans
+    // the independent fixpoints out; incremental mode chains them).
+    context.prewarm(parallelism);
+
+    // Fault-free WCET (§II-B).
+    let chmc_full = context.chmc(ways);
+    let wcet_costs = CostModel::from_chmc(cfg, chmc_full, &config.timing);
+    let fault_free_wcet = ipet_bound(cfg, &wcet_costs, &config.ipet)?;
+
+    // Stage 3 (solve): fault miss map (§II-C). Every `(set, fault)`
+    // delta ILP is independent; fan them out and fold the results back
+    // in job order, which keeps the outcome bit-identical to the
+    // sequential reference.
+    let jobs: Vec<(u32, u32)> = (1..=ways)
+        .flat_map(|f| (0..sets).map(move |s| (s, f)))
+        .collect();
+    let bounds = par_map(parallelism, &jobs, |&(s, f)| -> Result<u64, CoreError> {
+        let (costs, has_delta) =
+            delta_cost_model(cfg, &geometry, s, chmc_full, context.chmc(ways - f), None);
+        if has_delta {
+            Ok(ipet_bound(cfg, &costs, &config.ipet)?)
+        } else {
+            Ok(0)
+        }
+    });
+    let mut fmm = FaultMissMap::new(sets, ways);
+    for (&(s, f), bound) in jobs.iter().zip(bounds) {
+        let bound = bound?;
+        if bound > 0 {
+            fmm.set(s, f, bound);
+        }
+    }
+    // LRU associativity monotonicity: a set with more faults can never
+    // miss less, so each row may be monotonized. This keeps rows
+    // sound (the max of two upper bounds bounds the larger case) and
+    // makes the RW's stochastic dominance provable.
+    for s in 0..sets {
+        for f in 2..=ways {
+            let prev = fmm.get(s, f - 1);
+            if fmm.get(s, f) < prev {
+                fmm.set(s, f, prev);
+            }
+        }
+    }
+
+    // SRB column (§III-B2): recompute `f = W` after removing
+    // references that provably hit in the shared reliable buffer.
+    // One independent ILP per set — same fan-out shape as stage 3.
+    let srb_map = context.srb();
+    let chmc_zero = context.chmc(0);
+    let srb_jobs: Vec<u32> = (0..sets).collect();
+    let srb_bounds = par_map(parallelism, &srb_jobs, |&s| -> Result<u64, CoreError> {
+        let (costs, has_delta) =
+            delta_cost_model(cfg, &geometry, s, chmc_full, chmc_zero, Some(srb_map));
+        if has_delta {
+            Ok(ipet_bound(cfg, &costs, &config.ipet)?)
+        } else {
+            Ok(0)
+        }
+    });
+    let mut srb_last_column = vec![0u64; sets as usize];
+    for (s, bound) in srb_bounds.into_iter().enumerate() {
+        // The SRB never outperforms a surviving way (an SRB hit is a
+        // guaranteed hit at associativity 1 too), so the column
+        // dominates the f = W − 1 column; enforce it defensively.
+        srb_last_column[s] = bound?.max(fmm.get(s as u32, ways - 1));
+    }
+
+    Ok(SolveArtifacts {
+        fault_free_wcet,
+        fmm,
+        srb_last_column,
+    })
+}
+
 /// The protection-independent analysis results of one program, from which
 /// estimates for every protection level are assembled cheaply.
 #[derive(Debug, Clone)]
 pub struct ProgramAnalysis {
     config: AnalysisConfig,
     name: String,
-    fault_free_wcet: u64,
-    fmm: FaultMissMap,
-    srb_last_column: Vec<u64>,
+    artifacts: Arc<SolveArtifacts>,
 }
 
 impl ProgramAnalysis {
@@ -276,17 +357,17 @@ impl ProgramAnalysis {
 
     /// The deterministic fault-free WCET in cycles.
     pub fn fault_free_wcet(&self) -> u64 {
-        self.fault_free_wcet
+        self.artifacts.fault_free_wcet
     }
 
     /// The fault miss map (unprotected columns `f = 1..=W`).
     pub fn fmm(&self) -> &FaultMissMap {
-        &self.fmm
+        &self.artifacts.fmm
     }
 
     /// The recomputed `f = W` column under the SRB, per set.
     pub fn srb_last_column(&self) -> &[u64] {
-        &self.srb_last_column
+        &self.artifacts.srb_last_column
     }
 
     /// The configuration the analysis ran with.
@@ -315,7 +396,7 @@ impl ProgramAnalysis {
                     Protection::None => {
                         let pwf = self.config.fault_model.way_fault_distribution(ways, pbf);
                         (0..=ways)
-                            .map(|f| (self.fmm.get(s, f), pwf[f as usize]))
+                            .map(|f| (self.fmm().get(s, f), pwf[f as usize]))
                             .collect()
                     }
                     Protection::ReliableWay => {
@@ -326,7 +407,7 @@ impl ProgramAnalysis {
                             .fault_model
                             .reliable_way_fault_distribution(ways, pbf);
                         (0..ways)
-                            .map(|f| (self.fmm.get(s, f), pwf[f as usize]))
+                            .map(|f| (self.fmm().get(s, f), pwf[f as usize]))
                             .collect()
                     }
                     Protection::SharedReliableBuffer => {
@@ -334,9 +415,9 @@ impl ProgramAnalysis {
                         (0..=ways)
                             .map(|f| {
                                 let misses = if f == ways {
-                                    self.srb_last_column[s as usize]
+                                    self.srb_last_column()[s as usize]
                                 } else {
-                                    self.fmm.get(s, f)
+                                    self.fmm().get(s, f)
                                 };
                                 (misses, pwf[f as usize])
                             })
@@ -360,7 +441,7 @@ impl ProgramAnalysis {
     pub fn estimate(&self, protection: Protection) -> PwcetEstimate {
         PwcetEstimate::new(
             protection,
-            self.fault_free_wcet,
+            self.fault_free_wcet(),
             self.penalty_distribution(protection),
         )
     }
@@ -588,6 +669,55 @@ mod tests {
             assert_eq!(via_context.srb_last_column(), fresh.srb_last_column());
             assert_eq!(via_context.fault_free_wcet(), fresh.fault_free_wcet());
         }
+    }
+
+    #[test]
+    fn sweep_over_one_context_solves_the_ilp_stage_once() {
+        let compiled = small_loop().compile(0x0040_0000).unwrap();
+        let config = AnalysisConfig::paper_default();
+        let context = AnalysisContext::build(&compiled, config.geometry).unwrap();
+        let mut analyses = Vec::new();
+        for pfail in [1e-5, 1e-4, 1e-3] {
+            let swept = config.with_pfail(pfail).unwrap();
+            analyses.push(
+                PwcetAnalyzer::new(swept)
+                    .analyze_with_context(&context)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(
+            context.solved_configurations(),
+            1,
+            "the fault model must not re-trigger the solve stage"
+        );
+        // The memoized artifacts are shared, and the estimates still
+        // reflect each point's own fault model.
+        assert_eq!(analyses[0].fmm(), analyses[2].fmm());
+        let p = 1e-15;
+        assert!(
+            analyses[0].estimate(Protection::None).pwcet_at(p)
+                <= analyses[2].estimate(Protection::None).pwcet_at(p)
+        );
+    }
+
+    #[test]
+    fn distinct_timings_get_distinct_solve_artifacts() {
+        let compiled = small_loop().compile(0x0040_0000).unwrap();
+        let config = AnalysisConfig::paper_default();
+        let context = AnalysisContext::build(&compiled, config.geometry).unwrap();
+        PwcetAnalyzer::new(config)
+            .analyze_with_context(&context)
+            .unwrap();
+        let mut slower = config;
+        slower.timing = pwcet_cache::CacheTiming::new(1, 200);
+        let fast = PwcetAnalyzer::new(config)
+            .analyze_with_context(&context)
+            .unwrap();
+        let slow = PwcetAnalyzer::new(slower)
+            .analyze_with_context(&context)
+            .unwrap();
+        assert_eq!(context.solved_configurations(), 2);
+        assert!(slow.fault_free_wcet() > fast.fault_free_wcet());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Property tests: branch-and-bound agrees with exhaustive enumeration on
-//! small random integer programs.
+//! small random integer programs, and the degenerate failure modes —
+//! empty feasible regions, unbounded objectives, tied optima — are
+//! reported instead of mis-solved.
 
 use proptest::prelude::*;
-use pwcet_ilp::{ConstraintOp, Model};
+use pwcet_ilp::{ConstraintOp, IlpError, Model};
 
 #[derive(Debug, Clone)]
 struct SmallIlp {
@@ -91,6 +93,152 @@ fn to_model(ilp: &SmallIlp) -> Model {
         );
     }
     m
+}
+
+#[test]
+fn empty_feasible_region_is_infeasible_not_mis_solved() {
+    // x1 + x2 ≤ −1 with x ≥ 0 admits no point at all.
+    let mut m = Model::new();
+    let x1 = m.add_var("x1", 1.0);
+    let x2 = m.add_var("x2", 2.0);
+    m.add_constraint([(x1, 1.0), (x2, 1.0)], ConstraintOp::Le, -1.0);
+    assert_eq!(m.solve_lp().unwrap_err(), IlpError::Infeasible);
+    m.mark_integer(x1);
+    m.mark_integer(x2);
+    assert_eq!(m.solve_ilp().unwrap_err(), IlpError::Infeasible);
+}
+
+#[test]
+fn contradictory_bounds_are_infeasible() {
+    // x ≥ 5 (constraint) against x ≤ 3 (upper bound).
+    let mut m = Model::new();
+    let x = m.add_var("x", 1.0);
+    m.set_upper(x, 3.0);
+    m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 5.0);
+    assert_eq!(m.solve_lp().unwrap_err(), IlpError::Infeasible);
+    m.mark_integer(x);
+    assert_eq!(m.solve_ilp().unwrap_err(), IlpError::Infeasible);
+}
+
+#[test]
+fn lp_feasible_but_integer_infeasible_is_reported() {
+    // 2x = 1 with integral 0 ≤ x ≤ 1: the relaxation has x = ½, but no
+    // integer point exists — branch and bound must prove it, not return
+    // a rounded "solution".
+    let mut m = Model::new();
+    let x = m.add_var("x", 1.0);
+    m.set_upper(x, 1.0);
+    m.mark_integer(x);
+    m.add_constraint([(x, 2.0)], ConstraintOp::Eq, 1.0);
+    assert!(m.solve_lp().is_ok(), "the relaxation is feasible");
+    assert_eq!(m.solve_ilp().unwrap_err(), IlpError::Infeasible);
+}
+
+#[test]
+fn unbounded_objective_is_reported() {
+    // Maximize x with no upper bound and no constraint: unbounded above.
+    let mut m = Model::new();
+    let x = m.add_var("x", 1.0);
+    let _y = m.add_var("y", 0.0);
+    assert_eq!(m.solve_lp().unwrap_err(), IlpError::Unbounded);
+    m.mark_integer(x);
+    assert_eq!(m.solve_ilp().unwrap_err(), IlpError::Unbounded);
+}
+
+#[test]
+fn unbounded_despite_constraints_is_reported() {
+    // One binding direction, one free ray: x1 ≤ 4 but x2 unconstrained.
+    let mut m = Model::new();
+    let x1 = m.add_var("x1", 1.0);
+    let x2 = m.add_var("x2", 3.0);
+    m.add_constraint([(x1, 1.0)], ConstraintOp::Le, 4.0);
+    m.add_constraint([(x1, 1.0), (x2, -1.0)], ConstraintOp::Le, 10.0);
+    assert_eq!(m.solve_lp().unwrap_err(), IlpError::Unbounded);
+}
+
+#[test]
+fn tied_optima_agree_on_the_objective() {
+    // Maximize x1 + x2 under x1 + x2 ≤ 5: every lattice point on the
+    // face is optimal. Whatever vertex the pivoting lands on, the
+    // objective must be exactly 5 and the report must be a true optimum.
+    let mut m = Model::new();
+    let x1 = m.add_var("x1", 1.0);
+    let x2 = m.add_var("x2", 1.0);
+    for x in [x1, x2] {
+        m.set_upper(x, 5.0);
+        m.mark_integer(x);
+    }
+    m.add_constraint([(x1, 1.0), (x2, 1.0)], ConstraintOp::Le, 5.0);
+    let s = m.solve_ilp().unwrap();
+    assert!((s.objective - 5.0).abs() < 1e-6);
+    assert!((s.value(x1) + s.value(x2) - 5.0).abs() < 1e-6);
+}
+
+#[test]
+fn duplicate_and_zero_constraints_are_harmless() {
+    // Degenerate rows: the same constraint twice and an all-zero row
+    // (0 ≤ 0) must not confuse the pivoting.
+    let mut m = Model::new();
+    let x = m.add_var("x", 2.0);
+    m.set_upper(x, 9.0);
+    m.mark_integer(x);
+    m.add_constraint([(x, 1.0)], ConstraintOp::Le, 7.0);
+    m.add_constraint([(x, 1.0)], ConstraintOp::Le, 7.0);
+    m.add_constraint([(x, 0.0)], ConstraintOp::Le, 0.0);
+    let s = m.solve_ilp().unwrap();
+    assert!((s.objective - 14.0).abs() < 1e-6);
+}
+
+#[test]
+fn zero_objective_reports_any_feasible_point() {
+    let mut m = Model::new();
+    let x = m.add_var("x", 0.0);
+    m.set_upper(x, 3.0);
+    m.mark_integer(x);
+    m.add_constraint([(x, 1.0)], ConstraintOp::Le, 2.0);
+    let s = m.solve_ilp().unwrap();
+    assert!(s.objective.abs() < 1e-9);
+    assert!(s.value(x) >= -1e-9 && s.value(x) <= 2.0 + 1e-9);
+}
+
+/// ILPs whose objectives are built from few distinct coefficients, so
+/// tied optima and degenerate pivots are the common case rather than the
+/// exception.
+fn arb_tied_ilp() -> impl Strategy<Value = SmallIlp> {
+    (2usize..4)
+        .prop_flat_map(|n| {
+            let coeff = prop_oneof![Just(0i32), Just(1), Just(2)];
+            let objective = proptest::collection::vec(coeff, n..=n);
+            let constraint = (
+                proptest::collection::vec(prop_oneof![Just(0i32), Just(1)], n..=n),
+                0i32..12,
+            )
+                .prop_map(|(c, r)| (c, r));
+            let constraints = proptest::collection::vec(constraint, 1..4);
+            let upper = proptest::collection::vec(1u8..5, n..=n);
+            (objective, constraints, upper)
+        })
+        .prop_map(|(objective, constraints, upper)| SmallIlp {
+            objective,
+            constraints,
+            upper,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn tied_ilps_match_brute_force(ilp in arb_tied_ilp()) {
+        let expected = brute_force(&ilp).expect("x = 0 is always feasible here");
+        let solution = to_model(&ilp).solve_ilp().expect("bounded and feasible");
+        prop_assert!(
+            (solution.objective - expected as f64).abs() < 1e-6,
+            "solver found {} but brute force found {}",
+            solution.objective,
+            expected
+        );
+    }
 }
 
 proptest! {

@@ -113,6 +113,34 @@ where
         .collect()
 }
 
+/// Runs two heterogeneous jobs, concurrently when `parallelism` allows.
+///
+/// The building block for pipeline stages with exactly two independent
+/// tasks of different shapes — e.g. the incremental classification chain
+/// and the SRB fixpoint of `AnalysisContext::prewarm`, where the chain is
+/// inherently sequential (each level seeds the next) but independent of
+/// the SRB analysis. Results are returned in argument order, so the
+/// output is identical in every mode.
+pub fn par_join<A, B, FA, FB>(parallelism: Parallelism, fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if parallelism.worker_count(2) <= 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|scope| {
+        let b = scope.spawn(fb);
+        let a = fa();
+        let b = b
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (a, b)
+    })
+}
+
 /// Runs `f` for every index in `0..count` in parallel, discarding outputs.
 pub fn par_for_each_index<F>(parallelism: Parallelism, count: usize, f: F)
 where
@@ -168,6 +196,30 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn join_runs_both_jobs_in_every_mode() {
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Auto,
+            Parallelism::threads(2),
+        ] {
+            let (a, b) = par_join(parallelism, || 6 * 7, || "done".to_string());
+            assert_eq!(a, 42);
+            assert_eq!(b, "done");
+        }
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_side() {
+        let left =
+            std::panic::catch_unwind(|| par_join(Parallelism::threads(2), || panic!("left"), || 1));
+        assert!(left.is_err());
+        let right = std::panic::catch_unwind(|| {
+            par_join(Parallelism::threads(2), || 1, || panic!("right"))
+        });
+        assert!(right.is_err());
     }
 
     #[test]

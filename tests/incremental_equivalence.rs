@@ -1,0 +1,173 @@
+//! Differential suite: the warm paths are bit-identical to the cold ones.
+//!
+//! Warm-started fixpoints are a classic soundness trap — a seed above the
+//! fixpoint silently converges to an imprecise (or, with a buggy domain,
+//! unsound) solution. This suite pins the incremental classification and
+//! the content-addressed context cache against the cold reference across
+//! the modelled benchmark suite:
+//!
+//! * every CHMC level of every benchmark, warm chain vs. cold fixpoint
+//!   (`classification_*` tests — whole suite, classification only);
+//! * the full pipeline — FMM, SRB columns, exceedance curves, quantiles —
+//!   on a category-spanning subset (always on) and on the complete suite
+//!   (`#[ignore]`d, exercised by the nightly CI `--include-ignored` step).
+
+use std::sync::Arc;
+
+use fault_aware_pwcet::analysis::classify;
+use fault_aware_pwcet::benchsuite;
+use fault_aware_pwcet::core::{
+    expand_compiled, AnalysisConfig, AnalysisContext, ClassificationMode, ContextCache,
+    Parallelism, ProgramAnalysis, Protection, PwcetAnalyzer,
+};
+
+const TARGET_PROBABILITIES: [f64; 4] = [1e-3, 1e-9, 1e-15, 1.0];
+
+/// The category-spanning subset the always-on full-pipeline tests use.
+const SPAN: [&str; 6] = ["bs", "crc", "fibcall", "fir", "matmult", "ud"];
+
+fn cold_config() -> AnalysisConfig {
+    AnalysisConfig::paper_default()
+        .with_classification(ClassificationMode::Cold)
+        .with_parallelism(Parallelism::Sequential)
+}
+
+fn warm_config() -> AnalysisConfig {
+    AnalysisConfig::paper_default()
+        .with_classification(ClassificationMode::Incremental)
+        .with_parallelism(Parallelism::Sequential)
+}
+
+/// Asserts every protection-independent and protection-dependent artifact
+/// of two analyses is bit-identical.
+fn assert_analyses_identical(name: &str, cold: &ProgramAnalysis, warm: &ProgramAnalysis) {
+    assert_eq!(
+        cold.fault_free_wcet(),
+        warm.fault_free_wcet(),
+        "{name}: fault-free WCET"
+    );
+    assert_eq!(cold.fmm(), warm.fmm(), "{name}: fault miss map");
+    assert_eq!(
+        cold.srb_last_column(),
+        warm.srb_last_column(),
+        "{name}: SRB columns"
+    );
+    for protection in Protection::all() {
+        let cold_estimate = cold.estimate(protection);
+        let warm_estimate = warm.estimate(protection);
+        assert_eq!(
+            cold_estimate.exceedance_curve(),
+            warm_estimate.exceedance_curve(),
+            "{name}/{protection}: exceedance curve"
+        );
+        for p in TARGET_PROBABILITIES {
+            assert_eq!(
+                cold_estimate.pwcet_at(p),
+                warm_estimate.pwcet_at(p),
+                "{name}/{protection}: quantile at {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn classification_warm_chain_matches_cold_across_the_suite() {
+    // Whole benchmark suite, every associativity level: the warm-started
+    // chain must reproduce the cold fixpoint bit for bit. Classification
+    // only (no ILP), so the full population stays fast enough for tier 1.
+    let config = warm_config();
+    for bench in benchsuite::all() {
+        let compiled = bench.program.compile(config.code_base).unwrap();
+        let context = AnalysisContext::build_with_mode(
+            &compiled,
+            config.geometry,
+            ClassificationMode::Incremental,
+        )
+        .unwrap();
+        context.prewarm(Parallelism::Sequential);
+        let cfg = expand_compiled(&compiled).unwrap();
+        for assoc in 0..=config.geometry.ways() {
+            let cold = classify(&cfg, &config.geometry, assoc);
+            assert_eq!(
+                context.chmc(assoc),
+                &cold,
+                "{}: CHMC level {assoc} must be bit-identical",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn classification_is_parallelism_invariant_under_warm_start() {
+    // The warm chain + SRB pair runs through `par_join`; fan-out must not
+    // change a single classification.
+    let config = warm_config();
+    for name in SPAN {
+        let bench = benchsuite::by_name(name).unwrap();
+        let compiled = bench.program.compile(config.code_base).unwrap();
+        let sequential = AnalysisContext::build(&compiled, config.geometry).unwrap();
+        sequential.prewarm(Parallelism::Sequential);
+        let parallel = AnalysisContext::build(&compiled, config.geometry).unwrap();
+        parallel.prewarm(Parallelism::threads(4));
+        for assoc in 0..=config.geometry.ways() {
+            assert_eq!(
+                sequential.chmc(assoc),
+                parallel.chmc(assoc),
+                "{name}: level {assoc}"
+            );
+        }
+        assert_eq!(sequential.srb(), parallel.srb(), "{name}: SRB map");
+    }
+}
+
+#[test]
+fn full_pipeline_warm_matches_cold_on_spanning_subset() {
+    let cache = Arc::new(ContextCache::default());
+    let cold_analyzer = PwcetAnalyzer::new(cold_config());
+    let warm_analyzer = PwcetAnalyzer::new(warm_config()).with_cache(Arc::clone(&cache));
+    for name in SPAN {
+        let bench = benchsuite::by_name(name).unwrap();
+        let cold = cold_analyzer.analyze(&bench.program).unwrap();
+        let warm = warm_analyzer.analyze(&bench.program).unwrap();
+        assert_analyses_identical(name, &cold, &warm);
+        // Second warm run: answered from the cache, still identical.
+        let cached = warm_analyzer.analyze(&bench.program).unwrap();
+        assert_analyses_identical(name, &cold, &cached);
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses as usize, SPAN.len());
+    assert_eq!(stats.hits as usize, SPAN.len(), "re-analyses must hit");
+}
+
+#[test]
+fn batch_with_cache_matches_cold_individual_analyses() {
+    let programs: Vec<_> = SPAN
+        .iter()
+        .map(|name| benchsuite::by_name(name).unwrap().program)
+        .collect();
+    let cache = Arc::new(ContextCache::default());
+    let batch = PwcetAnalyzer::new(warm_config())
+        .with_cache(Arc::clone(&cache))
+        .analyze_batch(&programs)
+        .unwrap();
+    let cold_analyzer = PwcetAnalyzer::new(cold_config());
+    for (program, warm) in programs.iter().zip(&batch) {
+        let cold = cold_analyzer.analyze(program).unwrap();
+        assert_analyses_identical(warm.name(), &cold, warm);
+    }
+}
+
+#[test]
+#[ignore = "runs the complete 25-benchmark suite twice (~minutes); nightly CI runs it via --include-ignored"]
+fn full_pipeline_warm_matches_cold_across_the_entire_suite() {
+    let cache = Arc::new(ContextCache::default());
+    let cold_analyzer = PwcetAnalyzer::new(cold_config());
+    let warm_analyzer = PwcetAnalyzer::new(warm_config()).with_cache(Arc::clone(&cache));
+    for bench in benchsuite::all() {
+        let cold = cold_analyzer.analyze(&bench.program).unwrap();
+        let warm = warm_analyzer.analyze(&bench.program).unwrap();
+        assert_analyses_identical(bench.name, &cold, &warm);
+    }
+    assert_eq!(cache.stats().misses as usize, benchsuite::all().len());
+}
