@@ -39,6 +39,11 @@ pub enum AnalysisKind {
 pub struct Acs {
     kind: AnalysisKind,
     sets: u32,
+    /// Provenance only: the block size the tracked [`MemBlock`] ids were
+    /// computed with. The state logic never consults it, but
+    /// cross-geometry warm starts use it to reject seeds whose block
+    /// mapping differs (same sets, different lines ⇒ silently unsound).
+    block_bytes: u32,
     assoc: usize,
     /// `ages[set * assoc + age]` = blocks with that (max or min) age.
     ages: Vec<BTreeSet<MemBlock>>,
@@ -56,6 +61,7 @@ impl Acs {
         Self {
             kind,
             sets: geometry.sets(),
+            block_bytes: geometry.block_bytes(),
             assoc: assoc as usize,
             ages: vec![BTreeSet::new(); (geometry.sets() * assoc) as usize],
         }
@@ -69,6 +75,55 @@ impl Acs {
     /// The effective associativity.
     pub fn assoc(&self) -> usize {
         self.assoc
+    }
+
+    /// Number of cache sets the state covers.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// The block size the tracked block ids were computed with
+    /// (provenance; see the field docs).
+    pub fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// The raw age slots, `sets × assoc` of them: slot `set * assoc + age`
+    /// holds the blocks with that (max or min) age. Exposed for the
+    /// persistence codec of `pwcet-core`; pair with
+    /// [`from_raw`](Self::from_raw).
+    pub fn age_slots(&self) -> &[BTreeSet<MemBlock>] {
+        &self.ages
+    }
+
+    /// Rebuilds a state from its raw parts (the inverse of
+    /// [`age_slots`](Self::age_slots)) — the deserialization entry point
+    /// of the on-disk context store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot vector does not have exactly `sets × assoc`
+    /// entries or `assoc == 0`.
+    pub fn from_raw(
+        kind: AnalysisKind,
+        sets: u32,
+        block_bytes: u32,
+        assoc: u32,
+        ages: Vec<BTreeSet<MemBlock>>,
+    ) -> Self {
+        assert!(assoc > 0, "zero-way states are meaningless");
+        assert_eq!(
+            ages.len(),
+            (sets * assoc) as usize,
+            "raw state must carry sets x assoc age slots"
+        );
+        Self {
+            kind,
+            sets,
+            block_bytes,
+            assoc: assoc as usize,
+            ages,
+        }
     }
 
     fn set_of(&self, block: MemBlock) -> usize {
@@ -153,6 +208,7 @@ impl Acs {
         assert_eq!(self.kind, other.kind, "cannot join across kinds");
         assert_eq!(self.assoc, other.assoc, "associativity mismatch");
         assert_eq!(self.sets, other.sets, "set-count mismatch");
+        assert_eq!(self.block_bytes, other.block_bytes, "block-size mismatch");
         for set in 0..self.sets as usize {
             let mut joined: Vec<BTreeSet<MemBlock>> = vec![BTreeSet::new(); self.assoc];
             match self.kind {
@@ -218,6 +274,7 @@ impl Acs {
         Self {
             kind: self.kind,
             sets: self.sets,
+            block_bytes: self.block_bytes,
             assoc,
             ages,
         }

@@ -81,6 +81,14 @@ impl ChmcMap {
         Self { per_node }
     }
 
+    /// Builds a map from per-node classification rows (`rows[node][i]` is
+    /// the class of reference `i` of `node`). This is the deserialization
+    /// entry point of the on-disk context store; analysis code uses
+    /// [`classify`](crate::classify) instead.
+    pub fn from_rows(rows: Vec<Vec<Chmc>>) -> Self {
+        Self::new(rows)
+    }
+
     /// The classification of reference `index` of `node`.
     ///
     /// # Panics

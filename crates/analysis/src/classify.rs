@@ -49,6 +49,43 @@ impl ClassifiedLevel {
     pub fn into_chmc(self) -> ChmcMap {
         self.chmc
     }
+
+    /// The converged per-node Must states the classification was read
+    /// off (`None` for unreachable nodes).
+    pub fn must_states(&self) -> &[Option<Acs>] {
+        &self.must
+    }
+
+    /// The converged per-node May states.
+    pub fn may_states(&self) -> &[Option<Acs>] {
+        &self.may
+    }
+
+    /// Reassembles a level from its parts — the deserialization entry
+    /// point of the on-disk context store. Analysis code obtains levels
+    /// through [`classify_level`]/[`classify_level_from`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state vectors disagree in length.
+    pub fn from_parts(
+        assoc: u32,
+        chmc: ChmcMap,
+        must: Vec<Option<Acs>>,
+        may: Vec<Option<Acs>>,
+    ) -> Self {
+        assert_eq!(
+            must.len(),
+            may.len(),
+            "Must and May must cover the same nodes"
+        );
+        Self {
+            assoc,
+            chmc,
+            must,
+            may,
+        }
+    }
 }
 
 /// Classifies every instruction fetch of the expanded graph at the given
@@ -90,10 +127,24 @@ pub fn classify_level(cfg: &ExpandedCfg, geometry: &CacheGeometry, assoc: u32) -
 /// soundness, only (theoretically) precision, and the differential suite
 /// pins exactness.
 ///
+/// # Cross-geometry warm starts
+///
+/// None of the abstract domain depends on the *nominal* way count of the
+/// cache — only on the set count, the block size, and the effective
+/// associativity of the fixpoint. `warmer` may therefore come from a
+/// **different cache geometry** as long as it shares `geometry`'s sets
+/// and block size: the converged full-associativity states of a 4-way
+/// cache seed the full classification of the 2-way sibling exactly. This
+/// is the derivation step of the geometry-sweep reuse plane in
+/// `pwcet-core` — one cold fixpoint at the widest associativity serves
+/// every narrower-way geometry of the lattice.
+///
 /// # Panics
 ///
 /// Panics when `assoc` is not strictly below the warmer level's
-/// associativity.
+/// associativity, or when the warmer states were computed for an
+/// incompatible set count or block size (each [`Acs`] carries both as
+/// provenance).
 pub fn classify_level_from(
     cfg: &ExpandedCfg,
     geometry: &CacheGeometry,
@@ -106,6 +157,18 @@ pub fn classify_level_from(
          (have {}, requested {assoc})",
         warmer.assoc
     );
+    if let Some(state) = warmer.must.iter().flatten().next() {
+        assert_eq!(
+            state.sets(),
+            geometry.sets(),
+            "warm start requires matching set counts"
+        );
+        assert_eq!(
+            state.block_bytes(),
+            geometry.block_bytes(),
+            "warm start requires matching block sizes"
+        );
+    }
     if assoc == 0 {
         return zero_level(cfg);
     }
@@ -211,6 +274,19 @@ impl SrbMap {
     /// Total references covered.
     pub fn total(&self) -> usize {
         self.per_node.iter().map(Vec::len).sum()
+    }
+
+    /// The per-node hit rows (`rows[node][i]` — reference `i` of `node`).
+    /// Exposed for the persistence codec of `pwcet-core`; pair with
+    /// [`from_rows`](Self::from_rows).
+    pub fn rows(&self) -> &[Vec<bool>] {
+        &self.per_node
+    }
+
+    /// Rebuilds a map from its rows — the deserialization entry point of
+    /// the on-disk context store. Analysis code uses [`classify_srb`].
+    pub fn from_rows(per_node: Vec<Vec<bool>>) -> Self {
+        Self { per_node }
     }
 }
 
@@ -392,6 +468,46 @@ mod tests {
         let full = classify_level(&cfg, &g, 4);
         let direct = classify_level_from(&cfg, &g, &full, 1);
         assert_eq!(direct, classify_level(&cfg, &g, 1));
+    }
+
+    #[test]
+    fn cross_geometry_warm_start_matches_narrow_cold_classification() {
+        // The derivation step of the geometry sweep: the converged 4-way
+        // states classify the 2-way and 1-way sibling geometries exactly.
+        let cfg = build(
+            Program::new("xgeo")
+                .with_function(
+                    "main",
+                    stmt::loop_(12, stmt::seq([stmt::compute(80), stmt::call("f")])),
+                )
+                .with_function("f", stmt::if_else(stmt::compute(30), stmt::compute(14))),
+        );
+        let wide = CacheGeometry::new(16, 4, 16);
+        let full = classify_level(&cfg, &wide, wide.ways());
+        for ways in [3u32, 2, 1] {
+            let narrow = CacheGeometry::new(16, ways, 16);
+            let derived = classify_level_from(&cfg, &narrow, &full, ways);
+            let cold = classify_level(&cfg, &narrow, ways);
+            assert_eq!(derived, cold, "{ways}-way geometry must be derivable");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matching set counts")]
+    fn cross_geometry_warm_start_rejects_set_count_mismatch() {
+        let cfg = build(Program::new("sm").with_function("main", stmt::compute(12)));
+        let full = classify_level(&cfg, &CacheGeometry::new(16, 4, 16), 4);
+        let other_sets = CacheGeometry::new(8, 2, 16);
+        let _ = classify_level_from(&cfg, &other_sets, &full, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching block sizes")]
+    fn cross_geometry_warm_start_rejects_block_size_mismatch() {
+        let cfg = build(Program::new("bm").with_function("main", stmt::compute(12)));
+        let full = classify_level(&cfg, &CacheGeometry::new(16, 4, 32), 4);
+        let other_blocks = CacheGeometry::new(16, 2, 16);
+        let _ = classify_level_from(&cfg, &other_blocks, &full, 2);
     }
 
     #[test]

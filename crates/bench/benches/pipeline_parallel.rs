@@ -1,30 +1,43 @@
 //! Pipeline ablation: sequential vs. parallel `analyze_compiled`, and
-//! cold vs. warm repeated analysis.
+//! cold vs. warm repeated analysis across every reuse-plane tier.
 //!
 //! Measures the staged shared-context pipeline of `pwcet-core` in its
 //! sequential reference mode and with the fan-out of per-`(set, fault)`
-//! delta ILP solves across worker threads, plus a `pfail` sensitivity
-//! sweep in the cold reference mode (fresh context and cold fixpoints
-//! per point) against the warm mode (shared [`ContextCache`] and
-//! incremental warm-started classification), then records the comparison
-//! in `BENCH_pipeline.json` at the workspace root.
+//! delta ILP solves across worker threads, plus three reuse ablations:
+//! a `pfail` sweep cold (fresh context and cold fixpoints per point) vs.
+//! warm (memory tier + incremental classification), the same sweep over
+//! a fresh memory tier backed by a pre-populated **disk tier** (the
+//! cross-process cost), and an associativity sweep over the paper's
+//! geometry lattice cold vs. **derived** (one fixpoint seeding all
+//! narrower way counts). Records everything in `BENCH_pipeline.json` at
+//! the workspace root.
 //!
 //! ```text
 //! cargo bench -p pwcet-bench --bench pipeline_parallel
 //! ```
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pwcet_bench::{sweep_pfail_cached, TARGET_PROBABILITY};
+use pwcet_bench::{
+    sweep_geometry_cached, sweep_pfail_cached, sweep_pfail_planed, TARGET_PROBABILITY,
+};
+use pwcet_cache::GeometryLattice;
 use pwcet_core::{
     AnalysisConfig, ClassificationMode, ContextCache, Parallelism, Protection, PwcetAnalyzer,
+    ReusePlane,
 };
 
 const PROGRAM: &str = "adpcm";
 const SWEEP_PROGRAM: &str = "crc";
 const SWEEP_PFAILS: [f64; 4] = [1e-6, 1e-5, 1e-4, 1e-3];
+
+/// Scratch directory for the disk-tier rows (wiped per bench process).
+fn disk_tier_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("pwcet-bench-disk-{}", std::process::id()))
+}
 
 fn configs() -> [(&'static str, AnalysisConfig); 2] {
     let base = AnalysisConfig::paper_default();
@@ -146,6 +159,139 @@ fn bench_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Geometry sweep over the paper's lattice, in two cuts.
+///
+/// The **classify** rows isolate the stage derivation accelerates: all
+/// CHMC levels and the SRB map of every lattice geometry, per-geometry
+/// cold fixpoints vs. one cold fixpoint at 4 ways seeding 3, 2, and 1
+/// through the reuse plane. The **end-to-end** rows run the full
+/// pipeline per geometry; there the per-geometry delta ILPs dominate
+/// (the fault miss map is inherently geometry-dependent — see the
+/// ILP-sharding ROADMAP item), so the derived speedup reads ~1 even
+/// though the classification work shrank.
+fn bench_geometry_sweep(c: &mut Criterion) {
+    let bench = pwcet_benchsuite::by_name(SWEEP_PROGRAM).expect("benchmark exists");
+    let compiled = bench
+        .program
+        .compile(AnalysisConfig::paper_default().code_base)
+        .expect("compiles");
+    let lattice = GeometryLattice::paper_default();
+    let cold_config = AnalysisConfig::paper_default()
+        .with_classification(ClassificationMode::Cold)
+        .with_parallelism(Parallelism::Sequential);
+    let warm_config = AnalysisConfig::paper_default().with_parallelism(Parallelism::Sequential);
+
+    let mut group = c.benchmark_group("sweep_geometry");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function(BenchmarkId::new("classify4321", "cold"), |b| {
+        b.iter(|| {
+            for geometry in lattice.members() {
+                let context = pwcet_core::AnalysisContext::build_with_mode(
+                    &compiled,
+                    geometry,
+                    ClassificationMode::Cold,
+                )
+                .expect("builds");
+                context.prewarm(Parallelism::Sequential);
+                criterion::black_box(context.warmed_levels());
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("classify4321", "derived"), |b| {
+        b.iter(|| {
+            // A fresh plane per iteration: one cold fixpoint (the widest
+            // geometry) plus three genuine derivations — not memory-tier
+            // hits of a warmed plane.
+            let plane = Arc::new(ReusePlane::in_memory());
+            for geometry in lattice.members() {
+                let context = plane
+                    .get_or_build(&compiled, geometry, ClassificationMode::Incremental)
+                    .expect("builds");
+                context.prewarm(Parallelism::Sequential);
+                criterion::black_box(context.warmed_levels());
+            }
+            assert_eq!(plane.stats().derived as usize, lattice.len() - 1);
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("ways4321", "cold"), |b| {
+        b.iter(|| {
+            for geometry in lattice.members() {
+                let mut config = cold_config;
+                config.geometry = geometry;
+                let analysis = PwcetAnalyzer::new(config)
+                    .analyze(&bench.program)
+                    .expect("analyzes");
+                for protection in Protection::all() {
+                    criterion::black_box(
+                        analysis.estimate(protection).pwcet_at(TARGET_PROBABILITY),
+                    );
+                }
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("ways4321", "derived"), |b| {
+        b.iter(|| {
+            let plane = Arc::new(ReusePlane::in_memory());
+            let rows =
+                sweep_geometry_cached(&bench, &warm_config, &lattice, TARGET_PROBABILITY, &plane)
+                    .expect("sweeps");
+            assert_eq!(plane.stats().derived as usize, lattice.len() - 1);
+            criterion::black_box(rows)
+        })
+    });
+    group.finish();
+}
+
+/// The cross-process path: every iteration opens a **fresh memory tier**
+/// over a pre-populated disk store, so all contexts arrive by decoding —
+/// the cost a second process pays. Compare against `sweep_pfail/cold`.
+fn bench_disk_tier(c: &mut Criterion) {
+    let bench = pwcet_benchsuite::by_name(SWEEP_PROGRAM).expect("benchmark exists");
+    let config = AnalysisConfig::paper_default().with_parallelism(Parallelism::Sequential);
+    let dir = disk_tier_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Populate the store once, untimed.
+    let writer = Arc::new(
+        ReusePlane::in_memory()
+            .with_disk_tier(&dir)
+            .expect("temp dir is writable"),
+    );
+    sweep_pfail_planed(&bench, &config, &SWEEP_PFAILS, TARGET_PROBABILITY, &writer)
+        .expect("sweeps");
+    writer.flush();
+
+    let mut group = c.benchmark_group("sweep_pfail_disk");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::new("pfail4", "disk"), |b| {
+        b.iter(|| {
+            let reader = Arc::new(
+                ReusePlane::in_memory()
+                    .with_disk_tier(&dir)
+                    .expect("temp dir is writable"),
+            );
+            let rows =
+                sweep_pfail_planed(&bench, &config, &SWEEP_PFAILS, TARGET_PROBABILITY, &reader)
+                    .expect("sweeps");
+            assert!(
+                reader.stats().disk_hits > 0,
+                "a fresh memory tier must be answered from disk"
+            );
+            criterion::black_box(rows)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Folds the measurements into `BENCH_pipeline.json` at the workspace root.
 fn emit_json(c: &mut Criterion) {
     if c.is_test_mode() {
@@ -174,6 +320,15 @@ fn emit_json(c: &mut Criterion) {
         mean_of("pfail4/cold").unwrap_or(0.0),
         mean_of("pfail4/warm").unwrap_or(0.0),
     );
+    let sweep_disk = mean_of("pfail4/disk").unwrap_or(0.0);
+    let (geo_classify_cold, geo_classify_derived) = (
+        mean_of("classify4321/cold").unwrap_or(0.0),
+        mean_of("classify4321/derived").unwrap_or(0.0),
+    );
+    let (geo_cold, geo_derived) = (
+        mean_of("ways4321/cold").unwrap_or(0.0),
+        mean_of("ways4321/derived").unwrap_or(0.0),
+    );
     let threads = Parallelism::Auto.worker_count(usize::MAX);
     let json = format!(
         concat!(
@@ -192,7 +347,16 @@ fn emit_json(c: &mut Criterion) {
             "  \"sweep_pfail_cold_ns\": {scold:.0},\n",
             "  \"sweep_pfail_warm_ns\": {swarm:.0},\n",
             "  \"sweep_pfail_warm_speedup\": {sspeedup:.3},\n",
-            "  \"note\": \"parallel speedup scales with available cores (1 on a single-core runner); the warm speedup is algorithmic (context cache + incremental classification) and shows up on any machine\",\n",
+            "  \"sweep_pfail_disk_ns\": {sdisk:.0},\n",
+            "  \"sweep_pfail_disk_speedup\": {sdiskspeedup:.3},\n",
+            "  \"sweep_geometry_points\": {geo_points},\n",
+            "  \"sweep_geometry_classify_cold_ns\": {gccold:.0},\n",
+            "  \"sweep_geometry_classify_derived_ns\": {gcderived:.0},\n",
+            "  \"sweep_geometry_classify_derived_speedup\": {gcspeedup:.3},\n",
+            "  \"sweep_geometry_cold_ns\": {gcold:.0},\n",
+            "  \"sweep_geometry_derived_ns\": {gderived:.0},\n",
+            "  \"sweep_geometry_derived_speedup\": {gspeedup:.3},\n",
+            "  \"note\": \"parallel speedup scales with available cores (1 on a single-core runner); the warm/disk speedups are algorithmic and show up on any machine; cross-geometry derivation accelerates the classification stage (classify rows) — the end-to-end geometry rows stay ILP-bound because the fault miss map is inherently per-geometry (see the ILP-sharding ROADMAP item)\",\n",
             "  \"command\": \"cargo bench -p pwcet-bench --bench pipeline_parallel\"\n",
             "}}\n"
         ),
@@ -217,11 +381,40 @@ fn emit_json(c: &mut Criterion) {
         } else {
             0.0
         },
+        sdisk = sweep_disk,
+        sdiskspeedup = if sweep_disk > 0.0 {
+            sweep_cold / sweep_disk
+        } else {
+            0.0
+        },
+        geo_points = GeometryLattice::paper_default().len(),
+        gccold = geo_classify_cold,
+        gcderived = geo_classify_derived,
+        gcspeedup = if geo_classify_derived > 0.0 {
+            geo_classify_cold / geo_classify_derived
+        } else {
+            0.0
+        },
+        gcold = geo_cold,
+        gderived = geo_derived,
+        gspeedup = if geo_derived > 0.0 {
+            geo_cold / geo_derived
+        } else {
+            0.0
+        },
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     std::fs::write(path, json).expect("workspace root is writable");
     println!("wrote {path}");
 }
 
-criterion_group!(benches, bench_pipeline, bench_batch, bench_sweep, emit_json);
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_batch,
+    bench_sweep,
+    bench_geometry_sweep,
+    bench_disk_tier,
+    emit_json
+);
 criterion_main!(benches);

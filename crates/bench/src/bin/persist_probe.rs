@@ -1,0 +1,54 @@
+//! Cross-process persistence probe for the reuse plane's disk tier.
+//!
+//! Runs the full benchmark suite through a [`ReusePlane`] whose disk tier
+//! is rooted at the directory given as the first argument, then prints
+//! one machine-readable stats line. Run it twice against the same
+//! directory from two separate processes: the first run builds cold and
+//! persists, the second decodes every context from disk —
+//! `disk_hits > 0` and a smaller `elapsed_ms`. The CI `persistence` job
+//! asserts exactly that.
+//!
+//! ```text
+//! cargo run --release -p pwcet-bench --bin persist_probe -- /tmp/pwcet-store
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pwcet_bench::{run_suite_planed, TARGET_PROBABILITY};
+use pwcet_core::{AnalysisConfig, ReusePlane};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .expect("usage: persist_probe <cache-dir>");
+    let plane = Arc::new(
+        ReusePlane::in_memory()
+            .with_disk_tier(&dir)
+            .expect("cache directory is writable"),
+    );
+    let config = AnalysisConfig::paper_default();
+
+    let start = Instant::now();
+    let results = run_suite_planed(&config, TARGET_PROBABILITY, &plane).expect("suite analyzes");
+    let elapsed = start.elapsed();
+    // Belt and braces: capture artifacts warmed after their per-analysis
+    // write-through (e.g. lazily-queried estimate products).
+    let flushed = plane.flush();
+
+    let stats = plane.stats();
+    println!(
+        "benchmarks={} elapsed_ms={} disk_hits={} disk_misses={} disk_writes={} \
+         flushed={} disk_corrupt={} derived={} cold_builds={} store={}",
+        results.len(),
+        elapsed.as_millis(),
+        stats.disk_hits,
+        stats.disk_misses,
+        stats.disk_writes,
+        flushed,
+        stats.disk_corrupt,
+        stats.derived,
+        stats.cold_builds,
+        dir,
+    );
+}

@@ -2,10 +2,16 @@
 //! mirroring the sensitivity study of the base paper \[1\]):
 //!
 //! * pWCET vs. per-bit failure probability `pfail ∈ [10⁻⁶, 10⁻³]`;
-//! * pWCET vs. target exceedance probability `p ∈ [10⁻³, 10⁻¹⁸]`.
+//! * pWCET vs. target exceedance probability `p ∈ [10⁻³, 10⁻¹⁸]`;
+//! * pWCET vs. cache associativity over the paper's geometry lattice
+//!   (one shared reuse plane: only the 4-way point runs a cold
+//!   classification, narrower points are derived).
 
-use pwcet_bench::{sweep_pfail, sweep_target, TARGET_PROBABILITY};
-use pwcet_core::AnalysisConfig;
+use std::sync::Arc;
+
+use pwcet_bench::{sweep_geometry_cached, sweep_pfail, sweep_target, TARGET_PROBABILITY};
+use pwcet_cache::GeometryLattice;
+use pwcet_core::{AnalysisConfig, ReusePlane};
 
 const SWEPT_BENCHMARKS: [&str; 5] = ["adpcm", "matmult", "ud", "fft", "nsichneu"];
 
@@ -39,4 +45,25 @@ fn main() {
             println!("{name}\t{p:.0e}\t{none}\t{srb}\t{rw}");
         }
     }
+
+    println!();
+    println!("# Sweep C: pWCET vs associativity (16 sets x 16 B lines, pfail = 1e-4)");
+    println!("benchmark\tways\tpwcet_none\tpwcet_srb\tpwcet_rw");
+    let lattice = GeometryLattice::paper_default();
+    let plane = Arc::new(ReusePlane::in_memory());
+    for name in SWEPT_BENCHMARKS {
+        let bench = pwcet_benchsuite::by_name(name).expect("benchmark exists");
+        let rows = sweep_geometry_cached(&bench, &config, &lattice, TARGET_PROBABILITY, &plane)
+            .expect("analyzes");
+        for (ways, none, srb, rw) in rows {
+            println!("{name}\t{ways}\t{none}\t{srb}\t{rw}");
+        }
+    }
+    let stats = plane.stats();
+    eprintln!(
+        "# reuse plane: {} cold fixpoint(s), {} derived geometries, {:.0}% reuse",
+        stats.cold_builds,
+        stats.derived,
+        stats.reuse_rate() * 100.0
+    );
 }

@@ -7,7 +7,8 @@
 //! | Figure 3 (exceedance curves, `adpcm`) | `cargo run --release -p pwcet-bench --bin fig3` | [`figure3`] |
 //! | Figure 4 (normalized pWCETs, 25 benchmarks) | `… --bin fig4` | [`figure4`] |
 //! | In-text gain summary (min/avg per mechanism) | `… --bin tables` | [`summary`] |
-//! | Sensitivity sweeps (pfail, target probability) | `… --bin sweep` | [`sweep_pfail`], [`sweep_target`] |
+//! | Sensitivity sweeps (pfail, target probability, geometry) | `… --bin sweep` | [`sweep_pfail`], [`sweep_target`], [`sweep_geometry`] |
+//! | Cross-process persistence probe (disk tier) | `… --bin persist_probe <dir>` | [`run_suite_planed`] |
 //!
 //! All numbers derive from [`run_benchmark`]/[`run_suite`]; binaries only
 //! format them as TSV.
@@ -15,8 +16,9 @@
 use std::sync::Arc;
 
 use pwcet_benchsuite::Benchmark;
+use pwcet_cache::GeometryLattice;
 use pwcet_core::{
-    AnalysisConfig, ContextCache, CoreError, ProgramAnalysis, Protection, PwcetAnalyzer,
+    AnalysisConfig, ContextCache, CoreError, ProgramAnalysis, Protection, PwcetAnalyzer, ReusePlane,
 };
 use pwcet_prob::ExceedancePoint;
 
@@ -172,10 +174,31 @@ pub fn run_suite_cached(
     target_p: f64,
     cache: &Arc<ContextCache>,
 ) -> Result<Vec<BenchmarkResult>, CoreError> {
+    run_suite_planed(
+        config,
+        target_p,
+        &Arc::new(ReusePlane::with_memory(Arc::clone(cache))),
+    )
+}
+
+/// As [`run_suite`] over a caller-owned [`ReusePlane`]: besides the
+/// memory-tier reuse of [`run_suite_cached`], a plane with a disk tier
+/// makes the suite warm **across processes** — the first run persists
+/// every context, later runs decode instead of re-converging fixpoints.
+/// Results are bit-identical to the uncached path.
+///
+/// # Errors
+///
+/// Fails on the first benchmark whose analysis fails.
+pub fn run_suite_planed(
+    config: &AnalysisConfig,
+    target_p: f64,
+    plane: &Arc<ReusePlane>,
+) -> Result<Vec<BenchmarkResult>, CoreError> {
     let benches = pwcet_benchsuite::all();
     let programs: Vec<_> = benches.iter().map(|b| b.program.clone()).collect();
     let analyses = PwcetAnalyzer::new(*config)
-        .with_cache(Arc::clone(cache))
+        .with_reuse_plane(Arc::clone(plane))
         .analyze_batch(&programs)?;
     Ok(benches
         .iter()
@@ -348,6 +371,28 @@ pub fn sweep_pfail_cached(
     target_p: f64,
     cache: &Arc<ContextCache>,
 ) -> Result<Vec<(f64, u64, u64, u64)>, CoreError> {
+    sweep_pfail_planed(
+        bench,
+        config,
+        pfails,
+        target_p,
+        &Arc::new(ReusePlane::with_memory(Arc::clone(cache))),
+    )
+}
+
+/// As [`sweep_pfail_cached`] over a caller-owned [`ReusePlane`] — attach
+/// a disk tier and the sweep is warm across processes too.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`]; invalid `pfail` values are skipped.
+pub fn sweep_pfail_planed(
+    bench: &Benchmark,
+    config: &AnalysisConfig,
+    pfails: &[f64],
+    target_p: f64,
+    plane: &Arc<ReusePlane>,
+) -> Result<Vec<(f64, u64, u64, u64)>, CoreError> {
     let compiled = bench.program.compile(config.code_base)?;
     let mut rows = Vec::with_capacity(pfails.len());
     for &pfail in pfails {
@@ -355,10 +400,66 @@ pub fn sweep_pfail_cached(
             continue;
         };
         let analysis = PwcetAnalyzer::new(cfg)
-            .with_cache(Arc::clone(cache))
+            .with_reuse_plane(Arc::clone(plane))
             .analyze_compiled(&compiled)?;
         let r = result_of(bench.name, &analysis, target_p);
         rows.push((pfail, r.pwcet_none, r.pwcet_srb, r.pwcet_rw));
+    }
+    Ok(rows)
+}
+
+/// pWCET of one benchmark as a function of cache associativity at fixed
+/// sets and block size (a design-stage exploration sweep over a
+/// [`GeometryLattice`]).
+///
+/// Returns `(ways, pwcet_none, pwcet_srb, pwcet_rw)` rows, widest first.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the pipeline.
+pub fn sweep_geometry(
+    bench: &Benchmark,
+    config: &AnalysisConfig,
+    lattice: &GeometryLattice,
+    target_p: f64,
+) -> Result<Vec<(u32, u64, u64, u64)>, CoreError> {
+    sweep_geometry_cached(
+        bench,
+        config,
+        lattice,
+        target_p,
+        &Arc::new(ReusePlane::in_memory()),
+    )
+}
+
+/// As [`sweep_geometry`] over a caller-owned [`ReusePlane`]. The sweep
+/// visits the lattice widest-first, so the plane's derivation tier turns
+/// every narrower-way point into an age-truncation warm start of the one
+/// cold fixpoint the widest point ran — and a plane with a disk tier
+/// carries the whole lattice across processes. Results are bit-identical
+/// to per-geometry cold analyses
+/// (`tests/incremental_equivalence.rs` pins every way count).
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the pipeline.
+pub fn sweep_geometry_cached(
+    bench: &Benchmark,
+    config: &AnalysisConfig,
+    lattice: &GeometryLattice,
+    target_p: f64,
+    plane: &Arc<ReusePlane>,
+) -> Result<Vec<(u32, u64, u64, u64)>, CoreError> {
+    let compiled = bench.program.compile(config.code_base)?;
+    let mut rows = Vec::with_capacity(lattice.len());
+    for geometry in lattice.members() {
+        let mut point = *config;
+        point.geometry = geometry;
+        let analysis = PwcetAnalyzer::new(point)
+            .with_reuse_plane(Arc::clone(plane))
+            .analyze_compiled(&compiled)?;
+        let r = result_of(bench.name, &analysis, target_p);
+        rows.push((geometry.ways(), r.pwcet_none, r.pwcet_srb, r.pwcet_rw));
     }
     Ok(rows)
 }
@@ -494,6 +595,49 @@ mod tests {
         assert_eq!(cached, again);
         assert_eq!(cache.stats().hits, 5);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn geometry_sweep_derives_narrow_points_and_matches_uncached() {
+        let bench = pwcet_benchsuite::by_name("fibcall").unwrap();
+        let config = fast_config();
+        let lattice = GeometryLattice::new(16, 16, &[4, 2, 1]);
+        let plain = sweep_geometry(&bench, &config, &lattice, TARGET_PROBABILITY).unwrap();
+        assert_eq!(plain.len(), 3);
+        assert_eq!(plain[0].0, 4, "widest first");
+
+        let plane = Arc::new(ReusePlane::in_memory());
+        let cached =
+            sweep_geometry_cached(&bench, &config, &lattice, TARGET_PROBABILITY, &plane).unwrap();
+        assert_eq!(plain, cached, "the plane must not change a single row");
+        let stats = plane.stats();
+        assert_eq!(stats.cold_builds, 1, "only the widest point builds cold");
+        assert_eq!(stats.derived, 2, "narrower points are derived");
+
+        // A second sweep over the same plane is answered from memory.
+        let again =
+            sweep_geometry_cached(&bench, &config, &lattice, TARGET_PROBABILITY, &plane).unwrap();
+        assert_eq!(cached, again);
+        assert_eq!(plane.stats().derived, 2, "no new derivations");
+        assert_eq!(plane.stats().memory.hits, 3);
+    }
+
+    #[test]
+    fn fewer_ways_never_shrink_the_pwcet() {
+        // Sanity on the sweep's physics: removing associativity (at fixed
+        // sets and block size) can only lose classification precision, so
+        // the unprotected pWCET is monotone as ways shrink.
+        let bench = pwcet_benchsuite::by_name("bs").unwrap();
+        let lattice = GeometryLattice::paper_default();
+        let rows = sweep_geometry(&bench, &fast_config(), &lattice, TARGET_PROBABILITY).unwrap();
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "ways {} → {}: pWCET_none must not shrink",
+                pair[0].0,
+                pair[1].0
+            );
+        }
     }
 
     #[test]

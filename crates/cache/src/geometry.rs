@@ -101,6 +101,116 @@ impl CacheGeometry {
     pub fn set_of_block(&self, block: MemBlock) -> u32 {
         block.0 % self.sets
     }
+
+    /// The same sets and block size with a different associativity — the
+    /// step function of a [`GeometryLattice`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ways == 0`.
+    #[must_use]
+    pub fn with_ways(self, ways: u32) -> Self {
+        Self::new(self.sets, ways, self.block_bytes)
+    }
+
+    /// `true` when this geometry's analysis artifacts are derivable from
+    /// `wider`'s: identical sets and block size, at most as many ways.
+    /// Cache sets evolve independently under LRU and the abstract domain
+    /// never consults the nominal way count, so the converged states of
+    /// the wider geometry project exactly onto this one
+    /// (`Acs::truncate` in `pwcet-analysis`).
+    pub fn derivable_from(&self, wider: &CacheGeometry) -> bool {
+        self.sets == wider.sets && self.block_bytes == wider.block_bytes && self.ways <= wider.ways
+    }
+}
+
+/// A family of cache geometries sharing sets and block size, ordered by
+/// associativity — the unit of cross-geometry warm starts.
+///
+/// Design-space exploration sweeps associativity at fixed capacity-per-way:
+/// within one lattice a single cold fixpoint at the widest member seeds
+/// every narrower member ([`CacheGeometry::derivable_from`]).
+///
+/// # Example
+///
+/// ```
+/// use pwcet_cache::GeometryLattice;
+///
+/// let lattice = GeometryLattice::new(16, 16, &[1, 4, 2]);
+/// assert_eq!(lattice.widest().ways(), 4);
+/// let ways: Vec<u32> = lattice.members().map(|g| g.ways()).collect();
+/// assert_eq!(ways, [4, 2, 1], "widest first");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryLattice {
+    sets: u32,
+    block_bytes: u32,
+    /// Way counts, strictly descending.
+    ways: Vec<u32>,
+}
+
+impl GeometryLattice {
+    /// A lattice over the given way counts (deduplicated, any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty way list, a zero way count, or invalid
+    /// `sets`/`block_bytes` (see [`CacheGeometry::new`]).
+    pub fn new(sets: u32, block_bytes: u32, ways: &[u32]) -> Self {
+        assert!(!ways.is_empty(), "a lattice needs at least one member");
+        let mut ways: Vec<u32> = ways.to_vec();
+        ways.sort_unstable_by(|a, b| b.cmp(a));
+        ways.dedup();
+        // Validate the shape once through the strictest constructor.
+        let _ = CacheGeometry::new(sets, ways[0], block_bytes);
+        assert!(*ways.last().unwrap() >= 1, "cache needs at least one way");
+        Self {
+            sets,
+            block_bytes,
+            ways,
+        }
+    }
+
+    /// The paper's 16-set, 16-byte-line family over every associativity
+    /// `1..=4` (the 4-way member is the paper's configuration).
+    pub fn paper_default() -> Self {
+        Self::new(16, 16, &[4, 3, 2, 1])
+    }
+
+    /// The widest member — the one whose cold fixpoint seeds the rest.
+    pub fn widest(&self) -> CacheGeometry {
+        CacheGeometry::new(self.sets, self.ways[0], self.block_bytes)
+    }
+
+    /// All members, widest first (the derivation order).
+    pub fn members(&self) -> impl Iterator<Item = CacheGeometry> + '_ {
+        self.ways
+            .iter()
+            .map(|&w| CacheGeometry::new(self.sets, w, self.block_bytes))
+    }
+
+    /// The way counts, widest first.
+    pub fn way_counts(&self) -> &[u32] {
+        &self.ways
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// `false` — a lattice always has at least one member; kept for the
+    /// conventional pairing with [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        self.ways.is_empty()
+    }
+
+    /// `true` when `geometry` belongs to this lattice.
+    pub fn contains(&self, geometry: &CacheGeometry) -> bool {
+        geometry.sets() == self.sets
+            && geometry.block_bytes() == self.block_bytes
+            && self.ways.contains(&geometry.ways())
+    }
 }
 
 impl fmt::Display for CacheGeometry {
@@ -147,6 +257,50 @@ mod tests {
     fn display_mentions_shape() {
         let g = CacheGeometry::paper_default();
         assert_eq!(g.to_string(), "1024B 4-way (16 sets x 16B lines)");
+    }
+
+    #[test]
+    fn with_ways_keeps_sets_and_block_size() {
+        let g = CacheGeometry::paper_default().with_ways(2);
+        assert_eq!((g.sets(), g.ways(), g.block_bytes()), (16, 2, 16));
+    }
+
+    #[test]
+    fn derivability_requires_same_family() {
+        let wide = CacheGeometry::new(16, 4, 16);
+        assert!(CacheGeometry::new(16, 2, 16).derivable_from(&wide));
+        assert!(wide.derivable_from(&wide));
+        assert!(!CacheGeometry::new(16, 4, 16).derivable_from(&CacheGeometry::new(16, 2, 16)));
+        assert!(!CacheGeometry::new(8, 2, 16).derivable_from(&wide));
+        assert!(!CacheGeometry::new(16, 2, 32).derivable_from(&wide));
+    }
+
+    #[test]
+    fn lattice_orders_and_dedups_members() {
+        let lattice = GeometryLattice::new(16, 16, &[2, 4, 2, 1]);
+        assert_eq!(lattice.way_counts(), &[4, 2, 1]);
+        assert_eq!(lattice.len(), 3);
+        assert!(!lattice.is_empty());
+        assert_eq!(lattice.widest(), CacheGeometry::new(16, 4, 16));
+        for member in lattice.members() {
+            assert!(member.derivable_from(&lattice.widest()));
+            assert!(lattice.contains(&member));
+        }
+        assert!(!lattice.contains(&CacheGeometry::new(16, 3, 16)));
+        assert!(!lattice.contains(&CacheGeometry::new(8, 2, 16)));
+    }
+
+    #[test]
+    fn paper_lattice_spans_every_associativity() {
+        let lattice = GeometryLattice::paper_default();
+        assert_eq!(lattice.way_counts(), &[4, 3, 2, 1]);
+        assert_eq!(lattice.widest(), CacheGeometry::paper_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_lattice_panics() {
+        let _ = GeometryLattice::new(16, 16, &[]);
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod machine;
 mod timing;
 
 pub use fault::FaultMap;
-pub use geometry::{CacheGeometry, MemBlock};
+pub use geometry::{CacheGeometry, GeometryLattice, MemBlock};
 pub use lru::LruSet;
 pub use machine::{AccessOutcome, CacheSim, ReliableWayCache, SrbCache, UnprotectedCache};
 pub use timing::CacheTiming;

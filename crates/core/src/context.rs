@@ -66,7 +66,9 @@ pub(crate) type SolveKey = (CacheTiming, IpetOptions);
 #[derive(Debug)]
 pub struct AnalysisContext {
     name: String,
-    cfg: ExpandedCfg,
+    /// Shared: derived sibling contexts of a geometry lattice reuse one
+    /// expanded graph instead of cloning it per associativity.
+    cfg: Arc<ExpandedCfg>,
     geometry: CacheGeometry,
     mode: ClassificationMode,
     /// `levels[a]` holds the classification at effective associativity
@@ -126,6 +128,17 @@ impl AnalysisContext {
     pub fn from_cfg_with_mode(
         name: impl Into<String>,
         cfg: ExpandedCfg,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Self {
+        Self::from_shared_cfg(name, Arc::new(cfg), geometry, mode)
+    }
+
+    /// As [`from_cfg_with_mode`](Self::from_cfg_with_mode) over an
+    /// already-shared graph (derived lattice siblings, disk restores).
+    pub(crate) fn from_shared_cfg(
+        name: impl Into<String>,
+        cfg: Arc<ExpandedCfg>,
         geometry: CacheGeometry,
         mode: ClassificationMode,
     ) -> Self {
@@ -289,6 +302,132 @@ impl AnalysisContext {
     pub fn solved_configurations(&self) -> usize {
         self.solved.lock().expect("solve memo lock").len()
     }
+
+    /// Whether the SRB map has been materialized.
+    pub fn srb_warmed(&self) -> bool {
+        self.srb.get().is_some()
+    }
+
+    /// The shared expanded graph handle (test-only: codec round-trips
+    /// restore against the original graph without re-expanding).
+    #[cfg(test)]
+    pub(crate) fn shared_cfg(&self) -> Arc<ExpandedCfg> {
+        Arc::clone(&self.cfg)
+    }
+
+    /// A clone of every memoized artifact — what the on-disk tier of the
+    /// reuse plane serializes. Unwarmed slots stay `None`/empty and cost
+    /// nothing on disk.
+    pub(crate) fn snapshot_parts(&self) -> ContextParts {
+        ContextParts {
+            full: self.full.get().cloned(),
+            levels: self.levels.iter().map(|l| l.get().cloned()).collect(),
+            srb: self.srb.get().cloned(),
+            solved: self
+                .solved
+                .lock()
+                .expect("solve memo lock")
+                .iter()
+                .map(|(key, artifacts)| (*key, artifacts.as_ref().clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a context around restored artifacts (the decode side of
+    /// the on-disk tier). Slots absent from `parts` stay lazy and are
+    /// recomputed on demand exactly as in a fresh context.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts.levels` does not cover `0..=W` of `geometry`.
+    pub(crate) fn from_parts(
+        name: impl Into<String>,
+        cfg: Arc<ExpandedCfg>,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+        parts: ContextParts,
+    ) -> Self {
+        let context = Self::from_shared_cfg(name, cfg, geometry, mode);
+        assert_eq!(
+            parts.levels.len(),
+            context.levels.len(),
+            "restored parts must cover levels 0..=W"
+        );
+        if let Some(full) = parts.full {
+            let _ = context.full.set(full);
+        }
+        for (lock, level) in context.levels.iter().zip(parts.levels) {
+            if let Some(map) = level {
+                let _ = lock.set(map);
+            }
+        }
+        if let Some(srb) = parts.srb {
+            let _ = context.srb.set(srb);
+        }
+        *context.solved.lock().expect("solve memo lock") = parts
+            .solved
+            .into_iter()
+            .map(|(key, artifacts)| (key, Arc::new(artifacts)))
+            .collect();
+        context
+    }
+
+    /// Derives the context of a **narrower-way sibling geometry** from
+    /// this one: the converged full-associativity states are age-truncated
+    /// into the sibling's full level ([`classify_level_from`]), so the
+    /// sibling never runs a cold fixpoint — its lower levels warm-start
+    /// from the derived level as usual, and the SRB map (independent of
+    /// the way count) is carried over verbatim. The expanded graph is
+    /// shared, not cloned.
+    ///
+    /// Results are bit-identical to a cold build of the sibling;
+    /// `tests/incremental_equivalence.rs` pins it per way count across
+    /// the suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `geometry` is strictly narrower and derivable from
+    /// this context's geometry ([`CacheGeometry::derivable_from`]) and
+    /// the context uses [`ClassificationMode::Incremental`].
+    pub fn derive_narrower(&self, geometry: CacheGeometry) -> AnalysisContext {
+        assert!(
+            geometry.derivable_from(&self.geometry) && geometry.ways() < self.geometry.ways(),
+            "derivation requires a strictly narrower sibling geometry \
+             (have {}, requested {geometry})",
+            self.geometry
+        );
+        assert_eq!(
+            self.mode,
+            ClassificationMode::Incremental,
+            "cold mode is the from-scratch reference; deriving would defeat it"
+        );
+        let derived_full =
+            classify_level_from(&self.cfg, &geometry, self.full_level(), geometry.ways());
+        Self::from_parts(
+            self.name.clone(),
+            Arc::clone(&self.cfg),
+            geometry,
+            self.mode,
+            ContextParts {
+                full: Some(derived_full),
+                levels: vec![None; geometry.ways() as usize + 1],
+                // The SRB pseudo-geometry (one set, one way) only depends
+                // on the block size, which siblings share.
+                srb: self.srb.get().cloned(),
+                solved: Vec::new(),
+            },
+        )
+    }
+}
+
+/// The serializable artifact slots of one context (see
+/// [`AnalysisContext::snapshot_parts`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ContextParts {
+    pub(crate) full: Option<ClassifiedLevel>,
+    pub(crate) levels: Vec<Option<ChmcMap>>,
+    pub(crate) srb: Option<SrbMap>,
+    pub(crate) solved: Vec<(SolveKey, SolveArtifacts)>,
 }
 
 #[cfg(test)]
@@ -354,6 +493,60 @@ mod tests {
             ctx.warmed_levels() >= 2,
             "the warm chain materializes the full-associativity source too"
         );
+    }
+
+    #[test]
+    fn derived_sibling_matches_direct_classification() {
+        let ctx = context();
+        for ways in [2u32, 1] {
+            let sibling = ctx.derive_narrower(CacheGeometry::paper_default().with_ways(ways));
+            assert_eq!(sibling.geometry().ways(), ways);
+            for assoc in 0..=ways {
+                let direct = classify(sibling.cfg(), sibling.geometry(), assoc);
+                assert_eq!(sibling.chmc(assoc), &direct, "{ways}-way level {assoc}");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_sibling_shares_graph_and_srb() {
+        let ctx = context();
+        let _ = ctx.srb();
+        let sibling = ctx.derive_narrower(CacheGeometry::paper_default().with_ways(2));
+        assert!(std::ptr::eq(ctx.cfg(), sibling.cfg()), "graph is shared");
+        assert_eq!(ctx.srb(), sibling.srb(), "SRB map is way-independent");
+    }
+
+    #[test]
+    fn restore_round_trips_every_part() {
+        let ctx = context();
+        ctx.prewarm(Parallelism::Sequential);
+        let restored = AnalysisContext::from_parts(
+            ctx.name(),
+            ctx.shared_cfg(),
+            *ctx.geometry(),
+            ctx.mode(),
+            ctx.snapshot_parts(),
+        );
+        assert_eq!(restored.warmed_levels(), ctx.warmed_levels());
+        for assoc in 0..=4u32 {
+            assert_eq!(restored.chmc(assoc), ctx.chmc(assoc), "level {assoc}");
+        }
+        assert_eq!(restored.srb(), ctx.srb());
+    }
+
+    #[test]
+    #[should_panic(expected = "narrower sibling")]
+    fn derivation_rejects_widening() {
+        let ctx = context();
+        let _ = ctx.derive_narrower(CacheGeometry::paper_default().with_ways(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "reference")]
+    fn derivation_rejects_cold_mode() {
+        let ctx = context_with_mode(ClassificationMode::Cold);
+        let _ = ctx.derive_narrower(CacheGeometry::paper_default().with_ways(2));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use pwcet_cache::CacheGeometry;
 use pwcet_cfg::CfgError;
 use pwcet_progen::CompiledProgram;
 
+use crate::codec::Fnv1a;
 use crate::context::AnalysisContext;
 
 /// Default number of cached contexts — comfortably above the benchmark
@@ -135,6 +136,28 @@ impl ContextCache {
         geometry: CacheGeometry,
         mode: ClassificationMode,
     ) -> u64 {
+        let mut hash = Self::family_hash(compiled, geometry, mode);
+        hash.write_u32(geometry.ways());
+        hash.finish()
+    }
+
+    /// The **family fingerprint**: everything [`key_of`](Self::key_of)
+    /// hashes *except* the way count. Geometries that differ only in
+    /// associativity share a family — the grouping the reuse plane's
+    /// cross-geometry derivation is indexed by.
+    pub fn family_key_of(
+        compiled: &CompiledProgram,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> u64 {
+        Self::family_hash(compiled, geometry, mode).finish()
+    }
+
+    fn family_hash(
+        compiled: &CompiledProgram,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Fnv1a {
         let mut hash = Fnv1a::new();
         hash.write_u32(compiled.image().base());
         for &word in compiled.image().words() {
@@ -153,13 +176,12 @@ impl ContextCache {
             hash.write_u32(bound.bound);
         }
         hash.write_u32(geometry.sets());
-        hash.write_u32(geometry.ways());
         hash.write_u32(geometry.block_bytes());
         hash.write_u32(match mode {
             ClassificationMode::Cold => 0,
             ClassificationMode::Incremental => 1,
         });
-        hash.finish()
+        hash
     }
 
     /// Returns the cached context for the triple, building (and caching)
@@ -178,27 +200,52 @@ impl ContextCache {
         mode: ClassificationMode,
     ) -> Result<Arc<AnalysisContext>, CfgError> {
         let key = Self::key_of(compiled, geometry, mode);
-        {
-            let mut inner = self.inner.lock().expect("context cache lock");
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(entry) = inner.entries.get_mut(&key) {
+        if let Some(context) = self.lookup(key) {
+            return Ok(context);
+        }
+        let built = Arc::new(AnalysisContext::build_with_mode(compiled, geometry, mode)?);
+        Ok(self.insert(key, built))
+    }
+
+    /// Looks `key` up, counting a hit or a miss. The [`ReusePlane`]
+    /// probes this tier first and, on a miss, fills it through
+    /// [`insert`](Self::insert) from whichever lower tier answered.
+    ///
+    /// [`ReusePlane`]: crate::ReusePlane
+    pub(crate) fn lookup(&self, key: u64) -> Option<Arc<AnalysisContext>> {
+        let mut inner = self.inner.lock().expect("context cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&key) {
+            Some(entry) => {
                 entry.last_used = tick;
                 let context = Arc::clone(&entry.context);
                 inner.hits += 1;
-                return Ok(context);
+                Some(context)
             }
-            inner.misses += 1;
+            None => {
+                inner.misses += 1;
+                None
+            }
         }
+    }
 
-        let built = Arc::new(AnalysisContext::build_with_mode(compiled, geometry, mode)?);
+    /// Looks `key` up **without** touching recency or the counters — used
+    /// for derivation sources, where a probe must not distort the stats
+    /// or keep an otherwise-dead entry alive.
+    pub(crate) fn peek(&self, key: u64) -> Option<Arc<AnalysisContext>> {
+        let inner = self.inner.lock().expect("context cache lock");
+        inner.entries.get(&key).map(|e| Arc::clone(&e.context))
+    }
 
+    /// Files `context` under `key`, evicting LRU entries beyond capacity.
+    /// When a racing insert got there first, its (possibly already
+    /// warmed) context wins and is returned instead.
+    pub(crate) fn insert(&self, key: u64, context: Arc<AnalysisContext>) -> Arc<AnalysisContext> {
         let mut inner = self.inner.lock().expect("context cache lock");
         inner.tick += 1;
         let tick = inner.tick;
         let context = match inner.entries.get_mut(&key) {
-            // A racing builder got here first; keep its (possibly already
-            // warmed) context and drop ours.
             Some(entry) => {
                 entry.last_used = tick;
                 Arc::clone(&entry.context)
@@ -207,11 +254,11 @@ impl ContextCache {
                 inner.entries.insert(
                     key,
                     Entry {
-                        context: Arc::clone(&built),
+                        context: Arc::clone(&context),
                         last_used: tick,
                     },
                 );
-                built
+                context
             }
         };
         while inner.entries.len() > self.capacity {
@@ -224,7 +271,19 @@ impl ContextCache {
             inner.entries.remove(&oldest);
             inner.evictions += 1;
         }
-        Ok(context)
+        context
+    }
+
+    /// A snapshot of every `(key, context)` pair — what a
+    /// [`ReusePlane::flush`](crate::ReusePlane::flush) walks when writing
+    /// the memory tier through to disk.
+    pub(crate) fn entries_snapshot(&self) -> Vec<(u64, Arc<AnalysisContext>)> {
+        let inner = self.inner.lock().expect("context cache lock");
+        inner
+            .entries
+            .iter()
+            .map(|(&k, e)| (k, Arc::clone(&e.context)))
+            .collect()
     }
 
     /// Current counters and occupancy.
@@ -261,39 +320,6 @@ impl ContextCache {
             .expect("context cache lock")
             .entries
             .clear();
-    }
-}
-
-/// Minimal 64-bit FNV-1a — deterministic across platforms and processes,
-/// unlike `DefaultHasher`, which randomizes per process.
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new() -> Self {
-        Self(Self::OFFSET)
-    }
-
-    fn write_bytes(&mut self, bytes: &[u8]) {
-        // Length prefix keeps concatenated fields unambiguous.
-        for b in (bytes.len() as u32).to_le_bytes() {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
-        }
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn write_u32(&mut self, value: u32) {
-        for b in value.to_le_bytes() {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 
@@ -366,6 +392,48 @@ mod tests {
             ContextCache::key_of(&a, geometry(), mode),
             ContextCache::key_of(&b, geometry(), mode)
         );
+    }
+
+    #[test]
+    fn family_key_ignores_the_way_count_only() {
+        let mode = ClassificationMode::Incremental;
+        let program = compiled("p", 10);
+        let wide = geometry();
+        let narrow = wide.with_ways(2);
+        assert_ne!(
+            ContextCache::key_of(&program, wide, mode),
+            ContextCache::key_of(&program, narrow, mode),
+            "full keys separate per-geometry entries"
+        );
+        assert_eq!(
+            ContextCache::family_key_of(&program, wide, mode),
+            ContextCache::family_key_of(&program, narrow, mode),
+            "siblings share a family"
+        );
+        assert_ne!(
+            ContextCache::family_key_of(&program, wide, mode),
+            ContextCache::family_key_of(&program, CacheGeometry::new(8, 4, 16), mode),
+            "a different set count is a different family"
+        );
+        assert_ne!(
+            ContextCache::family_key_of(&program, wide, mode),
+            ContextCache::family_key_of(&program, wide, ClassificationMode::Cold),
+            "the classification mode stays part of the family"
+        );
+    }
+
+    #[test]
+    fn peek_does_not_touch_stats_or_recency() {
+        let cache = ContextCache::new(4);
+        let program = compiled("p", 10);
+        let mode = ClassificationMode::Incremental;
+        let key = ContextCache::key_of(&program, geometry(), mode);
+        assert!(cache.peek(key).is_none());
+        let built = cache.get_or_build(&program, geometry(), mode).unwrap();
+        let peeked = cache.peek(key).unwrap();
+        assert!(Arc::ptr_eq(&built, &peeked));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1), "peeks are uncounted");
     }
 
     #[test]

@@ -57,6 +57,7 @@
 //! # }
 //! ```
 
+mod codec;
 mod config;
 mod context;
 mod context_cache;
@@ -64,7 +65,9 @@ mod error;
 mod estimate;
 mod fmm;
 mod pipeline;
+mod reuse_plane;
 
+pub use codec::CodecError;
 pub use config::AnalysisConfig;
 pub use context::AnalysisContext;
 pub use context_cache::{ContextCache, ContextCacheStats, DEFAULT_CONTEXT_CAPACITY};
@@ -74,3 +77,4 @@ pub use fmm::FaultMissMap;
 pub use pipeline::{expand_compiled, ProgramAnalysis, PwcetAnalyzer};
 pub use pwcet_analysis::ClassificationMode;
 pub use pwcet_par::Parallelism;
+pub use reuse_plane::{ReusePlane, ReusePlaneStats, DEFAULT_DISK_CAPACITY_BYTES};

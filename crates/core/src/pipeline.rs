@@ -30,6 +30,7 @@ use crate::context_cache::ContextCache;
 use crate::error::CoreError;
 use crate::estimate::{Protection, PwcetEstimate};
 use crate::fmm::FaultMissMap;
+use crate::reuse_plane::ReusePlane;
 
 /// Builds the expanded control-flow graph of a compiled program (function
 /// extents and loop bounds are taken from the compilation metadata).
@@ -57,33 +58,50 @@ pub fn expand_compiled(compiled: &CompiledProgram) -> Result<ExpandedCfg, CfgErr
 #[derive(Debug, Clone)]
 pub struct PwcetAnalyzer {
     config: AnalysisConfig,
-    cache: Option<Arc<ContextCache>>,
+    reuse: Option<Arc<ReusePlane>>,
 }
 
 impl PwcetAnalyzer {
-    /// Creates an analyzer with the given configuration (no context
-    /// cache; every analysis builds a fresh context).
+    /// Creates an analyzer with the given configuration (no reuse plane;
+    /// every analysis builds a fresh context).
     pub fn new(config: AnalysisConfig) -> Self {
         Self {
             config,
-            cache: None,
+            reuse: None,
         }
     }
 
-    /// Attaches a shared [`ContextCache`]: analyses of programs whose
-    /// content fingerprint is already cached reuse the stored context —
-    /// CFG and every memoized classification level — instead of
-    /// rebuilding them. Sweeps and repeated suite runs become nearly
-    /// free; results are bit-identical either way.
+    /// Attaches a shared [`ContextCache`] as a memory-only reuse plane:
+    /// analyses of programs whose content fingerprint is already cached
+    /// reuse the stored context — CFG and every memoized classification
+    /// level — instead of rebuilding them, and narrower-way sibling
+    /// geometries are derived from cached wider ones. Sweeps and repeated
+    /// suite runs become nearly free; results are bit-identical either
+    /// way. For cross-*process* reuse attach a full [`ReusePlane`] with a
+    /// disk tier via [`with_reuse_plane`](Self::with_reuse_plane).
     #[must_use]
-    pub fn with_cache(mut self, cache: Arc<ContextCache>) -> Self {
-        self.cache = Some(cache);
+    pub fn with_cache(self, cache: Arc<ContextCache>) -> Self {
+        self.with_reuse_plane(Arc::new(ReusePlane::with_memory(cache)))
+    }
+
+    /// Attaches a [`ReusePlane`]: every analysis resolves its context
+    /// through the plane's tiers (memory, disk, cross-geometry
+    /// derivation) and writes newly computed artifacts through to the
+    /// disk tier when one is attached.
+    #[must_use]
+    pub fn with_reuse_plane(mut self, plane: Arc<ReusePlane>) -> Self {
+        self.reuse = Some(plane);
         self
     }
 
-    /// The attached context cache, if any.
+    /// The memory tier of the attached reuse plane, if any.
     pub fn cache(&self) -> Option<&Arc<ContextCache>> {
-        self.cache.as_ref()
+        self.reuse.as_ref().map(|plane| plane.memory())
+    }
+
+    /// The attached reuse plane, if any.
+    pub fn reuse_plane(&self) -> Option<&Arc<ReusePlane>> {
+        self.reuse.as_ref()
     }
 
     /// The configuration in use.
@@ -112,18 +130,22 @@ impl PwcetAnalyzer {
         &self,
         compiled: &CompiledProgram,
     ) -> Result<ProgramAnalysis, CoreError> {
-        match &self.cache {
-            Some(cache) => {
-                let context = cache.get_or_build(
+        match &self.reuse {
+            Some(plane) => {
+                let context = plane.get_or_build(
                     compiled,
                     self.config.geometry,
                     self.config.classification,
                 )?;
                 let mut analysis = self.analyze_with_context(&context)?;
-                // The cache key is content-addressed and name-blind: a hit
+                // The plane key is content-addressed and name-blind: a hit
                 // may hand back a context built for an identically-shaped
                 // program with another name. Report the caller's name.
                 analysis.name = compiled.name().to_string();
+                // Write the (now warmed) artifacts through to the disk
+                // tier so the next process starts warm. No-op without a
+                // disk tier; IO failures degrade to a counted stat.
+                plane.persist(compiled, &context);
                 Ok(analysis)
             }
             None => {
@@ -193,7 +215,7 @@ impl PwcetAnalyzer {
             self.config.parallelism
         };
         let mut program_analyzer = Self::new(self.config.with_parallelism(inner));
-        program_analyzer.cache = self.cache.clone();
+        program_analyzer.reuse = self.reuse.clone();
         par_map(self.config.parallelism, programs, |program| {
             program_analyzer.analyze(program)
         })

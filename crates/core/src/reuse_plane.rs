@@ -1,0 +1,666 @@
+//! The unified reuse plane: every way one analysis can avoid redoing
+//! another's work, behind one `get_or_build` entry point.
+//!
+//! Three tiers, probed in order:
+//!
+//! ```text
+//!            ┌──────────────────────────────────────────────┐
+//!  lookup ──▶│ 1. memory tier   ContextCache (LRU, in-proc) │─ hit ─▶ Arc<AnalysisContext>
+//!            ├──────────────────────────────────────────────┤
+//!            │ 2. disk tier     versioned binary entries,   │─ hit ─▶ decode + install
+//!            │    keyed by content fingerprint, checksummed │
+//!            ├──────────────────────────────────────────────┤
+//!            │ 3. derivation    widest lattice sibling in   │─ hit ─▶ truncate-seed
+//!            │    the memory tier (same sets/block/mode)    │         full level
+//!            ├──────────────────────────────────────────────┤
+//!            │ 4. cold build                                │
+//!            └──────────────────────────────────────────────┘
+//! ```
+//!
+//! Whatever tier answers, the result is filed back into the memory tier,
+//! so one process never pays the same cost twice. The disk tier is
+//! populated by [`ReusePlane::persist`] (the analyzer calls it after
+//! every analysis over the plane) and makes *cross-process* re-runs warm;
+//! the derivation tier makes *cross-geometry* sweeps warm — within one
+//! lattice (same sets and block size, [`CacheGeometry::derivable_from`])
+//! only the widest geometry ever runs a cold classification fixpoint.
+//!
+//! **Failure containment**: any unreadable, truncated, corrupted, or
+//! version-skewed disk entry is counted
+//! ([`ReusePlaneStats::disk_corrupt`]), logged to stderr, deleted, and
+//! answered by the next tier. The disk tier can cost time, never
+//! correctness — `crates/core/tests/reuse_plane.rs` pins every corruption
+//! class.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use pwcet_analysis::ClassificationMode;
+use pwcet_cache::CacheGeometry;
+use pwcet_cfg::CfgError;
+use pwcet_progen::CompiledProgram;
+
+use crate::codec::{decode_context, encode_context};
+use crate::context::AnalysisContext;
+use crate::context_cache::{ContextCache, ContextCacheStats};
+use crate::pipeline::expand_compiled;
+
+/// Default on-disk budget: far above a full benchmark-suite store (a few
+/// hundred KB) while bounding runaway sweeps.
+pub const DEFAULT_DISK_CAPACITY_BYTES: u64 = 64 * 1024 * 1024;
+
+/// File extension of disk-tier entries.
+const ENTRY_EXT: &str = "pwctx";
+
+/// Counters of a [`ReusePlane`], aggregated over all tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReusePlaneStats {
+    /// Memory-tier (LRU context cache) counters.
+    pub memory: ContextCacheStats,
+    /// Lookups answered by decoding a disk entry.
+    pub disk_hits: u64,
+    /// Lookups that probed the disk tier and found no (usable) entry.
+    pub disk_misses: u64,
+    /// Entries written (or rewritten richer) to the disk tier.
+    pub disk_writes: u64,
+    /// Corrupted/unreadable disk entries that fell back to a lower tier.
+    pub disk_corrupt: u64,
+    /// Disk entries removed by the size-capped GC.
+    pub disk_gc_evictions: u64,
+    /// Contexts derived from a wider lattice sibling instead of built
+    /// cold.
+    pub derived: u64,
+    /// Contexts built cold (no tier could answer).
+    pub cold_builds: u64,
+}
+
+impl ReusePlaneStats {
+    /// Fraction of non-memory-tier builds avoided by the disk and
+    /// derivation tiers (0 when nothing was requested).
+    pub fn reuse_rate(&self) -> f64 {
+        let avoided = self.disk_hits + self.derived;
+        let total = avoided + self.cold_builds;
+        if total == 0 {
+            return 0.0;
+        }
+        avoided as f64 / total as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    disk_hits: u64,
+    disk_misses: u64,
+    disk_writes: u64,
+    disk_corrupt: u64,
+    disk_gc_evictions: u64,
+    derived: u64,
+    cold_builds: u64,
+}
+
+/// How much of a context a disk entry captures — used to decide whether a
+/// rewrite would add anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+struct Richness {
+    levels: usize,
+    solved: usize,
+    srb: bool,
+}
+
+impl Richness {
+    /// Presence counts only — deliberately free of the deep artifact
+    /// clones `snapshot_parts` makes, since this runs after *every*
+    /// analysis over a disk-tier plane.
+    fn of(context: &AnalysisContext) -> Self {
+        Self {
+            levels: context.warmed_levels(),
+            solved: context.solved_configurations(),
+            srb: context.srb_warmed(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct DiskTier {
+    dir: PathBuf,
+    max_bytes: u64,
+    /// What this process knows to be on disk, by key: skip rewrites that
+    /// would not add artifacts. Kept coherent with the GC, which removes
+    /// the keys of the entries it evicts.
+    written: Mutex<HashMap<u64, Richness>>,
+}
+
+impl DiskTier {
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("ctx-{key:016x}.{ENTRY_EXT}"))
+    }
+
+    /// The content key a store file was written under, parsed back out
+    /// of its `ctx-<key:016x>.pwctx` name (`None` for foreign files).
+    fn key_of_path(path: &Path) -> Option<u64> {
+        let stem = path.file_stem()?.to_str()?;
+        u64::from_str_radix(stem.strip_prefix("ctx-")?, 16).ok()
+    }
+}
+
+/// The tiered reuse store of analysis contexts. See the [module
+/// docs](self) for the tier diagram and fall-back rules.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pwcet_core::{AnalysisConfig, PwcetAnalyzer, ReusePlane};
+/// use pwcet_progen::{stmt, Program};
+///
+/// # fn main() -> Result<(), pwcet_core::CoreError> {
+/// let plane = Arc::new(ReusePlane::in_memory());
+/// let analyzer =
+///     PwcetAnalyzer::new(AnalysisConfig::paper_default()).with_reuse_plane(Arc::clone(&plane));
+/// let program = Program::new("p").with_function("main", stmt::loop_(10, stmt::compute(8)));
+/// analyzer.analyze(&program)?;
+/// analyzer.analyze(&program)?; // memory-tier hit
+/// assert_eq!(plane.stats().memory.hits, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ReusePlane {
+    memory: Arc<ContextCache>,
+    disk: Option<DiskTier>,
+    /// Family fingerprint → way count → full key, for the derivation
+    /// tier. Only records what passed through this plane.
+    families: Mutex<HashMap<u64, BTreeMap<u32, u64>>>,
+    counters: Mutex<Counters>,
+}
+
+impl Default for ReusePlane {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl ReusePlane {
+    /// A memory-only plane (LRU tier at the default capacity plus the
+    /// derivation tier; no persistence).
+    pub fn in_memory() -> Self {
+        Self::with_memory(Arc::new(ContextCache::default()))
+    }
+
+    /// A plane over a caller-owned memory tier. The cache may be shared
+    /// with code still using it directly; both sides observe one set of
+    /// entries and counters.
+    pub fn with_memory(memory: Arc<ContextCache>) -> Self {
+        Self {
+            memory,
+            disk: None,
+            families: Mutex::new(HashMap::new()),
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    /// Attaches the on-disk tier rooted at `dir` (created if missing)
+    /// with the [default size cap](DEFAULT_DISK_CAPACITY_BYTES).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory-creation failure.
+    pub fn with_disk_tier(self, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        self.with_disk_tier_capped(dir, DEFAULT_DISK_CAPACITY_BYTES)
+    }
+
+    /// As [`with_disk_tier`](Self::with_disk_tier) with an explicit byte
+    /// budget for the store (the GC keeps total entry size at or below
+    /// it, evicting oldest-modified entries first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory-creation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_bytes` is zero.
+    pub fn with_disk_tier_capped(
+        mut self,
+        dir: impl Into<PathBuf>,
+        max_bytes: u64,
+    ) -> std::io::Result<Self> {
+        assert!(max_bytes > 0, "a zero-byte disk tier can never hit");
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        self.disk = Some(DiskTier {
+            dir,
+            max_bytes,
+            written: Mutex::new(HashMap::new()),
+        });
+        Ok(self)
+    }
+
+    /// The memory tier (shared LRU context cache).
+    pub fn memory(&self) -> &Arc<ContextCache> {
+        &self.memory
+    }
+
+    /// The disk-tier directory, when one is attached.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Aggregated counters over all tiers.
+    pub fn stats(&self) -> ReusePlaneStats {
+        let counters = self.counters.lock().expect("reuse plane counters");
+        ReusePlaneStats {
+            memory: self.memory.stats(),
+            disk_hits: counters.disk_hits,
+            disk_misses: counters.disk_misses,
+            disk_writes: counters.disk_writes,
+            disk_corrupt: counters.disk_corrupt,
+            disk_gc_evictions: counters.disk_gc_evictions,
+            derived: counters.derived,
+            cold_builds: counters.cold_builds,
+        }
+    }
+
+    /// The one entry point: the context for `(compiled, geometry, mode)`,
+    /// answered by the cheapest tier that can — memory, disk, derivation
+    /// from a wider lattice sibling, cold build — and filed back into the
+    /// memory tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CfgError`] from CFG reconstruction (nothing is cached
+    /// on failure). Disk-tier failures are *not* errors; they degrade to
+    /// the next tier and are counted in [`stats`](Self::stats).
+    pub fn get_or_build(
+        &self,
+        compiled: &CompiledProgram,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Result<Arc<AnalysisContext>, CfgError> {
+        let key = ContextCache::key_of(compiled, geometry, mode);
+        let family = ContextCache::family_key_of(compiled, geometry, mode);
+        if let Some(context) = self.memory.lookup(key) {
+            self.register_family(family, geometry.ways(), key);
+            return Ok(context);
+        }
+
+        let context = match self.load_from_disk(compiled, key, geometry, mode) {
+            Some(restored) => Arc::new(restored),
+            None => match self.derive_from_family(family, geometry, mode) {
+                Some(derived) => derived,
+                None => {
+                    let built =
+                        Arc::new(AnalysisContext::build_with_mode(compiled, geometry, mode)?);
+                    self.counters
+                        .lock()
+                        .expect("reuse plane counters")
+                        .cold_builds += 1;
+                    built
+                }
+            },
+        };
+
+        self.register_family(family, geometry.ways(), key);
+        Ok(self.memory.insert(key, context))
+    }
+
+    /// Writes `context`'s artifacts through to the disk tier (no-op
+    /// without one, or when the stored entry is already as rich).
+    /// Returns whether an entry was written. IO failures are logged and
+    /// counted, never raised — persistence is an optimization.
+    pub fn persist(&self, compiled: &CompiledProgram, context: &AnalysisContext) -> bool {
+        let key = ContextCache::key_of(compiled, *context.geometry(), context.mode());
+        self.persist_keyed(key, context)
+    }
+
+    /// Writes every memory-tier context through to the disk tier,
+    /// returning how many entries were (re)written. Call at the end of a
+    /// sweep to capture lazily-warmed artifacts the per-analysis
+    /// write-through may have missed.
+    pub fn flush(&self) -> usize {
+        if self.disk.is_none() {
+            return 0;
+        }
+        self.memory
+            .entries_snapshot()
+            .into_iter()
+            .filter(|(key, context)| self.persist_keyed(*key, context))
+            .count()
+    }
+
+    fn register_family(&self, family: u64, ways: u32, key: u64) {
+        self.families
+            .lock()
+            .expect("reuse plane families")
+            .entry(family)
+            .or_default()
+            .insert(ways, key);
+    }
+
+    /// Derivation tier: the widest already-cached sibling of the same
+    /// family that is strictly wider than `geometry`, if any.
+    fn derive_from_family(
+        &self,
+        family: u64,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Option<Arc<AnalysisContext>> {
+        // Cold mode is the from-scratch reference; deriving would defeat
+        // its purpose.
+        if mode != ClassificationMode::Incremental {
+            return None;
+        }
+        let candidates: Vec<u64> = {
+            let families = self.families.lock().expect("reuse plane families");
+            let members = families.get(&family)?;
+            members
+                .range(geometry.ways() + 1..)
+                .rev()
+                .map(|(_, &key)| key)
+                .collect()
+        };
+        for wider_key in candidates {
+            // The sibling may have been LRU-evicted since it was
+            // registered; peek (uncounted) and fall through when gone.
+            if let Some(wider) = self.memory.peek(wider_key) {
+                let derived = Arc::new(wider.derive_narrower(geometry));
+                self.counters.lock().expect("reuse plane counters").derived += 1;
+                return Some(derived);
+            }
+        }
+        None
+    }
+
+    /// Disk tier probe: decode, validate against the live CFG, and
+    /// restore. Every failure degrades to `None` with a counted stat; a
+    /// corrupt file is additionally deleted so it cannot fail again.
+    fn load_from_disk(
+        &self,
+        compiled: &CompiledProgram,
+        key: u64,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Option<AnalysisContext> {
+        let disk = self.disk.as_ref()?;
+        let path = disk.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                // Absent (or unreadable) entry: a plain disk miss.
+                self.counters
+                    .lock()
+                    .expect("reuse plane counters")
+                    .disk_misses += 1;
+                return None;
+            }
+        };
+        let cfg = match expand_compiled(compiled) {
+            Ok(cfg) => cfg,
+            Err(_) => {
+                // The cold path will surface the same error with context.
+                self.counters
+                    .lock()
+                    .expect("reuse plane counters")
+                    .disk_misses += 1;
+                return None;
+            }
+        };
+        match decode_context(&bytes, &cfg, key, geometry, mode) {
+            Ok((name, parts)) => {
+                let context =
+                    AnalysisContext::from_parts(name, Arc::new(cfg), geometry, mode, parts);
+                let richness = Richness::of(&context);
+                disk.written
+                    .lock()
+                    .expect("disk tier index")
+                    .insert(key, richness);
+                self.counters
+                    .lock()
+                    .expect("reuse plane counters")
+                    .disk_hits += 1;
+                Some(context)
+            }
+            Err(err) => {
+                eprintln!(
+                    "pwcet-core: discarding corrupt context entry {} ({err}); rebuilding cold",
+                    path.display()
+                );
+                let _ = fs::remove_file(&path);
+                let mut counters = self.counters.lock().expect("reuse plane counters");
+                counters.disk_corrupt += 1;
+                counters.disk_misses += 1;
+                None
+            }
+        }
+    }
+
+    fn persist_keyed(&self, key: u64, context: &AnalysisContext) -> bool {
+        let Some(disk) = self.disk.as_ref() else {
+            return false;
+        };
+        let richness = Richness::of(context);
+        if richness == Richness::default() {
+            return false; // nothing worth storing yet
+        }
+        {
+            let written = disk.written.lock().expect("disk tier index");
+            if written.get(&key).is_some_and(|have| *have >= richness) {
+                return false;
+            }
+        }
+        let bytes = encode_context(
+            key,
+            context.name(),
+            *context.geometry(),
+            context.mode(),
+            &context.snapshot_parts(),
+        );
+        let path = disk.entry_path(key);
+        match write_atomically(&path, &bytes) {
+            Ok(()) => {
+                disk.written
+                    .lock()
+                    .expect("disk tier index")
+                    .insert(key, richness);
+                let mut counters = self.counters.lock().expect("reuse plane counters");
+                counters.disk_writes += 1;
+                drop(counters);
+                self.collect_garbage(disk, &path);
+                true
+            }
+            Err(err) => {
+                eprintln!(
+                    "pwcet-core: failed to persist context entry {} ({err})",
+                    path.display()
+                );
+                self.counters
+                    .lock()
+                    .expect("reuse plane counters")
+                    .disk_corrupt += 1;
+                false
+            }
+        }
+    }
+
+    /// Size-capped GC: while the store exceeds its budget, evict the
+    /// oldest-modified entries — except the one just written, so a single
+    /// oversized store still makes forward progress. Evicted keys are
+    /// dropped from the write-through index, so a later [`persist`]
+    /// (or [`flush`](Self::flush)) re-persists them instead of believing
+    /// they are still on disk. Also sweeps temp files orphaned by a
+    /// crashed writer.
+    ///
+    /// [`persist`]: Self::persist
+    fn collect_garbage(&self, disk: &DiskTier, just_written: &Path) {
+        let Ok(entries) = fs::read_dir(&disk.dir) else {
+            return;
+        };
+        let now = std::time::SystemTime::now();
+        let mut files: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Ok(meta) = entry.metadata() else { continue };
+            let Ok(mtime) = meta.modified() else { continue };
+            match path.extension().and_then(|e| e.to_str()) {
+                Some(ext) if ext == ENTRY_EXT => files.push((path, meta.len(), mtime)),
+                // A temp file this old cannot belong to a live write (a
+                // write lasts milliseconds): a crashed writer orphaned it.
+                Some("tmp")
+                    if now
+                        .duration_since(mtime)
+                        .is_ok_and(|age| age.as_secs() >= STALE_TMP_SECS) =>
+                {
+                    let _ = fs::remove_file(&path);
+                }
+                _ => {}
+            }
+        }
+        let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+        if total <= disk.max_bytes {
+            return;
+        }
+        files.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut evicted = 0;
+        let mut written = disk.written.lock().expect("disk tier index");
+        for (path, len, _) in files {
+            if total <= disk.max_bytes {
+                break;
+            }
+            if path == just_written {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                if let Some(key) = DiskTier::key_of_path(&path) {
+                    written.remove(&key);
+                }
+                total -= len;
+                evicted += 1;
+            }
+        }
+        drop(written);
+        if evicted > 0 {
+            self.counters
+                .lock()
+                .expect("reuse plane counters")
+                .disk_gc_evictions += evicted;
+        }
+    }
+}
+
+/// Temp files older than this are crashed-writer orphans the GC removes.
+const STALE_TMP_SECS: u64 = 60;
+
+/// Writes via a uniquely-named sibling temp file + rename, so readers
+/// never observe a half-written entry and concurrent writers of the same
+/// key never interleave into one buffer (last rename wins; both buffers
+/// are complete entries). A crash between create and rename leaves only
+/// an orphaned temp file, which the GC sweeps.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("{}-{seq}.tmp", std::process::id()));
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwcet_progen::{stmt, Program};
+
+    fn compiled(name: &str, iterations: u32) -> CompiledProgram {
+        Program::new(name)
+            .with_function("main", stmt::loop_(iterations, stmt::compute(12)))
+            .compile(0x0040_0000)
+            .unwrap()
+    }
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::paper_default()
+    }
+
+    const MODE: ClassificationMode = ClassificationMode::Incremental;
+
+    #[test]
+    fn memory_tier_answers_repeats() {
+        let plane = ReusePlane::in_memory();
+        let program = compiled("p", 10);
+        let a = plane.get_or_build(&program, geometry(), MODE).unwrap();
+        let b = plane.get_or_build(&program, geometry(), MODE).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = plane.stats();
+        assert_eq!((stats.memory.hits, stats.memory.misses), (1, 1));
+        assert_eq!(stats.cold_builds, 1);
+        assert_eq!(stats.derived, 0);
+    }
+
+    #[test]
+    fn narrower_sibling_is_derived_not_built() {
+        let plane = ReusePlane::in_memory();
+        let program = compiled("p", 10);
+        let wide = plane.get_or_build(&program, geometry(), MODE).unwrap();
+        wide.prewarm(pwcet_par::Parallelism::Sequential);
+        for ways in [2u32, 1] {
+            let narrow = plane
+                .get_or_build(&program, geometry().with_ways(ways), MODE)
+                .unwrap();
+            assert_eq!(narrow.geometry().ways(), ways);
+        }
+        let stats = plane.stats();
+        assert_eq!(stats.cold_builds, 1, "only the widest builds cold");
+        assert_eq!(stats.derived, 2);
+    }
+
+    #[test]
+    fn cold_mode_never_derives() {
+        let plane = ReusePlane::in_memory();
+        let program = compiled("p", 10);
+        plane
+            .get_or_build(&program, geometry(), ClassificationMode::Cold)
+            .unwrap();
+        plane
+            .get_or_build(&program, geometry().with_ways(2), ClassificationMode::Cold)
+            .unwrap();
+        let stats = plane.stats();
+        assert_eq!(stats.derived, 0);
+        assert_eq!(stats.cold_builds, 2);
+    }
+
+    #[test]
+    fn derivation_never_widens_or_crosses_families() {
+        let plane = ReusePlane::in_memory();
+        let program = compiled("p", 10);
+        // Narrow first: the wide sibling must NOT be derived from it.
+        plane
+            .get_or_build(&program, geometry().with_ways(2), MODE)
+            .unwrap();
+        plane.get_or_build(&program, geometry(), MODE).unwrap();
+        // A different set count is a different family.
+        plane
+            .get_or_build(&program, CacheGeometry::new(8, 2, 16), MODE)
+            .unwrap();
+        let stats = plane.stats();
+        assert_eq!(stats.derived, 0);
+        assert_eq!(stats.cold_builds, 3);
+    }
+
+    #[test]
+    fn reuse_rate_aggregates_tiers() {
+        let mut stats = ReusePlaneStats::default();
+        assert_eq!(stats.reuse_rate(), 0.0);
+        stats.disk_hits = 2;
+        stats.derived = 1;
+        stats.cold_builds = 1;
+        assert!((stats.reuse_rate() - 0.75).abs() < 1e-12);
+    }
+}

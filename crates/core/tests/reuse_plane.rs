@@ -1,0 +1,226 @@
+//! Disk-tier integration tests: persistence across plane instances (the
+//! in-process equivalent of separate processes — same encode/decode
+//! path), corruption robustness, and the size-capped GC.
+//!
+//! The acceptance bar for the corruption suite: a damaged entry may cost
+//! a cold rebuild, but it must never panic, never error the analysis,
+//! and never change a result. Every case asserts all three.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pwcet_core::{AnalysisConfig, ProgramAnalysis, Protection, PwcetAnalyzer, ReusePlane};
+use pwcet_progen::{stmt, Program};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pwcet-reuse-test-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn program() -> Program {
+    Program::new("persisted").with_function("main", stmt::loop_(40, stmt::compute(28)))
+}
+
+fn analyzer(plane: &Arc<ReusePlane>) -> PwcetAnalyzer {
+    PwcetAnalyzer::new(AnalysisConfig::paper_default()).with_reuse_plane(Arc::clone(plane))
+}
+
+fn assert_same_results(a: &ProgramAnalysis, b: &ProgramAnalysis) {
+    assert_eq!(a.fault_free_wcet(), b.fault_free_wcet());
+    assert_eq!(a.fmm(), b.fmm());
+    assert_eq!(a.srb_last_column(), b.srb_last_column());
+    for protection in Protection::all() {
+        assert_eq!(
+            a.estimate(protection).pwcet_at(1e-15),
+            b.estimate(protection).pwcet_at(1e-15)
+        );
+    }
+}
+
+/// Analyzes once against a fresh store and returns the reference result
+/// plus the store directory (left populated).
+fn populate(tag: &str) -> (ProgramAnalysis, PathBuf) {
+    let dir = scratch_dir(tag);
+    let plane = Arc::new(ReusePlane::in_memory().with_disk_tier(&dir).unwrap());
+    let reference = analyzer(&plane).analyze(&program()).unwrap();
+    let stats = plane.stats();
+    assert_eq!(stats.cold_builds, 1);
+    assert!(stats.disk_writes >= 1, "analysis must write through");
+    (reference, dir)
+}
+
+fn entry_paths(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("pwctx"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn second_plane_instance_reads_the_store() {
+    // Two plane instances over one directory — exactly what two separate
+    // processes exercise (the CI `persistence` job runs the real
+    // two-process variant via the `persist_probe` binary).
+    let (reference, dir) = populate("second-instance");
+    let fresh = Arc::new(ReusePlane::in_memory().with_disk_tier(&dir).unwrap());
+    let warm = analyzer(&fresh).analyze(&program()).unwrap();
+    assert_same_results(&reference, &warm);
+    let stats = fresh.stats();
+    assert_eq!(stats.disk_hits, 1, "the fresh plane must decode, not build");
+    assert_eq!(stats.cold_builds, 0);
+    // The disk-restored solve artifacts make the ILP stage unnecessary;
+    // a second analysis over the same plane stays in memory.
+    let again = analyzer(&fresh).analyze(&program()).unwrap();
+    assert_same_results(&reference, &again);
+    assert_eq!(fresh.stats().memory.hits, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Every corruption flavor must degrade to a counted cold rebuild with
+/// bit-identical results — never a panic, an error, or a wrong answer.
+fn assert_falls_back_cold(tag: &str, corrupt: impl FnOnce(&PathBuf)) {
+    let (reference, dir) = populate(tag);
+    let entries = entry_paths(&dir);
+    assert_eq!(entries.len(), 1, "one program, one entry");
+    corrupt(&entries[0]);
+
+    let fresh = Arc::new(ReusePlane::in_memory().with_disk_tier(&dir).unwrap());
+    let rebuilt = analyzer(&fresh).analyze(&program()).unwrap();
+    assert_same_results(&reference, &rebuilt);
+    let stats = fresh.stats();
+    assert_eq!(stats.disk_hits, 0, "{tag}: corrupt entries must not hit");
+    assert_eq!(stats.disk_corrupt, 1, "{tag}: the fallback is counted");
+    assert_eq!(stats.cold_builds, 1, "{tag}: rebuilt cold");
+    // The poisoned file is discarded and the rebuild re-persisted: a
+    // third instance is warm again.
+    let healed = Arc::new(ReusePlane::in_memory().with_disk_tier(&dir).unwrap());
+    let warm = analyzer(&healed).analyze(&program()).unwrap();
+    assert_same_results(&reference, &warm);
+    assert_eq!(healed.stats().disk_hits, 1, "{tag}: store self-heals");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entry_falls_back_cold() {
+    assert_falls_back_cold("truncated", |path| {
+        let bytes = fs::read(path).unwrap();
+        fs::write(path, &bytes[..bytes.len() / 2]).unwrap();
+    });
+}
+
+#[test]
+fn bad_magic_falls_back_cold() {
+    assert_falls_back_cold("bad-magic", |path| {
+        let mut bytes = fs::read(path).unwrap();
+        bytes[0] = b'X';
+        fs::write(path, bytes).unwrap();
+    });
+}
+
+#[test]
+fn wrong_version_falls_back_cold() {
+    assert_falls_back_cold("wrong-version", |path| {
+        let mut bytes = fs::read(path).unwrap();
+        bytes[4] = 0xfe; // version field, little-endian u32 at offset 4
+        fs::write(path, bytes).unwrap();
+    });
+}
+
+#[test]
+fn flipped_payload_byte_falls_back_cold() {
+    assert_falls_back_cold("flipped-byte", |path| {
+        let mut bytes = fs::read(path).unwrap();
+        let mid = 24 + (bytes.len() - 24) / 2; // a payload byte
+        bytes[mid] ^= 0x40;
+        fs::write(path, bytes).unwrap();
+    });
+}
+
+#[test]
+fn flipped_checksum_byte_falls_back_cold() {
+    assert_falls_back_cold("flipped-checksum", |path| {
+        let mut bytes = fs::read(path).unwrap();
+        bytes[16] ^= 0x01; // checksum field at offset 16..24
+        fs::write(path, bytes).unwrap();
+    });
+}
+
+#[test]
+fn garbage_file_falls_back_cold() {
+    assert_falls_back_cold("garbage", |path| {
+        fs::write(path, b"not a context entry at all").unwrap();
+    });
+}
+
+fn gc_program(i: u32) -> Program {
+    Program::new(format!("gc-{i}")).with_function("main", stmt::loop_(10 + i, stmt::compute(20)))
+}
+
+#[test]
+fn size_capped_gc_evicts_oldest_entries() {
+    // Measure one entry so the budget fits exactly one: every further
+    // write must then evict its predecessor.
+    let probe_dir = scratch_dir("gc-probe");
+    let probe = Arc::new(ReusePlane::in_memory().with_disk_tier(&probe_dir).unwrap());
+    analyzer(&probe).analyze(&gc_program(0)).unwrap();
+    let entry_size = fs::metadata(&entry_paths(&probe_dir)[0]).unwrap().len();
+    let _ = fs::remove_dir_all(&probe_dir);
+
+    let dir = scratch_dir("gc");
+    let budget = entry_size + entry_size / 4;
+    let plane = Arc::new(
+        ReusePlane::in_memory()
+            .with_disk_tier_capped(&dir, budget)
+            .unwrap(),
+    );
+    let analyzer = analyzer(&plane);
+    for i in 0..4 {
+        analyzer.analyze(&gc_program(i)).unwrap();
+    }
+    let stats = plane.stats();
+    assert_eq!(stats.disk_writes, 4);
+    assert_eq!(
+        stats.disk_gc_evictions, 3,
+        "each write beyond the first must push its predecessor out"
+    );
+    let remaining = entry_paths(&dir);
+    assert_eq!(remaining.len(), 1, "only the newest entry survives");
+
+    // GC must also forget the evicted keys in the write-through index:
+    // the evicted contexts still live in the memory tier, so a flush can
+    // (and must) re-persist them rather than believing they are on disk.
+    let flushed = plane.flush();
+    assert!(
+        flushed >= 3,
+        "evicted entries must be re-persistable after GC (flushed {flushed})"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analysis_survives_an_unwritable_store() {
+    // Persistence is an optimization: a store whose directory vanishes
+    // out from under the plane (here: replaced by a plain file, which
+    // defeats even a root test runner) must not affect results.
+    let dir = scratch_dir("unwritable");
+    let plane = Arc::new(ReusePlane::in_memory().with_disk_tier(&dir).unwrap());
+    fs::remove_dir_all(&dir).unwrap();
+    fs::write(&dir, b"now a file, not a directory").unwrap();
+
+    let analysis = analyzer(&plane).analyze(&program()).unwrap();
+    assert!(analysis.fault_free_wcet() > 0);
+    let stats = plane.stats();
+    assert_eq!(stats.disk_writes, 0, "nothing could be written");
+    assert!(
+        stats.disk_corrupt >= 1,
+        "the failed write is counted, not raised"
+    );
+
+    let _ = fs::remove_file(&dir);
+}

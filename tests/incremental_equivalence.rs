@@ -16,9 +16,10 @@ use std::sync::Arc;
 
 use fault_aware_pwcet::analysis::classify;
 use fault_aware_pwcet::benchsuite;
+use fault_aware_pwcet::cache::GeometryLattice;
 use fault_aware_pwcet::core::{
     expand_compiled, AnalysisConfig, AnalysisContext, ClassificationMode, ContextCache,
-    Parallelism, ProgramAnalysis, Protection, PwcetAnalyzer,
+    Parallelism, ProgramAnalysis, Protection, PwcetAnalyzer, ReusePlane,
 };
 
 const TARGET_PROBABILITIES: [f64; 4] = [1e-3, 1e-9, 1e-15, 1.0];
@@ -156,6 +157,77 @@ fn batch_with_cache_matches_cold_individual_analyses() {
         let cold = cold_analyzer.analyze(program).unwrap();
         assert_analyses_identical(warm.name(), &cold, warm);
     }
+}
+
+/// Derived-geometry equivalence over one benchmark: every way count of
+/// the lattice, resolved through a shared [`ReusePlane`] (so every
+/// narrower point is *derived* from the widest, never built cold), must
+/// match an independent cold-mode analysis of that geometry — CHMC
+/// levels, FMM, SRB columns, exceedance curves, and quantiles.
+fn assert_geometry_derivation_matches_cold(name: &str, plane: &Arc<ReusePlane>) {
+    let lattice = GeometryLattice::paper_default();
+    let bench = benchsuite::by_name(name).unwrap();
+    let compiled = bench.program.compile(warm_config().code_base).unwrap();
+    for geometry in lattice.members() {
+        let mut warm_point = warm_config();
+        warm_point.geometry = geometry;
+        let derived = PwcetAnalyzer::new(warm_point)
+            .with_reuse_plane(Arc::clone(plane))
+            .analyze_compiled(&compiled)
+            .unwrap();
+
+        let mut cold_point = cold_config();
+        cold_point.geometry = geometry;
+        let cold = PwcetAnalyzer::new(cold_point)
+            .analyze_compiled(&compiled)
+            .unwrap();
+        assert_analyses_identical(&format!("{name}@{}ways", geometry.ways()), &cold, &derived);
+
+        // Classification levels of the derived context, against direct
+        // cold fixpoints under the narrow geometry.
+        let context = plane
+            .get_or_build(&compiled, geometry, ClassificationMode::Incremental)
+            .unwrap();
+        let cfg = expand_compiled(&compiled).unwrap();
+        for assoc in 0..=geometry.ways() {
+            let reference = classify(&cfg, &geometry, assoc);
+            assert_eq!(
+                context.chmc(assoc),
+                &reference,
+                "{name}@{}ways: CHMC level {assoc}",
+                geometry.ways()
+            );
+        }
+    }
+}
+
+#[test]
+fn geometry_derivation_matches_cold_on_spanning_subset() {
+    let plane = Arc::new(ReusePlane::in_memory());
+    for name in SPAN {
+        assert_geometry_derivation_matches_cold(name, &plane);
+    }
+    let stats = plane.stats();
+    assert_eq!(
+        stats.cold_builds as usize,
+        SPAN.len(),
+        "one cold build per benchmark — the widest geometry"
+    );
+    assert_eq!(
+        stats.derived as usize,
+        SPAN.len() * (GeometryLattice::paper_default().len() - 1),
+        "every narrower way count is derived"
+    );
+}
+
+#[test]
+#[ignore = "runs the complete 25-benchmark suite across every lattice way count (~minutes); nightly CI runs it via --include-ignored"]
+fn geometry_derivation_matches_cold_across_the_entire_suite() {
+    let plane = Arc::new(ReusePlane::in_memory());
+    for bench in benchsuite::all() {
+        assert_geometry_derivation_matches_cold(bench.name, &plane);
+    }
+    assert_eq!(plane.stats().cold_builds as usize, benchsuite::all().len());
 }
 
 #[test]

@@ -13,9 +13,9 @@
 use std::sync::Arc;
 
 use fault_aware_pwcet::benchsuite;
-use fault_aware_pwcet::cache::FaultMap;
+use fault_aware_pwcet::cache::{FaultMap, GeometryLattice};
 use fault_aware_pwcet::core::{
-    AnalysisConfig, ContextCache, ProgramAnalysis, Protection, PwcetAnalyzer,
+    AnalysisConfig, ContextCache, ProgramAnalysis, Protection, PwcetAnalyzer, ReusePlane,
 };
 use fault_aware_pwcet::sim::{monte_carlo, simulate, validation, FetchTrace, MonteCarloConfig};
 use rand::rngs::StdRng;
@@ -66,6 +66,53 @@ fn sampled_fault_maps_never_exceed_per_map_bounds() {
             }
         }
     }
+}
+
+#[test]
+fn derived_geometry_bounds_hold_against_simulation() {
+    // The cross-geometry derivation path of the reuse plane: analyses of
+    // every lattice way count — all but the widest derived by age
+    // truncation, never classified cold — must still bound every
+    // simulated execution under sampled fault maps. This pins the
+    // *soundness* of derivation independently of the warm==cold
+    // differential suite.
+    let base = AnalysisConfig::paper_default();
+    let lattice = GeometryLattice::paper_default();
+    let plane = Arc::new(ReusePlane::in_memory());
+    for name in ["bs", "fibcall"] {
+        let bench = benchsuite::by_name(name).expect("benchmark exists");
+        let compiled = bench.program.compile(base.code_base).expect("compiles");
+        let trace = simulate(&compiled, FETCH_LIMIT).expect("simulates");
+        for geometry in lattice.members() {
+            let mut config = base;
+            config.geometry = geometry;
+            let analysis = PwcetAnalyzer::new(config)
+                .with_reuse_plane(Arc::clone(&plane))
+                .analyze_compiled(&compiled)
+                .expect("analyzes");
+            let mut rng = StdRng::seed_from_u64(0x0DAC_2E00 + u64::from(geometry.ways()));
+            for pbf in [0.1, 0.6] {
+                for _ in 0..15 {
+                    let faults = FaultMap::sample(&geometry, pbf, &mut rng);
+                    for protection in Protection::all() {
+                        let outcome = validation(&analysis, protection, &trace, &faults);
+                        assert!(
+                            outcome.holds(),
+                            "{name}@{}ways/{protection} pbf={pbf}: simulated {} > bound {}",
+                            geometry.ways(),
+                            outcome.simulated,
+                            outcome.bound,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let stats = plane.stats();
+    assert!(
+        stats.derived > 0,
+        "the oracle must actually exercise derived contexts"
+    );
 }
 
 #[test]
