@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pwcet_bench::{
-    sweep_geometry_cached, sweep_pfail_cached, sweep_pfail_planed, TARGET_PROBABILITY,
+    bench_json, sweep_geometry_cached, sweep_pfail_cached, sweep_pfail_planed, TARGET_PROBABILITY,
 };
 use pwcet_cache::GeometryLattice;
 use pwcet_core::{
@@ -330,82 +330,78 @@ fn emit_json(c: &mut Criterion) {
         mean_of("ways4321/derived").unwrap_or(0.0),
     );
     let threads = Parallelism::Auto.worker_count(usize::MAX);
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"pipeline_parallel\",\n",
-            "  \"program\": \"{program}\",\n",
-            "  \"threads\": {threads},\n",
-            "  \"analyze_compiled_sequential_ns\": {seq:.0},\n",
-            "  \"analyze_compiled_parallel_ns\": {par:.0},\n",
-            "  \"analyze_compiled_speedup\": {speedup:.3},\n",
-            "  \"analyze_batch4_sequential_ns\": {bseq:.0},\n",
-            "  \"analyze_batch4_parallel_ns\": {bpar:.0},\n",
-            "  \"analyze_batch4_speedup\": {bspeedup:.3},\n",
-            "  \"sweep_program\": \"{sweep_program}\",\n",
-            "  \"sweep_pfail_points\": {sweep_points},\n",
-            "  \"sweep_pfail_cold_ns\": {scold:.0},\n",
-            "  \"sweep_pfail_warm_ns\": {swarm:.0},\n",
-            "  \"sweep_pfail_warm_speedup\": {sspeedup:.3},\n",
-            "  \"sweep_pfail_disk_ns\": {sdisk:.0},\n",
-            "  \"sweep_pfail_disk_speedup\": {sdiskspeedup:.3},\n",
-            "  \"sweep_geometry_points\": {geo_points},\n",
-            "  \"sweep_geometry_classify_cold_ns\": {gccold:.0},\n",
-            "  \"sweep_geometry_classify_derived_ns\": {gcderived:.0},\n",
-            "  \"sweep_geometry_classify_derived_speedup\": {gcspeedup:.3},\n",
-            "  \"sweep_geometry_cold_ns\": {gcold:.0},\n",
-            "  \"sweep_geometry_derived_ns\": {gderived:.0},\n",
-            "  \"sweep_geometry_derived_speedup\": {gspeedup:.3},\n",
-            "  \"note\": \"parallel speedup scales with available cores (1 on a single-core runner); the warm/disk speedups are algorithmic and show up on any machine; cross-geometry derivation accelerates the classification stage (classify rows) — the end-to-end geometry rows stay ILP-bound because the fault miss map is inherently per-geometry (see the ILP-sharding ROADMAP item)\",\n",
-            "  \"command\": \"cargo bench -p pwcet-bench --bench pipeline_parallel\"\n",
-            "}}\n"
+    let ratio = |cold: f64, warm: f64| if warm > 0.0 { cold / warm } else { 0.0 };
+    let updates: Vec<(&str, String)> = vec![
+        ("benchmark", bench_json::json_str("pipeline_parallel")),
+        ("program", bench_json::json_str(PROGRAM)),
+        ("threads", format!("{threads}")),
+        ("analyze_compiled_sequential_ns", format!("{seq:.0}")),
+        ("analyze_compiled_parallel_ns", format!("{par:.0}")),
+        (
+            "analyze_compiled_speedup",
+            format!("{:.3}", ratio(seq, par)),
         ),
-        program = PROGRAM,
-        threads = threads,
-        seq = seq,
-        par = par,
-        speedup = seq / par,
-        bseq = batch_seq,
-        bpar = batch_par,
-        bspeedup = if batch_par > 0.0 {
-            batch_seq / batch_par
-        } else {
-            0.0
-        },
-        sweep_program = SWEEP_PROGRAM,
-        sweep_points = SWEEP_PFAILS.len(),
-        scold = sweep_cold,
-        swarm = sweep_warm,
-        sspeedup = if sweep_warm > 0.0 {
-            sweep_cold / sweep_warm
-        } else {
-            0.0
-        },
-        sdisk = sweep_disk,
-        sdiskspeedup = if sweep_disk > 0.0 {
-            sweep_cold / sweep_disk
-        } else {
-            0.0
-        },
-        geo_points = GeometryLattice::paper_default().len(),
-        gccold = geo_classify_cold,
-        gcderived = geo_classify_derived,
-        gcspeedup = if geo_classify_derived > 0.0 {
-            geo_classify_cold / geo_classify_derived
-        } else {
-            0.0
-        },
-        gcold = geo_cold,
-        gderived = geo_derived,
-        gspeedup = if geo_derived > 0.0 {
-            geo_cold / geo_derived
-        } else {
-            0.0
-        },
-    );
+        ("analyze_batch4_sequential_ns", format!("{batch_seq:.0}")),
+        ("analyze_batch4_parallel_ns", format!("{batch_par:.0}")),
+        (
+            "analyze_batch4_speedup",
+            format!("{:.3}", ratio(batch_seq, batch_par)),
+        ),
+        ("sweep_program", bench_json::json_str(SWEEP_PROGRAM)),
+        ("sweep_pfail_points", format!("{}", SWEEP_PFAILS.len())),
+        ("sweep_pfail_cold_ns", format!("{sweep_cold:.0}")),
+        ("sweep_pfail_warm_ns", format!("{sweep_warm:.0}")),
+        (
+            "sweep_pfail_warm_speedup",
+            format!("{:.3}", ratio(sweep_cold, sweep_warm)),
+        ),
+        ("sweep_pfail_disk_ns", format!("{sweep_disk:.0}")),
+        (
+            "sweep_pfail_disk_speedup",
+            format!("{:.3}", ratio(sweep_cold, sweep_disk)),
+        ),
+        (
+            "sweep_geometry_points",
+            format!("{}", GeometryLattice::paper_default().len()),
+        ),
+        (
+            "sweep_geometry_classify_cold_ns",
+            format!("{geo_classify_cold:.0}"),
+        ),
+        (
+            "sweep_geometry_classify_derived_ns",
+            format!("{geo_classify_derived:.0}"),
+        ),
+        (
+            "sweep_geometry_classify_derived_speedup",
+            format!("{:.3}", ratio(geo_classify_cold, geo_classify_derived)),
+        ),
+        ("sweep_geometry_cold_ns", format!("{geo_cold:.0}")),
+        ("sweep_geometry_derived_ns", format!("{geo_derived:.0}")),
+        (
+            "sweep_geometry_derived_speedup",
+            format!("{:.3}", ratio(geo_cold, geo_derived)),
+        ),
+        (
+            "note",
+            bench_json::json_str(
+                "parallel speedup scales with available cores (1 on a single-core runner); \
+                 the warm/disk speedups are algorithmic and show up on any machine; \
+                 cross-geometry derivation accelerates the classification stage (classify rows) \
+                 — the end-to-end geometry rows stay ILP-bound because the fault miss map is \
+                 inherently per-geometry (see the ILP-sharding ROADMAP item)",
+            ),
+        ),
+        (
+            "command",
+            bench_json::json_str("cargo bench -p pwcet-bench --bench pipeline_parallel"),
+        ),
+    ];
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    std::fs::write(path, json).expect("workspace root is writable");
-    println!("wrote {path}");
+    // Upsert rather than rewrite: the serve_* rows of the service bench
+    // (`serve_bench`) live in the same file and must survive.
+    bench_json::upsert(path, &updates).expect("workspace root is writable");
+    println!("updated {path}");
 }
 
 criterion_group!(

@@ -1,0 +1,154 @@
+//! Upsert-style maintenance of `BENCH_pipeline.json`.
+//!
+//! The workspace keeps one flat JSON object of benchmark rows at the
+//! repository root, written by more than one producer (the criterion
+//! pipeline bench, the `serve_bench` service probe). Each producer owns
+//! a disjoint set of keys; [`upsert`] rewrites only the keys it is given
+//! and preserves everything else, so producers never clobber each
+//! other's rows.
+//!
+//! The format is deliberately restricted — one `"key": value` pair per
+//! line, no nesting — which keeps the parser a few lines and the diffs
+//! reviewable.
+
+use std::io;
+use std::path::Path;
+
+/// One `"key": value` pair; the value is kept as raw JSON text.
+type Entry = (String, String);
+
+/// Parses the flat single-object JSON produced by this module (and by
+/// the criterion bench): every `"key": value` pair on its own line.
+/// Unparseable lines are dropped rather than carried along corrupt.
+fn parse_flat(text: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" || line == "}" {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        entries.push((key.to_string(), value.trim().to_string()));
+    }
+    entries
+}
+
+fn render(entries: &[Entry]) -> String {
+    let mut out = String::from("{\n");
+    for (index, (key, value)) in entries.iter().enumerate() {
+        let comma = if index + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Quotes a string as a JSON value (the restricted escape set this flat
+/// format needs).
+pub fn json_str(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Merges `updates` into the flat JSON object at `path`: existing keys
+/// are overwritten in place (file order preserved), new keys are
+/// appended in the given order, and keys owned by other producers are
+/// left untouched. A missing or unreadable file starts from empty.
+///
+/// # Errors
+///
+/// Propagates the final write failure.
+pub fn upsert(path: impl AsRef<Path>, updates: &[(&str, String)]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut entries = std::fs::read_to_string(path)
+        .map(|text| parse_flat(&text))
+        .unwrap_or_default();
+    for (key, value) in updates {
+        match entries.iter_mut().find(|(existing, _)| existing == key) {
+            Some((_, existing_value)) => *existing_value = value.clone(),
+            None => entries.push(((*key).to_string(), value.clone())),
+        }
+    }
+    std::fs::write(path, render(&entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_preserves_foreign_keys_and_order() {
+        let dir = std::env::temp_dir().join(format!("pwcet-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+
+        upsert(
+            &path,
+            &[
+                ("alpha", "1".to_string()),
+                ("note", json_str("first writer")),
+            ],
+        )
+        .unwrap();
+        upsert(
+            &path,
+            &[("beta", "2.5".to_string()), ("alpha", "3".to_string())],
+        )
+        .unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries = parse_flat(&text);
+        assert_eq!(
+            entries,
+            vec![
+                ("alpha".to_string(), "3".to_string()),
+                ("note".to_string(), "\"first writer\"".to_string()),
+                ("beta".to_string(), "2.5".to_string()),
+            ]
+        );
+        assert!(text.starts_with("{\n"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(
+            text.matches(',').count(),
+            2,
+            "all but the last line have commas"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn current_bench_file_round_trips_losslessly() {
+        // The committed BENCH_pipeline.json must be parseable by this
+        // module, else the first upsert would silently drop rows.
+        let text = include_str!("../../../BENCH_pipeline.json");
+        let entries = parse_flat(text);
+        assert!(
+            entries.iter().any(|(k, _)| k == "benchmark"),
+            "expected the pipeline rows to parse, got {} entries",
+            entries.len()
+        );
+        assert_eq!(render(&entries).trim(), text.trim());
+    }
+}

@@ -13,6 +13,8 @@
 //! All numbers derive from [`run_benchmark`]/[`run_suite`]; binaries only
 //! format them as TSV.
 
+pub mod bench_json;
+
 use std::sync::Arc;
 
 use pwcet_benchsuite::Benchmark;

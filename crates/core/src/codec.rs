@@ -126,6 +126,13 @@ impl Fnv1a {
     }
 }
 
+/// One-shot 64-bit FNV-1a of a raw buffer — the exact payload checksum
+/// of the `PWCX` disk-tier entries, exported so sibling wire codecs
+/// (e.g. the `PWCQ` service protocol) cannot drift from it.
+pub fn fnv1a_checksum(bytes: &[u8]) -> u64 {
+    Fnv1a::checksum(bytes)
+}
+
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------

@@ -67,7 +67,7 @@ mod fmm;
 mod pipeline;
 mod reuse_plane;
 
-pub use codec::CodecError;
+pub use codec::{fnv1a_checksum, CodecError};
 pub use config::AnalysisConfig;
 pub use context::AnalysisContext;
 pub use context_cache::{ContextCache, ContextCacheStats, DEFAULT_CONTEXT_CAPACITY};
@@ -77,4 +77,4 @@ pub use fmm::FaultMissMap;
 pub use pipeline::{expand_compiled, ProgramAnalysis, PwcetAnalyzer};
 pub use pwcet_analysis::ClassificationMode;
 pub use pwcet_par::Parallelism;
-pub use reuse_plane::{ReusePlane, ReusePlaneStats, DEFAULT_DISK_CAPACITY_BYTES};
+pub use reuse_plane::{ReusePlane, ReusePlaneStats, ReuseTier, DEFAULT_DISK_CAPACITY_BYTES};

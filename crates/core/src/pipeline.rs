@@ -30,7 +30,7 @@ use crate::context_cache::ContextCache;
 use crate::error::CoreError;
 use crate::estimate::{Protection, PwcetEstimate};
 use crate::fmm::FaultMissMap;
-use crate::reuse_plane::ReusePlane;
+use crate::reuse_plane::{ReusePlane, ReuseTier};
 
 /// Builds the expanded control-flow graph of a compiled program (function
 /// extents and loop bounds are taken from the compilation metadata).
@@ -117,8 +117,22 @@ impl PwcetAnalyzer {
     /// [`CoreError`] wrapping compilation, reconstruction, or ILP
     /// failures.
     pub fn analyze(&self, program: &Program) -> Result<ProgramAnalysis, CoreError> {
+        Ok(self.analyze_traced(program)?.0)
+    }
+
+    /// As [`analyze`](Self::analyze), additionally reporting the
+    /// [`ReuseTier`] that provided the analysis context — `Cold` when no
+    /// reuse plane is attached.
+    ///
+    /// # Errors
+    ///
+    /// As for [`analyze`](Self::analyze).
+    pub fn analyze_traced(
+        &self,
+        program: &Program,
+    ) -> Result<(ProgramAnalysis, ReuseTier), CoreError> {
         let compiled = program.compile(self.config.code_base)?;
-        self.analyze_compiled(&compiled)
+        self.analyze_compiled_traced(&compiled)
     }
 
     /// As [`analyze`](Self::analyze) for an already-compiled program.
@@ -130,9 +144,26 @@ impl PwcetAnalyzer {
         &self,
         compiled: &CompiledProgram,
     ) -> Result<ProgramAnalysis, CoreError> {
+        Ok(self.analyze_compiled_traced(compiled)?.0)
+    }
+
+    /// As [`analyze_compiled`](Self::analyze_compiled), additionally
+    /// reporting the [`ReuseTier`] that provided the context. Analyzers
+    /// without a plane always build (and report) `Cold`; with one, the
+    /// tier is exactly what [`ReusePlane::get_or_build_traced`] observed
+    /// for this request, so a service can answer `served_from` per
+    /// response without re-deriving it from plane-wide stats.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] wrapping reconstruction or ILP failures.
+    pub fn analyze_compiled_traced(
+        &self,
+        compiled: &CompiledProgram,
+    ) -> Result<(ProgramAnalysis, ReuseTier), CoreError> {
         match &self.reuse {
             Some(plane) => {
-                let context = plane.get_or_build(
+                let (context, tier) = plane.get_or_build_traced(
                     compiled,
                     self.config.geometry,
                     self.config.classification,
@@ -146,7 +177,7 @@ impl PwcetAnalyzer {
                 // tier so the next process starts warm. No-op without a
                 // disk tier; IO failures degrade to a counted stat.
                 plane.persist(compiled, &context);
-                Ok(analysis)
+                Ok((analysis, tier))
             }
             None => {
                 let context = AnalysisContext::build_with_mode(
@@ -154,7 +185,7 @@ impl PwcetAnalyzer {
                     self.config.geometry,
                     self.config.classification,
                 )?;
-                self.analyze_with_context(&context)
+                Ok((self.analyze_with_context(&context)?, ReuseTier::Cold))
             }
         }
     }
@@ -209,6 +240,30 @@ impl PwcetAnalyzer {
     ///
     /// The first [`CoreError`] in program order, if any analysis fails.
     pub fn analyze_batch(&self, programs: &[Program]) -> Result<Vec<ProgramAnalysis>, CoreError> {
+        Ok(self
+            .analyze_batch_traced(programs)?
+            .into_iter()
+            .map(|(analysis, _)| analysis)
+            .collect())
+    }
+
+    /// As [`analyze_batch`](Self::analyze_batch), additionally reporting
+    /// per program the [`ReuseTier`] its context came from. Duplicate
+    /// images inside one batch race on the plane's memory tier: when
+    /// their analyses overlap in time, each racer reports the tier *it*
+    /// was answered by — possibly `Cold` for both (the cache's insert
+    /// race still converges on one shared context, but the tier is
+    /// observed at lookup time). Callers that need the second copy to
+    /// deterministically report `Memory` must serialize duplicates, as
+    /// `pwcet-serve` does by hashing requests onto single-worker shards.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CoreError`] in program order, if any analysis fails.
+    pub fn analyze_batch_traced(
+        &self,
+        programs: &[Program],
+    ) -> Result<Vec<(ProgramAnalysis, ReuseTier)>, CoreError> {
         let inner = if programs.len() > 1 {
             Parallelism::Sequential
         } else {
@@ -217,16 +272,16 @@ impl PwcetAnalyzer {
         let mut program_analyzer = Self::new(self.config.with_parallelism(inner));
         program_analyzer.reuse = self.reuse.clone();
         par_map(self.config.parallelism, programs, |program| {
-            program_analyzer.analyze(program)
+            program_analyzer.analyze_traced(program)
         })
         .into_iter()
         .map(|result| {
-            result.map(|mut analysis| {
+            result.map(|(mut analysis, tier)| {
                 // The sequential override is batch-internal scheduling; the
                 // analysis must carry (and later estimate with) the
                 // caller's configuration.
                 analysis.config = self.config;
-                analysis
+                (analysis, tier)
             })
         })
         .collect()
@@ -767,6 +822,32 @@ mod tests {
             // The batch-internal sequential override must not leak into
             // the returned analyses.
             assert_eq!(analysis.config().parallelism, Parallelism::threads(3));
+        }
+    }
+
+    #[test]
+    fn traced_analyses_report_tier_provenance() {
+        let plane = Arc::new(crate::ReusePlane::in_memory());
+        let planed = analyzer().with_reuse_plane(Arc::clone(&plane));
+        let (first, tier) = planed.analyze_traced(&small_loop()).unwrap();
+        assert_eq!(tier, ReuseTier::Cold);
+        let (second, tier) = planed.analyze_traced(&small_loop()).unwrap();
+        assert_eq!(tier, ReuseTier::Memory);
+        assert_eq!(first.fmm(), second.fmm(), "tier must not change results");
+
+        // Without a plane every analysis is (and reports) a cold build.
+        let (_, tier) = analyzer().analyze_traced(&streaming()).unwrap();
+        assert_eq!(tier, ReuseTier::Cold);
+
+        // A later batch over the shared plane is answered from memory.
+        let traced = planed
+            .analyze_batch_traced(&[small_loop(), streaming()])
+            .unwrap();
+        assert_eq!(traced[0].1, ReuseTier::Memory);
+        assert_eq!(traced[1].1, ReuseTier::Cold);
+        let plain = planed.analyze_batch(&[small_loop(), streaming()]).unwrap();
+        for ((batched, _), direct) in traced.iter().zip(&plain) {
+            assert_eq!(batched.fmm(), direct.fmm());
         }
     }
 

@@ -55,6 +55,40 @@ pub const DEFAULT_DISK_CAPACITY_BYTES: u64 = 64 * 1024 * 1024;
 /// File extension of disk-tier entries.
 const ENTRY_EXT: &str = "pwctx";
 
+/// Which tier of a [`ReusePlane`] answered one context request — the
+/// provenance a service front-end reports per response (`served_from`)
+/// without re-querying the plane-wide [`ReusePlaneStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReuseTier {
+    /// The in-process LRU context cache.
+    Memory,
+    /// A persisted entry decoded from the on-disk store.
+    Disk,
+    /// Derived from a wider lattice sibling by age truncation.
+    Derived,
+    /// No tier could answer; the context was built from scratch. Also
+    /// reported by analyzers running without a plane.
+    Cold,
+}
+
+impl ReuseTier {
+    /// Stable lower-case label (`memory` / `disk` / `derived` / `cold`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReuseTier::Memory => "memory",
+            ReuseTier::Disk => "disk",
+            ReuseTier::Derived => "derived",
+            ReuseTier::Cold => "cold",
+        }
+    }
+}
+
+impl std::fmt::Display for ReuseTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Counters of a [`ReusePlane`], aggregated over all tiers.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ReusePlaneStats {
@@ -280,17 +314,33 @@ impl ReusePlane {
         geometry: CacheGeometry,
         mode: ClassificationMode,
     ) -> Result<Arc<AnalysisContext>, CfgError> {
+        Ok(self.get_or_build_traced(compiled, geometry, mode)?.0)
+    }
+
+    /// As [`get_or_build`](Self::get_or_build), additionally reporting
+    /// **which tier answered** — the per-request provenance a service
+    /// front-end forwards to its clients as `served_from`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`get_or_build`](Self::get_or_build).
+    pub fn get_or_build_traced(
+        &self,
+        compiled: &CompiledProgram,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Result<(Arc<AnalysisContext>, ReuseTier), CfgError> {
         let key = ContextCache::key_of(compiled, geometry, mode);
         let family = ContextCache::family_key_of(compiled, geometry, mode);
         if let Some(context) = self.memory.lookup(key) {
             self.register_family(family, geometry.ways(), key);
-            return Ok(context);
+            return Ok((context, ReuseTier::Memory));
         }
 
-        let context = match self.load_from_disk(compiled, key, geometry, mode) {
-            Some(restored) => Arc::new(restored),
+        let (context, tier) = match self.load_from_disk(compiled, key, geometry, mode) {
+            Some(restored) => (Arc::new(restored), ReuseTier::Disk),
             None => match self.derive_from_family(family, geometry, mode) {
-                Some(derived) => derived,
+                Some(derived) => (derived, ReuseTier::Derived),
                 None => {
                     let built =
                         Arc::new(AnalysisContext::build_with_mode(compiled, geometry, mode)?);
@@ -298,13 +348,13 @@ impl ReusePlane {
                         .lock()
                         .expect("reuse plane counters")
                         .cold_builds += 1;
-                    built
+                    (built, ReuseTier::Cold)
                 }
             },
         };
 
         self.register_family(family, geometry.ways(), key);
-        Ok(self.memory.insert(key, context))
+        Ok((self.memory.insert(key, context), tier))
     }
 
     /// Writes `context`'s artifacts through to the disk tier (no-op
@@ -652,6 +702,38 @@ mod tests {
         let stats = plane.stats();
         assert_eq!(stats.derived, 0);
         assert_eq!(stats.cold_builds, 3);
+    }
+
+    #[test]
+    fn traced_lookups_report_the_answering_tier() {
+        let dir = std::env::temp_dir().join(format!("pwcet-traced-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plane = ReusePlane::in_memory().with_disk_tier(&dir).unwrap();
+        let program = compiled("p", 10);
+
+        let (context, tier) = plane
+            .get_or_build_traced(&program, geometry(), MODE)
+            .unwrap();
+        assert_eq!(tier, ReuseTier::Cold);
+        context.prewarm(pwcet_par::Parallelism::Sequential);
+        let (_, tier) = plane
+            .get_or_build_traced(&program, geometry(), MODE)
+            .unwrap();
+        assert_eq!(tier, ReuseTier::Memory);
+        let (_, tier) = plane
+            .get_or_build_traced(&program, geometry().with_ways(2), MODE)
+            .unwrap();
+        assert_eq!(tier, ReuseTier::Derived);
+
+        // A fresh plane over the same store answers from disk.
+        plane.persist(&program, &context);
+        let fresh = ReusePlane::in_memory().with_disk_tier(&dir).unwrap();
+        let (_, tier) = fresh
+            .get_or_build_traced(&program, geometry(), MODE)
+            .unwrap();
+        assert_eq!(tier, ReuseTier::Disk);
+        assert_eq!(tier.label(), "disk");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

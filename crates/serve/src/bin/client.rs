@@ -1,0 +1,274 @@
+//! `pwcet-client` — submit analysis requests to a running `pwcet-serve`.
+//!
+//! ```text
+//! pwcet-client <HOST:PORT> suite [NAME…]         analyze benchsuite programs (default: all 25)
+//! pwcet-client <HOST:PORT> analyze NAME [-n K]   analyze one benchmark K times (default 1)
+//! pwcet-client <HOST:PORT> program FILE          submit a request frame exported to FILE
+//! pwcet-client <HOST:PORT> export NAME FILE      write NAME's analyze-request frame to FILE
+//! pwcet-client <HOST:PORT> stats                 print the service counters
+//! pwcet-client <HOST:PORT> shutdown              ask the server to drain and exit
+//! ```
+//!
+//! Analysis rows report the server's `served_from` tier provenance and
+//! the client-measured round-trip latency; multi-request commands end
+//! with latency percentiles.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pwcet_serve::{Client, Request, Response};
+
+const DEFAULT_PFAIL: f64 = 1e-4;
+const DEFAULT_TARGET_P: f64 = 1e-15;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pwcet-client <HOST:PORT> <suite [NAME…] | analyze NAME [-n K] | program FILE | \
+         export NAME FILE | stats | shutdown>"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("pwcet-client: {message}");
+    ExitCode::FAILURE
+}
+
+fn print_header() {
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12}",
+        "benchmark", "wcet_ff", "none", "srb", "rw", "tier", "latency_us"
+    );
+}
+
+fn print_row(row: &pwcet_serve::AnalysisRow, latency_us: u64) {
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12}",
+        row.name,
+        row.fault_free_wcet,
+        row.pwcet_none,
+        row.pwcet_srb,
+        row.pwcet_rw,
+        row.served_from.label(),
+        latency_us,
+    );
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let index = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+fn print_percentiles(mut latencies: Vec<u64>) {
+    if latencies.is_empty() {
+        return;
+    }
+    latencies.sort_unstable();
+    let mean = latencies.iter().sum::<u64>() / latencies.len() as u64;
+    println!(
+        "latency_us: n={} min={} p50={} p90={} p99={} max={} mean={}",
+        latencies.len(),
+        latencies[0],
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+        latencies[latencies.len() - 1],
+        mean,
+    );
+}
+
+/// Sends one request, prints its rows, and records the round trip.
+/// Returns `false` when the server answered with an error.
+fn submit(
+    client: &mut Client,
+    request: &Request,
+    latencies: &mut Vec<u64>,
+) -> Result<bool, ExitCode> {
+    let started = Instant::now();
+    let response = client
+        .request(request)
+        .map_err(|e| fail(format!("request failed: {e}")))?;
+    let elapsed = started.elapsed().as_micros() as u64;
+    match response {
+        Response::Analysis { row, .. } => {
+            latencies.push(elapsed);
+            print_row(&row, elapsed);
+            Ok(true)
+        }
+        Response::Batch { rows, .. } => {
+            latencies.push(elapsed);
+            for row in rows {
+                print_row(&row, elapsed);
+            }
+            Ok(true)
+        }
+        Response::PfailSweep {
+            name,
+            served_from,
+            rows,
+            ..
+        } => {
+            latencies.push(elapsed);
+            for row in rows {
+                println!(
+                    "{:>12} pfail={:<9e} {:>12} {:>12} {:>12} {:>9} {:>12}",
+                    name,
+                    row.pfail,
+                    row.pwcet_none,
+                    row.pwcet_srb,
+                    row.pwcet_rw,
+                    served_from.label(),
+                    elapsed,
+                );
+            }
+            Ok(true)
+        }
+        Response::GeometrySweep {
+            name,
+            served_from,
+            rows,
+            ..
+        } => {
+            latencies.push(elapsed);
+            for row in rows {
+                println!(
+                    "{:>12} ways={:<4} {:>12} {:>12} {:>12} {:>9} {:>12}",
+                    name,
+                    row.ways,
+                    row.pwcet_none,
+                    row.pwcet_srb,
+                    row.pwcet_rw,
+                    served_from.label(),
+                    elapsed,
+                );
+            }
+            Ok(true)
+        }
+        Response::Stats(stats) => {
+            println!("{stats:#?}");
+            Ok(true)
+        }
+        Response::ShutdownStarted => {
+            println!("server acknowledged shutdown; draining");
+            Ok(true)
+        }
+        Response::Error { code, message } => {
+            eprintln!("pwcet-client: server refused ({code}): {message}");
+            Ok(false)
+        }
+    }
+}
+
+fn bench_program(name: &str) -> Result<pwcet_progen::Program, ExitCode> {
+    pwcet_benchsuite::by_name(name)
+        .map(|b| b.program)
+        .ok_or_else(|| {
+            fail(format!(
+                "unknown benchmark {name:?} (see `suite` for names)"
+            ))
+        })
+}
+
+fn run() -> Result<ExitCode, ExitCode> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let addr = &args[0];
+    let command = args[1].as_str();
+
+    // `export` needs no connection.
+    if command == "export" {
+        let [name, file] = &args[2..] else { usage() };
+        let program = bench_program(name)?;
+        let frame = pwcet_serve::protocol::encode_request(&Request::Analyze {
+            program,
+            pfail: DEFAULT_PFAIL,
+            target_p: DEFAULT_TARGET_P,
+        });
+        std::fs::write(file, frame).map_err(|e| fail(format!("cannot write {file}: {e}")))?;
+        println!("wrote request frame for {name} to {file}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut client =
+        Client::connect(addr).map_err(|e| fail(format!("cannot connect to {addr}: {e}")))?;
+    let mut latencies = Vec::new();
+    let mut all_ok = true;
+
+    match command {
+        "suite" => {
+            let names: Vec<String> = if args.len() > 2 {
+                args[2..].to_vec()
+            } else {
+                pwcet_benchsuite::names()
+                    .into_iter()
+                    .map(String::from)
+                    .collect()
+            };
+            print_header();
+            for name in &names {
+                let program = bench_program(name)?;
+                let request = Request::Analyze {
+                    program,
+                    pfail: DEFAULT_PFAIL,
+                    target_p: DEFAULT_TARGET_P,
+                };
+                all_ok &= submit(&mut client, &request, &mut latencies)?;
+            }
+            print_percentiles(latencies);
+        }
+        "analyze" => {
+            if args.len() < 3 {
+                usage();
+            }
+            let name = &args[2];
+            let repeats = match args.get(3).map(String::as_str) {
+                Some("-n") => args
+                    .get(4)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage()),
+                Some(_) => usage(),
+                None => 1,
+            };
+            let program = bench_program(name)?;
+            print_header();
+            for _ in 0..repeats {
+                let request = Request::Analyze {
+                    program: program.clone(),
+                    pfail: DEFAULT_PFAIL,
+                    target_p: DEFAULT_TARGET_P,
+                };
+                all_ok &= submit(&mut client, &request, &mut latencies)?;
+            }
+            print_percentiles(latencies);
+        }
+        "program" => {
+            let [file] = &args[2..] else { usage() };
+            let bytes =
+                std::fs::read(file).map_err(|e| fail(format!("cannot read {file}: {e}")))?;
+            let request = pwcet_serve::protocol::decode_request(&bytes)
+                .map_err(|e| fail(format!("{file} is not a valid request frame: {e}")))?;
+            print_header();
+            all_ok &= submit(&mut client, &request, &mut latencies)?;
+        }
+        "stats" => {
+            all_ok &= submit(&mut client, &Request::Stats, &mut latencies)?;
+        }
+        "shutdown" => {
+            all_ok &= submit(&mut client, &Request::Shutdown, &mut latencies)?;
+        }
+        _ => usage(),
+    }
+    Ok(if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) | Err(code) => code,
+    }
+}

@@ -1,0 +1,100 @@
+//! `pwcet-serve` — run the analysis service until a client asks it to
+//! shut down.
+//!
+//! ```text
+//! pwcet-serve [--addr HOST:PORT] [--shards N] [--queue CAP] [--disk DIR] [--pfail P]
+//! ```
+//!
+//! Prints one `listening` line once the socket is bound (machine-
+//! readable; the CI smoke waits for it), serves until a client sends a
+//! shutdown request, drains in-flight work, and prints a final summary.
+
+use std::process::ExitCode;
+
+use pwcet_core::AnalysisConfig;
+use pwcet_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pwcet-serve [--addr HOST:PORT] [--shards N] [--queue CAP] [--disk DIR] [--pfail P]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7463".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = value(),
+            "--shards" => match value().parse() {
+                Ok(n) => config.shards = n,
+                Err(_) => usage(),
+            },
+            "--queue" => match value().parse() {
+                Ok(n) if n > 0 => config.queue_capacity = n,
+                _ => usage(),
+            },
+            "--disk" => {
+                match value() {
+                    dir if dir.is_empty() => {
+                        eprintln!("pwcet-serve: --disk needs a non-empty directory (unset shell variable?)");
+                        return ExitCode::from(2);
+                    }
+                    dir => config.disk_dir = Some(dir.into()),
+                }
+            }
+            "--pfail" => match value().parse() {
+                Ok(p) => match AnalysisConfig::paper_default().with_pfail(p) {
+                    Ok(analysis) => config.analysis = analysis,
+                    Err(e) => {
+                        eprintln!("pwcet-serve: bad --pfail: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let disk = config
+        .disk_dir
+        .as_ref()
+        .map(|d| d.display().to_string())
+        .unwrap_or_else(|| "none".to_string());
+    let server = match Server::bind(addr.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("pwcet-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = server.stats();
+    println!(
+        "pwcet-serve listening on {} shards={} queue={} disk={}",
+        server.local_addr(),
+        stats.shards,
+        stats.queue_capacity,
+        disk,
+    );
+
+    server.wait_for_shutdown_request();
+    println!("pwcet-serve draining…");
+    let final_stats = server.shutdown();
+    println!(
+        "pwcet-serve drained and shut down cleanly: served={} overloads={} protocol_errors={} \
+         served_from memory/disk/derived/cold = {}/{}/{}/{}",
+        final_stats.served,
+        final_stats.overloads,
+        final_stats.protocol_errors,
+        final_stats.served_memory,
+        final_stats.served_disk,
+        final_stats.served_derived,
+        final_stats.served_cold,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,90 @@
+//! Blocking client for the analysis service.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use pwcet_progen::Program;
+
+use crate::protocol::{self, ProtocolError, Request, Response, ServiceStats, WireError};
+
+/// One connection to a `pwcet-serve` instance. Requests are synchronous:
+/// one frame out, one frame back.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the connection fails (including the server
+    /// closing it after a protocol error), [`WireError::Protocol`] when
+    /// the response frame itself is corrupt.
+    pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
+        protocol::write_frame(&mut self.stream, &protocol::encode_request(request))?;
+        match protocol::read_frame(&mut self.stream)? {
+            Some(payload) => Ok(protocol::decode_response_payload(&payload)?),
+            None => Err(WireError::Protocol(ProtocolError::Truncated)),
+        }
+    }
+
+    /// Analyzes one program under the server's configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`](Self::request).
+    pub fn analyze(
+        &mut self,
+        program: Program,
+        pfail: f64,
+        target_p: f64,
+    ) -> Result<Response, WireError> {
+        self.request(&Request::Analyze {
+            program,
+            pfail,
+            target_p,
+        })
+    }
+
+    /// Fetches the service counters.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`](Self::request); also
+    /// [`WireError::Protocol`] when the server answers something other
+    /// than stats.
+    pub fn stats(&mut self) -> Result<ServiceStats, WireError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(WireError::Protocol(ProtocolError::Malformed(
+                "expected a stats response",
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit. The connection is closed by
+    /// the server after the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`](Self::request).
+    pub fn shutdown_server(&mut self) -> Result<(), WireError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownStarted => Ok(()),
+            _ => Err(WireError::Protocol(ProtocolError::Malformed(
+                "expected a shutdown acknowledgement",
+            ))),
+        }
+    }
+}

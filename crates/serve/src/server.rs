@@ -1,0 +1,978 @@
+//! The long-lived analysis server.
+//!
+//! ```text
+//!                        ┌───────────────────────────────────────────┐
+//!  TCP accept loop ────▶ │ connection threads (frame decode/encode)  │
+//!                        └───────┬───────────────────────────────────┘
+//!                                │ submit(key = content fingerprint)
+//!                        ┌───────▼───────────────────────────────────┐
+//!                        │ ShardPool: key % N shards, one worker and │
+//!                        │ a bounded queue each (overload ⇒ refusal) │
+//!                        └───────┬───────────────────────────────────┘
+//!                                │ analyze_compiled_traced
+//!                        ┌───────▼───────────────────────────────────┐
+//!                        │ shared Arc<ReusePlane>: memory / disk /   │
+//!                        │ derivation tiers + write-through persist  │
+//!                        └───────────────────────────────────────────┘
+//! ```
+//!
+//! **Shard hashing rule**: analysis work is routed by
+//! [`ContextCache::key_of`] — the content fingerprint of the compiled
+//! image, CFG metadata, cache geometry, and classification mode (for
+//! geometry sweeps, the widest requested geometry). Identical programs
+//! therefore always land on the same single-worker shard and are
+//! serialized: the first request runs the cold fixpoint, every queued
+//! duplicate is answered from the plane's memory tier. Distinct programs
+//! hash across shards and proceed concurrently, each worker using its
+//! slice of the machine's threads for the intra-analysis fan-out.
+//!
+//! **Backpressure**: queues are bounded; a submission to a full shard is
+//! answered immediately with [`ErrorCode::Overloaded`] (connection stays
+//! open — retry later) instead of queueing unboundedly or blocking the
+//! accept path.
+//!
+//! **Shutdown** drains: after [`Request::Shutdown`] (or
+//! [`Server::shutdown`]) no new work is accepted, every queued job still
+//! runs to completion and its response is delivered, then workers,
+//! connections, and the accept loop are joined and the reuse plane is
+//! flushed to its disk tier.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pwcet_cache::GeometryLattice;
+use pwcet_core::{
+    AnalysisConfig, ContextCache, Parallelism, ProgramAnalysis, Protection, PwcetAnalyzer,
+    ReusePlane, ReuseTier,
+};
+use pwcet_progen::{CompiledProgram, Program};
+
+use crate::protocol::{
+    self, AnalysisRow, ErrorCode, GeometryRow, PfailRow, ProtocolError, Request, Response,
+    ServiceStats, WireError,
+};
+use crate::shard::{ShardPool, SubmitError};
+
+/// How long a started frame may take to arrive completely before the
+/// connection is dropped — keeps a stalled or malicious half-frame from
+/// pinning a connection thread forever.
+const FRAME_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Service-side bounds on sweep requests (a request beyond them is
+/// refused as invalid, not attempted).
+const MAX_SWEEP_POINTS: usize = 64;
+const MAX_WAYS: u32 = 64;
+const MAX_SETS: u32 = 4096;
+const MAX_BLOCK_BYTES: u32 = 1024;
+const MAX_BATCH_PROGRAMS: usize = 256;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The analysis configuration every request runs under (requests
+    /// override the fault model per call; geometry sweeps override the
+    /// geometry).
+    pub analysis: AnalysisConfig,
+    /// Worker shard count; `0` picks `min(available cores, 4)`.
+    pub shards: usize,
+    /// Bounded queue capacity per shard.
+    pub queue_capacity: usize,
+    /// Disk tier directory of the reuse plane; `None` keeps the plane
+    /// memory-only (no cross-restart warmth).
+    pub disk_dir: Option<PathBuf>,
+    /// Poll interval of the accept loop and idle connections — bounds
+    /// how fast a shutdown is observed.
+    pub poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            analysis: AnalysisConfig::paper_default(),
+            shards: 0,
+            queue_capacity: 64,
+            disk_dir: None,
+            poll: Duration::from_millis(25),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The same configuration with a disk-backed reuse plane rooted at
+    /// `dir` — a restarted server then answers from the disk tier.
+    #[must_use]
+    pub fn with_disk_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_dir = Some(dir.into());
+        self
+    }
+
+    fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
+    }
+}
+
+/// What the shard workers execute.
+enum Work {
+    Analyze {
+        compiled: CompiledProgram,
+        pfail: f64,
+        target_p: f64,
+    },
+    SweepPfail {
+        compiled: CompiledProgram,
+        pfails: Vec<f64>,
+        target_p: f64,
+    },
+    SweepGeometry {
+        compiled: CompiledProgram,
+        lattice: GeometryLattice,
+        target_p: f64,
+    },
+}
+
+/// A worker's answer, before the connection thread wraps it in a
+/// [`Response`] with the request latency.
+enum Outcome {
+    Row(AnalysisRow),
+    Pfail {
+        name: String,
+        served_from: ReuseTier,
+        rows: Vec<PfailRow>,
+    },
+    Geometry {
+        name: String,
+        served_from: ReuseTier,
+        rows: Vec<GeometryRow>,
+    },
+}
+
+struct Job {
+    work: Work,
+    reply: mpsc::Sender<Result<Outcome, String>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    served: AtomicU64,
+    overloads: AtomicU64,
+    protocol_errors: AtomicU64,
+    served_memory: AtomicU64,
+    served_disk: AtomicU64,
+    served_derived: AtomicU64,
+    served_cold: AtomicU64,
+}
+
+impl Counters {
+    fn count_tier(&self, tier: ReuseTier) {
+        let counter = match tier {
+            ReuseTier::Memory => &self.served_memory,
+            ReuseTier::Disk => &self.served_disk,
+            ReuseTier::Derived => &self.served_derived,
+            ReuseTier::Cold => &self.served_cold,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Everything a shard worker touches: the shared plane, the per-shard
+/// analysis configuration, and the service counters.
+struct Engine {
+    plane: Arc<ReusePlane>,
+    config: AnalysisConfig,
+    counters: Arc<Counters>,
+}
+
+impl Engine {
+    fn analyzer(&self, config: AnalysisConfig) -> PwcetAnalyzer {
+        PwcetAnalyzer::new(config).with_reuse_plane(Arc::clone(&self.plane))
+    }
+
+    fn execute(&self, work: Work) -> Result<Outcome, String> {
+        match work {
+            Work::Analyze {
+                compiled,
+                pfail,
+                target_p,
+            } => {
+                let config = self.config.with_pfail(pfail).map_err(|e| e.to_string())?;
+                let (analysis, tier) = self
+                    .analyzer(config)
+                    .analyze_compiled_traced(&compiled)
+                    .map_err(|e| e.to_string())?;
+                self.counters.count_tier(tier);
+                Ok(Outcome::Row(row_of(&analysis, tier, target_p)))
+            }
+            Work::SweepPfail {
+                compiled,
+                pfails,
+                target_p,
+            } => {
+                let mut rows = Vec::with_capacity(pfails.len());
+                let mut served = None;
+                for pfail in pfails {
+                    let config = self.config.with_pfail(pfail).map_err(|e| e.to_string())?;
+                    let (analysis, tier) = self
+                        .analyzer(config)
+                        .analyze_compiled_traced(&compiled)
+                        .map_err(|e| e.to_string())?;
+                    served.get_or_insert(tier);
+                    rows.push(PfailRow {
+                        pfail,
+                        pwcet_none: pwcet_at(&analysis, Protection::None, target_p),
+                        pwcet_srb: pwcet_at(&analysis, Protection::SharedReliableBuffer, target_p),
+                        pwcet_rw: pwcet_at(&analysis, Protection::ReliableWay, target_p),
+                    });
+                }
+                let served_from = served.expect("sweeps are validated non-empty");
+                self.counters.count_tier(served_from);
+                Ok(Outcome::Pfail {
+                    name: compiled.name().to_string(),
+                    served_from,
+                    rows,
+                })
+            }
+            Work::SweepGeometry {
+                compiled,
+                lattice,
+                target_p,
+            } => {
+                let mut rows = Vec::with_capacity(lattice.len());
+                let mut served = None;
+                for geometry in lattice.members() {
+                    let mut config = self.config;
+                    config.geometry = geometry;
+                    let (analysis, tier) = self
+                        .analyzer(config)
+                        .analyze_compiled_traced(&compiled)
+                        .map_err(|e| e.to_string())?;
+                    served.get_or_insert(tier);
+                    rows.push(GeometryRow {
+                        ways: geometry.ways(),
+                        pwcet_none: pwcet_at(&analysis, Protection::None, target_p),
+                        pwcet_srb: pwcet_at(&analysis, Protection::SharedReliableBuffer, target_p),
+                        pwcet_rw: pwcet_at(&analysis, Protection::ReliableWay, target_p),
+                    });
+                }
+                let served_from = served.expect("lattices are validated non-empty");
+                self.counters.count_tier(served_from);
+                Ok(Outcome::Geometry {
+                    name: compiled.name().to_string(),
+                    served_from,
+                    rows,
+                })
+            }
+        }
+    }
+}
+
+fn pwcet_at(analysis: &ProgramAnalysis, protection: Protection, target_p: f64) -> u64 {
+    analysis.estimate(protection).pwcet_at(target_p)
+}
+
+fn row_of(analysis: &ProgramAnalysis, tier: ReuseTier, target_p: f64) -> AnalysisRow {
+    AnalysisRow {
+        name: analysis.name().to_string(),
+        fault_free_wcet: analysis.fault_free_wcet(),
+        pwcet_none: pwcet_at(analysis, Protection::None, target_p),
+        pwcet_srb: pwcet_at(analysis, Protection::SharedReliableBuffer, target_p),
+        pwcet_rw: pwcet_at(analysis, Protection::ReliableWay, target_p),
+        served_from: tier,
+    }
+}
+
+struct Shared {
+    pool: ShardPool<Job>,
+    engine: Arc<Engine>,
+    stop: AtomicBool,
+    counters: Arc<Counters>,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+    poll: Duration,
+    queue_capacity: usize,
+}
+
+impl Shared {
+    fn stats(&self) -> ServiceStats {
+        let plane = self.engine.plane.stats();
+        ServiceStats {
+            shards: self.pool.shard_count() as u32,
+            queue_capacity: self.queue_capacity as u32,
+            queued: self.pool.queued() as u64,
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            served: self.counters.served.load(Ordering::Relaxed),
+            overloads: self.counters.overloads.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            served_memory: self.counters.served_memory.load(Ordering::Relaxed),
+            served_disk: self.counters.served_disk.load(Ordering::Relaxed),
+            served_derived: self.counters.served_derived.load(Ordering::Relaxed),
+            served_cold: self.counters.served_cold.load(Ordering::Relaxed),
+            memory_hits: plane.memory.hits,
+            memory_misses: plane.memory.misses,
+            disk_hits: plane.disk_hits,
+            disk_writes: plane.disk_writes,
+            disk_corrupt: plane.disk_corrupt,
+            derived: plane.derived,
+            cold_builds: plane.cold_builds,
+        }
+    }
+}
+
+/// A running analysis server. Dropping it performs the same graceful
+/// drain as [`shutdown`](Self::shutdown) (minus the returned stats), so
+/// an early-return error path never leaks the accept thread or the
+/// bound port.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-bind and disk-tier-creation failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let plane = match &config.disk_dir {
+            Some(dir) if dir.as_os_str().is_empty() => {
+                // An empty path "succeeds" at create_dir_all and then
+                // scatters store files into the CWD — refuse it instead
+                // (the classic cause is an unset shell variable).
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "disk tier directory must not be empty",
+                ));
+            }
+            Some(dir) => Arc::new(ReusePlane::in_memory().with_disk_tier(dir)?),
+            None => Arc::new(ReusePlane::in_memory()),
+        };
+        let shards = config.effective_shards();
+        // Each shard's worker gets an equal slice of the machine for the
+        // intra-analysis fan-out; an explicit (non-Auto) parallelism in
+        // the analysis config is honored as-is.
+        let mut shard_analysis = config.analysis;
+        if shard_analysis.parallelism == Parallelism::Auto {
+            let total = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            shard_analysis.parallelism = Parallelism::threads((total / shards).max(1));
+        }
+        let counters = Arc::new(Counters::default());
+        let engine = Arc::new(Engine {
+            plane,
+            config: shard_analysis,
+            counters: Arc::clone(&counters),
+        });
+        let worker_engine = Arc::clone(&engine);
+        let worker_counters = Arc::clone(&counters);
+        let pool = ShardPool::new(shards, config.queue_capacity, move |_, job: Job| {
+            let Job { work, reply } = job;
+            let result = catch_unwind(AssertUnwindSafe(|| worker_engine.execute(work)))
+                .unwrap_or_else(|_| Err("internal panic during analysis".to_string()));
+            worker_counters.served.fetch_add(1, Ordering::Relaxed);
+            // The requester may have given up (connection died); a failed
+            // send is not an error.
+            let _ = reply.send(result);
+        });
+
+        let shared = Arc::new(Shared {
+            pool,
+            engine,
+            stop: AtomicBool::new(false),
+            counters,
+            connections: Mutex::new(Vec::new()),
+            poll: config.poll,
+            queue_capacity: config.queue_capacity,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(Self {
+            shared,
+            accept: Some(accept),
+            addr,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared reuse plane behind all shards.
+    pub fn reuse_plane(&self) -> &Arc<ReusePlane> {
+        &self.shared.engine.plane
+    }
+
+    /// Current service counters (what [`Request::Stats`] answers).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Whether a shutdown was requested (locally or by a client).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until some client sends [`Request::Shutdown`] (or
+    /// [`request_shutdown`](Self::request_shutdown) is called), polling
+    /// at the configured interval.
+    pub fn wait_for_shutdown_request(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(self.shared.poll);
+        }
+    }
+
+    /// Marks the server as draining without blocking (what a client's
+    /// [`Request::Shutdown`] does). Call [`shutdown`](Self::shutdown) to
+    /// actually drain and join.
+    pub fn request_shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Gracefully stops the server: no new connections or submissions,
+    /// every queued job drains and answers, then all threads are joined
+    /// and the reuse plane is flushed through to its disk tier. Returns
+    /// the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.drain_and_join();
+        self.shared.stats()
+    }
+
+    /// The drain sequence shared by [`shutdown`](Self::shutdown) and
+    /// drop; idempotent.
+    fn drain_and_join(&mut self) {
+        self.request_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Join connections while the workers are still alive, so every
+        // already-submitted job still gets its reply delivered.
+        let connections = std::mem::take(&mut *self.shared.connections.lock().expect("conn list"));
+        for connection in connections {
+            let _ = connection.join();
+        }
+        self.shared.pool.shutdown();
+        self.shared.engine.plane.flush();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || serve_connection(stream, &conn_shared));
+                let mut connections = shared.connections.lock().expect("conn list");
+                // Reap finished handles so a long-lived server does not
+                // accumulate one join handle per past connection.
+                connections.retain(|h| !h.is_finished());
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.poll);
+            }
+            Err(_) => std::thread::sleep(shared.poll),
+        }
+    }
+}
+
+/// What one polled frame read produced.
+enum PolledRead {
+    /// A complete, checksum-verified payload.
+    Payload(Vec<u8>),
+    /// The peer closed cleanly between frames.
+    CleanEof,
+    /// The server is draining; no (complete) frame will follow.
+    Stopped,
+}
+
+fn is_poll_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one frame with a poll-based timeout so the connection notices a
+/// server shutdown, a half-frame stall, or a mid-frame disconnect
+/// without ever hanging.
+fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> Result<PolledRead, WireError> {
+    let mut header = [0u8; protocol::HEADER_LEN];
+    let mut filled = 0usize;
+    let mut deadline: Option<Instant> = None;
+    while filled < protocol::HEADER_LEN {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(PolledRead::CleanEof),
+            Ok(0) => return Err(ProtocolError::Truncated.into()),
+            Ok(n) => {
+                filled += n;
+                deadline.get_or_insert_with(|| Instant::now() + FRAME_DEADLINE);
+            }
+            Err(e) if is_poll_timeout(&e) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return Ok(PolledRead::Stopped);
+                }
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    return Err(ProtocolError::Truncated.into());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let (payload_len, sum) = protocol::parse_header(&header)?;
+    let mut payload = vec![0u8; payload_len as usize];
+    let mut filled = 0usize;
+    let deadline = Instant::now() + FRAME_DEADLINE;
+    while filled < payload.len() {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Err(ProtocolError::Truncated.into()),
+            Ok(n) => filled += n,
+            Err(e) if is_poll_timeout(&e) => {
+                // Even during a shutdown the started frame gets its
+                // deadline; an idle half-frame is cut off either way.
+                if Instant::now() > deadline || shared.stop.load(Ordering::Relaxed) {
+                    return Err(ProtocolError::Truncated.into());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    protocol::verify_payload(&payload, sum)?;
+    Ok(PolledRead::Payload(payload))
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    protocol::write_frame(stream, &protocol::encode_response(response))
+}
+
+fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(shared.poll)).is_err() {
+        return;
+    }
+    // Writes need a deadline too: a client that stops *reading* would
+    // otherwise block this thread in `respond` once the kernel send
+    // buffer fills, and a blocked writer would hang the draining
+    // shutdown's connection join. A write that stalls past the frame
+    // deadline errors out and drops the connection instead.
+    if stream.set_write_timeout(Some(FRAME_DEADLINE)).is_err() {
+        return;
+    }
+    loop {
+        match read_frame_polled(&mut stream, shared) {
+            Ok(PolledRead::Payload(payload)) => {
+                let request = match protocol::decode_request_payload(&payload) {
+                    Ok(request) => request,
+                    Err(e) => {
+                        shared
+                            .counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = respond(
+                            &mut stream,
+                            &error_response(ErrorCode::Malformed, e.to_string()),
+                        );
+                        return;
+                    }
+                };
+                match dispatch(&mut stream, shared, request) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => return,
+                }
+            }
+            Ok(PolledRead::CleanEof) | Ok(PolledRead::Stopped) => return,
+            Err(WireError::Protocol(e)) => {
+                // Bad magic, version skew, oversized prefix, checksum
+                // mismatch, truncation: answer once, then drop the
+                // connection — resynchronizing a corrupt stream is not
+                // worth guessing at frame boundaries.
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = respond(
+                    &mut stream,
+                    &error_response(ErrorCode::Malformed, e.to_string()),
+                );
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+        }
+    }
+}
+
+/// Compiles a submitted program, mapping failures to an invalid-request
+/// response.
+fn compile(program: &Program, config: &AnalysisConfig) -> Result<CompiledProgram, Box<Response>> {
+    program.compile(config.code_base).map_err(|e| {
+        Box::new(error_response(
+            ErrorCode::InvalidRequest,
+            format!("program {:?} does not build: {e}", program.name()),
+        ))
+    })
+}
+
+fn validate_probability(value: f64, what: &str) -> Result<(), Box<Response>> {
+    if !(value.is_finite() && 0.0 < value && value <= 1.0) {
+        return Err(Box::new(error_response(
+            ErrorCode::InvalidRequest,
+            format!("{what} must be a probability in (0, 1], got {value}"),
+        )));
+    }
+    Ok(())
+}
+
+fn validate_pfail(value: f64) -> Result<(), Box<Response>> {
+    if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+        return Err(Box::new(error_response(
+            ErrorCode::InvalidRequest,
+            format!("pfail must be a probability in [0, 1], got {value}"),
+        )));
+    }
+    Ok(())
+}
+
+/// Runs one decoded request to completion, writing exactly one response.
+/// Returns whether the connection should stay open.
+fn dispatch(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: Request,
+) -> std::io::Result<bool> {
+    let started = Instant::now();
+    match request {
+        Request::Stats => {
+            respond(stream, &Response::Stats(shared.stats()))?;
+            Ok(true)
+        }
+        Request::Shutdown => {
+            shared.stop.store(true, Ordering::Relaxed);
+            respond(stream, &Response::ShutdownStarted)?;
+            Ok(false)
+        }
+        Request::Analyze {
+            program,
+            pfail,
+            target_p,
+        } => {
+            let work = match prepare_analyze(shared, &program, pfail, target_p) {
+                Ok(work) => work,
+                Err(response) => {
+                    respond(stream, &response)?;
+                    return Ok(true);
+                }
+            };
+            let response = run_job(shared, work, started);
+            respond(stream, &response)?;
+            Ok(true)
+        }
+        Request::Batch {
+            programs,
+            pfail,
+            target_p,
+        } => {
+            let response = run_batch(shared, &programs, pfail, target_p, started);
+            respond(stream, &response)?;
+            Ok(true)
+        }
+        Request::SweepPfail {
+            program,
+            pfails,
+            target_p,
+        } => {
+            let work = match prepare_pfail_sweep(shared, &program, pfails, target_p) {
+                Ok(work) => work,
+                Err(response) => {
+                    respond(stream, &response)?;
+                    return Ok(true);
+                }
+            };
+            let response = run_job(shared, work, started);
+            respond(stream, &response)?;
+            Ok(true)
+        }
+        Request::SweepGeometry {
+            program,
+            sets,
+            block_bytes,
+            way_counts,
+            target_p,
+        } => {
+            let work = match prepare_geometry_sweep(
+                shared,
+                &program,
+                sets,
+                block_bytes,
+                &way_counts,
+                target_p,
+            ) {
+                Ok(work) => work,
+                Err(response) => {
+                    respond(stream, &response)?;
+                    return Ok(true);
+                }
+            };
+            let response = run_job(shared, work, started);
+            respond(stream, &response)?;
+            Ok(true)
+        }
+    }
+}
+
+fn prepare_analyze(
+    shared: &Shared,
+    program: &Program,
+    pfail: f64,
+    target_p: f64,
+) -> Result<(u64, Work), Box<Response>> {
+    validate_pfail(pfail)?;
+    validate_probability(target_p, "target_p")?;
+    let config = &shared.engine.config;
+    let compiled = compile(program, config)?;
+    let key = ContextCache::key_of(&compiled, config.geometry, config.classification);
+    Ok((
+        key,
+        Work::Analyze {
+            compiled,
+            pfail,
+            target_p,
+        },
+    ))
+}
+
+fn prepare_pfail_sweep(
+    shared: &Shared,
+    program: &Program,
+    pfails: Vec<f64>,
+    target_p: f64,
+) -> Result<(u64, Work), Box<Response>> {
+    if pfails.is_empty() || pfails.len() > MAX_SWEEP_POINTS {
+        return Err(Box::new(error_response(
+            ErrorCode::InvalidRequest,
+            format!(
+                "sweep needs 1..={MAX_SWEEP_POINTS} pfail points, got {}",
+                pfails.len()
+            ),
+        )));
+    }
+    for &pfail in &pfails {
+        validate_pfail(pfail)?;
+    }
+    validate_probability(target_p, "target_p")?;
+    let config = &shared.engine.config;
+    let compiled = compile(program, config)?;
+    let key = ContextCache::key_of(&compiled, config.geometry, config.classification);
+    Ok((
+        key,
+        Work::SweepPfail {
+            compiled,
+            pfails,
+            target_p,
+        },
+    ))
+}
+
+fn prepare_geometry_sweep(
+    shared: &Shared,
+    program: &Program,
+    sets: u32,
+    block_bytes: u32,
+    way_counts: &[u32],
+    target_p: f64,
+) -> Result<(u64, Work), Box<Response>> {
+    validate_probability(target_p, "target_p")?;
+    if way_counts.is_empty() || way_counts.len() > MAX_SWEEP_POINTS {
+        return Err(Box::new(error_response(
+            ErrorCode::InvalidRequest,
+            format!(
+                "sweep needs 1..={MAX_SWEEP_POINTS} way counts, got {}",
+                way_counts.len()
+            ),
+        )));
+    }
+    if !(sets.is_power_of_two() && sets <= MAX_SETS) {
+        return Err(Box::new(error_response(
+            ErrorCode::InvalidRequest,
+            format!("sets must be a power of two ≤ {MAX_SETS}, got {sets}"),
+        )));
+    }
+    if !(block_bytes.is_power_of_two() && (4..=MAX_BLOCK_BYTES).contains(&block_bytes)) {
+        return Err(Box::new(error_response(
+            ErrorCode::InvalidRequest,
+            format!(
+                "block_bytes must be a power of two in 4..={MAX_BLOCK_BYTES}, got {block_bytes}"
+            ),
+        )));
+    }
+    if way_counts.iter().any(|&w| w == 0 || w > MAX_WAYS) {
+        return Err(Box::new(error_response(
+            ErrorCode::InvalidRequest,
+            format!("way counts must be in 1..={MAX_WAYS}, got {way_counts:?}"),
+        )));
+    }
+    let lattice = GeometryLattice::new(sets, block_bytes, way_counts);
+    let config = &shared.engine.config;
+    let compiled = compile(program, config)?;
+    // Route by the widest requested geometry, so every request over one
+    // program-and-lattice family serializes onto one shard.
+    let key = ContextCache::key_of(&compiled, lattice.widest(), config.classification);
+    Ok((
+        key,
+        Work::SweepGeometry {
+            compiled,
+            lattice,
+            target_p,
+        },
+    ))
+}
+
+/// Submits one prepared job and blocks for its outcome.
+fn run_job(shared: &Shared, (key, work): (u64, Work), started: Instant) -> Response {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        work,
+        reply: reply_tx,
+    };
+    match shared.pool.submit(key, job) {
+        Ok(_) => {}
+        Err(SubmitError::Overloaded { shard, depth, .. }) => {
+            shared.counters.overloads.fetch_add(1, Ordering::Relaxed);
+            return error_response(
+                ErrorCode::Overloaded,
+                format!("shard {shard} queue full (depth {depth}); retry later"),
+            );
+        }
+        Err(SubmitError::ShuttingDown { .. }) => {
+            return error_response(ErrorCode::ShuttingDown, "server is draining");
+        }
+    }
+    match reply_rx.recv() {
+        Ok(Ok(outcome)) => {
+            let micros = started.elapsed().as_micros() as u64;
+            match outcome {
+                Outcome::Row(row) => Response::Analysis { row, micros },
+                Outcome::Pfail {
+                    name,
+                    served_from,
+                    rows,
+                } => Response::PfailSweep {
+                    name,
+                    served_from,
+                    rows,
+                    micros,
+                },
+                Outcome::Geometry {
+                    name,
+                    served_from,
+                    rows,
+                } => Response::GeometrySweep {
+                    name,
+                    served_from,
+                    rows,
+                    micros,
+                },
+            }
+        }
+        Ok(Err(message)) => error_response(ErrorCode::Analysis, message),
+        Err(_) => error_response(ErrorCode::Analysis, "worker dropped the request"),
+    }
+}
+
+/// Fans a batch out across the shards (one job per program) and gathers
+/// the rows back in request order.
+fn run_batch(
+    shared: &Shared,
+    programs: &[Program],
+    pfail: f64,
+    target_p: f64,
+    started: Instant,
+) -> Response {
+    if programs.len() > MAX_BATCH_PROGRAMS {
+        return error_response(
+            ErrorCode::InvalidRequest,
+            format!(
+                "batch is capped at {MAX_BATCH_PROGRAMS} programs, got {}",
+                programs.len()
+            ),
+        );
+    }
+    let mut submissions = Vec::with_capacity(programs.len());
+    for program in programs {
+        let (key, work) = match prepare_analyze(shared, program, pfail, target_p) {
+            Ok(prepared) => prepared,
+            Err(response) => return *response,
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            work,
+            reply: reply_tx,
+        };
+        match shared.pool.submit(key, job) {
+            Ok(_) => submissions.push(reply_rx),
+            Err(SubmitError::Overloaded { shard, depth, .. }) => {
+                // Jobs already submitted still run (and warm the plane);
+                // their replies are dropped with the receivers.
+                shared.counters.overloads.fetch_add(1, Ordering::Relaxed);
+                return error_response(
+                    ErrorCode::Overloaded,
+                    format!(
+                        "shard {shard} queue full (depth {depth}) at batch item {}; retry later",
+                        submissions.len()
+                    ),
+                );
+            }
+            Err(SubmitError::ShuttingDown { .. }) => {
+                return error_response(ErrorCode::ShuttingDown, "server is draining");
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(submissions.len());
+    for reply_rx in submissions {
+        match reply_rx.recv() {
+            Ok(Ok(Outcome::Row(row))) => rows.push(row),
+            Ok(Ok(_)) => {
+                return error_response(ErrorCode::Analysis, "worker answered the wrong job type")
+            }
+            Ok(Err(message)) => return error_response(ErrorCode::Analysis, message),
+            Err(_) => return error_response(ErrorCode::Analysis, "worker dropped the request"),
+        }
+    }
+    Response::Batch {
+        rows,
+        micros: started.elapsed().as_micros() as u64,
+    }
+}

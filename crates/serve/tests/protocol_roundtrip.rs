@@ -1,0 +1,287 @@
+//! Property: `decode(encode(m)) == m` for every request and response
+//! variant of the `PWCQ` protocol, over randomly generated programs,
+//! sweeps, rows, and stats — the wire format loses nothing and invents
+//! nothing.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::BoxedStrategy;
+
+use pwcet_core::ReuseTier;
+use pwcet_progen::{stmt, Program, Stmt};
+use pwcet_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, AnalysisRow, GeometryRow,
+    PfailRow, Request, Response, ServedFrom, ServiceStats,
+};
+use pwcet_serve::ErrorCode;
+
+fn name_strategy() -> BoxedStrategy<String> {
+    vec(0usize..26, 1..10)
+        .prop_map(|letters| {
+            letters
+                .into_iter()
+                .map(|l| (b'a' + l as u8) as char)
+                .collect()
+        })
+        .boxed()
+}
+
+fn stmt_strategy(depth: u32) -> BoxedStrategy<Stmt> {
+    if depth == 0 {
+        prop_oneof![
+            (1u32..200).prop_map(stmt::compute),
+            name_strategy().prop_map(stmt::call),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            (1u32..200).prop_map(stmt::compute),
+            name_strategy().prop_map(stmt::call),
+            (1u32..50, stmt_strategy(depth - 1)).prop_map(|(bound, body)| stmt::loop_(bound, body)),
+            (stmt_strategy(depth - 1), stmt_strategy(depth - 1))
+                .prop_map(|(a, b)| stmt::if_else(a, b)),
+            vec(stmt_strategy(depth - 1), 0..4).prop_map(stmt::seq),
+        ]
+        .boxed()
+    }
+}
+
+fn program_strategy() -> BoxedStrategy<Program> {
+    (
+        name_strategy(),
+        vec((name_strategy(), stmt_strategy(3)), 1..4),
+    )
+        .prop_map(|(name, functions)| {
+            let mut program = Program::new(name);
+            for (fn_name, body) in functions {
+                program = program.with_function(fn_name, body);
+            }
+            program
+        })
+        .boxed()
+}
+
+/// Finite, non-NaN probabilities (NaN breaks `==`, and the protocol
+/// round-trips bit patterns, not semantics).
+fn probability_strategy() -> BoxedStrategy<f64> {
+    (1u64..=1_000_000)
+        .prop_map(|n| n as f64 / 1_000_000.0)
+        .boxed()
+}
+
+fn tier_strategy() -> BoxedStrategy<ServedFrom> {
+    prop_oneof![
+        Just(ReuseTier::Memory),
+        Just(ReuseTier::Disk),
+        Just(ReuseTier::Derived),
+        Just(ReuseTier::Cold),
+    ]
+    .boxed()
+}
+
+fn error_code_strategy() -> BoxedStrategy<ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Malformed),
+        Just(ErrorCode::InvalidRequest),
+        Just(ErrorCode::Overloaded),
+        Just(ErrorCode::Analysis),
+        Just(ErrorCode::ShuttingDown),
+    ]
+    .boxed()
+}
+
+fn request_strategy() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (
+            program_strategy(),
+            probability_strategy(),
+            probability_strategy()
+        )
+            .prop_map(|(program, pfail, target_p)| Request::Analyze {
+                program,
+                pfail,
+                target_p,
+            }),
+        (
+            vec(program_strategy(), 0..4),
+            probability_strategy(),
+            probability_strategy()
+        )
+            .prop_map(|(programs, pfail, target_p)| Request::Batch {
+                programs,
+                pfail,
+                target_p,
+            }),
+        (
+            program_strategy(),
+            vec(probability_strategy(), 0..6),
+            probability_strategy()
+        )
+            .prop_map(|(program, pfails, target_p)| Request::SweepPfail {
+                program,
+                pfails,
+                target_p,
+            }),
+        (
+            program_strategy(),
+            (0u32..12).prop_map(|s| 1 << s),
+            (2u32..10).prop_map(|b| 1 << b),
+            vec(1u32..64, 0..5),
+            probability_strategy()
+        )
+            .prop_map(|(program, sets, block_bytes, way_counts, target_p)| {
+                Request::SweepGeometry {
+                    program,
+                    sets,
+                    block_bytes,
+                    way_counts,
+                    target_p,
+                }
+            }),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+    .boxed()
+}
+
+fn analysis_row_strategy() -> BoxedStrategy<AnalysisRow> {
+    (
+        name_strategy(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        tier_strategy(),
+    )
+        .prop_map(
+            |(name, fault_free_wcet, pwcet_none, pwcet_srb, pwcet_rw, served_from)| AnalysisRow {
+                name,
+                fault_free_wcet,
+                pwcet_none,
+                pwcet_srb,
+                pwcet_rw,
+                served_from,
+            },
+        )
+        .boxed()
+}
+
+fn stats_strategy() -> BoxedStrategy<ServiceStats> {
+    (
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(a, b, c, d, e)| ServiceStats {
+            shards: a.0,
+            queue_capacity: a.1,
+            queued: a.2,
+            connections: a.3,
+            served: b.0,
+            overloads: b.1,
+            protocol_errors: b.2,
+            served_memory: b.3,
+            served_disk: c.0,
+            served_derived: c.1,
+            served_cold: c.2,
+            memory_hits: c.3,
+            memory_misses: d.0,
+            disk_hits: d.1,
+            disk_writes: d.2,
+            disk_corrupt: d.3,
+            derived: e.0,
+            cold_builds: e.1,
+        })
+        .boxed()
+}
+
+fn response_strategy() -> BoxedStrategy<Response> {
+    prop_oneof![
+        (analysis_row_strategy(), any::<u64>())
+            .prop_map(|(row, micros)| Response::Analysis { row, micros }),
+        (vec(analysis_row_strategy(), 0..5), any::<u64>())
+            .prop_map(|(rows, micros)| Response::Batch { rows, micros }),
+        (
+            name_strategy(),
+            tier_strategy(),
+            vec(
+                (
+                    probability_strategy(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>()
+                )
+                    .prop_map(|(pfail, pwcet_none, pwcet_srb, pwcet_rw)| {
+                        PfailRow {
+                            pfail,
+                            pwcet_none,
+                            pwcet_srb,
+                            pwcet_rw,
+                        }
+                    }),
+                0..6
+            ),
+            any::<u64>()
+        )
+            .prop_map(|(name, served_from, rows, micros)| Response::PfailSweep {
+                name,
+                served_from,
+                rows,
+                micros,
+            }),
+        (
+            name_strategy(),
+            tier_strategy(),
+            vec(
+                (1u32..64, any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+                    |(ways, pwcet_none, pwcet_srb, pwcet_rw)| GeometryRow {
+                        ways,
+                        pwcet_none,
+                        pwcet_srb,
+                        pwcet_rw,
+                    }
+                ),
+                0..6
+            ),
+            any::<u64>()
+        )
+            .prop_map(
+                |(name, served_from, rows, micros)| Response::GeometrySweep {
+                    name,
+                    served_from,
+                    rows,
+                    micros,
+                }
+            ),
+        stats_strategy().prop_map(Response::Stats),
+        (error_code_strategy(), name_strategy())
+            .prop_map(|(code, message)| Response::Error { code, message }),
+        Just(Response::ShutdownStarted),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn requests_round_trip(request in request_strategy()) {
+        let bytes = encode_request(&request);
+        prop_assert_eq!(decode_request(&bytes).unwrap(), request);
+    }
+
+    #[test]
+    fn responses_round_trip(response in response_strategy()) {
+        let bytes = encode_response(&response);
+        prop_assert_eq!(decode_response(&bytes).unwrap(), response);
+    }
+
+    #[test]
+    fn frames_declare_their_exact_length(request in request_strategy()) {
+        let bytes = encode_request(&request);
+        let declared = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        prop_assert_eq!(declared as usize, bytes.len() - pwcet_serve::protocol::HEADER_LEN);
+    }
+}

@@ -20,6 +20,9 @@
 //!   distributions, pWCET estimation under the three protection levels.
 //! * [`benchsuite`] — the 25 modelled Mälardalen benchmarks.
 //! * [`sim`] — functional MIPS simulator and Monte-Carlo validation.
+//! * [`serve`] — the sharded analysis service: `PWCQ` wire protocol,
+//!   bounded work-queue shards over a shared reuse plane, TCP server
+//!   (`pwcet-serve`) and client (`pwcet-client`).
 //!
 //! ## Quickstart
 //!
@@ -48,4 +51,5 @@ pub use pwcet_ipet as ipet;
 pub use pwcet_mips as mips;
 pub use pwcet_prob as prob;
 pub use pwcet_progen as progen;
+pub use pwcet_serve as serve;
 pub use pwcet_sim as sim;
