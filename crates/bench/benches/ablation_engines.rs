@@ -40,6 +40,7 @@ fn bench_engines(c: &mut Criterion) {
                         &costs,
                         &IpetOptions {
                             require_integral: false,
+                            ..Default::default()
                         },
                     )
                     .expect("solves"),

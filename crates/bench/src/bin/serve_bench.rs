@@ -8,7 +8,9 @@
 //! * `serve_cold_request_us` — mean first-request latency (cold
 //!   contexts: full fixpoints + ILP per request);
 //! * `serve_warm_request_us` — mean repeat-request latency (memory
-//!   tier); the acceptance gate is warm ≥ 5× better than cold;
+//!   tier); the acceptance gate is warm ≥ 2× better than cold (the
+//!   floor was 5× before the sparse ILP core made cold requests
+//!   ~2.5× cheaper);
 //! * `serve_one_client_rps` / `serve_four_client_rps` — warm requests
 //!   per second from one sequential client vs. four concurrent ones
 //!   (scales with cores; ~flat on a single-core runner).
@@ -150,9 +152,10 @@ fn main() {
             (
                 "serve_note",
                 bench_json::json_str(
-                    "warm requests skip straight to the reuse plane's memory tier (the ≥5× gate \
-                     is algorithmic); client scaling tracks shard count and cores — ~1 on a \
-                     single-core runner",
+                    "warm requests skip straight to the reuse plane's memory tier (the ≥2× gate \
+                     is algorithmic; the ratio shrank from ~8× when the sparse warm-started ILP \
+                     core made cold requests ~2.5× cheaper); client scaling tracks shard count \
+                     and cores — ~1 on a single-core runner",
                 ),
             ),
             (
@@ -166,11 +169,13 @@ fn main() {
 
     // Enforce the acceptance gate here, where the row is produced (and
     // after it is recorded, so a failure still leaves the diagnostic):
-    // warm requests skip every fixpoint and ILP, so anything under 5×
-    // means the memory tier is not being hit.
+    // warm requests skip every fixpoint and ILP, so anything under 2×
+    // means the memory tier is not being hit. (The floor was 5× before
+    // the sparse warm-started ILP core; cold requests are now ~2.5×
+    // cheaper, so the warm/cold ratio legitimately sits near 3-4×.)
     assert!(
-        speedup >= 5.0,
-        "warm requests must be ≥ 5× faster than cold, measured {speedup:.1}× — \
+        speedup >= 2.0,
+        "warm requests must be ≥ 2× faster than cold, measured {speedup:.1}× — \
          is the reuse plane's memory tier being bypassed?"
     );
 }

@@ -39,7 +39,7 @@ use pwcet_analysis::{
 };
 use pwcet_cache::{CacheGeometry, CacheTiming, MemBlock};
 use pwcet_cfg::ExpandedCfg;
-use pwcet_ipet::IpetOptions;
+use pwcet_ipet::{IpetOptions, SolverBackend};
 
 use crate::context::ContextParts;
 use crate::fmm::FaultMissMap;
@@ -276,7 +276,10 @@ pub(crate) fn encode_context(
     for ((timing, ipet), artifacts) in &parts.solved {
         enc.u64(timing.hit_cycles());
         enc.u64(timing.miss_penalty_cycles());
-        enc.u8(u8::from(ipet.require_integral));
+        // Flags byte: bit 0 = integral, bit 1 = dense-reference solver.
+        // Pre-solver-switch entries carry 0/1 and decode unchanged.
+        enc.u8(u8::from(ipet.require_integral)
+            | (u8::from(matches!(ipet.solver, SolverBackend::DenseReference)) << 1));
         encode_artifacts(&mut enc, artifacts);
     }
 
@@ -606,11 +609,16 @@ pub(crate) fn decode_context(
     let mut solved = Vec::with_capacity(solved_count);
     for _ in 0..solved_count {
         let timing = CacheTiming::new(dec.u64()?, dec.u64()?);
+        let flags = dec.u8()?;
+        if flags > 3 {
+            return Err(CodecError::Malformed("IPET flag"));
+        }
         let ipet = IpetOptions {
-            require_integral: match dec.u8()? {
-                0 => false,
-                1 => true,
-                _ => return Err(CodecError::Malformed("IPET flag")),
+            require_integral: flags & 1 == 1,
+            solver: if flags & 2 == 2 {
+                SolverBackend::DenseReference
+            } else {
+                SolverBackend::Sparse
             },
         };
         let artifacts = decode_artifacts(&mut dec, geometry)?;

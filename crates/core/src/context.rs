@@ -25,12 +25,13 @@
 use std::sync::{Arc, Mutex, OnceLock};
 
 use pwcet_analysis::{
-    classify_level, classify_level_from, classify_srb, ChmcMap, ClassificationMode,
-    ClassifiedLevel, SrbMap,
+    classify_level, classify_level_from, classify_srb, Chmc, ChmcMap, ClassificationMode,
+    ClassifiedLevel, Scope, SrbMap,
 };
 use pwcet_cache::{CacheGeometry, CacheTiming};
-use pwcet_cfg::{CfgError, ExpandedCfg};
-use pwcet_ipet::IpetOptions;
+use pwcet_cfg::{CfgError, ExpandedCfg, NodeId};
+use pwcet_ilp::{SolveStats, SolveStatsCell};
+use pwcet_ipet::{IpetOptions, IpetTemplate};
 use pwcet_par::{par_for_each_index, par_join, Parallelism};
 use pwcet_progen::CompiledProgram;
 
@@ -86,6 +87,15 @@ pub struct AnalysisContext {
     /// Solve-stage products per `(timing, IPET)` configuration. A plain
     /// linear scan: real workloads touch one or two keys per context.
     solved: Mutex<Vec<(SolveKey, Arc<SolveArtifacts>)>>,
+    /// Factored IPET templates per [`IpetOptions`] — the shared
+    /// constraint matrix every `(set, fault)` delta ILP, SRB column
+    /// ILP, and fault-free WCET solve of this program reuses (timing
+    /// only changes objectives, so it is not part of the key). Linear
+    /// scan like `solved`.
+    templates: Mutex<Vec<(IpetOptions, Arc<IpetTemplate>)>>,
+    /// Cumulative solver counters of every solve stage run over this
+    /// context.
+    ilp_stats: SolveStatsCell,
 }
 
 impl AnalysisContext {
@@ -152,6 +162,8 @@ impl AnalysisContext {
             full: OnceLock::new(),
             srb: OnceLock::new(),
             solved: Mutex::new(Vec::new()),
+            templates: Mutex::new(Vec::new()),
+            ilp_stats: SolveStatsCell::default(),
         }
     }
 
@@ -277,30 +289,100 @@ impl AnalysisContext {
     /// outside the lock; when two threads race on the same key the first
     /// insert wins and the loser adopts it, so every caller observes one
     /// shared value. Failures are not cached.
+    ///
+    /// `compute` returns its solver counters alongside the artifacts;
+    /// they are handed back (`Some`) only when *this* call's computation
+    /// was the one installed, so memo hits — and racing losers, whose
+    /// work is discarded — record no stats.
     pub(crate) fn solve_artifacts(
         &self,
         key: SolveKey,
-        compute: impl FnOnce() -> Result<SolveArtifacts, CoreError>,
-    ) -> Result<Arc<SolveArtifacts>, CoreError> {
+        compute: impl FnOnce() -> Result<(SolveArtifacts, SolveStats), CoreError>,
+    ) -> Result<(Arc<SolveArtifacts>, Option<SolveStats>), CoreError> {
         {
             let solved = self.solved.lock().expect("solve memo lock");
             if let Some((_, artifacts)) = solved.iter().find(|(k, _)| *k == key) {
-                return Ok(Arc::clone(artifacts));
+                return Ok((Arc::clone(artifacts), None));
             }
         }
-        let artifacts = Arc::new(compute()?);
+        let (artifacts, stats) = compute()?;
+        let artifacts = Arc::new(artifacts);
         let mut solved = self.solved.lock().expect("solve memo lock");
         if let Some((_, existing)) = solved.iter().find(|(k, _)| *k == key) {
-            return Ok(Arc::clone(existing));
+            return Ok((Arc::clone(existing), None));
         }
         solved.push((key, Arc::clone(&artifacts)));
-        Ok(artifacts)
+        Ok((artifacts, Some(stats)))
     }
 
     /// Number of distinct `(timing, IPET)` configurations whose solve
     /// artifacts are memoized (test/debug introspection).
     pub fn solved_configurations(&self) -> usize {
         self.solved.lock().expect("solve memo lock").len()
+    }
+
+    /// The factored [`IpetTemplate`] of this program for `options`,
+    /// built (and memoized) on first request. The template carries the
+    /// union of first-extra groups over every classification level
+    /// `0..=W`, so it can solve the WCET cost model, every
+    /// `(set, fault)` delta model, and every SRB column model of this
+    /// context — any cost model derived from this program's
+    /// classifications.
+    ///
+    /// Building it materializes every classification level (they define
+    /// the group union); under [`prewarm`](Self::prewarm) that work has
+    /// already happened.
+    pub fn ipet_template(&self, options: IpetOptions) -> Arc<IpetTemplate> {
+        {
+            let templates = self.templates.lock().expect("template memo lock");
+            if let Some((_, template)) = templates.iter().find(|(o, _)| *o == options) {
+                return Arc::clone(template);
+            }
+        }
+        // Built outside the lock (level materialization can be
+        // expensive); a racing insert wins and the loser adopts it.
+        let template = Arc::new(IpetTemplate::new(
+            &self.cfg,
+            self.first_extra_group_union(),
+            options,
+        ));
+        let mut templates = self.templates.lock().expect("template memo lock");
+        if let Some((_, existing)) = templates.iter().find(|(o, _)| *o == options) {
+            return Arc::clone(existing);
+        }
+        templates.push((options, Arc::clone(&template)));
+        template
+    }
+
+    /// Every `(node, scope)` first-extra group any classification level
+    /// of this context can charge: the union over `0..=W` of the
+    /// first-miss scopes per reference. Cost models built from these
+    /// levels (WCET, per-`(set, fault)` deltas, SRB columns) charge
+    /// subsets of it.
+    fn first_extra_group_union(&self) -> Vec<(NodeId, Scope)> {
+        let mut groups = Vec::new();
+        for assoc in 0..=self.geometry.ways() {
+            let chmc = self.chmc(assoc);
+            for node in self.cfg.nodes() {
+                for index in 0..node.addrs().len() {
+                    if let Chmc::FirstMiss(scope) = chmc.get(node.id(), index) {
+                        groups.push((node.id(), scope));
+                    }
+                }
+            }
+        }
+        groups
+    }
+
+    /// Adds one solve stage's solver counters to this context's total.
+    pub fn record_ilp_stats(&self, stats: &SolveStats) {
+        self.ilp_stats.record(stats);
+    }
+
+    /// Cumulative solver counters (pivots, branch-and-bound nodes,
+    /// warm-start hits…) over every solve stage run on this context.
+    pub fn ilp_stats(&self) -> SolveStats {
+        self.ilp_stats.snapshot()
     }
 
     /// Whether the SRB map has been materialized.

@@ -74,7 +74,9 @@ pub use context_cache::{ContextCache, ContextCacheStats, DEFAULT_CONTEXT_CAPACIT
 pub use error::CoreError;
 pub use estimate::{Protection, PwcetEstimate};
 pub use fmm::FaultMissMap;
-pub use pipeline::{expand_compiled, ProgramAnalysis, PwcetAnalyzer};
+pub use pipeline::{delta_cost_model, expand_compiled, ProgramAnalysis, PwcetAnalyzer};
 pub use pwcet_analysis::ClassificationMode;
+pub use pwcet_ilp::{SolveStats, SolverBackend};
+pub use pwcet_ipet::{IpetOptions, IpetTemplate};
 pub use pwcet_par::Parallelism;
 pub use reuse_plane::{ReusePlane, ReusePlaneStats, ReuseTier, DEFAULT_DISK_CAPACITY_BYTES};

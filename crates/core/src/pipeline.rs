@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use pwcet_analysis::{Chmc, ChmcMap, SrbMap};
 use pwcet_cfg::{CfgError, ExpandedCfg, FunctionExtent};
+use pwcet_ilp::{IlpError, SolveStats, SolverBackend};
 use pwcet_ipet::{ipet_bound, CostModel, RefCost};
 use pwcet_par::{par_map, Parallelism};
 use pwcet_prob::DiscreteDistribution;
@@ -214,9 +215,21 @@ impl PwcetAnalyzer {
             self.config.geometry,
             "context geometry must match the analyzer configuration"
         );
-        let artifacts = context.solve_artifacts((self.config.timing, self.config.ipet), || {
-            solve_protection_independent(context, &self.config)
-        })?;
+        let (artifacts, stats) = context
+            .solve_artifacts((self.config.timing, self.config.ipet), || {
+                solve_protection_independent(context, &self.config)
+            })?;
+        // Solver behavior is observable per context (tests) and per
+        // plane (the service stats response). Stats come back only for
+        // the computation that was actually installed, so memoized
+        // re-requests — and discarded racing duplicates — record
+        // nothing.
+        if let Some(stats) = stats {
+            context.record_ilp_stats(&stats);
+            if let Some(plane) = &self.reuse {
+                plane.record_ilp_stats(&stats);
+            }
+        }
         Ok(ProgramAnalysis {
             config: self.config,
             name: context.name().to_string(),
@@ -332,10 +345,20 @@ pub(crate) struct SolveArtifacts {
 /// Stages 2–3 over a shared context: classification prewarm, fault-free
 /// WCET, the per-`(set, fault)` delta ILPs of the fault miss map, and the
 /// per-set SRB column ILPs.
+///
+/// With the default sparse backend every ILP of the stage — one big
+/// WCET instance plus `S×W + S` small delta instances — is an
+/// objective-only variant of the context's factored [`IpetTemplate`]:
+/// the constraint matrix is built and factored once, the fan-out
+/// re-solves against pooled warm bases, and the WCET instance may split
+/// its branch-and-bound subtrees across the stage's workers. Under
+/// [`SolverBackend::DenseReference`] every job builds and solves a
+/// fresh dense model — the frozen reference path the solver-equivalence
+/// suite compares against. Bounds are identical either way.
 fn solve_protection_independent(
     context: &AnalysisContext,
     config: &AnalysisConfig,
-) -> Result<SolveArtifacts, CoreError> {
+) -> Result<(SolveArtifacts, SolveStats), CoreError> {
     let parallelism = config.parallelism;
     let cfg = context.cfg();
     let geometry = config.geometry;
@@ -346,10 +369,27 @@ fn solve_protection_independent(
     // the independent fixpoints out; incremental mode chains them).
     context.prewarm(parallelism);
 
-    // Fault-free WCET (§II-B).
+    let template = match config.ipet.solver {
+        SolverBackend::Sparse => Some(context.ipet_template(config.ipet)),
+        SolverBackend::DenseReference => None,
+    };
+    let bound_of = |costs: &CostModel, workers: usize| -> Result<(u64, SolveStats), IlpError> {
+        match &template {
+            Some(template) => template.bound_with_workers(costs, workers),
+            // The dense reference is deliberately uninstrumented.
+            None => ipet_bound(cfg, costs, &config.ipet).map(|b| (b, SolveStats::default())),
+        }
+    };
+    let mut stats = SolveStats::default();
+
+    // Fault-free WCET (§II-B): the one big instance of the stage — the
+    // only ILP that may split branch-and-bound subtrees across workers
+    // (the fan-outs below keep the workers busy with whole jobs).
     let chmc_full = context.chmc(ways);
     let wcet_costs = CostModel::from_chmc(cfg, chmc_full, &config.timing);
-    let fault_free_wcet = ipet_bound(cfg, &wcet_costs, &config.ipet)?;
+    let (fault_free_wcet, wcet_stats) =
+        bound_of(&wcet_costs, parallelism.worker_count(usize::MAX))?;
+    stats.merge(&wcet_stats);
 
     // Stage 3 (solve): fault miss map (§II-C). Every `(set, fault)`
     // delta ILP is independent; fan them out and fold the results back
@@ -358,18 +398,23 @@ fn solve_protection_independent(
     let jobs: Vec<(u32, u32)> = (1..=ways)
         .flat_map(|f| (0..sets).map(move |s| (s, f)))
         .collect();
-    let bounds = par_map(parallelism, &jobs, |&(s, f)| -> Result<u64, CoreError> {
-        let (costs, has_delta) =
-            delta_cost_model(cfg, &geometry, s, chmc_full, context.chmc(ways - f), None);
-        if has_delta {
-            Ok(ipet_bound(cfg, &costs, &config.ipet)?)
-        } else {
-            Ok(0)
-        }
-    });
+    let bounds = par_map(
+        parallelism,
+        &jobs,
+        |&(s, f)| -> Result<(u64, SolveStats), CoreError> {
+            let (costs, has_delta) =
+                delta_cost_model(cfg, &geometry, s, chmc_full, context.chmc(ways - f), None);
+            if has_delta {
+                Ok(bound_of(&costs, 1)?)
+            } else {
+                Ok((0, SolveStats::default()))
+            }
+        },
+    );
     let mut fmm = FaultMissMap::new(sets, ways);
-    for (&(s, f), bound) in jobs.iter().zip(bounds) {
-        let bound = bound?;
+    for (&(s, f), outcome) in jobs.iter().zip(bounds) {
+        let (bound, job_stats) = outcome?;
+        stats.merge(&job_stats);
         if bound > 0 {
             fmm.set(s, f, bound);
         }
@@ -393,28 +438,37 @@ fn solve_protection_independent(
     let srb_map = context.srb();
     let chmc_zero = context.chmc(0);
     let srb_jobs: Vec<u32> = (0..sets).collect();
-    let srb_bounds = par_map(parallelism, &srb_jobs, |&s| -> Result<u64, CoreError> {
-        let (costs, has_delta) =
-            delta_cost_model(cfg, &geometry, s, chmc_full, chmc_zero, Some(srb_map));
-        if has_delta {
-            Ok(ipet_bound(cfg, &costs, &config.ipet)?)
-        } else {
-            Ok(0)
-        }
-    });
+    let srb_bounds = par_map(
+        parallelism,
+        &srb_jobs,
+        |&s| -> Result<(u64, SolveStats), CoreError> {
+            let (costs, has_delta) =
+                delta_cost_model(cfg, &geometry, s, chmc_full, chmc_zero, Some(srb_map));
+            if has_delta {
+                Ok(bound_of(&costs, 1)?)
+            } else {
+                Ok((0, SolveStats::default()))
+            }
+        },
+    );
     let mut srb_last_column = vec![0u64; sets as usize];
-    for (s, bound) in srb_bounds.into_iter().enumerate() {
+    for (s, outcome) in srb_bounds.into_iter().enumerate() {
+        let (bound, job_stats) = outcome?;
+        stats.merge(&job_stats);
         // The SRB never outperforms a surviving way (an SRB hit is a
         // guaranteed hit at associativity 1 too), so the column
         // dominates the f = W − 1 column; enforce it defensively.
-        srb_last_column[s] = bound?.max(fmm.get(s as u32, ways - 1));
+        srb_last_column[s] = bound.max(fmm.get(s as u32, ways - 1));
     }
 
-    Ok(SolveArtifacts {
-        fault_free_wcet,
-        fmm,
-        srb_last_column,
-    })
+    Ok((
+        SolveArtifacts {
+            fault_free_wcet,
+            fmm,
+            srb_last_column,
+        },
+        stats,
+    ))
 }
 
 /// The protection-independent analysis results of one program, from which
@@ -534,8 +588,10 @@ impl ProgramAnalysis {
 /// keeps the ILP objective non-negative and remains sound.
 ///
 /// Returns the cost model and whether any delta is positive (callers skip
-/// the ILP when not).
-fn delta_cost_model(
+/// the ILP when not). Public so benchmarks and the solver gate can
+/// reproduce the exact per-`(set, fault)` fan-out workload of the
+/// pipeline's solve stage.
+pub fn delta_cost_model(
     cfg: &ExpandedCfg,
     geometry: &pwcet_cache::CacheGeometry,
     set: u32,

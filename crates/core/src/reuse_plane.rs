@@ -41,6 +41,7 @@ use std::sync::{Arc, Mutex};
 use pwcet_analysis::ClassificationMode;
 use pwcet_cache::CacheGeometry;
 use pwcet_cfg::CfgError;
+use pwcet_ilp::{SolveStats, SolveStatsCell};
 use pwcet_progen::CompiledProgram;
 
 use crate::codec::{decode_context, encode_context};
@@ -209,6 +210,9 @@ pub struct ReusePlane {
     /// tier. Only records what passed through this plane.
     families: Mutex<HashMap<u64, BTreeMap<u32, u64>>>,
     counters: Mutex<Counters>,
+    /// Solver counters of every solve stage run through this plane
+    /// (recorded by the analyzer; survives context eviction).
+    ilp: SolveStatsCell,
 }
 
 impl Default for ReusePlane {
@@ -233,7 +237,22 @@ impl ReusePlane {
             disk: None,
             families: Mutex::new(HashMap::new()),
             counters: Mutex::new(Counters::default()),
+            ilp: SolveStatsCell::default(),
         }
+    }
+
+    /// Adds one solve stage's solver counters to the plane's total (the
+    /// analyzer calls this after every non-memoized solve stage).
+    pub fn record_ilp_stats(&self, stats: &SolveStats) {
+        self.ilp.record(stats);
+    }
+
+    /// Cumulative solver counters (pivots, branch-and-bound nodes,
+    /// warm-start hits…) across every analysis served through this
+    /// plane. Unlike per-context counters these survive cache eviction,
+    /// so a long-lived service reports totals, not residue.
+    pub fn ilp_stats(&self) -> SolveStats {
+        self.ilp.snapshot()
     }
 
     /// Attaches the on-disk tier rooted at `dir` (created if missing)

@@ -1,7 +1,12 @@
 //! Problem construction and branch-and-bound.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pwcet_par::{par_drain, Parallelism};
+
 use crate::error::IlpError;
-use crate::simplex::solve_lp;
+use crate::sparse::{self, LpWorkspace};
 
 /// Handle to a model variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,6 +53,109 @@ impl Solution {
     }
 }
 
+/// Which solver implementation answers a solve request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverBackend {
+    /// The sparse bounded-variable revised simplex with warm-started,
+    /// clone-free branch and bound (the production path).
+    #[default]
+    Sparse,
+    /// The frozen dense tableau + clone-per-node branch and bound kept
+    /// in [`crate::reference`] — the oracle the equivalence suites
+    /// compare against.
+    DenseReference,
+}
+
+/// Counters describing how a solve (or a batch of solves) behaved.
+///
+/// Returned by the workspace entry points and aggregated by
+/// [`SolveStatsCell`]; zeroes for the dense reference backend, which is
+/// deliberately uninstrumented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Primal simplex pivots (phase 1 and 2, all branch-and-bound
+    /// nodes).
+    pub pivots: u64,
+    /// Dual simplex pivots (bound-change re-solves).
+    pub dual_pivots: u64,
+    /// Pivotless nonbasic bound flips of the bounded-variable ratio
+    /// test.
+    pub bound_flips: u64,
+    /// Branch-and-bound nodes whose relaxation was solved (root
+    /// included; 1 for a pure LP).
+    pub bb_nodes: u64,
+    /// Solves (and branch-and-bound child re-solves) answered from an
+    /// existing factored basis instead of a cold phase-1 start.
+    pub warm_starts: u64,
+    /// Solves that built solver state from scratch.
+    pub cold_starts: u64,
+    /// Branch-and-bound children pruned as trivially infeasible (bound
+    /// crossover) without paying an LP solve.
+    pub trivial_prunes: u64,
+}
+
+impl SolveStats {
+    /// Adds `other` into `self`, field by field.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.pivots += other.pivots;
+        self.dual_pivots += other.dual_pivots;
+        self.bound_flips += other.bound_flips;
+        self.bb_nodes += other.bb_nodes;
+        self.warm_starts += other.warm_starts;
+        self.cold_starts += other.cold_starts;
+        self.trivial_prunes += other.trivial_prunes;
+    }
+
+    /// Primal + dual pivots.
+    pub fn total_pivots(&self) -> u64 {
+        self.pivots + self.dual_pivots
+    }
+}
+
+/// Thread-safe accumulator of [`SolveStats`] (plain relaxed counters —
+/// solver workers record concurrently, readers snapshot).
+#[derive(Debug, Default)]
+pub struct SolveStatsCell {
+    pivots: AtomicU64,
+    dual_pivots: AtomicU64,
+    bound_flips: AtomicU64,
+    bb_nodes: AtomicU64,
+    warm_starts: AtomicU64,
+    cold_starts: AtomicU64,
+    trivial_prunes: AtomicU64,
+}
+
+impl SolveStatsCell {
+    /// Adds one solve's counters.
+    pub fn record(&self, stats: &SolveStats) {
+        self.pivots.fetch_add(stats.pivots, Ordering::Relaxed);
+        self.dual_pivots
+            .fetch_add(stats.dual_pivots, Ordering::Relaxed);
+        self.bound_flips
+            .fetch_add(stats.bound_flips, Ordering::Relaxed);
+        self.bb_nodes.fetch_add(stats.bb_nodes, Ordering::Relaxed);
+        self.warm_starts
+            .fetch_add(stats.warm_starts, Ordering::Relaxed);
+        self.cold_starts
+            .fetch_add(stats.cold_starts, Ordering::Relaxed);
+        self.trivial_prunes
+            .fetch_add(stats.trivial_prunes, Ordering::Relaxed);
+    }
+
+    /// The accumulated totals.
+    pub fn snapshot(&self) -> SolveStats {
+        SolveStats {
+            pivots: self.pivots.load(Ordering::Relaxed),
+            dual_pivots: self.dual_pivots.load(Ordering::Relaxed),
+            bound_flips: self.bound_flips.load(Ordering::Relaxed),
+            bb_nodes: self.bb_nodes.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            cold_starts: self.cold_starts.load(Ordering::Relaxed),
+            trivial_prunes: self.trivial_prunes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Limits for [`Model::solve_ilp_with`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BranchAndBoundOptions {
@@ -55,6 +163,21 @@ pub struct BranchAndBoundOptions {
     pub max_nodes: usize,
     /// Values within this distance of an integer count as integral.
     pub integrality_tolerance: f64,
+    /// Worker threads exploring branch-and-bound subtrees (1 = the
+    /// calling thread only). Workers pull nodes from a shared pool and
+    /// prune against one shared incumbent behind an atomic bound; the
+    /// optimal objective is identical in every mode, though tie-broken
+    /// vertices and node counts may differ under races.
+    pub workers: usize,
+    /// The caller guarantees the objective is integer-valued at every
+    /// feasible *integral* point (true whenever all objective
+    /// coefficients are integers and every variable with a nonzero
+    /// coefficient is integer-marked). Nodes then prune against
+    /// `⌊relaxation⌋` instead of the raw relaxation, which collapses the
+    /// fractional-tie trees of objective-sparse instances (an IPET
+    /// delta model bounded at 10 can discard a 10.33 relaxation
+    /// outright). Off by default: unsound for continuous objectives.
+    pub integral_objective: bool,
 }
 
 impl Default for BranchAndBoundOptions {
@@ -62,8 +185,68 @@ impl Default for BranchAndBoundOptions {
         Self {
             max_nodes: 50_000,
             integrality_tolerance: 1e-6,
+            workers: 1,
+            integral_objective: false,
         }
     }
+}
+
+/// One bound tightening of a branch-and-bound node, relative to the
+/// root model.
+#[derive(Debug, Clone, Copy)]
+enum BoundDelta {
+    Lower(f64),
+    Upper(f64),
+}
+
+/// One branching decision: the fractional variable, its relaxation
+/// value, and whether the up branch is explored first.
+#[derive(Debug, Clone, Copy)]
+struct Branching {
+    var: usize,
+    value: f64,
+    up_first: bool,
+}
+
+/// A branch-and-bound node: the accumulated bound tightenings from the
+/// root. No model clone, no constraint copies — at most two `(var,
+/// bound)` pairs per branched-on variable (deeper tightenings of the
+/// same side replace the old entry, so a deep dive on one variable
+/// stays O(1) per node, not O(depth)).
+#[derive(Debug, Clone)]
+struct BbNode {
+    deltas: Vec<(usize, BoundDelta)>,
+}
+
+/// Installs `candidate` as the shared incumbent if it improves on the
+/// current one (the atomic bound mirrors the mutex-held objective for
+/// cheap pruning reads).
+fn offer_incumbent(
+    incumbent: &Mutex<Option<Solution>>,
+    incumbent_bound: &AtomicU64,
+    candidate: Solution,
+) {
+    let mut best = incumbent.lock().expect("incumbent lock");
+    let better = best
+        .as_ref()
+        .is_none_or(|b| candidate.objective > b.objective + 1e-9);
+    if better {
+        incumbent_bound.store(candidate.objective.to_bits(), Ordering::Relaxed);
+        *best = Some(candidate);
+    }
+}
+
+/// Replaces the same-side delta of `var` or appends a new one. The new
+/// value is always at least as tight (children tighten monotonically),
+/// so a plain overwrite is exact.
+fn upsert_delta(deltas: &mut Vec<(usize, BoundDelta)>, var: usize, delta: BoundDelta) {
+    for (v, d) in deltas.iter_mut() {
+        if *v == var && std::mem::discriminant(d) == std::mem::discriminant(&delta) {
+            *d = delta;
+            return;
+        }
+    }
+    deltas.push((var, delta));
 }
 
 /// A maximization problem over non-negative variables.
@@ -104,6 +287,21 @@ impl Model {
     /// Overwrites the objective coefficient of `var`.
     pub fn set_objective(&mut self, var: VarId, coeff: f64) {
         self.objective[var.index()] = coeff;
+    }
+
+    /// Overwrites the whole objective vector (one coefficient per
+    /// variable, [`VarId::index`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_objective_vector(&mut self, objective: &[f64]) {
+        assert_eq!(
+            objective.len(),
+            self.objective.len(),
+            "objective vector must cover every variable"
+        );
+        self.objective.copy_from_slice(objective);
     }
 
     /// Sets an (inclusive) upper bound.
@@ -161,13 +359,70 @@ impl Model {
         &self.lower
     }
 
-    /// Solves the LP relaxation.
+    pub(crate) fn integer_marks(&self) -> &[bool] {
+        &self.integer
+    }
+
+    pub(crate) fn set_upper_raw(&mut self, var: usize, ub: Option<f64>) {
+        self.upper[var] = ub;
+    }
+
+    pub(crate) fn set_lower_raw(&mut self, var: usize, lb: f64) {
+        self.lower[var] = lb;
+    }
+
+    /// Solves the LP relaxation with the sparse bounded-variable
+    /// simplex.
     ///
     /// # Errors
     ///
-    /// See [`solve_lp`].
+    /// [`IlpError::Infeasible`], [`IlpError::Unbounded`], or
+    /// [`IlpError::IterationLimit`] on numerical cycling.
     pub fn solve_lp(&self) -> Result<Solution, IlpError> {
-        solve_lp(self)
+        self.solve_lp_in(None, &mut LpWorkspace::new())
+            .map(|(solution, _)| solution)
+    }
+
+    /// Solves the LP relaxation with the dense reference simplex (the
+    /// frozen oracle of [`crate::reference`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_lp`](Model::solve_lp).
+    pub fn solve_lp_reference(&self) -> Result<Solution, IlpError> {
+        crate::reference::solve_lp_dense(self)
+    }
+
+    /// As [`solve_lp`](Model::solve_lp) through a reusable
+    /// [`LpWorkspace`], optionally overriding the objective vector (one
+    /// coefficient per variable, [`VarId::index`] order).
+    ///
+    /// Passing the workspace of a previous solve of the **same
+    /// constraint matrix** warm-starts from its factored basis: an
+    /// objective-only change re-optimizes with primal iterations alone
+    /// (no phase 1), which is how `IpetTemplate` fans hundreds of
+    /// objective variants off one factored basis.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_lp`](Model::solve_lp).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `objective` is given with the wrong length.
+    pub fn solve_lp_in(
+        &self,
+        objective: Option<&[f64]>,
+        ws: &mut LpWorkspace,
+    ) -> Result<(Solution, SolveStats), IlpError> {
+        let objective = self.checked_objective(objective);
+        let mut stats = SolveStats::default();
+        sparse::prepare(self, ws, &mut stats)?;
+        let state = ws.state.as_mut().expect("prepare retains state");
+        state.set_objective(objective);
+        state.optimize(&mut stats)?;
+        stats.bb_nodes += 1;
+        Ok((state.solution(), stats))
     }
 
     /// Solves the integer program with default options.
@@ -180,80 +435,324 @@ impl Model {
         self.solve_ilp_with(&BranchAndBoundOptions::default())
     }
 
-    /// Solves the integer program by depth-first branch and bound.
+    /// Solves the integer program with the original clone-per-node
+    /// reference branch and bound over the dense simplex.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_ilp`](Model::solve_ilp).
+    pub fn solve_ilp_reference(&self) -> Result<Solution, IlpError> {
+        crate::reference::solve_ilp_dense(self, &BranchAndBoundOptions::default())
+    }
+
+    /// Solves the integer program by clone-free depth-first branch and
+    /// bound: nodes carry only their bound tightenings, child
+    /// relaxations are re-solved by dual-simplex warm starts from the
+    /// evolving factored basis, and (with `options.workers > 1`)
+    /// subtrees are explored by parallel workers sharing one incumbent.
     ///
     /// # Errors
     ///
     /// As for [`solve_ilp`](Model::solve_ilp).
     pub fn solve_ilp_with(&self, options: &BranchAndBoundOptions) -> Result<Solution, IlpError> {
+        self.solve_ilp_in(None, &mut LpWorkspace::new(), options)
+            .map(|(solution, _)| solution)
+    }
+
+    /// As [`solve_ilp_with`](Model::solve_ilp_with) through a reusable
+    /// [`LpWorkspace`] and an optional objective override (see
+    /// [`solve_lp_in`](Model::solve_lp_in)). On success the workspace
+    /// retains the **root-relaxation** basis — primal feasible at the
+    /// model's own bounds — as the warm-start seed of the next solve.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_ilp`](Model::solve_ilp).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `objective` is given with the wrong length.
+    pub fn solve_ilp_in(
+        &self,
+        objective: Option<&[f64]>,
+        ws: &mut LpWorkspace,
+        options: &BranchAndBoundOptions,
+    ) -> Result<(Solution, SolveStats), IlpError> {
+        let objective = self.checked_objective(objective);
         let tol = options.integrality_tolerance;
-        let mut incumbent: Option<Solution> = None;
-        // Each node adds (var, is_upper, bound) tightenings.
-        let mut stack: Vec<Model> = vec![self.clone()];
-        let mut nodes = 0usize;
+        let mut stats = SolveStats::default();
 
-        while let Some(node) = stack.pop() {
-            nodes += 1;
-            if nodes > options.max_nodes {
-                return Err(IlpError::NodeLimit);
-            }
-            let relaxed = match node.solve_lp() {
-                Ok(s) => s,
-                Err(IlpError::Infeasible) => continue,
-                Err(e) => return Err(e),
-            };
-            if let Some(best) = &incumbent {
-                if relaxed.objective <= best.objective + 1e-9 {
-                    continue; // Bounded by the incumbent.
-                }
-            }
-            // Find the most fractional integer variable.
-            let mut branch: Option<(usize, f64)> = None;
-            let mut best_frac = tol;
-            for (i, &is_int) in self.integer.iter().enumerate() {
-                if !is_int {
-                    continue;
-                }
-                let v = relaxed.values[i];
-                let frac = (v - v.round()).abs();
-                if frac > best_frac {
-                    best_frac = frac;
-                    branch = Some((i, v));
-                }
-            }
-            match branch {
-                None => {
-                    // Integral (within tolerance): candidate incumbent.
-                    let mut rounded = relaxed.clone();
-                    for (i, &is_int) in self.integer.iter().enumerate() {
-                        if is_int {
-                            rounded.values[i] = rounded.values[i].round();
-                        }
-                    }
-                    let better = incumbent
-                        .as_ref()
-                        .is_none_or(|b| rounded.objective > b.objective + 1e-9);
-                    if better {
-                        incumbent = Some(rounded);
-                    }
-                }
-                Some((var, value)) => {
-                    let floor = value.floor();
-                    // Explore the "round up" child first (DFS): for WCET
-                    // maximization the up branch usually holds the optimum.
-                    let mut down = node.clone();
-                    let current_ub = down.upper[var];
-                    let new_ub = current_ub.map_or(floor, |u| u.min(floor));
-                    down.upper[var] = Some(new_ub);
-                    stack.push(down);
-
-                    let mut up = node;
-                    up.lower[var] = up.lower[var].max(floor + 1.0);
-                    stack.push(up);
-                }
+        // Root relaxation (warm-started when the workspace allows).
+        sparse::prepare(self, ws, &mut stats)?;
+        let root = ws.state.as_mut().expect("prepare retains state");
+        root.set_objective(objective);
+        root.optimize(&mut stats)?;
+        stats.bb_nodes += 1;
+        if options.max_nodes == 0 {
+            return Err(IlpError::NodeLimit);
+        }
+        let mut root_state = ws.state.as_ref().expect("prepare retains state").clone();
+        let mut root_branch = self.most_fractional(&root_state.values(), tol);
+        if root_branch.is_some() {
+            // A fractional (possibly warm-started) root: probe it cold
+            // once. Tie-degenerate warm bases can sit on fractional-
+            // circulation vertices of the optimal face; the cold
+            // two-phase vertex (the dense reference's behavior) is very
+            // often integral, turning a would-be search tree into a
+            // single extra solve.
+            if let Ok(probe) = sparse::solve_cold(self, objective, |_| {}, &mut stats) {
+                root_branch = self.most_fractional(&probe.values(), tol);
+                root_state = probe;
             }
         }
-        incumbent.ok_or(IlpError::Infeasible)
+        let Some((var, value)) = root_branch else {
+            return Ok((self.rounded(root_state.solution()), stats));
+        };
+
+        // Branching needed: seed the two root children. Workers clone
+        // the root-optimal state — basis and factored inverse, never
+        // the model — and replay each node's bound deltas onto it.
+        let shared_stats = SolveStatsCell::default();
+        let incumbent: Mutex<Option<Solution>> = Mutex::new(None);
+        let incumbent_bound = AtomicU64::new(f64::NEG_INFINITY.to_bits());
+        let nodes = AtomicUsize::new(1);
+        let mut seed = Vec::new();
+        push_children(
+            &root_state,
+            &BbNode { deltas: Vec::new() },
+            Branching {
+                var,
+                value,
+                up_first: objective[var] != 0.0,
+            },
+            tol,
+            &mut seed,
+            &shared_stats,
+        );
+
+        let outcome = par_drain(
+            Parallelism::threads(options.workers),
+            seed,
+            || root_state.clone(),
+            |state, node: BbNode, out| -> Result<(), IlpError> {
+                let visited = nodes.fetch_add(1, Ordering::Relaxed) + 1;
+                if visited > options.max_nodes {
+                    return Err(IlpError::NodeLimit);
+                }
+                let mut local = SolveStats::default();
+                local.bb_nodes += 1;
+                local.warm_starts += 1;
+                state.reset_bounds_to_root();
+                for &(v, delta) in &node.deltas {
+                    match delta {
+                        BoundDelta::Lower(lb) => state.tighten_lower(v, lb),
+                        BoundDelta::Upper(ub) => state.tighten_upper(v, ub),
+                    }
+                }
+                state.normalize_statuses();
+                state.recompute_xb();
+                match state.optimize(&mut local) {
+                    Ok(()) => {}
+                    Err(IlpError::Infeasible) => {
+                        shared_stats.record(&local);
+                        return Ok(()); // Pruned: empty subtree.
+                    }
+                    Err(e) => return Err(e),
+                }
+                shared_stats.record(&local);
+                let objective_value = state.objective_value();
+                // With an integral objective a fractional relaxation
+                // only proves what its floor proves (the +tol guards
+                // against 10.999999 flooring to 10).
+                let proven = if options.integral_objective {
+                    (objective_value + tol).floor()
+                } else {
+                    objective_value
+                };
+                let bound = f64::from_bits(incumbent_bound.load(Ordering::Relaxed));
+                if proven <= bound + 1e-9 {
+                    return Ok(()); // Bounded by the incumbent.
+                }
+                match self.most_fractional(&state.values(), tol) {
+                    None => {
+                        offer_incumbent(
+                            &incumbent,
+                            &incumbent_bound,
+                            self.rounded(state.solution()),
+                        );
+                    }
+                    Some((v, value)) => {
+                        // The warm dual re-solve would branch: probe the
+                        // node cold first (see the root probe above).
+                        // The worker's evolving state is untouched — the
+                        // probe is a throwaway — so children still
+                        // warm-start from the dual path.
+                        let mut probe_stats = SolveStats::default();
+                        let probe = sparse::solve_cold(
+                            self,
+                            objective,
+                            |s| {
+                                for &(pv, delta) in &node.deltas {
+                                    match delta {
+                                        BoundDelta::Lower(lb) => s.tighten_lower(pv, lb),
+                                        BoundDelta::Upper(ub) => s.tighten_upper(pv, ub),
+                                    }
+                                }
+                            },
+                            &mut probe_stats,
+                        );
+                        shared_stats.record(&probe_stats);
+                        match probe {
+                            Ok(probe_state) => {
+                                match self.most_fractional(&probe_state.values(), tol) {
+                                    None => offer_incumbent(
+                                        &incumbent,
+                                        &incumbent_bound,
+                                        self.rounded(probe_state.solution()),
+                                    ),
+                                    Some((pv, pvalue)) => push_children(
+                                        &probe_state,
+                                        &node,
+                                        Branching {
+                                            var: pv,
+                                            value: pvalue,
+                                            up_first: objective[pv] != 0.0,
+                                        },
+                                        tol,
+                                        out,
+                                        &shared_stats,
+                                    ),
+                                }
+                            }
+                            // A cold probe that fails numerically falls
+                            // back to branching on the warm vertex.
+                            Err(_) => push_children(
+                                state,
+                                &node,
+                                Branching {
+                                    var: v,
+                                    value,
+                                    up_first: objective[v] != 0.0,
+                                },
+                                tol,
+                                out,
+                                &shared_stats,
+                            ),
+                        }
+                    }
+                }
+                Ok(())
+            },
+        );
+        stats.merge(&shared_stats.snapshot());
+        outcome?;
+        let best = incumbent
+            .into_inner()
+            .expect("incumbent lock")
+            .ok_or(IlpError::Infeasible)?;
+        Ok((best, stats))
+    }
+
+    /// Resolves (and length-checks) the objective vector of a solve.
+    fn checked_objective<'a>(&'a self, objective: Option<&'a [f64]>) -> &'a [f64] {
+        let objective = objective.unwrap_or(&self.objective);
+        assert_eq!(
+            objective.len(),
+            self.num_vars(),
+            "objective override must cover every variable"
+        );
+        objective
+    }
+
+    /// The most fractional integer-marked variable, if any exceeds the
+    /// tolerance.
+    fn most_fractional(&self, values: &[f64], tol: f64) -> Option<(usize, f64)> {
+        let mut branch: Option<(usize, f64)> = None;
+        let mut best_frac = tol;
+        for (i, &is_int) in self.integer.iter().enumerate() {
+            if !is_int {
+                continue;
+            }
+            let v = values[i];
+            let frac = (v - v.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch = Some((i, v));
+            }
+        }
+        branch
+    }
+
+    /// Rounds integer-marked values of an integral-within-tolerance
+    /// solution.
+    fn rounded(&self, mut solution: Solution) -> Solution {
+        for (i, &is_int) in self.integer.iter().enumerate() {
+            if is_int {
+                solution.values[i] = solution.values[i].round();
+            }
+        }
+        solution
+    }
+}
+
+/// Pushes the down/up children of a branching decision, pruning children
+/// whose tightened bound crosses the node's opposite bound — trivially
+/// infeasible, so no LP solve is spent on them (they are counted in
+/// [`SolveStats::trivial_prunes`] instead).
+///
+/// Exploration order (LIFO pops the later push first): when the
+/// branching variable carries objective weight (`up_first`), the up
+/// branch is explored first — for WCET maximization it usually holds
+/// the optimum. A zero-weight variable is a tie artifact (e.g. a
+/// fractional circulation on costless flow edges); diving up just grows
+/// the circulation, so its *down* branch is explored first, which
+/// clamps the circulation toward an integral point.
+fn push_children(
+    state: &sparse::State,
+    node: &BbNode,
+    branch: Branching,
+    tol: f64,
+    out: &mut Vec<BbNode>,
+    stats: &SolveStatsCell,
+) {
+    let Branching {
+        var,
+        value,
+        up_first,
+    } = branch;
+    let floor = value.floor();
+    let mut trivial = SolveStats::default();
+
+    let push_down = |out: &mut Vec<BbNode>, trivial: &mut SolveStats| {
+        let down_ub = state.upper_of(var).min(floor);
+        if down_ub < state.lower_of(var) - tol {
+            trivial.trivial_prunes += 1;
+        } else {
+            let mut deltas = node.deltas.clone();
+            upsert_delta(&mut deltas, var, BoundDelta::Upper(down_ub));
+            out.push(BbNode { deltas });
+        }
+    };
+    let push_up = |out: &mut Vec<BbNode>, trivial: &mut SolveStats| {
+        let up_lb = state.lower_of(var).max(floor + 1.0);
+        if up_lb > state.upper_of(var) + tol {
+            trivial.trivial_prunes += 1;
+        } else {
+            let mut deltas = node.deltas.clone();
+            upsert_delta(&mut deltas, var, BoundDelta::Lower(up_lb));
+            out.push(BbNode { deltas });
+        }
+    };
+    if up_first {
+        push_down(out, &mut trivial);
+        push_up(out, &mut trivial);
+    } else {
+        push_up(out, &mut trivial);
+        push_down(out, &mut trivial);
+    }
+
+    if trivial.trivial_prunes > 0 {
+        stats.record(&trivial);
     }
 }
 
@@ -294,9 +793,8 @@ mod tests {
 
     #[test]
     fn fractional_vertex_requires_branching() {
-        // max x + y  s.t.  2x + y <= 3, x + 2y <= 3 → LP vertex (1,1),
-        // integral already; tighten to force fractional: rhs 2 and 2 →
-        // vertex (2/3, 2/3), ILP optimum 1 at (1,0)/(0,1)… use that.
+        // max x + y  s.t.  2x + y <= 2, x + 2y <= 2 → LP vertex
+        // (2/3, 2/3), ILP optimum 1 at (1,0)/(0,1).
         let mut m = Model::new();
         let x = m.add_var("x", 1.0);
         let y = m.add_var("y", 1.0);
@@ -358,6 +856,147 @@ mod tests {
         assert_eq!(m.solve_ilp_with(&options), Err(IlpError::NodeLimit));
     }
 
+    #[test]
+    fn reference_backend_agrees_on_the_basics() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 3.0);
+        let y = m.add_var("y", 2.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint([(x, 1.0)], ConstraintOp::Le, 2.5);
+        m.mark_integer(x);
+        m.mark_integer(y);
+        let sparse = m.solve_ilp().unwrap();
+        let dense = m.solve_ilp_reference().unwrap();
+        assert!((sparse.objective - dense.objective).abs() < 1e-6);
+        let lp_sparse = m.solve_lp().unwrap();
+        let lp_dense = m.solve_lp_reference().unwrap();
+        assert!((lp_sparse.objective - lp_dense.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workspace_warm_start_reuses_the_factored_basis() {
+        // Same constraint matrix, three objective variants: only the
+        // first solve may build cold.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0);
+        let y = m.add_var("y", 0.0);
+        m.add_constraint([(x, 1.0), (y, 2.0)], ConstraintOp::Le, 10.0);
+        m.add_constraint([(x, 3.0), (y, 1.0)], ConstraintOp::Le, 15.0);
+        m.mark_integer(x);
+        m.mark_integer(y);
+
+        let mut ws = LpWorkspace::new();
+        let mut total = SolveStats::default();
+        for (objective, expected) in [
+            (vec![1.0, 0.0], 5.0),
+            (vec![0.0, 1.0], 5.0),
+            (vec![1.0, 1.0], 7.0),
+        ] {
+            let (solution, stats) = m
+                .solve_ilp_in(Some(&objective), &mut ws, &BranchAndBoundOptions::default())
+                .unwrap();
+            assert!(
+                (solution.objective - expected).abs() < 1e-6,
+                "objective {objective:?}"
+            );
+            total.merge(&stats);
+        }
+        assert_eq!(total.cold_starts, 1, "only the first solve is cold");
+        assert!(total.warm_starts >= 2, "later solves reuse the basis");
+        // Fresh single-shot solves agree.
+        for (objective, expected) in [(vec![1.0, 0.0], 5.0), (vec![1.0, 1.0], 7.0)] {
+            let mut one = m.clone();
+            one.set_objective(x, objective[0]);
+            one.set_objective(y, objective[1]);
+            let s = one.solve_ilp().unwrap();
+            assert!((s.objective - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn up_branch_crossing_the_upper_bound_is_pruned_without_a_solve() {
+        // x ∈ [0.6, 1.4] integral, maximize x: the root relaxation is
+        // x = 1.4, so the up child demands x ≥ 2 — past the upper
+        // bound. It must be pruned for free; only the down child (x ≤
+        // 1) pays an LP solve.
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        m.set_lower(x, 0.6);
+        m.set_upper(x, 1.4);
+        m.mark_integer(x);
+        let (s, stats) = m
+            .solve_ilp_in(
+                None,
+                &mut LpWorkspace::new(),
+                &BranchAndBoundOptions::default(),
+            )
+            .unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-9);
+        assert_eq!(stats.trivial_prunes, 1, "up child pruned for free");
+        assert_eq!(stats.bb_nodes, 2, "root + down child only");
+    }
+
+    #[test]
+    fn down_branch_crossing_the_lower_bound_is_pruned_without_a_solve() {
+        // The satellite bugfix: x ∈ [0.6, 1.4] integral, *minimize* x
+        // (maximize −x): the root relaxation is x = 0.6, so the down
+        // child demands x ≤ 0 — below the node's lower bound. Before
+        // the fix that child paid a full LP solve to learn it is
+        // infeasible.
+        let mut m = Model::new();
+        let x = m.add_var("x", -1.0);
+        m.set_lower(x, 0.6);
+        m.set_upper(x, 1.4);
+        m.mark_integer(x);
+        let (s, stats) = m
+            .solve_ilp_in(
+                None,
+                &mut LpWorkspace::new(),
+                &BranchAndBoundOptions::default(),
+            )
+            .unwrap();
+        assert!((s.objective + 1.0).abs() < 1e-9, "minimum integral x is 1");
+        assert_eq!(stats.trivial_prunes, 1, "down child pruned for free");
+        assert_eq!(stats.bb_nodes, 2, "root + up child only");
+    }
+
+    #[test]
+    fn parallel_workers_find_the_same_objective() {
+        // A knapsack with enough branching to occupy several workers.
+        let weights = [7.0, 9.0, 11.0, 6.0, 13.0, 5.0, 8.0, 10.0];
+        let values = [9.0, 12.0, 14.0, 8.0, 17.0, 6.0, 10.0, 13.0];
+        let mut m = Model::new();
+        let vars: Vec<VarId> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| m.add_var(format!("x{i}"), v))
+            .collect();
+        for &v in &vars {
+            m.set_upper(v, 1.0);
+            m.mark_integer(v);
+        }
+        m.add_constraint(
+            vars.iter().zip(weights).map(|(&v, w)| (v, w)),
+            ConstraintOp::Le,
+            30.0,
+        );
+        let sequential = m.solve_ilp().unwrap();
+        let parallel = m
+            .solve_ilp_with(&BranchAndBoundOptions {
+                workers: 4,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(
+            (sequential.objective - parallel.objective).abs() < 1e-9,
+            "sequential {} vs parallel {}",
+            sequential.objective,
+            parallel.objective
+        );
+        let reference = m.solve_ilp_reference().unwrap();
+        assert!((sequential.objective - reference.objective).abs() < 1e-6);
+    }
+
     /// Worker threads of the pipeline fan-out build and solve models
     /// concurrently (immutable model, per-worker solver scratch); keep
     /// the solver state `Send + Sync` by construction.
@@ -367,5 +1006,8 @@ mod tests {
         assert_send_sync::<Model>();
         assert_send_sync::<Solution>();
         assert_send_sync::<BranchAndBoundOptions>();
+        assert_send_sync::<LpWorkspace>();
+        assert_send_sync::<SolveStats>();
+        assert_send_sync::<SolveStatsCell>();
     }
 }

@@ -1,18 +1,110 @@
-//! Dense two-phase primal simplex.
+//! The dense reference solver: two-phase primal simplex over a fully
+//! materialized tableau, plus the original clone-per-node branch and
+//! bound.
+//!
+//! This module is deliberately frozen. It is the *reference
+//! implementation* the equivalence suites compare the sparse
+//! warm-started solver ([`crate::sparse`]) against: variable bounds are
+//! materialized as full tableau rows, every branch-and-bound node deep-
+//! clones the model, and nothing is ever warm-started. Slow, simple,
+//! and trusted — exactly what an oracle should be.
 
 use crate::error::IlpError;
-use crate::model::{ConstraintOp, Model, Solution};
+use crate::model::{BranchAndBoundOptions, ConstraintOp, Model, Solution};
 
 const EPS: f64 = 1e-9;
 
-/// Solves the LP relaxation of `model` (ignoring integrality marks).
+/// Solves the LP relaxation of `model` with the dense reference simplex
+/// (ignoring integrality marks).
 ///
 /// # Errors
 ///
 /// [`IlpError::Infeasible`], [`IlpError::Unbounded`], or
 /// [`IlpError::IterationLimit`] on numerical cycling.
-pub fn solve_lp(model: &Model) -> Result<Solution, IlpError> {
+pub fn solve_lp_dense(model: &Model) -> Result<Solution, IlpError> {
     Tableau::from_model(model)?.solve(model)
+}
+
+/// Solves the integer program by the original depth-first branch and
+/// bound: every node clones the whole model and re-solves its relaxation
+/// from scratch with [`solve_lp_dense`].
+///
+/// # Errors
+///
+/// As for [`Model::solve_ilp`].
+pub fn solve_ilp_dense(
+    model: &Model,
+    options: &BranchAndBoundOptions,
+) -> Result<Solution, IlpError> {
+    let tol = options.integrality_tolerance;
+    let mut incumbent: Option<Solution> = None;
+    // Each node is a full model copy with tightened variable bounds.
+    let mut stack: Vec<Model> = vec![model.clone()];
+    let mut nodes = 0usize;
+
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > options.max_nodes {
+            return Err(IlpError::NodeLimit);
+        }
+        let relaxed = match solve_lp_dense(&node) {
+            Ok(s) => s,
+            Err(IlpError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        if let Some(best) = &incumbent {
+            if relaxed.objective <= best.objective + 1e-9 {
+                continue; // Bounded by the incumbent.
+            }
+        }
+        // Find the most fractional integer variable.
+        let mut branch: Option<(usize, f64)> = None;
+        let mut best_frac = tol;
+        for (i, &is_int) in model.integer_marks().iter().enumerate() {
+            if !is_int {
+                continue;
+            }
+            let v = relaxed.values[i];
+            let frac = (v - v.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch = Some((i, v));
+            }
+        }
+        match branch {
+            None => {
+                // Integral (within tolerance): candidate incumbent.
+                let mut rounded = relaxed.clone();
+                for (i, &is_int) in model.integer_marks().iter().enumerate() {
+                    if is_int {
+                        rounded.values[i] = rounded.values[i].round();
+                    }
+                }
+                let better = incumbent
+                    .as_ref()
+                    .is_none_or(|b| rounded.objective > b.objective + 1e-9);
+                if better {
+                    incumbent = Some(rounded);
+                }
+            }
+            Some((var, value)) => {
+                let floor = value.floor();
+                // Explore the "round up" child first (DFS): for WCET
+                // maximization the up branch usually holds the optimum.
+                let mut down = node.clone();
+                let current_ub = down.upper_bounds()[var];
+                let new_ub = current_ub.map_or(floor, |u| u.min(floor));
+                down.set_upper_raw(var, Some(new_ub));
+                stack.push(down);
+
+                let mut up = node;
+                let raised = up.lower_bounds()[var].max(floor + 1.0);
+                up.set_lower_raw(var, raised);
+                stack.push(up);
+            }
+        }
+    }
+    incumbent.ok_or(IlpError::Infeasible)
 }
 
 /// The simplex tableau in equality standard form.
@@ -302,7 +394,7 @@ mod tests {
         m.add_constraint([(x, 1.0)], ConstraintOp::Le, 4.0);
         m.add_constraint([(y, 2.0)], ConstraintOp::Le, 12.0);
         m.add_constraint([(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
-        let s = solve_lp(&m).unwrap();
+        let s = solve_lp_dense(&m).unwrap();
         assert!((s.objective - 36.0).abs() < 1e-6);
         assert!((s.values[x.index()] - 2.0).abs() < 1e-6);
         assert!((s.values[y.index()] - 6.0).abs() < 1e-6);
@@ -316,7 +408,7 @@ mod tests {
         let y = m.add_var("y", 1.0);
         m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 5.0);
         m.add_constraint([(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 1.0);
-        let s = solve_lp(&m).unwrap();
+        let s = solve_lp_dense(&m).unwrap();
         assert!((s.objective - 5.0).abs() < 1e-6);
         assert!((s.values[x.index()] - 3.0).abs() < 1e-6);
     }
@@ -327,13 +419,13 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", -1.0);
         m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 3.0);
-        let s = solve_lp(&m).unwrap();
+        let s = solve_lp_dense(&m).unwrap();
         assert!((s.objective + 3.0).abs() < 1e-6);
         // Same via a negative right-hand side: -x <= -3.
         let mut m2 = Model::new();
         let x2 = m2.add_var("x", -1.0);
         m2.add_constraint([(x2, -1.0)], ConstraintOp::Le, -3.0);
-        let s2 = solve_lp(&m2).unwrap();
+        let s2 = solve_lp_dense(&m2).unwrap();
         assert!((s2.objective + 3.0).abs() < 1e-6);
     }
 
@@ -343,7 +435,7 @@ mod tests {
         let x = m.add_var("x", 1.0);
         m.add_constraint([(x, 1.0)], ConstraintOp::Le, 1.0);
         m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 2.0);
-        assert_eq!(solve_lp(&m), Err(IlpError::Infeasible));
+        assert_eq!(solve_lp_dense(&m), Err(IlpError::Infeasible));
     }
 
     #[test]
@@ -353,7 +445,7 @@ mod tests {
         let y = m.add_var("y", 0.0);
         m.add_constraint([(y, 1.0)], ConstraintOp::Le, 1.0);
         let _ = x;
-        assert_eq!(solve_lp(&m), Err(IlpError::Unbounded));
+        assert_eq!(solve_lp_dense(&m), Err(IlpError::Unbounded));
     }
 
     #[test]
@@ -365,7 +457,7 @@ mod tests {
         m.set_upper(x, 2.0);
         m.set_upper(y, 3.0);
         m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
-        let s = solve_lp(&m).unwrap();
+        let s = solve_lp_dense(&m).unwrap();
         assert!((s.objective - 5.0).abs() < 1e-6);
     }
 
@@ -375,7 +467,7 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", -1.0);
         m.set_lower(x, 1.5);
-        let s = solve_lp(&m).unwrap();
+        let s = solve_lp_dense(&m).unwrap();
         assert!((s.values[x.index()] - 1.5).abs() < 1e-6);
     }
 
@@ -384,7 +476,7 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0);
         m.add_constraint([(x, 1.0)], ConstraintOp::Eq, 7.0);
-        let s = solve_lp(&m).unwrap();
+        let s = solve_lp_dense(&m).unwrap();
         assert_eq!(s.objective, 0.0);
         assert!((s.values[x.index()] - 7.0).abs() < 1e-6);
     }
@@ -400,7 +492,7 @@ mod tests {
         }
         m.add_constraint([(x, 1.0)], ConstraintOp::Le, 2.0);
         m.add_constraint([(y, 1.0)], ConstraintOp::Le, 2.0);
-        let s = solve_lp(&m).unwrap();
+        let s = solve_lp_dense(&m).unwrap();
         assert!((s.objective - 2.0).abs() < 1e-6);
     }
 }

@@ -1,10 +1,13 @@
 //! Property tests: branch-and-bound agrees with exhaustive enumeration on
-//! small random integer programs, and the degenerate failure modes —
+//! small random integer programs, the degenerate failure modes —
 //! empty feasible regions, unbounded objectives, tied optima — are
-//! reported instead of mis-solved.
+//! reported instead of mis-solved, and the sparse warm-started solver is
+//! equivalent to the dense reference (same feasibility class, objectives
+//! within 1e-6) across random LPs and ILPs with mixed constraint
+//! operators and variable bounds.
 
 use proptest::prelude::*;
-use pwcet_ilp::{ConstraintOp, IlpError, Model};
+use pwcet_ilp::{BranchAndBoundOptions, ConstraintOp, IlpError, LpWorkspace, Model};
 
 #[derive(Debug, Clone)]
 struct SmallIlp {
@@ -237,6 +240,201 @@ proptest! {
             "solver found {} but brute force found {}",
             solution.objective,
             expected
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense-reference vs. sparse equivalence
+// ---------------------------------------------------------------------------
+
+/// A general model exercising everything the sparse solver handles
+/// structurally differently from the dense reference: mixed `≤`/`=`/`≥`
+/// operators, raised lower bounds, optional upper bounds, negative
+/// right-hand sides.
+#[derive(Debug, Clone)]
+struct GeneralModel {
+    objective: Vec<i32>,
+    constraints: Vec<(Vec<i32>, u8, i32)>, // (coeffs, op tag, rhs)
+    lower: Vec<u8>,
+    upper: Vec<Option<u8>>, // None = unbounded above
+    integral: bool,
+}
+
+fn arb_general(integral: bool) -> impl Strategy<Value = GeneralModel> {
+    (2usize..4)
+        .prop_flat_map(move |n| {
+            let objective = proptest::collection::vec(-5i32..8, n..=n);
+            let constraint = (
+                proptest::collection::vec(-3i32..5, n..=n),
+                0u8..3,
+                -8i32..25,
+            );
+            let constraints = proptest::collection::vec(constraint, 1..4);
+            let lower = proptest::collection::vec(0u8..3, n..=n);
+            let upper = proptest::collection::vec(proptest::option::of(1u8..8), n..=n);
+            (objective, constraints, lower, upper)
+        })
+        .prop_map(move |(objective, constraints, lower, upper)| GeneralModel {
+            objective,
+            constraints,
+            lower,
+            upper,
+            integral,
+        })
+}
+
+fn general_to_model(g: &GeneralModel) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = g
+        .objective
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| m.add_var(format!("x{i}"), f64::from(c)))
+        .collect();
+    for (i, v) in vars.iter().enumerate() {
+        m.set_lower(*v, f64::from(g.lower[i]));
+        if let Some(ub) = g.upper[i] {
+            // Keep lb ≤ ub so instances differ in interesting ways, not
+            // by trivial bound crossovers (covered by unit tests).
+            m.set_upper(*v, f64::from(ub.max(g.lower[i])));
+        }
+        if g.integral {
+            m.mark_integer(*v);
+        }
+    }
+    for (coeffs, op, rhs) in &g.constraints {
+        let op = match op {
+            0 => ConstraintOp::Le,
+            1 => ConstraintOp::Eq,
+            _ => ConstraintOp::Ge,
+        };
+        m.add_constraint(
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (vars[i], f64::from(c))),
+            op,
+            f64::from(*rhs),
+        );
+    }
+    m
+}
+
+/// Reduces a solve outcome to the feasibility class + objective the two
+/// backends must agree on.
+fn outcome_class(result: &Result<pwcet_ilp::Solution, IlpError>) -> Result<f64, IlpError> {
+    result.as_ref().map(|s| s.objective).map_err(|e| *e)
+}
+
+/// Node/iteration limits are resource exhaustion, not an answer: how
+/// many nodes a search needs is path-dependent, so the two backends may
+/// legitimately give up at different points on adversarial random
+/// instances (e.g. objective-blind unbounded directions that make
+/// depth-first diving fruitless). Equivalence is asserted whenever both
+/// sides produce a definite outcome.
+fn resource_limited(outcome: &Result<f64, IlpError>) -> bool {
+    matches!(outcome, Err(IlpError::NodeLimit | IlpError::IterationLimit))
+}
+
+/// The bounded node budget both backends run under in the random
+/// equivalence suite (keeps adversarial dives cheap).
+fn equivalence_options() -> BranchAndBoundOptions {
+    BranchAndBoundOptions {
+        max_nodes: 2_000,
+        ..Default::default()
+    }
+}
+
+fn assert_equivalent(sparse: Result<f64, IlpError>, dense: Result<f64, IlpError>) {
+    if resource_limited(&sparse) || resource_limited(&dense) {
+        return;
+    }
+    match (sparse, dense) {
+        (Ok(a), Ok(b)) => assert!(
+            (a - b).abs() < 1e-6,
+            "objectives diverge: sparse {a} vs dense {b}"
+        ),
+        (a, b) => assert_eq!(a, b, "feasibility class diverges"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Random LPs: the sparse bounded-variable simplex and the dense
+    /// reference agree on feasibility class and optimum.
+    #[test]
+    fn sparse_lp_matches_dense_reference(g in arb_general(false)) {
+        let m = general_to_model(&g);
+        assert_equivalent(
+            outcome_class(&m.solve_lp()),
+            outcome_class(&m.solve_lp_reference()),
+        );
+    }
+
+    /// Random ILPs: clone-free warm-started branch and bound matches
+    /// the clone-per-node dense reference.
+    #[test]
+    fn sparse_ilp_matches_dense_reference(g in arb_general(true)) {
+        let m = general_to_model(&g);
+        let options = equivalence_options();
+        assert_equivalent(
+            outcome_class(&m.solve_ilp_with(&options)),
+            outcome_class(&pwcet_ilp::reference::solve_ilp_dense(&m, &options)),
+        );
+    }
+
+    /// Warm path: a sequence of objective variants solved through one
+    /// workspace (the IpetTemplate shape) matches fresh cold solves of
+    /// each variant.
+    #[test]
+    fn warm_objective_variants_match_cold_solves(
+        g in arb_general(true),
+        objectives in proptest::collection::vec(
+            proptest::collection::vec(-5i32..8, 3),
+            1..5,
+        ),
+    ) {
+        let m = general_to_model(&g);
+        let n = m.num_vars();
+        let mut ws = LpWorkspace::new();
+        let options = equivalence_options();
+        for objective in &objectives {
+            if objective.len() < n {
+                continue;
+            }
+            let coeffs: Vec<f64> = objective.iter().take(n).map(|&c| f64::from(c)).collect();
+            let warm = m
+                .solve_ilp_in(Some(&coeffs), &mut ws, &options)
+                .map(|(s, _)| s);
+            // The cold oracle: the same instance rebuilt from scratch
+            // with the variant objective baked in.
+            let mut variant = g.clone();
+            variant.objective = objective[..n].to_vec();
+            let cold = general_to_model(&variant).solve_ilp_with(&options);
+            assert_equivalent(outcome_class(&warm), outcome_class(&cold));
+            if warm.is_err() {
+                // An infeasible/unbounded model stays so for every
+                // objective variant that matters; no need to iterate.
+                break;
+            }
+        }
+    }
+
+    /// Parallel subtree exploration returns the same optimum as the
+    /// sequential drain (and therefore as the dense reference).
+    #[test]
+    fn parallel_bb_matches_sequential(g in arb_general(true)) {
+        let m = general_to_model(&g);
+        let sequential = m.solve_ilp_with(&equivalence_options());
+        let parallel = m.solve_ilp_with(&BranchAndBoundOptions {
+            workers: 4,
+            ..equivalence_options()
+        });
+        assert_equivalent(
+            outcome_class(&parallel),
+            outcome_class(&sequential),
         );
     }
 }

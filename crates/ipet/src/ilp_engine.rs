@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use pwcet_analysis::Scope;
 use pwcet_cfg::{ExpandedCfg, NodeId};
-use pwcet_ilp::{ConstraintOp, IlpError, Model, VarId};
+use pwcet_ilp::{BranchAndBoundOptions, ConstraintOp, IlpError, Model, SolverBackend, VarId};
 
 use crate::cost::CostModel;
 
@@ -15,51 +15,50 @@ pub struct IpetOptions {
     /// only the LP relaxation is solved — faster, and still a sound upper
     /// bound for maximization.
     pub require_integral: bool,
+    /// Which solver backend answers the ILP: the sparse warm-started
+    /// production solver (default) or the frozen dense reference the
+    /// equivalence suites compare against.
+    pub solver: SolverBackend,
 }
 
 impl Default for IpetOptions {
     fn default() -> Self {
         Self {
             require_integral: true,
+            solver: SolverBackend::default(),
         }
     }
 }
 
-/// Computes the maximum total cost over all structurally feasible paths —
-/// the IPET bound of §II-B2.
-///
-/// The ILP has one variable per node and per edge (execution counts), plus
-/// one variable per `(node, scope)` group of first-extra references.
-/// Constraints:
-///
-/// * flow conservation per node, with the entry/exit node executing once;
-/// * per loop: `Σ back-edge counts ≤ (bound − 1) · Σ entry-edge counts`;
-/// * per first-extra group `g` in node `n` with scope `s`:
-///   `y_g ≤ x_n` and `y_g ≤ entries(s)`.
-///
-/// The objective maximizes
-/// `Σ_n per_execution(n)·x_n + Σ_g first_extra(g)·y_g`.
-///
-/// # Errors
-///
-/// Propagates [`IlpError`] from the solver. Structurally valid graphs with
-/// finite loop bounds are always feasible and bounded.
-pub fn ipet_bound(
+/// The structural IPET model of one CFG: variables and constraints
+/// without an objective. Shared by the one-shot [`ipet_bound`] and the
+/// reusable [`IpetTemplate`](crate::IpetTemplate), so the two always
+/// agree on the constraint matrix.
+#[derive(Debug)]
+pub(crate) struct IpetModel {
+    pub(crate) model: Model,
+    /// One variable per node, indexed by node id.
+    pub(crate) node_vars: Vec<VarId>,
+    /// One variable per first-extra `(node, scope)` group, sorted.
+    pub(crate) group_vars: Vec<((NodeId, Scope), VarId)>,
+}
+
+/// Builds the structural model: flow conservation, loop bounds, and one
+/// bounded group variable per `(node, scope)` in `groups` (sorted and
+/// deduplicated by the caller via [`sort_groups`]).
+pub(crate) fn build_ipet_model(
     cfg: &ExpandedCfg,
-    costs: &CostModel,
+    groups: &[(NodeId, Scope)],
     options: &IpetOptions,
-) -> Result<u64, IlpError> {
+) -> IpetModel {
     let mut model = Model::new();
 
-    // Node variables with per-execution objective coefficients.
+    // Node variables (objective coefficients are set per cost model).
     let node_vars: Vec<VarId> = cfg
         .nodes()
         .iter()
         .map(|n| {
-            let var = model.add_var(
-                format!("x_n{}", n.id()),
-                costs.node_per_execution_total(n.id()) as f64,
-            );
+            let var = model.add_var(format!("x_n{}", n.id()), 0.0);
             if options.require_integral {
                 model.mark_integer(var);
             }
@@ -112,24 +111,15 @@ pub fn ipet_bound(
         model.add_constraint(coeffs, ConstraintOp::Le, 0.0);
     }
 
-    // First-extra groups: one y per (node, scope) with summed deltas.
-    let mut groups: HashMap<(NodeId, Scope), u64> = HashMap::new();
-    for (node, _, cost) in costs.first_extra_refs() {
-        let scope = cost
-            .scope
-            .expect("first_extra > 0 requires a scope by construction");
-        *groups.entry((node, scope)).or_insert(0) += cost.first_extra;
-    }
-    let mut group_list: Vec<((NodeId, Scope), u64)> = groups.into_iter().collect();
-    group_list.sort_by_key(|&((n, s), _)| (n, scope_key(s)));
-    for ((node, scope), delta) in group_list {
-        let y = model.add_var(format!("y_n{node}"), delta as f64);
+    // First-extra groups: one y per (node, scope), `y ≤ x_node` and
+    // `y ≤ entries(scope)`.
+    let mut group_vars = Vec::with_capacity(groups.len());
+    for &(node, scope) in groups {
+        let y = model.add_var(format!("y_n{node}"), 0.0);
         if options.require_integral {
             model.mark_integer(y);
         }
-        // y ≤ x_node.
         model.add_constraint([(y, 1.0), (node_vars[node], -1.0)], ConstraintOp::Le, 0.0);
-        // y ≤ entries(scope).
         match scope {
             Scope::Program => {
                 model.set_upper(y, 1.0);
@@ -142,12 +132,120 @@ pub fn ipet_bound(
                 model.add_constraint(coeffs, ConstraintOp::Le, 0.0);
             }
         }
+        group_vars.push(((node, scope), y));
     }
 
-    let solution = if options.require_integral {
-        model.solve_ilp()?
-    } else {
-        model.solve_lp()?
+    IpetModel {
+        model,
+        node_vars,
+        group_vars,
+    }
+}
+
+/// Canonical group order: by node, then by scope (loops before the
+/// program scope) — the order the model builder materializes variables
+/// in, kept deterministic so repeated builds are identical.
+pub(crate) fn sort_groups(groups: &mut Vec<(NodeId, Scope)>) {
+    groups.sort_by_key(|&(n, s)| (n, scope_key(s)));
+    groups.dedup();
+}
+
+/// The first-extra groups a cost model charges, in canonical order.
+pub(crate) fn groups_of(costs: &CostModel) -> Vec<(NodeId, Scope)> {
+    let mut groups: Vec<(NodeId, Scope)> = costs
+        .first_extra_refs()
+        .map(|(node, _, cost)| {
+            let scope = cost
+                .scope
+                .expect("first_extra > 0 requires a scope by construction");
+            (node, scope)
+        })
+        .collect();
+    sort_groups(&mut groups);
+    groups
+}
+
+/// The objective vector of `costs` over a structural model:
+/// per-execution totals on node variables, summed first-extra deltas on
+/// group variables.
+///
+/// # Panics
+///
+/// Panics when `costs` charges a first-extra group the model has no
+/// variable for — the template builder must be given a superset of
+/// every cost model it will solve.
+pub(crate) fn objective_for(ipet: &IpetModel, costs: &CostModel) -> Vec<f64> {
+    let mut objective = vec![0.0; ipet.model.num_vars()];
+    for (node, var) in ipet.node_vars.iter().enumerate() {
+        objective[var.index()] = costs.node_per_execution_total(node) as f64;
+    }
+    let mut totals: HashMap<(NodeId, Scope), u64> = HashMap::new();
+    for (node, _, cost) in costs.first_extra_refs() {
+        let scope = cost
+            .scope
+            .expect("first_extra > 0 requires a scope by construction");
+        *totals.entry((node, scope)).or_insert(0) += cost.first_extra;
+    }
+    // Indexed lookup: this runs once per solve of the hot fan-out, so
+    // a per-group linear scan over group_vars would be quadratic.
+    let group_index: HashMap<(NodeId, Scope), VarId> = ipet.group_vars.iter().copied().collect();
+    for (key, delta) in totals {
+        let var = group_index.get(&key).copied().unwrap_or_else(|| {
+            panic!(
+                "cost model charges first-extra group (node {}, {:?}) \
+                 absent from the IPET model — template builders must be \
+                 given the union of every group their cost models charge",
+                key.0, key.1
+            )
+        });
+        objective[var.index()] = delta as f64;
+    }
+    objective
+}
+
+/// Computes the maximum total cost over all structurally feasible paths —
+/// the IPET bound of §II-B2.
+///
+/// The ILP has one variable per node and per edge (execution counts), plus
+/// one variable per `(node, scope)` group of first-extra references.
+/// Constraints:
+///
+/// * flow conservation per node, with the entry/exit node executing once;
+/// * per loop: `Σ back-edge counts ≤ (bound − 1) · Σ entry-edge counts`;
+/// * per first-extra group `g` in node `n` with scope `s`:
+///   `y_g ≤ x_n` and `y_g ≤ entries(s)`.
+///
+/// The objective maximizes
+/// `Σ_n per_execution(n)·x_n + Σ_g first_extra(g)·y_g`.
+///
+/// Every call builds and cold-solves one model; sweeping many cost
+/// models over one CFG is what [`IpetTemplate`](crate::IpetTemplate)
+/// warm-starts.
+///
+/// # Errors
+///
+/// Propagates [`IlpError`] from the solver. Structurally valid graphs with
+/// finite loop bounds are always feasible and bounded.
+pub fn ipet_bound(
+    cfg: &ExpandedCfg,
+    costs: &CostModel,
+    options: &IpetOptions,
+) -> Result<u64, IlpError> {
+    let groups = groups_of(costs);
+    let mut ipet = build_ipet_model(cfg, &groups, options);
+    ipet.model
+        .set_objective_vector(&objective_for(&ipet, costs));
+    let solution = match (options.require_integral, options.solver) {
+        // Costs are u64 and every variable is integer-marked, so the
+        // objective is integral at integral points — branch and bound
+        // may prune against floored relaxations.
+        (true, SolverBackend::Sparse) => ipet.model.solve_ilp_with(&BranchAndBoundOptions {
+            integral_objective: true,
+            ..Default::default()
+        })?,
+        (true, SolverBackend::DenseReference) => ipet.model.solve_ilp_reference()?,
+        (false, SolverBackend::Sparse) => ipet.model.solve_lp()?,
+        (false, SolverBackend::DenseReference) => ipet.model.solve_lp_reference()?,
     };
     // Costs are integral, so the optimum is integral up to float noise.
     Ok(solution.objective.round().max(0.0) as u64)
@@ -301,9 +399,46 @@ mod tests {
             &unit,
             &IpetOptions {
                 require_integral: false,
+                ..Default::default()
             },
         )
         .unwrap();
         assert!(lp >= ilp);
+    }
+
+    #[test]
+    fn dense_reference_backend_matches_sparse_default() {
+        let (_, cfg) = build(Program::new("eq").with_function(
+            "main",
+            stmt::loop_(9, stmt::if_else(stmt::compute(6), stmt::compute(3))),
+        ));
+        let l = &cfg.loops()[0];
+        let mut costs = CostModel::uniform(&cfg, 1);
+        costs.set(
+            l.header,
+            0,
+            RefCost::with_first_extra(1, 50, Scope::Loop(l.id)),
+        );
+        for require_integral in [true, false] {
+            let sparse = ipet_bound(
+                &cfg,
+                &costs,
+                &IpetOptions {
+                    require_integral,
+                    solver: SolverBackend::Sparse,
+                },
+            )
+            .unwrap();
+            let dense = ipet_bound(
+                &cfg,
+                &costs,
+                &IpetOptions {
+                    require_integral,
+                    solver: SolverBackend::DenseReference,
+                },
+            )
+            .unwrap();
+            assert_eq!(sparse, dense, "integral={require_integral}");
+        }
     }
 }

@@ -50,8 +50,11 @@
 
 mod cost;
 mod ilp_engine;
+mod template;
 mod tree_engine;
 
 pub use cost::{CostModel, RefCost};
 pub use ilp_engine::{ipet_bound, IpetOptions};
+pub use pwcet_ilp::SolverBackend;
+pub use template::IpetTemplate;
 pub use tree_engine::tree_bound;

@@ -1,0 +1,288 @@
+//! Reusable IPET solve state: one factored constraint matrix, many
+//! objectives.
+//!
+//! Every `(set, fault)` delta ILP of one program — and the fault-free
+//! WCET and per-set SRB ILPs — shares the same constraint matrix: flow
+//! conservation, loop bounds, and the first-extra group structure are
+//! properties of the CFG, not of the cost model. Only the objective
+//! differs. [`IpetTemplate`] factors that shared matrix out of
+//! [`ipet_bound`](crate::ipet_bound): it is built once per CFG with the
+//! *union* of every first-extra group any cost model may charge (groups
+//! a particular objective leaves at zero cannot change the optimum),
+//! and each [`bound`](IpetTemplate::bound) call solves one
+//! objective-only variant warm-started from a pooled factored basis —
+//! no model rebuild, no phase 1, typically a handful of primal pivots.
+//!
+//! Thread behavior: `bound` is `&self` and safe to call from the
+//! per-`(set, fault)` fan-out workers. Each call checks a workspace out
+//! of an internal pool (falling back to a clone of the first solved
+//! basis, then to a cold build), so concurrent solves never contend on
+//! one basis.
+
+use std::sync::Mutex;
+
+use pwcet_analysis::Scope;
+use pwcet_cfg::{ExpandedCfg, NodeId};
+use pwcet_ilp::{BranchAndBoundOptions, IlpError, LpWorkspace, SolveStats, SolveStatsCell};
+
+use crate::cost::CostModel;
+use crate::ilp_engine::{build_ipet_model, objective_for, sort_groups, IpetModel, IpetOptions};
+
+/// A factored IPET instance answering many cost models over one CFG.
+#[derive(Debug)]
+pub struct IpetTemplate {
+    ipet: IpetModel,
+    options: IpetOptions,
+    /// Warm workspaces, checked out per solve.
+    pool: Mutex<Vec<LpWorkspace>>,
+    /// The first solved workspace, cloned when the pool runs dry so
+    /// every worker starts from a factored basis.
+    proto: Mutex<Option<LpWorkspace>>,
+    stats: SolveStatsCell,
+}
+
+impl IpetTemplate {
+    /// Builds the shared model of `cfg` with group variables for every
+    /// `(node, scope)` in `groups` — the union over every cost model
+    /// this template will solve. Groups are deduplicated and put in
+    /// canonical order internally.
+    ///
+    /// `options.solver` is ignored: a template is inherently the sparse
+    /// warm-started path (the dense reference rebuilds from scratch by
+    /// design and is served by [`ipet_bound`](crate::ipet_bound)).
+    pub fn new(
+        cfg: &ExpandedCfg,
+        groups: impl IntoIterator<Item = (NodeId, Scope)>,
+        options: IpetOptions,
+    ) -> Self {
+        let mut groups: Vec<(NodeId, Scope)> = groups.into_iter().collect();
+        sort_groups(&mut groups);
+        let ipet = build_ipet_model(cfg, &groups, &options);
+        Self {
+            ipet,
+            options,
+            pool: Mutex::new(Vec::new()),
+            proto: Mutex::new(None),
+            stats: SolveStatsCell::default(),
+        }
+    }
+
+    /// As [`new`](Self::new) for cost models with no first-extra
+    /// charges (or callers that will only use such models).
+    pub fn without_groups(cfg: &ExpandedCfg, options: IpetOptions) -> Self {
+        Self::new(cfg, std::iter::empty(), options)
+    }
+
+    /// The number of first-extra group variables the template carries.
+    pub fn group_count(&self) -> usize {
+        self.ipet.group_vars.len()
+    }
+
+    /// The options the template was built with.
+    pub fn options(&self) -> &IpetOptions {
+        &self.options
+    }
+
+    /// Accumulated solver counters over every `bound` call.
+    pub fn stats(&self) -> SolveStats {
+        self.stats.snapshot()
+    }
+
+    /// The IPET bound of `costs` — identical to
+    /// [`ipet_bound`](crate::ipet_bound) on the same CFG and options,
+    /// but warm-started from the template's factored basis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IlpError`] from the solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `costs` charges a first-extra group the template was
+    /// not built with (the builder must be given the union).
+    pub fn bound(&self, costs: &CostModel) -> Result<u64, IlpError> {
+        self.bound_with_workers(costs, 1).map(|(bound, _)| bound)
+    }
+
+    /// As [`bound`](Self::bound) with `workers` parallel
+    /// branch-and-bound subtree explorers (useful for the one big
+    /// fault-free WCET instance; the per-`(set, fault)` fan-out is
+    /// already parallel across jobs and should pass 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IlpError`] from the solver.
+    ///
+    /// # Panics
+    ///
+    /// As for [`bound`](Self::bound).
+    pub fn bound_with_workers(
+        &self,
+        costs: &CostModel,
+        workers: usize,
+    ) -> Result<(u64, SolveStats), IlpError> {
+        // An unknown first-extra group panics inside `objective_for`
+        // (a wrong bound is never produced).
+        let objective = objective_for(&self.ipet, costs);
+        let mut ws = self.checkout();
+        let result = if self.options.require_integral {
+            let bb = BranchAndBoundOptions {
+                workers: workers.max(1),
+                // IPET objectives are u64 costs over integer-marked
+                // variables: integral at every integral point.
+                integral_objective: true,
+                ..Default::default()
+            };
+            self.ipet.model.solve_ilp_in(Some(&objective), &mut ws, &bb)
+        } else {
+            self.ipet.model.solve_lp_in(Some(&objective), &mut ws)
+        };
+        // A failed workspace may hold inconsistent state; drop it
+        // rather than filing it back into the pool.
+        let (solution, stats) = result?;
+        self.stats.record(&stats);
+        self.checkin(ws);
+        Ok((solution.objective.round().max(0.0) as u64, stats))
+    }
+
+    fn checkout(&self) -> LpWorkspace {
+        if let Some(ws) = self.pool.lock().expect("template pool").pop() {
+            return ws;
+        }
+        if let Some(proto) = self.proto.lock().expect("template proto").clone() {
+            return proto;
+        }
+        LpWorkspace::new()
+    }
+
+    fn checkin(&self, ws: LpWorkspace) {
+        {
+            let mut proto = self.proto.lock().expect("template proto");
+            if proto.is_none() {
+                *proto = Some(ws.clone());
+            }
+        }
+        self.pool.lock().expect("template pool").push(ws);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::RefCost;
+    use crate::ipet_bound;
+    use pwcet_cfg::FunctionExtent;
+    use pwcet_progen::{stmt, Program};
+
+    fn build(program: Program) -> ExpandedCfg {
+        let compiled = program.compile(0x0040_0000).expect("compiles");
+        let extents: Vec<FunctionExtent> = compiled
+            .functions()
+            .iter()
+            .map(|f| FunctionExtent::new(f.name(), f.entry(), f.end()))
+            .collect();
+        let bounds: Vec<(u32, u32)> = compiled
+            .loop_bounds()
+            .iter()
+            .map(|lb| (lb.header, lb.bound))
+            .collect();
+        ExpandedCfg::build(compiled.image(), &extents, &bounds).expect("expands")
+    }
+
+    fn looped_cfg() -> ExpandedCfg {
+        build(Program::new("t").with_function(
+            "main",
+            stmt::loop_(8, stmt::if_else(stmt::compute(5), stmt::compute(2))),
+        ))
+    }
+
+    #[test]
+    fn template_matches_one_shot_bounds_across_objectives() {
+        let cfg = looped_cfg();
+        let options = IpetOptions::default();
+        let l = &cfg.loops()[0];
+        // Union: one loop-scoped group and one program-scoped group.
+        let template = IpetTemplate::new(
+            &cfg,
+            [(l.header, Scope::Loop(l.id)), (cfg.entry(), Scope::Program)],
+            options,
+        );
+        let mut variants = Vec::new();
+        // Plain unit costs (no groups charged).
+        variants.push(CostModel::uniform(&cfg, 1));
+        // Heavier execution costs plus a loop-scoped surcharge.
+        let mut with_loop_group = CostModel::uniform(&cfg, 3);
+        with_loop_group.set(
+            l.header,
+            0,
+            RefCost::with_first_extra(3, 40, Scope::Loop(l.id)),
+        );
+        variants.push(with_loop_group);
+        // Program-scoped surcharge on the entry node.
+        let mut with_program_group = CostModel::zero(&cfg);
+        with_program_group.set(
+            cfg.entry(),
+            0,
+            RefCost::with_first_extra(2, 7, Scope::Program),
+        );
+        variants.push(with_program_group);
+
+        for (i, costs) in variants.iter().enumerate() {
+            let warm = template.bound(costs).unwrap();
+            let cold = ipet_bound(&cfg, costs, &options).unwrap();
+            assert_eq!(warm, cold, "variant {i}");
+        }
+        let stats = template.stats();
+        assert_eq!(stats.cold_starts, 1, "one factored basis serves all");
+        assert!(stats.warm_starts >= 2, "later variants are warm");
+    }
+
+    #[test]
+    fn template_matches_lp_relaxation_mode() {
+        let cfg = looped_cfg();
+        let options = IpetOptions {
+            require_integral: false,
+            ..Default::default()
+        };
+        let template = IpetTemplate::without_groups(&cfg, options);
+        for cost in [1, 7] {
+            let costs = CostModel::uniform(&cfg, cost);
+            assert_eq!(
+                template.bound(&costs).unwrap(),
+                ipet_bound(&cfg, &costs, &options).unwrap(),
+                "unit cost {cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_workers_agree_with_sequential_bound() {
+        let cfg = looped_cfg();
+        let template = IpetTemplate::without_groups(&cfg, IpetOptions::default());
+        let costs = CostModel::uniform(&cfg, 2);
+        let (sequential, _) = template.bound_with_workers(&costs, 1).unwrap();
+        let (parallel, _) = template.bound_with_workers(&costs, 4).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent from the IPET model")]
+    fn unknown_group_is_rejected_loudly() {
+        let cfg = looped_cfg();
+        let template = IpetTemplate::without_groups(&cfg, IpetOptions::default());
+        let l = &cfg.loops()[0];
+        let mut costs = CostModel::zero(&cfg);
+        costs.set(
+            l.header,
+            0,
+            RefCost::with_first_extra(0, 5, Scope::Loop(l.id)),
+        );
+        let _ = template.bound(&costs);
+    }
+
+    #[test]
+    fn template_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IpetTemplate>();
+    }
+}

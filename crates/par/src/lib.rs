@@ -24,7 +24,7 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// How a fan-out stage schedules its work items.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +150,116 @@ where
     par_map(parallelism, &indices, |&i| f(i));
 }
 
+/// Drains a dynamically growing work pool across worker threads.
+///
+/// Unlike [`par_map`], the work list is not fixed up front: handling one
+/// item may produce follow-up items (`f` pushes them into its out
+/// parameter), which land back in the shared pool — the shape of
+/// branch-and-bound subtree exploration, where every node may spawn two
+/// children. Each worker owns a mutable state built once by `init`
+/// (e.g. a cloned solver basis), so items never contend on shared
+/// scratch.
+///
+/// The pool is drained LIFO; with one worker the traversal is exactly
+/// the depth-first order of a sequential loop. The first `Err` returned
+/// by `f` stops the drain: queued items are discarded, in-flight items
+/// finish, and that error is returned.
+pub fn par_drain<S, T, E, FI, F>(
+    parallelism: Parallelism,
+    seed: Vec<T>,
+    init: FI,
+    f: F,
+) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, T, &mut Vec<T>) -> Result<(), E> + Sync,
+{
+    // The pool grows dynamically, so size the crew by the configured
+    // parallelism rather than the seed length; idle workers park on the
+    // condvar until items (or the end) arrive.
+    let workers = parallelism.worker_count(usize::MAX);
+    if workers <= 1 {
+        let mut state = init();
+        let mut stack = seed;
+        let mut out = Vec::new();
+        while let Some(item) = stack.pop() {
+            f(&mut state, item, &mut out)?;
+            stack.append(&mut out);
+        }
+        return Ok(());
+    }
+
+    struct Pool<T, E> {
+        queue: Vec<T>,
+        active: usize,
+        stopped: bool,
+        error: Option<E>,
+    }
+    let pool = Mutex::new(Pool {
+        queue: seed,
+        active: 0,
+        stopped: false,
+        error: None,
+    });
+    let idle = Condvar::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Lazy: a worker that never dequeues (small trees, many
+                // cores) never pays for `init` — in the branch-and-bound
+                // case that is a clone of a dense basis inverse.
+                let mut state: Option<S> = None;
+                let mut out = Vec::new();
+                loop {
+                    let item = {
+                        let mut guard = pool.lock().expect("pool lock");
+                        loop {
+                            if guard.stopped || (guard.queue.is_empty() && guard.active == 0) {
+                                return;
+                            }
+                            if let Some(item) = guard.queue.pop() {
+                                guard.active += 1;
+                                break item;
+                            }
+                            guard = idle.wait(guard).expect("pool lock");
+                        }
+                    };
+                    // A panic in `f` must not strand peers parked on the
+                    // condvar behind a stale `active` count: catch it,
+                    // mark the pool stopped, wake everyone, and resume
+                    // unwinding so the scope propagates the panic.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f(state.get_or_insert_with(&init), item, &mut out)
+                    }));
+                    let mut guard = pool.lock().expect("pool lock");
+                    guard.active -= 1;
+                    match result {
+                        Ok(Ok(())) => guard.queue.append(&mut out),
+                        Ok(Err(e)) => {
+                            if guard.error.is_none() {
+                                guard.error = Some(e);
+                            }
+                            guard.stopped = true;
+                        }
+                        Err(payload) => {
+                            guard.stopped = true;
+                            drop(guard);
+                            idle.notify_all();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                    drop(guard);
+                    idle.notify_all();
+                }
+            });
+        }
+    });
+    let pool = pool.into_inner().expect("pool lock");
+    pool.error.map_or(Ok(()), Err)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +330,113 @@ mod tests {
             par_join(Parallelism::threads(2), || 1, || panic!("right"))
         });
         assert!(right.is_err());
+    }
+
+    #[test]
+    fn drain_visits_generated_work_in_every_mode() {
+        // Each item n < 16 spawns 2n+1 and 2n+2: a complete binary tree
+        // of 31 nodes whatever the schedule.
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::threads(3),
+            Parallelism::threads(8),
+        ] {
+            let visited: Vec<AtomicUsize> = (0..31).map(|_| AtomicUsize::new(0)).collect();
+            let result: Result<(), ()> = par_drain(
+                parallelism,
+                vec![0usize],
+                || (),
+                |(), n, out| {
+                    visited[n].fetch_add(1, Ordering::Relaxed);
+                    if 2 * n + 2 < 31 {
+                        out.push(2 * n + 1);
+                        out.push(2 * n + 2);
+                    }
+                    Ok(())
+                },
+            );
+            assert!(result.is_ok());
+            assert!(
+                visited.iter().all(|v| v.load(Ordering::Relaxed) == 1),
+                "{parallelism:?}: every generated item is processed exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_sequential_order_is_depth_first() {
+        let order = Mutex::new(Vec::new());
+        let result: Result<(), ()> = par_drain(
+            Parallelism::Sequential,
+            vec![0usize],
+            || (),
+            |(), n, out| {
+                order.lock().unwrap().push(n);
+                if n == 0 {
+                    out.push(1); // pushed first, popped last
+                    out.push(2); // popped first
+                }
+                if n == 2 {
+                    out.push(3);
+                }
+                Ok(())
+            },
+        );
+        assert!(result.is_ok());
+        assert_eq!(*order.lock().unwrap(), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn drain_stops_on_error_and_returns_it() {
+        for parallelism in [Parallelism::Sequential, Parallelism::threads(4)] {
+            let result = par_drain(
+                parallelism,
+                vec![0u32],
+                || (),
+                |(), n, out| {
+                    if n >= 5 {
+                        return Err(format!("hit {n}"));
+                    }
+                    out.push(n + 1);
+                    Ok(())
+                },
+            );
+            assert_eq!(result, Err("hit 5".to_string()), "{parallelism:?}");
+        }
+    }
+
+    #[test]
+    fn drain_propagates_panics_without_hanging_peers() {
+        // A panicking worker must wake parked peers and re-raise, not
+        // leave them waiting on a stale active count forever.
+        for parallelism in [Parallelism::Sequential, Parallelism::threads(4)] {
+            let result = std::panic::catch_unwind(|| {
+                let _: Result<(), ()> = par_drain(
+                    parallelism,
+                    vec![0u32],
+                    || (),
+                    |(), n, out| {
+                        if n >= 3 {
+                            panic!("boom at {n}");
+                        }
+                        out.push(n + 1);
+                        Ok(())
+                    },
+                );
+            });
+            assert!(result.is_err(), "{parallelism:?}: panic must propagate");
+        }
+    }
+
+    #[test]
+    fn drain_with_empty_seed_returns_immediately() {
+        let result: Result<(), ()> = par_drain(
+            Parallelism::threads(4),
+            Vec::<u8>::new(),
+            || (),
+            |_, _, _| Ok(()),
+        );
+        assert!(result.is_ok());
     }
 
     #[test]

@@ -146,6 +146,18 @@ fn submit(
         }
         Response::Stats(stats) => {
             println!("{stats:#?}");
+            // Solver behavior at a glance, next to the reuse-tier
+            // counters above.
+            if stats.ilp_bb_nodes > 0 {
+                println!(
+                    "ilp: {} pivots ({} dual), {} B&B nodes, {} warm starts, {} trivial prunes",
+                    stats.ilp_pivots,
+                    stats.ilp_dual_pivots,
+                    stats.ilp_bb_nodes,
+                    stats.ilp_warm_starts,
+                    stats.ilp_trivial_prunes,
+                );
+            }
             Ok(true)
         }
         Response::ShutdownStarted => {

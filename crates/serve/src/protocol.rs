@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "PWCQ"
-//! 4       4     protocol version (u32, currently 1)
+//! 4       4     protocol version (u32, currently 2)
 //! 8       8     payload length in bytes (u64, ≤ MAX_PAYLOAD_BYTES)
 //! 16      8     FNV-1a checksum of the payload (u64)
 //! 24      …     payload (tag byte + body)
@@ -39,7 +39,9 @@ use pwcet_progen::{Program, Stmt};
 pub const MAGIC: [u8; 4] = *b"PWCQ";
 /// Current protocol version. Bump on any layout change; mismatched peers
 /// then fail cleanly with [`ProtocolError::UnsupportedVersion`].
-pub const VERSION: u32 = 1;
+/// Version history: 1 = initial; 2 = `ilp_*` solver counters appended to
+/// the stats response.
+pub const VERSION: u32 = 2;
 /// Header bytes before the payload.
 pub const HEADER_LEN: usize = 24;
 /// Upper bound on a frame payload. Far above any real request (a whole
@@ -280,6 +282,16 @@ pub struct ServiceStats {
     pub derived: u64,
     /// Contexts built cold by the plane.
     pub cold_builds: u64,
+    /// ILP solver: primal simplex pivots across every solve stage.
+    pub ilp_pivots: u64,
+    /// ILP solver: dual simplex pivots (warm bound-change re-solves).
+    pub ilp_dual_pivots: u64,
+    /// ILP solver: branch-and-bound nodes whose relaxation was solved.
+    pub ilp_bb_nodes: u64,
+    /// ILP solver: solves answered from an existing factored basis.
+    pub ilp_warm_starts: u64,
+    /// ILP solver: branch-and-bound children pruned without an LP solve.
+    pub ilp_trivial_prunes: u64,
 }
 
 /// Why the server rejected a request.
@@ -497,6 +509,11 @@ fn encode_stats(enc: &mut Enc, stats: &ServiceStats) {
         stats.disk_corrupt,
         stats.derived,
         stats.cold_builds,
+        stats.ilp_pivots,
+        stats.ilp_dual_pivots,
+        stats.ilp_bb_nodes,
+        stats.ilp_warm_starts,
+        stats.ilp_trivial_prunes,
     ] {
         enc.u64(v);
     }
@@ -799,6 +816,11 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<ServiceStats, ProtocolError> {
         disk_corrupt: dec.u64()?,
         derived: dec.u64()?,
         cold_builds: dec.u64()?,
+        ilp_pivots: dec.u64()?,
+        ilp_dual_pivots: dec.u64()?,
+        ilp_bb_nodes: dec.u64()?,
+        ilp_warm_starts: dec.u64()?,
+        ilp_trivial_prunes: dec.u64()?,
     })
 }
 
@@ -1172,6 +1194,11 @@ mod tests {
                 disk_corrupt: 0,
                 derived: 5,
                 cold_builds: 15,
+                ilp_pivots: 420,
+                ilp_dual_pivots: 17,
+                ilp_bb_nodes: 96,
+                ilp_warm_starts: 90,
+                ilp_trivial_prunes: 2,
             }),
             Response::Error {
                 code: ErrorCode::Overloaded,

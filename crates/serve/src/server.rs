@@ -306,6 +306,7 @@ struct Shared {
 impl Shared {
     fn stats(&self) -> ServiceStats {
         let plane = self.engine.plane.stats();
+        let ilp = self.engine.plane.ilp_stats();
         ServiceStats {
             shards: self.pool.shard_count() as u32,
             queue_capacity: self.queue_capacity as u32,
@@ -325,6 +326,11 @@ impl Shared {
             disk_corrupt: plane.disk_corrupt,
             derived: plane.derived,
             cold_builds: plane.cold_builds,
+            ilp_pivots: ilp.pivots,
+            ilp_dual_pivots: ilp.dual_pivots,
+            ilp_bb_nodes: ilp.bb_nodes,
+            ilp_warm_starts: ilp.warm_starts,
+            ilp_trivial_prunes: ilp.trivial_prunes,
         }
     }
 }

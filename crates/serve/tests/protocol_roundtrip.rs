@@ -172,9 +172,10 @@ fn stats_strategy() -> BoxedStrategy<ServiceStats> {
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
     )
-        .prop_map(|(a, b, c, d, e)| ServiceStats {
+        .prop_map(|(a, b, c, d, e, f)| ServiceStats {
             shards: a.0,
             queue_capacity: a.1,
             queued: a.2,
@@ -193,6 +194,11 @@ fn stats_strategy() -> BoxedStrategy<ServiceStats> {
             disk_corrupt: d.3,
             derived: e.0,
             cold_builds: e.1,
+            ilp_pivots: e.2,
+            ilp_dual_pivots: e.3,
+            ilp_bb_nodes: f.0,
+            ilp_warm_starts: f.1,
+            ilp_trivial_prunes: f.2,
         })
         .boxed()
 }

@@ -73,6 +73,15 @@ fn second_client_is_served_bit_identically_from_the_memory_tier() {
     assert_eq!(stats.served, 2);
     assert_eq!(stats.served_cold, 1);
     assert_eq!(stats.served_memory, 1);
+    // The cold analysis ran the ILP stage through the plane, so the
+    // stats response reports solver behavior; the memory-tier duplicate
+    // reused its memoized artifacts and added nothing.
+    assert!(stats.ilp_bb_nodes > 0, "solver counters reach the service");
+    assert!(
+        stats.ilp_warm_starts > 0,
+        "the per-(set, fault) fan-out reuses the factored template basis"
+    );
+    assert!(stats.ilp_pivots > 0);
 }
 
 #[test]

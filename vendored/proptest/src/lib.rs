@@ -348,6 +348,38 @@ pub mod collection {
     }
 }
 
+/// Option strategies (upstream `proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Deliberate divergence from upstream (50% `Some`): 75%
+            // `Some`, so small case counts still exercise the payload.
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    /// A strategy for `Option<T>` values drawing the `Some` payload from
+    /// `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 /// Everything a property test usually imports.
 pub mod prelude {
     pub use crate::{
