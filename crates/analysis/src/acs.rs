@@ -205,10 +205,21 @@ impl Acs {
     ///
     /// Panics if the states have different shapes or kinds.
     pub fn join(&mut self, other: &Acs) {
+        let _ = self.join_in_place(other);
+    }
+
+    /// [`join`](Self::join) that also reports whether `self` changed —
+    /// the worklist solver propagates to successors only on `true`.
+    ///
+    /// # Panics
+    ///
+    /// As [`join`](Self::join).
+    pub fn join_in_place(&mut self, other: &Acs) -> bool {
         assert_eq!(self.kind, other.kind, "cannot join across kinds");
         assert_eq!(self.assoc, other.assoc, "associativity mismatch");
         assert_eq!(self.sets, other.sets, "set-count mismatch");
         assert_eq!(self.block_bytes, other.block_bytes, "block-size mismatch");
+        let mut changed = false;
         for set in 0..self.sets as usize {
             let mut joined: Vec<BTreeSet<MemBlock>> = vec![BTreeSet::new(); self.assoc];
             match self.kind {
@@ -238,9 +249,14 @@ impl Acs {
                 }
             }
             for (age, blocks) in joined.into_iter().enumerate() {
-                self.ages[set * self.assoc + age] = blocks;
+                let slot = set * self.assoc + age;
+                if self.ages[slot] != blocks {
+                    self.ages[slot] = blocks;
+                    changed = true;
+                }
             }
         }
+        changed
     }
 
     /// Projects this state onto a smaller effective associativity: ages

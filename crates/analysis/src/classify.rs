@@ -1,11 +1,16 @@
 //! CHMC classification: combining Must, May and Persistence.
 
+use std::sync::Arc;
+
 use pwcet_cache::CacheGeometry;
 use pwcet_cfg::{ExpandedCfg, NodeId};
 
 use crate::acs::{Acs, AnalysisKind};
 use crate::chmc::{Chmc, ChmcMap, Scope};
 use crate::fixpoint::{analyze, analyze_seeded};
+use crate::packed::{
+    analyze_packed, analyze_packed_seeded, BlockInterner, KernelStatsCell, PackedAcs,
+};
 use crate::persistence::persistent_scopes;
 
 /// How the per-level CHMC fixpoints of a context are scheduled.
@@ -23,15 +28,40 @@ pub enum ClassificationMode {
     Incremental,
 }
 
+/// Which abstract-domain representation runs the Must/May fixpoints.
+///
+/// Both backends produce **bit-identical** [`ClassifiedLevel`]s — the
+/// packed kernel is pinned against the set-based oracle by the proptest
+/// suite of `tests/packed_equivalence.rs` and the pipeline-level
+/// differential tests, the same oracle-plus-differential pattern the ILP
+/// solver's `SolverBackend` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ClassifierBackend {
+    /// The bit-packed word-parallel kernel with dirty-set worklist
+    /// tracking (`crate::packed` — the production path).
+    #[default]
+    Packed,
+    /// The frozen `BTreeSet`-based [`Acs`] domain — the oracle the
+    /// equivalence suites compare against. Deliberately uninstrumented:
+    /// it records no [`KernelStats`](crate::KernelStats).
+    SetReference,
+}
+
 /// The converged analysis artifacts of one associativity level: the CHMC
-/// classification plus the Must/May fixpoint states it was read off,
-/// kept so lower levels can be warm-started from them.
+/// classification plus the packed Must/May fixpoint states it was read
+/// off, kept so lower levels can be warm-started from them.
+///
+/// States are stored packed regardless of the backend that computed them
+/// (the set-based reference converts on the way out); the interner is
+/// deterministic for a given CFG and `(sets, block_bytes)`, so equality
+/// of levels is bit-equality of their slot words.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassifiedLevel {
     assoc: u32,
     chmc: ChmcMap,
-    must: Vec<Option<Acs>>,
-    may: Vec<Option<Acs>>,
+    interner: Arc<BlockInterner>,
+    must: Vec<Option<PackedAcs>>,
+    may: Vec<Option<PackedAcs>>,
 }
 
 impl ClassifiedLevel {
@@ -50,14 +80,19 @@ impl ClassifiedLevel {
         self.chmc
     }
 
+    /// The block interner the stored states' dense indices refer to.
+    pub fn interner(&self) -> &Arc<BlockInterner> {
+        &self.interner
+    }
+
     /// The converged per-node Must states the classification was read
     /// off (`None` for unreachable nodes).
-    pub fn must_states(&self) -> &[Option<Acs>] {
+    pub fn must_states(&self) -> &[Option<PackedAcs>] {
         &self.must
     }
 
     /// The converged per-node May states.
-    pub fn may_states(&self) -> &[Option<Acs>] {
+    pub fn may_states(&self) -> &[Option<PackedAcs>] {
         &self.may
     }
 
@@ -71,8 +106,9 @@ impl ClassifiedLevel {
     pub fn from_parts(
         assoc: u32,
         chmc: ChmcMap,
-        must: Vec<Option<Acs>>,
-        may: Vec<Option<Acs>>,
+        interner: Arc<BlockInterner>,
+        must: Vec<Option<PackedAcs>>,
+        may: Vec<Option<PackedAcs>>,
     ) -> Self {
         assert_eq!(
             must.len(),
@@ -82,6 +118,7 @@ impl ClassifiedLevel {
         Self {
             assoc,
             chmc,
+            interner,
             must,
             may,
         }
@@ -95,8 +132,9 @@ impl ClassifiedLevel {
 /// over always-miss (May absence) over not-classified. With `assoc == 0`
 /// every fetch is always-miss — the behavior of a fully disabled set.
 ///
-/// This is the cold reference path; see [`classify_level_from`] for the
-/// warm-started incremental variant.
+/// This is the cold path under the default packed backend; see
+/// [`classify_level_from`] for the warm-started incremental variant and
+/// [`classify_level_with`] for backend selection.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
 pub fn classify(cfg: &ExpandedCfg, geometry: &CacheGeometry, assoc: u32) -> ChmcMap {
@@ -106,26 +144,48 @@ pub fn classify(cfg: &ExpandedCfg, geometry: &CacheGeometry, assoc: u32) -> Chmc
 /// As [`classify`], additionally returning the converged Must/May states
 /// so the next-lower level can be warm-started from them.
 pub fn classify_level(cfg: &ExpandedCfg, geometry: &CacheGeometry, assoc: u32) -> ClassifiedLevel {
+    classify_level_with(cfg, geometry, assoc, ClassifierBackend::default(), None)
+}
+
+/// [`classify_level`] with an explicit backend and optional kernel
+/// counters (recorded by the packed backend only).
+pub fn classify_level_with(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    assoc: u32,
+    backend: ClassifierBackend,
+    stats: Option<&KernelStatsCell>,
+) -> ClassifiedLevel {
+    let interner = Arc::new(BlockInterner::build(cfg, geometry));
     if assoc == 0 {
-        return zero_level(cfg);
+        return zero_level(cfg, interner);
     }
-    let must = analyze(cfg, geometry, assoc, AnalysisKind::Must);
-    let may = analyze(cfg, geometry, assoc, AnalysisKind::May);
-    combine(cfg, geometry, assoc, must, may)
+    match backend {
+        ClassifierBackend::Packed => {
+            let must = analyze_packed(cfg, geometry, assoc, AnalysisKind::Must, &interner, stats);
+            let may = analyze_packed(cfg, geometry, assoc, AnalysisKind::May, &interner, stats);
+            combine_packed(cfg, geometry, assoc, interner, must, may)
+        }
+        ClassifierBackend::SetReference => {
+            let must = analyze(cfg, geometry, assoc, AnalysisKind::Must);
+            let may = analyze(cfg, geometry, assoc, AnalysisKind::May);
+            combine_reference(cfg, geometry, assoc, interner, must, may)
+        }
+    }
 }
 
 /// Classifies at `assoc` by **warm-starting** both fixpoints from the
 /// age-truncated converged states of `warmer` (a level with strictly
 /// larger associativity) instead of from the cold lattice top.
 ///
-/// Because [`Acs::truncate`] is an exact homomorphism of the abstract
-/// domain, the truncated seed already *is* the fixpoint of the narrower
-/// analysis; the worklist loop merely verifies stability in one pass, so
-/// the result is bit-identical to [`classify_level`] at a fraction of
-/// the cost. Were the seed ever to disagree, the chaotic iteration would
-/// still converge to a sound solution — warm starting cannot compromise
-/// soundness, only (theoretically) precision, and the differential suite
-/// pins exactness.
+/// Because truncation is an exact homomorphism of the abstract domain
+/// (see [`Acs::truncate`] / [`PackedAcs::truncate`]), the truncated seed
+/// already *is* the fixpoint of the narrower analysis; the worklist loop
+/// merely verifies stability, so the result is bit-identical to
+/// [`classify_level`] at a fraction of the cost. Were the seed ever to
+/// disagree, the chaotic iteration would still converge to a sound
+/// solution — warm starting cannot compromise soundness, only
+/// (theoretically) precision, and the differential suite pins exactness.
 ///
 /// # Cross-geometry warm starts
 ///
@@ -137,19 +197,41 @@ pub fn classify_level(cfg: &ExpandedCfg, geometry: &CacheGeometry, assoc: u32) -
 /// cache seed the full classification of the 2-way sibling exactly. This
 /// is the derivation step of the geometry-sweep reuse plane in
 /// `pwcet-core` — one cold fixpoint at the widest associativity serves
-/// every narrower-way geometry of the lattice.
+/// every narrower-way geometry of the lattice. (The interner only
+/// depends on the set count and block size, so it carries over
+/// unchanged.)
 ///
 /// # Panics
 ///
 /// Panics when `assoc` is not strictly below the warmer level's
 /// associativity, or when the warmer states were computed for an
-/// incompatible set count or block size (each [`Acs`] carries both as
+/// incompatible set count or block size (each state carries both as
 /// provenance).
 pub fn classify_level_from(
     cfg: &ExpandedCfg,
     geometry: &CacheGeometry,
     warmer: &ClassifiedLevel,
     assoc: u32,
+) -> ClassifiedLevel {
+    classify_level_from_with(
+        cfg,
+        geometry,
+        warmer,
+        assoc,
+        ClassifierBackend::default(),
+        None,
+    )
+}
+
+/// [`classify_level_from`] with an explicit backend and optional kernel
+/// counters (recorded by the packed backend only).
+pub fn classify_level_from_with(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    warmer: &ClassifiedLevel,
+    assoc: u32,
+    backend: ClassifierBackend,
+    stats: Option<&KernelStatsCell>,
 ) -> ClassifiedLevel {
     assert!(
         assoc < warmer.assoc,
@@ -169,22 +251,38 @@ pub fn classify_level_from(
             "warm start requires matching block sizes"
         );
     }
+    let interner = Arc::clone(&warmer.interner);
     if assoc == 0 {
-        return zero_level(cfg);
+        return zero_level(cfg, interner);
     }
-    let truncate_all = |states: &[Option<Acs>]| -> Vec<Option<Acs>> {
-        states
-            .iter()
-            .map(|s| s.as_ref().map(|acs| acs.truncate(assoc)))
-            .collect()
-    };
-    let must = analyze_seeded(cfg, geometry, truncate_all(&warmer.must));
-    let may = analyze_seeded(cfg, geometry, truncate_all(&warmer.may));
-    combine(cfg, geometry, assoc, must, may)
+    match backend {
+        ClassifierBackend::Packed => {
+            let truncate_all = |states: &[Option<PackedAcs>]| -> Vec<Option<PackedAcs>> {
+                states
+                    .iter()
+                    .map(|s| s.as_ref().map(|acs| acs.truncate(assoc)))
+                    .collect()
+            };
+            let must = analyze_packed_seeded(cfg, geometry, truncate_all(&warmer.must), stats);
+            let may = analyze_packed_seeded(cfg, geometry, truncate_all(&warmer.may), stats);
+            combine_packed(cfg, geometry, assoc, interner, must, may)
+        }
+        ClassifierBackend::SetReference => {
+            let truncate_all = |states: &[Option<PackedAcs>]| -> Vec<Option<Acs>> {
+                states
+                    .iter()
+                    .map(|s| s.as_ref().map(|acs| acs.truncate(assoc).to_acs()))
+                    .collect()
+            };
+            let must = analyze_seeded(cfg, geometry, truncate_all(&warmer.must));
+            let may = analyze_seeded(cfg, geometry, truncate_all(&warmer.may));
+            combine_reference(cfg, geometry, assoc, interner, must, may)
+        }
+    }
 }
 
 /// The trivial level of a fully disabled set: every fetch always misses.
-fn zero_level(cfg: &ExpandedCfg) -> ClassifiedLevel {
+fn zero_level(cfg: &ExpandedCfg, interner: Arc<BlockInterner>) -> ClassifiedLevel {
     ClassifiedLevel {
         assoc: 0,
         chmc: ChmcMap::new(
@@ -193,19 +291,22 @@ fn zero_level(cfg: &ExpandedCfg) -> ClassifiedLevel {
                 .map(|n| vec![Chmc::AlwaysMiss; n.addrs().len()])
                 .collect(),
         ),
+        interner,
         must: vec![None; cfg.nodes().len()],
         may: vec![None; cfg.nodes().len()],
     }
 }
 
-/// Reads the classification off converged Must/May states (§II-B1
-/// precedence: Must > Persistence > May-absence > not-classified).
-fn combine(
+/// Reads the classification off converged packed Must/May states
+/// (§II-B1 precedence: Must > Persistence > May-absence >
+/// not-classified).
+fn combine_packed(
     cfg: &ExpandedCfg,
     geometry: &CacheGeometry,
     assoc: u32,
-    must: Vec<Option<Acs>>,
-    may: Vec<Option<Acs>>,
+    interner: Arc<BlockInterner>,
+    must: Vec<Option<PackedAcs>>,
+    may: Vec<Option<PackedAcs>>,
 ) -> ClassifiedLevel {
     let persistence: Vec<Vec<Option<Scope>>> = persistent_scopes(cfg, geometry, assoc);
     let per_node = cfg
@@ -243,6 +344,67 @@ fn combine(
     ClassifiedLevel {
         assoc,
         chmc: ChmcMap::new(per_node),
+        interner,
+        must,
+        may,
+    }
+}
+
+/// As [`combine_packed`], over the set-based oracle states; the final
+/// states are converted to the packed representation on the way out so
+/// both backends store (and serialize) identical levels.
+fn combine_reference(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    assoc: u32,
+    interner: Arc<BlockInterner>,
+    must: Vec<Option<Acs>>,
+    may: Vec<Option<Acs>>,
+) -> ClassifiedLevel {
+    let persistence: Vec<Vec<Option<Scope>>> = persistent_scopes(cfg, geometry, assoc);
+    let per_node = cfg
+        .nodes()
+        .iter()
+        .map(|node| {
+            let id: NodeId = node.id();
+            let (Some(must_state), Some(may_state)) = (&must[id], &may[id]) else {
+                // Unreachable node: classify conservatively.
+                return vec![Chmc::NotClassified; node.addrs().len()];
+            };
+            let mut must_state = must_state.clone();
+            let mut may_state = may_state.clone();
+            node.addrs()
+                .iter()
+                .enumerate()
+                .map(|(i, &addr)| {
+                    let block = geometry.block_of(addr);
+                    let class = if must_state.contains(block) {
+                        Chmc::AlwaysHit
+                    } else if let Some(scope) = persistence[id][i] {
+                        Chmc::FirstMiss(scope)
+                    } else if !may_state.contains(block) {
+                        Chmc::AlwaysMiss
+                    } else {
+                        Chmc::NotClassified
+                    };
+                    must_state.update(block);
+                    may_state.update(block);
+                    class
+                })
+                .collect()
+        })
+        .collect();
+    let pack_all = |states: Vec<Option<Acs>>| -> Vec<Option<PackedAcs>> {
+        states
+            .into_iter()
+            .map(|s| s.map(|acs| PackedAcs::from_acs(&acs, &interner)))
+            .collect()
+    };
+    let (must, may) = (pack_all(must), pack_all(may));
+    ClassifiedLevel {
+        assoc,
+        chmc: ChmcMap::new(per_node),
+        interner,
         must,
         may,
     }
@@ -300,28 +462,64 @@ impl SrbMap {
 /// all paths) touches the same memory block — the buffer then provably
 /// holds the block even if the reference's own set is fully faulty.
 pub fn classify_srb(cfg: &ExpandedCfg, geometry: &CacheGeometry) -> SrbMap {
+    classify_srb_with(cfg, geometry, ClassifierBackend::default(), None)
+}
+
+/// [`classify_srb`] with an explicit backend and optional kernel
+/// counters (recorded by the packed backend only).
+pub fn classify_srb_with(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    backend: ClassifierBackend,
+    stats: Option<&KernelStatsCell>,
+) -> SrbMap {
     // One set, one way, same block size: the SRB as a cache.
     let srb_geometry = CacheGeometry::new(1, 1, geometry.block_bytes());
-    let must = analyze(cfg, &srb_geometry, 1, AnalysisKind::Must);
-    let per_node = cfg
-        .nodes()
-        .iter()
-        .map(|node| {
-            let Some(state) = &must[node.id()] else {
-                return vec![false; node.addrs().len()];
-            };
-            let mut state = state.clone();
-            node.addrs()
+    let per_node = match backend {
+        ClassifierBackend::Packed => {
+            let interner = Arc::new(BlockInterner::build(cfg, &srb_geometry));
+            let must = analyze_packed(cfg, &srb_geometry, 1, AnalysisKind::Must, &interner, stats);
+            cfg.nodes()
                 .iter()
-                .map(|&addr| {
-                    let block = srb_geometry.block_of(addr);
-                    let hit = state.contains(block);
-                    state.update(block);
-                    hit
+                .map(|node| {
+                    let Some(state) = &must[node.id()] else {
+                        return vec![false; node.addrs().len()];
+                    };
+                    let mut state = state.clone();
+                    node.addrs()
+                        .iter()
+                        .map(|&addr| {
+                            let block = srb_geometry.block_of(addr);
+                            let hit = state.contains(block);
+                            state.update(block);
+                            hit
+                        })
+                        .collect()
                 })
                 .collect()
-        })
-        .collect();
+        }
+        ClassifierBackend::SetReference => {
+            let must = analyze(cfg, &srb_geometry, 1, AnalysisKind::Must);
+            cfg.nodes()
+                .iter()
+                .map(|node| {
+                    let Some(state) = &must[node.id()] else {
+                        return vec![false; node.addrs().len()];
+                    };
+                    let mut state = state.clone();
+                    node.addrs()
+                        .iter()
+                        .map(|&addr| {
+                            let block = srb_geometry.block_of(addr);
+                            let hit = state.contains(block);
+                            state.update(block);
+                            hit
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+    };
     SrbMap { per_node }
 }
 
@@ -425,6 +623,84 @@ mod tests {
                 assert_eq!(scope, Scope::Program);
             }
         }
+    }
+
+    #[test]
+    fn backends_produce_bit_identical_levels() {
+        // The tentpole guarantee at the unit level: packed and set-based
+        // backends agree on every level — CHMC, states, cold and warm.
+        let cfg = build(
+            Program::new("bk")
+                .with_function(
+                    "main",
+                    stmt::loop_(
+                        10,
+                        stmt::seq([
+                            stmt::compute(90),
+                            stmt::call("f"),
+                            stmt::if_else(stmt::compute(7), stmt::compute(33)),
+                        ]),
+                    ),
+                )
+                .with_function("f", stmt::compute(55)),
+        );
+        let g = geometry();
+        for assoc in 0..=4u32 {
+            let packed = classify_level_with(&cfg, &g, assoc, ClassifierBackend::Packed, None);
+            let reference =
+                classify_level_with(&cfg, &g, assoc, ClassifierBackend::SetReference, None);
+            assert_eq!(packed, reference, "cold level {assoc}");
+        }
+        let packed_full = classify_level_with(&cfg, &g, 4, ClassifierBackend::Packed, None);
+        for assoc in 0..4u32 {
+            let packed = classify_level_from_with(
+                &cfg,
+                &g,
+                &packed_full,
+                assoc,
+                ClassifierBackend::Packed,
+                None,
+            );
+            let reference = classify_level_from_with(
+                &cfg,
+                &g,
+                &packed_full,
+                assoc,
+                ClassifierBackend::SetReference,
+                None,
+            );
+            assert_eq!(packed, reference, "warm level {assoc}");
+        }
+        assert_eq!(
+            classify_srb_with(&cfg, &g, ClassifierBackend::Packed, None),
+            classify_srb_with(&cfg, &g, ClassifierBackend::SetReference, None),
+            "SRB map"
+        );
+    }
+
+    #[test]
+    fn packed_backend_records_kernel_stats() {
+        let cfg =
+            build(Program::new("ks").with_function("main", stmt::loop_(8, stmt::compute(40))));
+        let g = geometry();
+        let cell = KernelStatsCell::default();
+        let _ = classify_level_with(&cfg, &g, 4, ClassifierBackend::Packed, Some(&cell));
+        let snapshot = cell.snapshot();
+        assert!(snapshot.passes > 0);
+        assert!(snapshot.words_touched > 0);
+        let reference_cell = KernelStatsCell::default();
+        let _ = classify_level_with(
+            &cfg,
+            &g,
+            4,
+            ClassifierBackend::SetReference,
+            Some(&reference_cell),
+        );
+        assert_eq!(
+            reference_cell.snapshot(),
+            crate::KernelStats::default(),
+            "the reference backend is deliberately uninstrumented"
+        );
     }
 
     #[test]

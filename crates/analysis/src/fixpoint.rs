@@ -1,5 +1,7 @@
 //! Worklist fixpoint driver for the abstract cache analyses.
 
+use std::collections::VecDeque;
+
 use pwcet_cache::CacheGeometry;
 use pwcet_cfg::{ExpandedCfg, NodeId};
 
@@ -57,38 +59,44 @@ pub fn analyze_seeded(
     solve(cfg, geometry, seed)
 }
 
-/// Chaotic iteration in reverse postorder until stable. RPO makes the
-/// common acyclic parts converge in one pass; loops need a handful of
-/// rounds (or a single verification pass when warm-started at the
-/// fixpoint).
+/// Successor-driven worklist iteration, seeded in reverse postorder (so
+/// the common acyclic parts still converge in one sweep). Only nodes
+/// whose entry state actually changed are re-evaluated, and only the
+/// popped node's state is cloned for the transfer — the previous global
+/// re-scan cloned every node's state on every pass, changed or not.
+/// Chaotic iteration of a monotone framework converges to the unique
+/// least fixpoint above the seed, so the evaluation order cannot change
+/// the result.
 fn solve(
     cfg: &ExpandedCfg,
     geometry: &CacheGeometry,
     mut entry_states: Vec<Option<Acs>>,
 ) -> Vec<Option<Acs>> {
-    let rpo = cfg.reverse_postorder();
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for &node in &rpo {
-            let Some(state) = entry_states[node].clone() else {
-                continue;
-            };
-            let out = transfer(state, cfg, geometry, node);
-            for &succ in &cfg.succs()[node] {
-                match &mut entry_states[succ] {
-                    Some(existing) => {
-                        let before = existing.clone();
-                        existing.join(&out);
-                        if *existing != before {
-                            changed = true;
-                        }
-                    }
-                    slot @ None => {
-                        *slot = Some(out.clone());
-                        changed = true;
-                    }
+    let mut in_queue = vec![false; cfg.nodes().len()];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for &node in &cfg.reverse_postorder() {
+        if entry_states[node].is_some() {
+            in_queue[node] = true;
+            queue.push_back(node);
+        }
+    }
+    while let Some(node) = queue.pop_front() {
+        in_queue[node] = false;
+        let state = entry_states[node]
+            .clone()
+            .expect("worklist nodes always hold a state");
+        let out = transfer(state, cfg, geometry, node);
+        for &succ in &cfg.succs()[node] {
+            let changed = match &mut entry_states[succ] {
+                Some(existing) => existing.join_in_place(&out),
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
                 }
+            };
+            if changed && !in_queue[succ] {
+                in_queue[succ] = true;
+                queue.push_back(succ);
             }
         }
     }

@@ -52,13 +52,18 @@ mod acs;
 mod chmc;
 mod classify;
 mod fixpoint;
+mod packed;
 mod persistence;
 
 pub use acs::{Acs, AnalysisKind};
 pub use chmc::{Chmc, ChmcMap, ChmcStats, Scope};
 pub use classify::{
-    classify, classify_level, classify_level_from, classify_srb, ClassificationMode,
-    ClassifiedLevel, SrbMap,
+    classify, classify_level, classify_level_from, classify_level_from_with, classify_level_with,
+    classify_srb, classify_srb_with, ClassificationMode, ClassifiedLevel, ClassifierBackend,
+    SrbMap,
 };
 pub use fixpoint::{analyze, analyze_seeded};
+pub use packed::{
+    analyze_packed, analyze_packed_seeded, BlockInterner, KernelStats, KernelStatsCell, PackedAcs,
+};
 pub use persistence::persistent_scopes;

@@ -1,0 +1,173 @@
+//! Property tests: the bit-packed abstract cache state is **bit-identical**
+//! to the frozen set-based [`Acs`] oracle under random interleavings of
+//! update, join, and truncate, across random geometries — including
+//! multi-lane universes (more than 64 blocks mapping to one set) and both
+//! analysis kinds.
+//!
+//! Identity is checked both ways after every operation: decoding the
+//! packed state yields exactly the oracle state, and re-encoding the
+//! oracle state yields exactly the packed words (the interner orders each
+//! set's universe deterministically, so encodings are canonical).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use pwcet_analysis::{Acs, AnalysisKind, BlockInterner, PackedAcs};
+use pwcet_cache::{CacheGeometry, MemBlock};
+
+/// One step of a random operation sequence. Indices select blocks from
+/// the pre-interned universe.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Access one block.
+    Update(usize),
+    /// Join with a fresh state warmed by the given accesses.
+    Join(Vec<usize>),
+    /// Truncate to `max(1, assoc - drop)` ways (replacing the state).
+    Truncate(u32),
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    sets: u32,
+    assoc: u32,
+    universe: usize,
+    kind: AnalysisKind,
+    ops: Vec<Op>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+        1u32..=4,
+        prop_oneof![
+            8usize..40,
+            // Wide universes: >64 blocks on at least one set, so the
+            // packed form needs 2+ lanes and carries between words.
+            70usize..150,
+        ],
+        prop_oneof![Just(AnalysisKind::Must), Just(AnalysisKind::May)],
+    )
+        .prop_flat_map(|(sets, assoc, universe, kind)| {
+            // Unweighted alternation; updates dominate by arm count.
+            let op = prop_oneof![
+                (0..universe).prop_map(Op::Update),
+                (0..universe).prop_map(Op::Update),
+                (0..universe).prop_map(Op::Update),
+                proptest::collection::vec(0..universe, 0..25).prop_map(Op::Join),
+                (1u32..=3).prop_map(Op::Truncate),
+            ];
+            (proptest::collection::vec(op, 1..60),).prop_map(move |(ops,)| Scenario {
+                sets,
+                assoc,
+                universe,
+                kind,
+                ops,
+            })
+        })
+}
+
+/// Runs `accesses` over a fresh oracle/packed pair.
+fn warmed(
+    geometry: &CacheGeometry,
+    interner: &Arc<BlockInterner>,
+    assoc: u32,
+    kind: AnalysisKind,
+    accesses: &[usize],
+) -> (Acs, PackedAcs) {
+    let mut acs = Acs::empty(geometry, assoc, kind);
+    let mut packed = PackedAcs::empty(interner, assoc, kind);
+    for &i in accesses {
+        let block = MemBlock(i as u32);
+        acs.update(block);
+        packed.update(block);
+    }
+    (acs, packed)
+}
+
+fn assert_bit_identical(
+    acs: &Acs,
+    packed: &PackedAcs,
+    interner: &Arc<BlockInterner>,
+    universe: usize,
+    step: usize,
+) {
+    assert_eq!(&packed.to_acs(), acs, "decode mismatch at step {step}");
+    assert_eq!(
+        &PackedAcs::from_acs(acs, interner),
+        packed,
+        "re-encode mismatch at step {step}"
+    );
+    for i in 0..universe {
+        let block = MemBlock(i as u32);
+        assert_eq!(
+            packed.age_of(block),
+            acs.age_of(block),
+            "age_of({block:?}) at step {step}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_op_sequences_are_bit_identical(scenario in arb_scenario()) {
+        let geometry = CacheGeometry::new(scenario.sets, 4, 16);
+        let interner = Arc::new(BlockInterner::from_blocks(
+            &geometry,
+            (0..scenario.universe).map(|i| MemBlock(i as u32)),
+        ));
+        let mut assoc = scenario.assoc;
+        let (mut acs, mut packed) =
+            warmed(&geometry, &interner, assoc, scenario.kind, &[]);
+        for (step, op) in scenario.ops.iter().enumerate() {
+            match op {
+                Op::Update(i) => {
+                    let block = MemBlock(*i as u32);
+                    acs.update(block);
+                    packed.update(block);
+                }
+                Op::Join(accesses) => {
+                    let (other_acs, other_packed) =
+                        warmed(&geometry, &interner, assoc, scenario.kind, accesses);
+                    let acs_changed = acs.join_in_place(&other_acs);
+                    let packed_changed = packed.join_in_place(&other_packed);
+                    prop_assert_eq!(
+                        packed_changed, acs_changed,
+                        "change detection diverged at step {}", step
+                    );
+                }
+                Op::Truncate(drop) => {
+                    assoc = (assoc.saturating_sub(*drop)).max(1);
+                    acs = acs.truncate(assoc);
+                    packed = packed.truncate(assoc);
+                }
+            }
+            assert_bit_identical(&acs, &packed, &interner, scenario.universe, step);
+        }
+    }
+
+    #[test]
+    fn conversion_round_trips_after_random_warmup(
+        sets in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+        assoc in 1u32..=4,
+        kind in prop_oneof![Just(AnalysisKind::Must), Just(AnalysisKind::May)],
+        accesses in proptest::collection::vec(0usize..90, 0..120),
+    ) {
+        let geometry = CacheGeometry::new(sets, 4, 16);
+        let interner = Arc::new(BlockInterner::from_blocks(
+            &geometry,
+            (0..90).map(|i| MemBlock(i as u32)),
+        ));
+        let (acs, packed) = warmed(&geometry, &interner, assoc, kind, &accesses);
+        prop_assert_eq!(&packed.to_acs(), &acs);
+        prop_assert_eq!(&PackedAcs::from_acs(&acs, &interner), &packed);
+        // Raw-word round trip (the codec path).
+        let rebuilt = PackedAcs::from_words(
+            kind,
+            assoc,
+            &interner,
+            packed.words().to_vec(),
+        );
+        prop_assert_eq!(&rebuilt, &packed);
+    }
+}

@@ -39,7 +39,8 @@ fn main() {
     let stats = plane.stats();
     println!(
         "benchmarks={} elapsed_ms={} disk_hits={} disk_misses={} disk_writes={} \
-         flushed={} disk_corrupt={} derived={} cold_builds={} store={}",
+         flushed={} disk_corrupt={} derived={} cold_builds={} store_bytes={} \
+         store_entries={} store={}",
         results.len(),
         elapsed.as_millis(),
         stats.disk_hits,
@@ -49,6 +50,8 @@ fn main() {
         stats.disk_corrupt,
         stats.derived,
         stats.cold_builds,
+        plane.disk_store_bytes().unwrap_or(0),
+        plane.disk_store_entries().unwrap_or(0),
         dir,
     );
 }

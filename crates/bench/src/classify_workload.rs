@@ -1,0 +1,72 @@
+//! The exact classification workload of one benchmark's context build,
+//! reproduced for kernel benchmarks and gates.
+//!
+//! A context materializes one cold fixpoint at full associativity,
+//! warm-starts every narrower level from it by age truncation, and runs
+//! the SRB pseudo-geometry replay. This module rebuilds that exact
+//! chain behind an explicit [`ClassifierBackend`] so `classify_bench`
+//! and the `classify_speedup_gate` time the packed word-parallel kernel
+//! against the frozen set-based reference on the real workload — one
+//! definition, so the gate measures exactly what the bench records.
+
+use pwcet_analysis::{
+    classify_level_from_with, classify_level_with, classify_srb_with, ClassifiedLevel,
+    ClassifierBackend, SrbMap,
+};
+use pwcet_cache::CacheGeometry;
+use pwcet_cfg::ExpandedCfg;
+use pwcet_core::{expand_compiled, AnalysisConfig};
+
+/// The expanded CFG of benchmark `name` under `config`.
+///
+/// # Panics
+///
+/// Panics when `name` is not in the benchmark suite or compilation
+/// fails.
+pub fn expanded_cfg(name: &str, config: &AnalysisConfig) -> ExpandedCfg {
+    let bench = pwcet_benchsuite::by_name(name).expect("benchmark exists");
+    let compiled = bench.program.compile(config.code_base).expect("compiles");
+    expand_compiled(&compiled).expect("CFG builds")
+}
+
+/// Runs the full classification chain of one context build under
+/// `backend`: the cold full-associativity fixpoint, every narrower
+/// level (`ways-1` down to `0`) warm-started from it, and the SRB map.
+/// Levels are returned widest first.
+pub fn classify_chain(
+    cfg: &ExpandedCfg,
+    geometry: &CacheGeometry,
+    backend: ClassifierBackend,
+) -> (Vec<ClassifiedLevel>, SrbMap) {
+    let ways = geometry.ways();
+    let full = classify_level_with(cfg, geometry, ways, backend, None);
+    let mut levels = Vec::with_capacity(ways as usize + 1);
+    for assoc in (0..ways).rev() {
+        levels.push(classify_level_from_with(
+            cfg, geometry, &full, assoc, backend, None,
+        ));
+    }
+    levels.insert(0, full);
+    let srb = classify_srb_with(cfg, geometry, backend, None);
+    (levels, srb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_backend_invariant() {
+        let config = AnalysisConfig::paper_default();
+        let cfg = expanded_cfg("fibcall", &config);
+        let packed = classify_chain(&cfg, &config.geometry, ClassifierBackend::Packed);
+        let reference = classify_chain(&cfg, &config.geometry, ClassifierBackend::SetReference);
+        assert_eq!(packed.0, reference.0, "levels must be bit-identical");
+        assert_eq!(packed.1, reference.1, "SRB maps must be identical");
+        assert_eq!(
+            packed.0.len(),
+            config.geometry.ways() as usize + 1,
+            "one level per associativity 0..=W"
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! format them as TSV.
 
 pub mod bench_json;
+pub mod classify_workload;
 pub mod ilp_workload;
 
 use std::sync::Arc;

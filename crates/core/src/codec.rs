@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "PWCX"
-//! 4       4     format version (u32, currently 1)
+//! 4       4     format version (u32, currently 2)
 //! 8       8     payload length in bytes (u64)
 //! 16      8     FNV-1a checksum of the payload (u64)
 //! 24      …     payload
@@ -31,13 +31,14 @@
 //! next to the fixpoints) and only the expensive converged artifacts ride
 //! on disk.
 
-use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use pwcet_analysis::{
-    Acs, AnalysisKind, Chmc, ChmcMap, ClassificationMode, ClassifiedLevel, Scope, SrbMap,
+    AnalysisKind, BlockInterner, Chmc, ChmcMap, ClassificationMode, ClassifiedLevel, PackedAcs,
+    Scope, SrbMap,
 };
-use pwcet_cache::{CacheGeometry, CacheTiming, MemBlock};
+use pwcet_cache::{CacheGeometry, CacheTiming};
 use pwcet_cfg::ExpandedCfg;
 use pwcet_ipet::{IpetOptions, SolverBackend};
 
@@ -49,7 +50,13 @@ use crate::pipeline::SolveArtifacts;
 pub(crate) const MAGIC: [u8; 4] = *b"PWCX";
 /// Current on-disk format version. Bump on any layout change; old files
 /// then decode to [`CodecError::UnsupportedVersion`] and are rebuilt cold.
-pub(crate) const VERSION: u32 = 1;
+///
+/// History: 1 = set-based abstract states (one `u64` length plus one
+/// `u32` block id per occupied age-slot entry); 2 = bit-packed states
+/// serialized as raw slot words (`sets × assoc × lanes` `u64`s straight
+/// from the kernel representation — no per-block overhead, and decoding
+/// is a bounds-checked `memcpy` instead of `BTreeSet` rebuilds).
+pub(crate) const VERSION: u32 = 2;
 /// Header bytes before the payload.
 pub(crate) const HEADER_LEN: usize = 24;
 
@@ -194,7 +201,11 @@ fn encode_chmc(enc: &mut Enc, map: &ChmcMap) {
     }
 }
 
-fn encode_acs(enc: &mut Enc, acs: &Acs) {
+/// Serializes one packed state as its raw slot words. The interner is
+/// *not* serialized: it is a deterministic function of the CFG and the
+/// `(sets, block_bytes)` of the geometry, so the decoder rebuilds it and
+/// only the fixpoint's actual bits ride on disk.
+fn encode_packed(enc: &mut Enc, acs: &PackedAcs) {
     enc.u8(match acs.kind() {
         AnalysisKind::Must => 0,
         AnalysisKind::May => 1,
@@ -202,18 +213,16 @@ fn encode_acs(enc: &mut Enc, acs: &Acs) {
     enc.u32(acs.sets());
     enc.u32(acs.block_bytes());
     enc.u32(acs.assoc() as u32);
-    for slot in acs.age_slots() {
-        enc.u64(slot.len() as u64);
-        for block in slot {
-            enc.u32(block.0);
-        }
+    enc.u32(acs.interner().lanes() as u32);
+    for &word in acs.words() {
+        enc.u64(word);
     }
 }
 
-fn encode_states(enc: &mut Enc, states: &[Option<Acs>]) {
+fn encode_states(enc: &mut Enc, states: &[Option<PackedAcs>]) {
     enc.u64(states.len() as u64);
     for state in states {
-        enc.opt(state.as_ref(), encode_acs);
+        enc.opt(state.as_ref(), encode_packed);
     }
 }
 
@@ -397,7 +406,17 @@ fn decode_chmc(dec: &mut Dec<'_>, shape: &[usize]) -> Result<ChmcMap, CodecError
     Ok(ChmcMap::from_rows(rows))
 }
 
-fn decode_acs(dec: &mut Dec<'_>, geometry: CacheGeometry) -> Result<Acs, CodecError> {
+/// Decodes one packed state against the interner rebuilt from the live
+/// CFG. Beyond the usual shape checks, the raw words are validated
+/// semantically: no bit may lie beyond the set's interned universe, and
+/// no block may appear at two ages of one set — both are states no
+/// fixpoint can produce, so they mark corruption that happens to pass the
+/// checksum, or a hash-collision entry of a different program.
+fn decode_packed(
+    dec: &mut Dec<'_>,
+    geometry: CacheGeometry,
+    interner: &Arc<BlockInterner>,
+) -> Result<PackedAcs, CodecError> {
     let kind = match dec.u8()? {
         0 => AnalysisKind::Must,
         1 => AnalysisKind::May,
@@ -415,27 +434,51 @@ fn decode_acs(dec: &mut Dec<'_>, geometry: CacheGeometry) -> Result<Acs, CodecEr
     if assoc == 0 || assoc > geometry.ways() {
         return Err(CodecError::Malformed("abstract state associativity"));
     }
-    let slots = (sets * assoc) as usize;
-    let mut ages = Vec::with_capacity(slots);
-    for _ in 0..slots {
-        let blocks = dec.seq_len(4)?;
-        let mut slot = BTreeSet::new();
-        for _ in 0..blocks {
-            slot.insert(MemBlock(dec.u32()?));
-        }
-        if slot.len() != blocks {
-            return Err(CodecError::Malformed("duplicate block in age slot"));
-        }
-        ages.push(slot);
+    let lanes = dec.u32()? as usize;
+    if lanes != interner.lanes() {
+        return Err(CodecError::Malformed("abstract state lane count"));
     }
-    Ok(Acs::from_raw(kind, sets, block_bytes, assoc, ages))
+    let word_count = (sets * assoc) as usize * lanes;
+    if dec.remaining() < word_count.saturating_mul(8) {
+        return Err(CodecError::Truncated);
+    }
+    let mut words = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        words.push(dec.u64()?);
+    }
+    for set in 0..sets as usize {
+        let universe = interner.universe(set).len();
+        let mut seen = vec![0u64; lanes];
+        for age in 0..assoc as usize {
+            for lane in 0..lanes {
+                let bits = universe.saturating_sub(lane * 64).min(64);
+                let allowed = if bits == 0 {
+                    0
+                } else if bits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
+                let word = words[((set * assoc as usize) + age) * lanes + lane];
+                if word & !allowed != 0 {
+                    return Err(CodecError::Malformed("bit beyond the interned universe"));
+                }
+                if word & seen[lane] != 0 {
+                    return Err(CodecError::Malformed("block at two ages"));
+                }
+                seen[lane] |= word;
+            }
+        }
+    }
+    Ok(PackedAcs::from_words(kind, assoc, interner, words))
 }
 
 fn decode_states(
     dec: &mut Dec<'_>,
     geometry: CacheGeometry,
+    interner: &Arc<BlockInterner>,
     nodes: usize,
-) -> Result<Vec<Option<Acs>>, CodecError> {
+) -> Result<Vec<Option<PackedAcs>>, CodecError> {
     let count = dec.seq_len(1)?;
     if count != nodes {
         return Err(CodecError::Malformed("state node count"));
@@ -443,7 +486,7 @@ fn decode_states(
     let mut states = Vec::with_capacity(count);
     for _ in 0..count {
         states.push(if dec.present()? {
-            Some(decode_acs(dec, geometry)?)
+            Some(decode_packed(dec, geometry, interner)?)
         } else {
             None
         });
@@ -454,6 +497,7 @@ fn decode_states(
 fn decode_level(
     dec: &mut Dec<'_>,
     geometry: CacheGeometry,
+    interner: &Arc<BlockInterner>,
     shape: &[usize],
 ) -> Result<ClassifiedLevel, CodecError> {
     let assoc = dec.u32()?;
@@ -461,9 +505,15 @@ fn decode_level(
         return Err(CodecError::Malformed("full level associativity"));
     }
     let chmc = decode_chmc(dec, shape)?;
-    let must = decode_states(dec, geometry, shape.len())?;
-    let may = decode_states(dec, geometry, shape.len())?;
-    Ok(ClassifiedLevel::from_parts(assoc, chmc, must, may))
+    let must = decode_states(dec, geometry, interner, shape.len())?;
+    let may = decode_states(dec, geometry, interner, shape.len())?;
+    Ok(ClassifiedLevel::from_parts(
+        assoc,
+        chmc,
+        Arc::clone(interner),
+        must,
+        may,
+    ))
 }
 
 fn decode_srb(dec: &mut Dec<'_>, shape: &[usize]) -> Result<SrbMap, CodecError> {
@@ -583,8 +633,11 @@ pub(crate) fn decode_context(
     }
 
     let shape = ref_shape(cfg);
+    // One interner serves every state of the entry: it is a deterministic
+    // function of the live CFG and the geometry's (sets, block size).
+    let interner = Arc::new(BlockInterner::build(cfg, &geometry));
     let full = if dec.present()? {
-        Some(decode_level(&mut dec, geometry, &shape)?)
+        Some(decode_level(&mut dec, geometry, &interner, &shape)?)
     } else {
         None
     };
@@ -683,9 +736,43 @@ mod tests {
         );
         let (name, parts) = decode_context(&bytes, context.cfg(), key, geometry, mode).unwrap();
         assert_eq!(name, "codec");
-        let restored =
-            AnalysisContext::from_parts(name, context.shared_cfg(), geometry, mode, parts);
+        let restored = AnalysisContext::from_parts(
+            name,
+            context.shared_cfg(),
+            geometry,
+            mode,
+            context.backend(),
+            parts,
+        );
         assert_identical(&context, &restored);
+    }
+
+    #[test]
+    fn packed_states_shrink_the_entry_versus_the_legacy_format() {
+        // The v1 format spent one u64 length per age slot plus one u32
+        // per stored block; v2 writes the raw slot words. Recompute the
+        // v1 size of the full level's states inline and pin the shrink.
+        let (_, _, _, context) = warmed_entry();
+        let parts = context.snapshot_parts();
+        let full = parts.full.as_ref().expect("prewarmed");
+        let mut legacy = 0usize;
+        let mut packed = 0usize;
+        for state in full.must_states().iter().chain(full.may_states()) {
+            let Some(state) = state else { continue };
+            // v1: kind + sets + block_bytes + assoc, then per slot a u64
+            // length and a u32 per block.
+            let acs = state.to_acs();
+            legacy += 1 + 4 + 4 + 4;
+            for slot in acs.age_slots() {
+                legacy += 8 + 4 * slot.len();
+            }
+            // v2: same header plus a lane count, then raw words.
+            packed += 1 + 4 + 4 + 4 + 4 + 8 * state.words().len();
+        }
+        assert!(
+            packed < legacy,
+            "packed states must be strictly smaller: {packed} vs {legacy} bytes"
+        );
     }
 
     #[test]

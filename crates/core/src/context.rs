@@ -25,8 +25,9 @@
 use std::sync::{Arc, Mutex, OnceLock};
 
 use pwcet_analysis::{
-    classify_level, classify_level_from, classify_srb, Chmc, ChmcMap, ClassificationMode,
-    ClassifiedLevel, Scope, SrbMap,
+    classify_level_from_with, classify_level_with, classify_srb_with, Chmc, ChmcMap,
+    ClassificationMode, ClassifiedLevel, ClassifierBackend, KernelStats, KernelStatsCell, Scope,
+    SrbMap,
 };
 use pwcet_cache::{CacheGeometry, CacheTiming};
 use pwcet_cfg::{CfgError, ExpandedCfg, NodeId};
@@ -72,6 +73,7 @@ pub struct AnalysisContext {
     cfg: Arc<ExpandedCfg>,
     geometry: CacheGeometry,
     mode: ClassificationMode,
+    backend: ClassifierBackend,
     /// `levels[a]` holds the classification at effective associativity
     /// `a`. Only the map is retained per level; the converged Must/May
     /// states live in [`full`](Self::full) alone.
@@ -96,6 +98,11 @@ pub struct AnalysisContext {
     /// Cumulative solver counters of every solve stage run over this
     /// context.
     ilp_stats: SolveStatsCell,
+    /// Cumulative classification-kernel counters (worklist passes, slot
+    /// words touched, dirty-skipped sets) of every fixpoint run over this
+    /// context. The packed backend records; the set-based reference is
+    /// deliberately uninstrumented.
+    kernel_stats: KernelStatsCell,
 }
 
 impl AnalysisContext {
@@ -120,12 +127,30 @@ impl AnalysisContext {
         geometry: CacheGeometry,
         mode: ClassificationMode,
     ) -> Result<Self, CfgError> {
+        Self::build_with_backend(compiled, geometry, mode, ClassifierBackend::default())
+    }
+
+    /// As [`build_with_mode`](Self::build_with_mode) with an explicit
+    /// classification-kernel backend. [`ClassifierBackend::SetReference`]
+    /// is the frozen oracle the differential suites compare the default
+    /// packed kernel against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CfgError`] from CFG reconstruction.
+    pub fn build_with_backend(
+        compiled: &CompiledProgram,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+        backend: ClassifierBackend,
+    ) -> Result<Self, CfgError> {
         let cfg = expand_compiled(compiled)?;
-        Ok(Self::from_cfg_with_mode(
+        Ok(Self::from_shared_cfg(
             compiled.name(),
-            cfg,
+            Arc::new(cfg),
             geometry,
             mode,
+            backend,
         ))
     }
 
@@ -141,7 +166,13 @@ impl AnalysisContext {
         geometry: CacheGeometry,
         mode: ClassificationMode,
     ) -> Self {
-        Self::from_shared_cfg(name, Arc::new(cfg), geometry, mode)
+        Self::from_shared_cfg(
+            name,
+            Arc::new(cfg),
+            geometry,
+            mode,
+            ClassifierBackend::default(),
+        )
     }
 
     /// As [`from_cfg_with_mode`](Self::from_cfg_with_mode) over an
@@ -151,6 +182,7 @@ impl AnalysisContext {
         cfg: Arc<ExpandedCfg>,
         geometry: CacheGeometry,
         mode: ClassificationMode,
+        backend: ClassifierBackend,
     ) -> Self {
         let levels = geometry.ways() as usize + 1;
         Self {
@@ -158,12 +190,14 @@ impl AnalysisContext {
             cfg,
             geometry,
             mode,
+            backend,
             levels: (0..levels).map(|_| OnceLock::new()).collect(),
             full: OnceLock::new(),
             srb: OnceLock::new(),
             solved: Mutex::new(Vec::new()),
             templates: Mutex::new(Vec::new()),
             ilp_stats: SolveStatsCell::default(),
+            kernel_stats: KernelStatsCell::default(),
         }
     }
 
@@ -187,12 +221,24 @@ impl AnalysisContext {
         self.mode
     }
 
+    /// Which abstract-domain kernel runs the classification fixpoints.
+    pub fn backend(&self) -> ClassifierBackend {
+        self.backend
+    }
+
     /// The full-associativity level — the single cold fixpoint of the
     /// incremental mode, retained with its states as the warm-start
     /// source for every lower level.
     fn full_level(&self) -> &ClassifiedLevel {
-        self.full
-            .get_or_init(|| classify_level(&self.cfg, &self.geometry, self.geometry.ways()))
+        self.full.get_or_init(|| {
+            classify_level_with(
+                &self.cfg,
+                &self.geometry,
+                self.geometry.ways(),
+                self.backend,
+                Some(&self.kernel_stats),
+            )
+        })
     }
 
     /// The CHMC classification at effective associativity `assoc`,
@@ -208,21 +254,42 @@ impl AnalysisContext {
             .get(assoc as usize)
             .unwrap_or_else(|| panic!("associativity {assoc} out of range"));
         match self.mode {
-            ClassificationMode::Cold => {
-                lock.get_or_init(|| classify_level(&self.cfg, &self.geometry, assoc).into_chmc())
-            }
+            ClassificationMode::Cold => lock.get_or_init(|| {
+                classify_level_with(
+                    &self.cfg,
+                    &self.geometry,
+                    assoc,
+                    self.backend,
+                    Some(&self.kernel_stats),
+                )
+                .into_chmc()
+            }),
             // The full level keeps its states; answer from it directly.
             ClassificationMode::Incremental if assoc == ways => self.full_level().chmc(),
             ClassificationMode::Incremental => lock.get_or_init(|| {
                 if assoc == 0 {
                     // Trivial: a fully disabled set always misses.
-                    classify_level(&self.cfg, &self.geometry, 0).into_chmc()
+                    classify_level_with(
+                        &self.cfg,
+                        &self.geometry,
+                        0,
+                        self.backend,
+                        Some(&self.kernel_stats),
+                    )
+                    .into_chmc()
                 } else {
                     // Warm start straight from level W (materializing it
                     // first if needed — a different OnceLock, so the
                     // nested init cannot deadlock).
-                    classify_level_from(&self.cfg, &self.geometry, self.full_level(), assoc)
-                        .into_chmc()
+                    classify_level_from_with(
+                        &self.cfg,
+                        &self.geometry,
+                        self.full_level(),
+                        assoc,
+                        self.backend,
+                        Some(&self.kernel_stats),
+                    )
+                    .into_chmc()
                 }
             }),
         }
@@ -230,8 +297,14 @@ impl AnalysisContext {
 
     /// The SRB hit map (§III-B2), computed and cached on first use.
     pub fn srb(&self) -> &SrbMap {
-        self.srb
-            .get_or_init(|| classify_srb(&self.cfg, &self.geometry))
+        self.srb.get_or_init(|| {
+            classify_srb_with(
+                &self.cfg,
+                &self.geometry,
+                self.backend,
+                Some(&self.kernel_stats),
+            )
+        })
     }
 
     /// Eagerly fills every classification level (`0..=W`) and the SRB map.
@@ -385,6 +458,13 @@ impl AnalysisContext {
         self.ilp_stats.snapshot()
     }
 
+    /// Cumulative classification-kernel counters (worklist passes, slot
+    /// words touched, dirty-skipped sets) over every fixpoint run on this
+    /// context. Zero under [`ClassifierBackend::SetReference`].
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel_stats.snapshot()
+    }
+
     /// Whether the SRB map has been materialized.
     pub fn srb_warmed(&self) -> bool {
         self.srb.get().is_some()
@@ -427,9 +507,10 @@ impl AnalysisContext {
         cfg: Arc<ExpandedCfg>,
         geometry: CacheGeometry,
         mode: ClassificationMode,
+        backend: ClassifierBackend,
         parts: ContextParts,
     ) -> Self {
-        let context = Self::from_shared_cfg(name, cfg, geometry, mode);
+        let context = Self::from_shared_cfg(name, cfg, geometry, mode, backend);
         assert_eq!(
             parts.levels.len(),
             context.levels.len(),
@@ -483,13 +564,20 @@ impl AnalysisContext {
             ClassificationMode::Incremental,
             "cold mode is the from-scratch reference; deriving would defeat it"
         );
-        let derived_full =
-            classify_level_from(&self.cfg, &geometry, self.full_level(), geometry.ways());
+        let derived_full = classify_level_from_with(
+            &self.cfg,
+            &geometry,
+            self.full_level(),
+            geometry.ways(),
+            self.backend,
+            Some(&self.kernel_stats),
+        );
         Self::from_parts(
             self.name.clone(),
             Arc::clone(&self.cfg),
             geometry,
             self.mode,
+            self.backend,
             ContextParts {
                 full: Some(derived_full),
                 levels: vec![None; geometry.ways() as usize + 1],
@@ -608,6 +696,7 @@ mod tests {
             ctx.shared_cfg(),
             *ctx.geometry(),
             ctx.mode(),
+            ctx.backend(),
             ctx.snapshot_parts(),
         );
         assert_eq!(restored.warmed_levels(), ctx.warmed_levels());

@@ -75,7 +75,7 @@ pub use error::CoreError;
 pub use estimate::{Protection, PwcetEstimate};
 pub use fmm::FaultMissMap;
 pub use pipeline::{delta_cost_model, expand_compiled, ProgramAnalysis, PwcetAnalyzer};
-pub use pwcet_analysis::ClassificationMode;
+pub use pwcet_analysis::{ClassificationMode, ClassifierBackend, KernelStats};
 pub use pwcet_ilp::{SolveStats, SolverBackend};
 pub use pwcet_ipet::{IpetOptions, IpetTemplate};
 pub use pwcet_par::Parallelism;

@@ -215,6 +215,7 @@ impl PwcetAnalyzer {
             self.config.geometry,
             "context geometry must match the analyzer configuration"
         );
+        let kernel_before = context.kernel_stats();
         let (artifacts, stats) = context
             .solve_artifacts((self.config.timing, self.config.ipet), || {
                 solve_protection_independent(context, &self.config)
@@ -228,6 +229,11 @@ impl PwcetAnalyzer {
             context.record_ilp_stats(&stats);
             if let Some(plane) = &self.reuse {
                 plane.record_ilp_stats(&stats);
+                // Classification fixpoints recorded onto the context
+                // during this solve (the kernel counters accrue there as
+                // levels materialize); forward only the delta so a
+                // re-analyzed warm context is not double-counted.
+                plane.record_kernel_stats(&context.kernel_stats().delta_since(&kernel_before));
             }
         }
         Ok(ProgramAnalysis {

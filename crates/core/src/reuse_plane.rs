@@ -38,7 +38,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use pwcet_analysis::ClassificationMode;
+use pwcet_analysis::{ClassificationMode, ClassifierBackend, KernelStats, KernelStatsCell};
 use pwcet_cache::CacheGeometry;
 use pwcet_cfg::CfgError;
 use pwcet_ilp::{SolveStats, SolveStatsCell};
@@ -213,6 +213,10 @@ pub struct ReusePlane {
     /// Solver counters of every solve stage run through this plane
     /// (recorded by the analyzer; survives context eviction).
     ilp: SolveStatsCell,
+    /// Classification-kernel counters of every fresh fixpoint run
+    /// through this plane (recorded by the analyzer alongside the
+    /// solver counters; survives context eviction).
+    kernel: KernelStatsCell,
 }
 
 impl Default for ReusePlane {
@@ -238,6 +242,7 @@ impl ReusePlane {
             families: Mutex::new(HashMap::new()),
             counters: Mutex::new(Counters::default()),
             ilp: SolveStatsCell::default(),
+            kernel: KernelStatsCell::default(),
         }
     }
 
@@ -253,6 +258,58 @@ impl ReusePlane {
     /// so a long-lived service reports totals, not residue.
     pub fn ilp_stats(&self) -> SolveStats {
         self.ilp.snapshot()
+    }
+
+    /// Adds one analysis's classification-kernel counters to the plane's
+    /// total (the analyzer calls this after every fresh solve).
+    pub fn record_kernel_stats(&self, stats: &KernelStats) {
+        self.kernel.record(stats);
+    }
+
+    /// Cumulative classification-kernel counters (worklist passes, slot
+    /// words touched, dirty-skipped sets) across every analysis served
+    /// through this plane. Like [`ilp_stats`](Self::ilp_stats) these
+    /// survive cache eviction.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel.snapshot()
+    }
+
+    /// Total size in bytes of the on-disk store (`None` without a disk
+    /// tier): the sum over the `ctx-*.pwctx` entries currently present.
+    /// Unreadable entries count zero — sizing is diagnostics, not
+    /// correctness.
+    pub fn disk_store_bytes(&self) -> Option<u64> {
+        self.disk_store_footprint().map(|(bytes, _)| bytes)
+    }
+
+    /// Number of `ctx-*.pwctx` entries currently in the on-disk store
+    /// (`None` without a disk tier).
+    pub fn disk_store_entries(&self) -> Option<u64> {
+        self.disk_store_footprint().map(|(_, entries)| entries)
+    }
+
+    /// One directory scan behind [`disk_store_bytes`](Self::disk_store_bytes)
+    /// and [`disk_store_entries`](Self::disk_store_entries): `(bytes,
+    /// entries)` over genuine store files only — `.pwctx` extension and a
+    /// parseable `ctx-<key>` stem — so foreign files in the directory do
+    /// not pollute the metric.
+    fn disk_store_footprint(&self) -> Option<(u64, u64)> {
+        let disk = self.disk.as_ref()?;
+        let entries = match fs::read_dir(&disk.dir) {
+            Ok(entries) => entries,
+            Err(_) => return Some((0, 0)),
+        };
+        Some(
+            entries
+                .flatten()
+                .filter(|e| {
+                    e.path().extension().and_then(|x| x.to_str()) == Some(ENTRY_EXT)
+                        && DiskTier::key_of_path(&e.path()).is_some()
+                })
+                .fold((0, 0), |(bytes, count), e| {
+                    (bytes + e.metadata().map_or(0, |m| m.len()), count + 1)
+                }),
+        )
     }
 
     /// Attaches the on-disk tier rooted at `dir` (created if missing)
@@ -479,8 +536,14 @@ impl ReusePlane {
         };
         match decode_context(&bytes, &cfg, key, geometry, mode) {
             Ok((name, parts)) => {
-                let context =
-                    AnalysisContext::from_parts(name, Arc::new(cfg), geometry, mode, parts);
+                let context = AnalysisContext::from_parts(
+                    name,
+                    Arc::new(cfg),
+                    geometry,
+                    mode,
+                    ClassifierBackend::default(),
+                    parts,
+                );
                 let richness = Richness::of(&context);
                 disk.written
                     .lock()

@@ -158,6 +158,17 @@ fn submit(
                     stats.ilp_trivial_prunes,
                 );
             }
+            if stats.classify_passes > 0 {
+                println!(
+                    "classify: {} passes, {} words touched, {} sets skipped",
+                    stats.classify_passes,
+                    stats.classify_words_touched,
+                    stats.classify_sets_skipped,
+                );
+            }
+            if stats.store_bytes > 0 {
+                println!("store: {} bytes on disk", stats.store_bytes);
+            }
             Ok(true)
         }
         Response::ShutdownStarted => {

@@ -40,8 +40,9 @@ pub const MAGIC: [u8; 4] = *b"PWCQ";
 /// Current protocol version. Bump on any layout change; mismatched peers
 /// then fail cleanly with [`ProtocolError::UnsupportedVersion`].
 /// Version history: 1 = initial; 2 = `ilp_*` solver counters appended to
-/// the stats response.
-pub const VERSION: u32 = 2;
+/// the stats response; 3 = classification-kernel counters (`classify_*`)
+/// and the on-disk store size appended to the stats response.
+pub const VERSION: u32 = 3;
 /// Header bytes before the payload.
 pub const HEADER_LEN: usize = 24;
 /// Upper bound on a frame payload. Far above any real request (a whole
@@ -292,6 +293,16 @@ pub struct ServiceStats {
     pub ilp_warm_starts: u64,
     /// ILP solver: branch-and-bound children pruned without an LP solve.
     pub ilp_trivial_prunes: u64,
+    /// Classification kernel: worklist node evaluations (pops) across
+    /// every fresh fixpoint.
+    pub classify_passes: u64,
+    /// Classification kernel: packed slot words read or written.
+    pub classify_words_touched: u64,
+    /// Classification kernel: per-node set propagations skipped because
+    /// the set's dirty words were clean.
+    pub classify_sets_skipped: u64,
+    /// Total bytes of the on-disk context store (0 without a disk tier).
+    pub store_bytes: u64,
 }
 
 /// Why the server rejected a request.
@@ -514,6 +525,10 @@ fn encode_stats(enc: &mut Enc, stats: &ServiceStats) {
         stats.ilp_bb_nodes,
         stats.ilp_warm_starts,
         stats.ilp_trivial_prunes,
+        stats.classify_passes,
+        stats.classify_words_touched,
+        stats.classify_sets_skipped,
+        stats.store_bytes,
     ] {
         enc.u64(v);
     }
@@ -821,6 +836,10 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<ServiceStats, ProtocolError> {
         ilp_bb_nodes: dec.u64()?,
         ilp_warm_starts: dec.u64()?,
         ilp_trivial_prunes: dec.u64()?,
+        classify_passes: dec.u64()?,
+        classify_words_touched: dec.u64()?,
+        classify_sets_skipped: dec.u64()?,
+        store_bytes: dec.u64()?,
     })
 }
 
@@ -1199,6 +1218,10 @@ mod tests {
                 ilp_bb_nodes: 96,
                 ilp_warm_starts: 90,
                 ilp_trivial_prunes: 2,
+                classify_passes: 310,
+                classify_words_touched: 88_000,
+                classify_sets_skipped: 1200,
+                store_bytes: 73_728,
             }),
             Response::Error {
                 code: ErrorCode::Overloaded,

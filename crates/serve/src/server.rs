@@ -307,6 +307,7 @@ impl Shared {
     fn stats(&self) -> ServiceStats {
         let plane = self.engine.plane.stats();
         let ilp = self.engine.plane.ilp_stats();
+        let kernel = self.engine.plane.kernel_stats();
         ServiceStats {
             shards: self.pool.shard_count() as u32,
             queue_capacity: self.queue_capacity as u32,
@@ -331,6 +332,10 @@ impl Shared {
             ilp_bb_nodes: ilp.bb_nodes,
             ilp_warm_starts: ilp.warm_starts,
             ilp_trivial_prunes: ilp.trivial_prunes,
+            classify_passes: kernel.passes,
+            classify_words_touched: kernel.words_touched,
+            classify_sets_skipped: kernel.sets_skipped,
+            store_bytes: self.engine.plane.disk_store_bytes().unwrap_or(0),
         }
     }
 }

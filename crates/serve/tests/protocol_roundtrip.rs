@@ -168,37 +168,71 @@ fn analysis_row_strategy() -> BoxedStrategy<AnalysisRow> {
 
 fn stats_strategy() -> BoxedStrategy<ServiceStats> {
     (
-        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (any::<u64>(), any::<u64>()),
     )
         .prop_map(|(a, b, c, d, e, f)| ServiceStats {
             shards: a.0,
             queue_capacity: a.1,
             queued: a.2,
             connections: a.3,
-            served: b.0,
-            overloads: b.1,
-            protocol_errors: b.2,
-            served_memory: b.3,
-            served_disk: c.0,
-            served_derived: c.1,
-            served_cold: c.2,
-            memory_hits: c.3,
-            memory_misses: d.0,
-            disk_hits: d.1,
-            disk_writes: d.2,
-            disk_corrupt: d.3,
-            derived: e.0,
-            cold_builds: e.1,
-            ilp_pivots: e.2,
-            ilp_dual_pivots: e.3,
-            ilp_bb_nodes: f.0,
-            ilp_warm_starts: f.1,
-            ilp_trivial_prunes: f.2,
+            served: a.4,
+            overloads: b.0,
+            protocol_errors: b.1,
+            served_memory: b.2,
+            served_disk: b.3,
+            served_derived: b.4,
+            served_cold: c.0,
+            memory_hits: c.1,
+            memory_misses: c.2,
+            disk_hits: c.3,
+            disk_writes: c.4,
+            disk_corrupt: d.0,
+            derived: d.1,
+            cold_builds: d.2,
+            ilp_pivots: d.3,
+            ilp_dual_pivots: d.4,
+            ilp_bb_nodes: e.0,
+            ilp_warm_starts: e.1,
+            ilp_trivial_prunes: e.2,
+            classify_passes: e.3,
+            classify_words_touched: e.4,
+            classify_sets_skipped: f.0,
+            store_bytes: f.1,
         })
         .boxed()
 }

@@ -10,11 +10,16 @@
 //!   (`classification_*` tests — whole suite, classification only);
 //! * the full pipeline — FMM, SRB columns, exceedance curves, quantiles —
 //!   on a category-spanning subset (always on) and on the complete suite
-//!   (`#[ignore]`d, exercised by the nightly CI `--include-ignored` step).
+//!   (`#[ignore]`d, exercised by the nightly CI `--include-ignored` step);
+//! * the bit-packed word-parallel classification kernel against the frozen
+//!   set-based reference backend (`packed_backend_*` tests — spanning
+//!   subset always on, complete suite nightly).
 
 use std::sync::Arc;
 
-use fault_aware_pwcet::analysis::classify;
+use fault_aware_pwcet::analysis::{
+    classify, classify_level_from_with, classify_level_with, classify_srb_with, ClassifierBackend,
+};
 use fault_aware_pwcet::benchsuite;
 use fault_aware_pwcet::cache::GeometryLattice;
 use fault_aware_pwcet::core::{
@@ -228,6 +233,98 @@ fn geometry_derivation_matches_cold_across_the_entire_suite() {
         assert_geometry_derivation_matches_cold(bench.name, &plane);
     }
     assert_eq!(plane.stats().cold_builds as usize, benchsuite::all().len());
+}
+
+/// Packed-vs-reference identity of one benchmark: every CHMC level both
+/// cold and truncation-warm-started, the SRB map, and the full pipeline
+/// (FMM, SRB columns, exceedance curves, quantiles) driven through a
+/// reference-backed context. The `SetReference` backend replays the
+/// pre-packing set-based fixpoints, so any packed-kernel bug — a
+/// mis-shifted age lane, a stray bit past the interned universe, a wrong
+/// prefix-OR in the join — shows up as a diff here.
+fn assert_packed_matches_reference(name: &str) {
+    let config = warm_config();
+    let bench = benchsuite::by_name(name).unwrap();
+    let compiled = bench.program.compile(config.code_base).unwrap();
+    let cfg = expand_compiled(&compiled).unwrap();
+    let geometry = config.geometry;
+    let ways = geometry.ways();
+
+    // Classification levels: cold at every associativity, plus the
+    // truncation warm starts the incremental chain actually takes.
+    let packed_full = classify_level_with(&cfg, &geometry, ways, ClassifierBackend::Packed, None);
+    let reference_full =
+        classify_level_with(&cfg, &geometry, ways, ClassifierBackend::SetReference, None);
+    assert_eq!(packed_full, reference_full, "{name}: full level");
+    for assoc in 0..ways {
+        let packed = classify_level_with(&cfg, &geometry, assoc, ClassifierBackend::Packed, None);
+        let reference = classify_level_with(
+            &cfg,
+            &geometry,
+            assoc,
+            ClassifierBackend::SetReference,
+            None,
+        );
+        assert_eq!(packed, reference, "{name}: cold level {assoc}");
+        let warm_packed = classify_level_from_with(
+            &cfg,
+            &geometry,
+            &packed_full,
+            assoc,
+            ClassifierBackend::Packed,
+            None,
+        );
+        let warm_reference = classify_level_from_with(
+            &cfg,
+            &geometry,
+            &reference_full,
+            assoc,
+            ClassifierBackend::SetReference,
+            None,
+        );
+        assert_eq!(warm_packed, warm_reference, "{name}: warm level {assoc}");
+        assert_eq!(warm_packed, packed, "{name}: warm level {assoc} vs cold");
+    }
+    assert_eq!(
+        classify_srb_with(&cfg, &geometry, ClassifierBackend::Packed, None),
+        classify_srb_with(&cfg, &geometry, ClassifierBackend::SetReference, None),
+        "{name}: SRB map"
+    );
+
+    // Full pipeline behind each backend's context.
+    let analyzer = PwcetAnalyzer::new(config);
+    let packed_context = AnalysisContext::build_with_backend(
+        &compiled,
+        geometry,
+        ClassificationMode::Incremental,
+        ClassifierBackend::Packed,
+    )
+    .unwrap();
+    let reference_context = AnalysisContext::build_with_backend(
+        &compiled,
+        geometry,
+        ClassificationMode::Incremental,
+        ClassifierBackend::SetReference,
+    )
+    .unwrap();
+    let packed = analyzer.analyze_with_context(&packed_context).unwrap();
+    let reference = analyzer.analyze_with_context(&reference_context).unwrap();
+    assert_analyses_identical(name, &reference, &packed);
+}
+
+#[test]
+fn packed_backend_matches_reference_on_spanning_subset() {
+    for name in SPAN {
+        assert_packed_matches_reference(name);
+    }
+}
+
+#[test]
+#[ignore = "replays the set-based reference kernel across the complete 25-benchmark suite (~minutes); nightly CI runs it via --include-ignored"]
+fn packed_backend_matches_reference_across_the_entire_suite() {
+    for bench in benchsuite::all() {
+        assert_packed_matches_reference(bench.name);
+    }
 }
 
 #[test]
