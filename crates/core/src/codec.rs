@@ -140,6 +140,45 @@ pub fn fnv1a_checksum(bytes: &[u8]) -> u64 {
     Fnv1a::checksum(bytes)
 }
 
+/// Validates the *envelope* of a serialized entry — magic, version,
+/// declared length, payload checksum, and the embedded content key —
+/// without decoding the artifacts (which needs the live CFG). This is
+/// the gate a service node applies to entries arriving over the network
+/// before storing or relaying them: cheap and sufficient to reject
+/// corrupt or mis-keyed entries at the door. Full semantic validation
+/// still happens at decode time, against the CFG.
+///
+/// # Errors
+///
+/// The same header-level [`CodecError`]s `decode_context` would raise,
+/// plus a key mismatch for an entry stored under the wrong fingerprint.
+pub(crate) fn validate_entry(bytes: &[u8], expected_key: u64) -> Result<(), CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    if payload_len != payload.len() as u64 || payload.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    if Fnv1a::checksum(payload) != checksum {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    let key = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    if key != expected_key {
+        return Err(CodecError::Malformed("content key mismatch"));
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------

@@ -79,4 +79,6 @@ pub use pwcet_analysis::{ClassificationMode, ClassifierBackend, KernelStats};
 pub use pwcet_ilp::{SolveStats, SolverBackend};
 pub use pwcet_ipet::{IpetOptions, IpetTemplate};
 pub use pwcet_par::Parallelism;
-pub use reuse_plane::{ReusePlane, ReusePlaneStats, ReuseTier, DEFAULT_DISK_CAPACITY_BYTES};
+pub use reuse_plane::{
+    NetworkTier, ReusePlane, ReusePlaneStats, ReuseTier, DEFAULT_DISK_CAPACITY_BYTES,
+};

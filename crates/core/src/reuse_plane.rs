@@ -1,7 +1,7 @@
 //! The unified reuse plane: every way one analysis can avoid redoing
 //! another's work, behind one `get_or_build` entry point.
 //!
-//! Three tiers, probed in order:
+//! Four tiers, probed in order:
 //!
 //! ```text
 //!            ┌──────────────────────────────────────────────┐
@@ -13,7 +13,10 @@
 //!            │ 3. derivation    widest lattice sibling in   │─ hit ─▶ truncate-seed
 //!            │    the memory tier (same sets/block/mode)    │         full level
 //!            ├──────────────────────────────────────────────┤
-//!            │ 4. cold build                                │
+//!            │ 4. network tier  fetch the serialized entry  │─ hit ─▶ decode + install
+//!            │    from a peer process ([`NetworkTier`])     │         + write-through
+//!            ├──────────────────────────────────────────────┤
+//!            │ 5. cold build                                │
 //!            └──────────────────────────────────────────────┘
 //! ```
 //!
@@ -24,19 +27,27 @@
 //! the derivation tier makes *cross-geometry* sweeps warm — within one
 //! lattice (same sets and block size, [`CacheGeometry::derivable_from`])
 //! only the widest geometry ever runs a cold classification fixpoint.
+//! The network tier makes *cross-machine* fleets warm: an attached
+//! [`NetworkTier`] implementation (the serve layer's peer fleet) fetches
+//! the same serialized entry encoding the disk tier uses from whichever
+//! peer owns the content key, and freshly built entries are offered back
+//! to their owner so the fleet converges on one warm store with no
+//! shared filesystem.
 //!
 //! **Failure containment**: any unreadable, truncated, corrupted, or
 //! version-skewed disk entry is counted
 //! ([`ReusePlaneStats::disk_corrupt`]), logged to stderr, deleted, and
-//! answered by the next tier. The disk tier can cost time, never
-//! correctness — `crates/core/tests/reuse_plane.rs` pins every corruption
-//! class.
+//! answered by the next tier; a fetched peer entry that fails strict
+//! decode validation is counted ([`ReusePlaneStats::network_corrupt`])
+//! and degrades to a cold build. The disk and network tiers can cost
+//! time, never correctness — `crates/core/tests/reuse_plane.rs` pins
+//! every corruption class.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use pwcet_analysis::{ClassificationMode, ClassifierBackend, KernelStats, KernelStatsCell};
 use pwcet_cache::CacheGeometry;
@@ -44,7 +55,7 @@ use pwcet_cfg::CfgError;
 use pwcet_ilp::{SolveStats, SolveStatsCell};
 use pwcet_progen::CompiledProgram;
 
-use crate::codec::{decode_context, encode_context};
+use crate::codec::{decode_context, encode_context, validate_entry};
 use crate::context::AnalysisContext;
 use crate::context_cache::{ContextCache, ContextCacheStats};
 use crate::pipeline::expand_compiled;
@@ -55,6 +66,33 @@ pub const DEFAULT_DISK_CAPACITY_BYTES: u64 = 64 * 1024 * 1024;
 
 /// File extension of disk-tier entries.
 const ENTRY_EXT: &str = "pwctx";
+
+/// Cap on raw peer-offered entries staged in memory when no disk tier is
+/// attached (FIFO eviction; entries are tens of KB, so this bounds the
+/// staging area to a few MB).
+const MAX_STAGED_ENTRIES: usize = 128;
+
+/// The plane's fourth tier: fetch/offer serialized context entries (the
+/// same `PWCX` encoding the disk tier stores) from/to peer processes.
+///
+/// Implemented outside this crate — the serve layer's peer fleet hashes
+/// content keys onto a ring of `pwcet-serve` nodes — and attached after
+/// construction with [`ReusePlane::set_network_tier`]. The contract
+/// mirrors the disk tier's failure containment: a fetch may return
+/// garbage (the plane validates strictly and degrades to a cold build),
+/// and both calls must swallow transport failures rather than error the
+/// analysis.
+pub trait NetworkTier: Send + Sync + std::fmt::Debug {
+    /// The serialized entry for `key` from a peer, `None` on miss or any
+    /// transport failure. Called on the analysis path — implementations
+    /// should bound their own timeouts.
+    fn fetch(&self, key: u64) -> Option<Vec<u8>>;
+
+    /// Offers a locally built entry to the key's owning peer.
+    /// Implementations should return quickly (queue + background send):
+    /// this is called after every persisted analysis.
+    fn offer(&self, key: u64, bytes: &[u8]);
+}
 
 /// Which tier of a [`ReusePlane`] answered one context request — the
 /// provenance a service front-end reports per response (`served_from`)
@@ -67,18 +105,23 @@ pub enum ReuseTier {
     Disk,
     /// Derived from a wider lattice sibling by age truncation.
     Derived,
+    /// Fetched from a peer process through the attached [`NetworkTier`]
+    /// and decoded like a disk entry.
+    Network,
     /// No tier could answer; the context was built from scratch. Also
     /// reported by analyzers running without a plane.
     Cold,
 }
 
 impl ReuseTier {
-    /// Stable lower-case label (`memory` / `disk` / `derived` / `cold`).
+    /// Stable lower-case label (`memory` / `disk` / `derived` /
+    /// `network` / `cold`).
     pub fn label(self) -> &'static str {
         match self {
             ReuseTier::Memory => "memory",
             ReuseTier::Disk => "disk",
             ReuseTier::Derived => "derived",
+            ReuseTier::Network => "network",
             ReuseTier::Cold => "cold",
         }
     }
@@ -108,15 +151,24 @@ pub struct ReusePlaneStats {
     /// Contexts derived from a wider lattice sibling instead of built
     /// cold.
     pub derived: u64,
+    /// Lookups answered by decoding an entry fetched from a peer.
+    pub network_hits: u64,
+    /// Lookups that probed the network tier and got no usable entry.
+    pub network_misses: u64,
+    /// Fetched or offered peer entries rejected by validation or decode
+    /// (each degrades to the next tier, never corrupts a result).
+    pub network_corrupt: u64,
+    /// Freshly built entries offered to their owning peer.
+    pub network_offers: u64,
     /// Contexts built cold (no tier could answer).
     pub cold_builds: u64,
 }
 
 impl ReusePlaneStats {
-    /// Fraction of non-memory-tier builds avoided by the disk and
-    /// derivation tiers (0 when nothing was requested).
+    /// Fraction of non-memory-tier builds avoided by the disk,
+    /// derivation, and network tiers (0 when nothing was requested).
     pub fn reuse_rate(&self) -> f64 {
-        let avoided = self.disk_hits + self.derived;
+        let avoided = self.disk_hits + self.derived + self.network_hits;
         let total = avoided + self.cold_builds;
         if total == 0 {
             return 0.0;
@@ -133,6 +185,10 @@ struct Counters {
     disk_corrupt: u64,
     disk_gc_evictions: u64,
     derived: u64,
+    network_hits: u64,
+    network_misses: u64,
+    network_corrupt: u64,
+    network_offers: u64,
     cold_builds: u64,
 }
 
@@ -155,6 +211,37 @@ impl Richness {
             solved: context.solved_configurations(),
             srb: context.srb_warmed(),
         }
+    }
+}
+
+/// Bounded FIFO of raw serialized entries offered by peers before a
+/// local decode proved them useful — the memory-only stand-in for the
+/// disk tier's store directory.
+#[derive(Debug, Default)]
+struct StagedEntries {
+    map: HashMap<u64, Vec<u8>>,
+    order: VecDeque<u64>,
+}
+
+impl StagedEntries {
+    fn insert(&mut self, key: u64, bytes: Vec<u8>) {
+        if self.map.insert(key, bytes).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > MAX_STAGED_ENTRIES {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
+        let bytes = self.map.remove(&key)?;
+        self.order.retain(|&k| k != key);
+        Some(bytes)
     }
 }
 
@@ -206,6 +293,18 @@ impl DiskTier {
 pub struct ReusePlane {
     memory: Arc<ContextCache>,
     disk: Option<DiskTier>,
+    /// The peer-fetch tier, attached set-once after construction (the
+    /// service builds the plane first and the peer layer — which needs
+    /// the plane's address space — second).
+    network: OnceLock<Arc<dyn NetworkTier>>,
+    /// Raw peer-offered entries staged in memory when no disk tier is
+    /// attached, consulted by the local-entry probe exactly like a disk
+    /// file. Bounded FIFO ([`MAX_STAGED_ENTRIES`]).
+    staged: Mutex<StagedEntries>,
+    /// Richness already offered to the network per key: skip re-offers
+    /// that would not add artifacts, mirroring the disk tier's
+    /// write-through index.
+    offered: Mutex<HashMap<u64, Richness>>,
     /// Family fingerprint → way count → full key, for the derivation
     /// tier. Only records what passed through this plane.
     families: Mutex<HashMap<u64, BTreeMap<u32, u64>>>,
@@ -239,11 +338,25 @@ impl ReusePlane {
         Self {
             memory,
             disk: None,
+            network: OnceLock::new(),
+            staged: Mutex::new(StagedEntries::default()),
+            offered: Mutex::new(HashMap::new()),
             families: Mutex::new(HashMap::new()),
             counters: Mutex::new(Counters::default()),
             ilp: SolveStatsCell::default(),
             kernel: KernelStatsCell::default(),
         }
+    }
+
+    /// Attaches the network tier. Set-once: later calls are ignored, so
+    /// a racing double-attach cannot swap fleets mid-flight.
+    pub fn set_network_tier(&self, tier: Arc<dyn NetworkTier>) {
+        let _ = self.network.set(tier);
+    }
+
+    /// Whether a network tier is attached.
+    pub fn has_network_tier(&self) -> bool {
+        self.network.get().is_some()
     }
 
     /// Adds one solve stage's solver counters to the plane's total (the
@@ -370,6 +483,10 @@ impl ReusePlane {
             disk_corrupt: counters.disk_corrupt,
             disk_gc_evictions: counters.disk_gc_evictions,
             derived: counters.derived,
+            network_hits: counters.network_hits,
+            network_misses: counters.network_misses,
+            network_corrupt: counters.network_corrupt,
+            network_offers: counters.network_offers,
             cold_builds: counters.cold_builds,
         }
     }
@@ -413,19 +530,22 @@ impl ReusePlane {
             return Ok((context, ReuseTier::Memory));
         }
 
-        let (context, tier) = match self.load_from_disk(compiled, key, geometry, mode) {
-            Some(restored) => (Arc::new(restored), ReuseTier::Disk),
+        let (context, tier) = match self.load_local(compiled, key, geometry, mode) {
+            Some((restored, local_tier)) => (Arc::new(restored), local_tier),
             None => match self.derive_from_family(family, geometry, mode) {
                 Some(derived) => (derived, ReuseTier::Derived),
-                None => {
-                    let built =
-                        Arc::new(AnalysisContext::build_with_mode(compiled, geometry, mode)?);
-                    self.counters
-                        .lock()
-                        .expect("reuse plane counters")
-                        .cold_builds += 1;
-                    (built, ReuseTier::Cold)
-                }
+                None => match self.fetch_from_network(compiled, key, geometry, mode) {
+                    Some(fetched) => (Arc::new(fetched), ReuseTier::Network),
+                    None => {
+                        let built =
+                            Arc::new(AnalysisContext::build_with_mode(compiled, geometry, mode)?);
+                        self.counters
+                            .lock()
+                            .expect("reuse plane counters")
+                            .cold_builds += 1;
+                        (built, ReuseTier::Cold)
+                    }
+                },
             },
         };
 
@@ -434,9 +554,11 @@ impl ReusePlane {
     }
 
     /// Writes `context`'s artifacts through to the disk tier (no-op
-    /// without one, or when the stored entry is already as rich).
-    /// Returns whether an entry was written. IO failures are logged and
-    /// counted, never raised — persistence is an optimization.
+    /// without one, or when the stored entry is already as rich) and
+    /// offers them to the network tier's owning peer (same richness
+    /// gate, tracked separately). Returns whether a disk entry was
+    /// written. IO failures are logged and counted, never raised —
+    /// persistence is an optimization.
     pub fn persist(&self, compiled: &CompiledProgram, context: &AnalysisContext) -> bool {
         let key = ContextCache::key_of(compiled, *context.geometry(), context.mode());
         self.persist_keyed(key, context)
@@ -447,7 +569,7 @@ impl ReusePlane {
     /// sweep to capture lazily-warmed artifacts the per-analysis
     /// write-through may have missed.
     pub fn flush(&self) -> usize {
-        if self.disk.is_none() {
+        if self.disk.is_none() && self.network.get().is_none() {
             return 0;
         }
         self.memory
@@ -500,88 +622,303 @@ impl ReusePlane {
         None
     }
 
-    /// Disk tier probe: decode, validate against the live CFG, and
-    /// restore. Every failure degrades to `None` with a counted stat; a
-    /// corrupt file is additionally deleted so it cannot fail again.
-    fn load_from_disk(
+    /// Expands the CFG and decodes one serialized entry into a restored
+    /// context. CFG-expansion failure is a [`EntryDecodeFailure::Cfg`]
+    /// (the cold path will surface the same error with context); every
+    /// decode failure is [`EntryDecodeFailure::Corrupt`].
+    fn decode_entry(
+        &self,
+        compiled: &CompiledProgram,
+        bytes: &[u8],
+        key: u64,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Result<AnalysisContext, EntryDecodeFailure> {
+        let cfg = expand_compiled(compiled).map_err(|_| EntryDecodeFailure::Cfg)?;
+        match decode_context(bytes, &cfg, key, geometry, mode) {
+            Ok((name, parts)) => Ok(AnalysisContext::from_parts(
+                name,
+                Arc::new(cfg),
+                geometry,
+                mode,
+                ClassifierBackend::default(),
+                parts,
+            )),
+            Err(err) => Err(EntryDecodeFailure::Corrupt(err.to_string())),
+        }
+    }
+
+    /// Local-entry probe — the disk tier plus the staged peer offers:
+    /// decode, validate against the live CFG, and restore, reporting
+    /// whether the bytes came from the store ([`ReuseTier::Disk`]) or a
+    /// staged peer offer ([`ReuseTier::Network`]). Every failure degrades
+    /// to `None` with a counted stat; a corrupt store file is
+    /// additionally deleted so it cannot fail again.
+    fn load_local(
+        &self,
+        compiled: &CompiledProgram,
+        key: u64,
+        geometry: CacheGeometry,
+        mode: ClassificationMode,
+    ) -> Option<(AnalysisContext, ReuseTier)> {
+        let disk_bytes = self
+            .disk
+            .as_ref()
+            .and_then(|disk| fs::read(disk.entry_path(key)).ok());
+        let (bytes, tier) = match disk_bytes {
+            Some(bytes) => (bytes, ReuseTier::Disk),
+            None => {
+                if self.disk.is_some() {
+                    // Absent (or unreadable) entry: a plain disk miss.
+                    self.counters
+                        .lock()
+                        .expect("reuse plane counters")
+                        .disk_misses += 1;
+                }
+                let staged = self.staged.lock().expect("staged entries").remove(key)?;
+                (staged, ReuseTier::Network)
+            }
+        };
+        match self.decode_entry(compiled, &bytes, key, geometry, mode) {
+            Ok(context) => {
+                let richness = Richness::of(&context);
+                if tier == ReuseTier::Disk {
+                    let disk = self.disk.as_ref().expect("disk bytes imply a disk tier");
+                    disk.written
+                        .lock()
+                        .expect("disk tier index")
+                        .insert(key, richness);
+                }
+                // A restored entry is as rich as its bytes: offering it
+                // back to the fleet would hand the owner what it (or a
+                // peer) already holds.
+                self.offered
+                    .lock()
+                    .expect("offer index")
+                    .insert(key, richness);
+                let mut counters = self.counters.lock().expect("reuse plane counters");
+                match tier {
+                    ReuseTier::Disk => counters.disk_hits += 1,
+                    _ => counters.network_hits += 1,
+                }
+                drop(counters);
+                Some((context, tier))
+            }
+            Err(EntryDecodeFailure::Cfg) => {
+                self.counters
+                    .lock()
+                    .expect("reuse plane counters")
+                    .disk_misses += 1;
+                None
+            }
+            Err(EntryDecodeFailure::Corrupt(err)) => {
+                let mut counters = self.counters.lock().expect("reuse plane counters");
+                if tier == ReuseTier::Disk {
+                    let disk = self.disk.as_ref().expect("disk bytes imply a disk tier");
+                    let path = disk.entry_path(key);
+                    eprintln!(
+                        "pwcet-core: discarding corrupt context entry {} ({err}); rebuilding cold",
+                        path.display()
+                    );
+                    let _ = fs::remove_file(&path);
+                    counters.disk_corrupt += 1;
+                    counters.disk_misses += 1;
+                } else {
+                    eprintln!(
+                        "pwcet-core: discarding corrupt staged peer entry for key {key:016x} \
+                         ({err}); rebuilding cold"
+                    );
+                    counters.network_corrupt += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Network tier probe: fetch the serialized entry from the attached
+    /// [`NetworkTier`], decode it with the same strict validation a disk
+    /// entry gets, and write it through to the local store so a restart
+    /// stays warm without re-fetching. An undecodable fetch is counted
+    /// ([`ReusePlaneStats::network_corrupt`]) and degrades to a cold
+    /// build — a bad peer costs time, never correctness.
+    fn fetch_from_network(
         &self,
         compiled: &CompiledProgram,
         key: u64,
         geometry: CacheGeometry,
         mode: ClassificationMode,
     ) -> Option<AnalysisContext> {
-        let disk = self.disk.as_ref()?;
-        let path = disk.entry_path(key);
-        let bytes = match fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(_) => {
-                // Absent (or unreadable) entry: a plain disk miss.
-                self.counters
-                    .lock()
-                    .expect("reuse plane counters")
-                    .disk_misses += 1;
-                return None;
-            }
+        let network = self.network.get()?;
+        let Some(bytes) = network.fetch(key) else {
+            self.counters
+                .lock()
+                .expect("reuse plane counters")
+                .network_misses += 1;
+            return None;
         };
-        let cfg = match expand_compiled(compiled) {
-            Ok(cfg) => cfg,
-            Err(_) => {
-                // The cold path will surface the same error with context.
-                self.counters
-                    .lock()
-                    .expect("reuse plane counters")
-                    .disk_misses += 1;
-                return None;
-            }
-        };
-        match decode_context(&bytes, &cfg, key, geometry, mode) {
-            Ok((name, parts)) => {
-                let context = AnalysisContext::from_parts(
-                    name,
-                    Arc::new(cfg),
-                    geometry,
-                    mode,
-                    ClassifierBackend::default(),
-                    parts,
-                );
+        match self.decode_entry(compiled, &bytes, key, geometry, mode) {
+            Ok(context) => {
                 let richness = Richness::of(&context);
-                disk.written
+                self.store_entry_bytes(key, &bytes, richness);
+                // Never offer a fetched entry back: its owner just
+                // served it to us.
+                self.offered
                     .lock()
-                    .expect("disk tier index")
+                    .expect("offer index")
                     .insert(key, richness);
                 self.counters
                     .lock()
                     .expect("reuse plane counters")
-                    .disk_hits += 1;
+                    .network_hits += 1;
                 Some(context)
             }
-            Err(err) => {
+            Err(EntryDecodeFailure::Cfg) => {
+                self.counters
+                    .lock()
+                    .expect("reuse plane counters")
+                    .network_misses += 1;
+                None
+            }
+            Err(EntryDecodeFailure::Corrupt(err)) => {
                 eprintln!(
-                    "pwcet-core: discarding corrupt context entry {} ({err}); rebuilding cold",
-                    path.display()
+                    "pwcet-core: discarding corrupt peer entry for key {key:016x} ({err}); \
+                     rebuilding cold"
                 );
-                let _ = fs::remove_file(&path);
                 let mut counters = self.counters.lock().expect("reuse plane counters");
-                counters.disk_corrupt += 1;
-                counters.disk_misses += 1;
+                counters.network_corrupt += 1;
+                counters.network_misses += 1;
                 None
             }
         }
     }
 
-    fn persist_keyed(&self, key: u64, context: &AnalysisContext) -> bool {
-        let Some(disk) = self.disk.as_ref() else {
+    /// Files already-serialized entry bytes into the local store: the
+    /// disk tier when one is attached, the bounded staging area
+    /// otherwise.
+    fn store_entry_bytes(&self, key: u64, bytes: &[u8], richness: Richness) {
+        match self.disk.as_ref() {
+            Some(disk) => {
+                let path = disk.entry_path(key);
+                if write_atomically(&path, bytes).is_ok() {
+                    disk.written
+                        .lock()
+                        .expect("disk tier index")
+                        .insert(key, richness);
+                    self.counters
+                        .lock()
+                        .expect("reuse plane counters")
+                        .disk_writes += 1;
+                    self.collect_garbage(disk, &path);
+                }
+            }
+            None => {
+                self.staged
+                    .lock()
+                    .expect("staged entries")
+                    .insert(key, bytes.to_vec());
+            }
+        }
+    }
+
+    /// The serialized entry for `key`, if this plane can produce one —
+    /// encoded fresh from the memory tier, read back from the disk
+    /// store, or taken from the staged peer offers. Store bytes are
+    /// envelope-validated before serving so a locally corrupt file is
+    /// never propagated to a peer. This is what a service node answers a
+    /// peer's `FetchEntry` with.
+    pub fn export_entry(&self, key: u64) -> Option<Vec<u8>> {
+        if let Some(context) = self.memory.peek(key) {
+            if Richness::of(&context) != Richness::default() {
+                return Some(encode_context(
+                    key,
+                    context.name(),
+                    *context.geometry(),
+                    context.mode(),
+                    &context.snapshot_parts(),
+                ));
+            }
+        }
+        if let Some(disk) = self.disk.as_ref() {
+            if let Ok(bytes) = fs::read(disk.entry_path(key)) {
+                if validate_entry(&bytes, key).is_ok() {
+                    return Some(bytes);
+                }
+            }
+        }
+        let staged = self.staged.lock().expect("staged entries");
+        staged.map.get(&key).cloned()
+    }
+
+    /// Installs a serialized entry offered by a peer. The envelope
+    /// (magic, version, length, checksum, embedded key) is validated up
+    /// front — full semantic validation happens at decode time against
+    /// the live CFG, so a malicious peer can waste store bytes, never
+    /// corrupt a result. Returns whether the entry was stored; an entry
+    /// this plane already holds is refused (the local copy may be
+    /// richer, and decode re-validates anyway).
+    pub fn import_entry(&self, key: u64, bytes: Vec<u8>) -> bool {
+        if let Err(err) = validate_entry(&bytes, key) {
+            eprintln!("pwcet-core: refusing offered peer entry for key {key:016x} ({err})");
+            self.counters
+                .lock()
+                .expect("reuse plane counters")
+                .network_corrupt += 1;
             return false;
-        };
+        }
+        match self.disk.as_ref() {
+            Some(disk) => {
+                let path = disk.entry_path(key);
+                if path.exists() {
+                    return false;
+                }
+                match write_atomically(&path, &bytes) {
+                    Ok(()) => {
+                        self.counters
+                            .lock()
+                            .expect("reuse plane counters")
+                            .disk_writes += 1;
+                        self.collect_garbage(disk, &path);
+                        true
+                    }
+                    Err(err) => {
+                        eprintln!(
+                            "pwcet-core: failed to store offered peer entry {} ({err})",
+                            path.display()
+                        );
+                        false
+                    }
+                }
+            }
+            None => {
+                let mut staged = self.staged.lock().expect("staged entries");
+                if staged.map.contains_key(&key) || self.memory.peek(key).is_some() {
+                    return false;
+                }
+                staged.insert(key, bytes);
+                true
+            }
+        }
+    }
+
+    fn persist_keyed(&self, key: u64, context: &AnalysisContext) -> bool {
+        let network = self.network.get();
+        if self.disk.is_none() && network.is_none() {
+            return false;
+        }
         let richness = Richness::of(context);
         if richness == Richness::default() {
             return false; // nothing worth storing yet
         }
-        {
+        let disk_wants = self.disk.as_ref().is_some_and(|disk| {
             let written = disk.written.lock().expect("disk tier index");
-            if written.get(&key).is_some_and(|have| *have >= richness) {
-                return false;
-            }
+            written.get(&key).is_none_or(|have| *have < richness)
+        });
+        let net_wants = network.is_some() && {
+            let offered = self.offered.lock().expect("offer index");
+            offered.get(&key).is_none_or(|have| *have < richness)
+        };
+        if !disk_wants && !net_wants {
+            return false;
         }
         let bytes = encode_context(
             key,
@@ -590,6 +927,22 @@ impl ReusePlane {
             context.mode(),
             &context.snapshot_parts(),
         );
+        if net_wants {
+            let network = network.expect("net_wants implies a network tier");
+            network.offer(key, &bytes);
+            self.offered
+                .lock()
+                .expect("offer index")
+                .insert(key, richness);
+            self.counters
+                .lock()
+                .expect("reuse plane counters")
+                .network_offers += 1;
+        }
+        if !disk_wants {
+            return false;
+        }
+        let disk = self.disk.as_ref().expect("disk_wants implies a disk tier");
         let path = disk.entry_path(key);
         match write_atomically(&path, &bytes) {
             Ok(()) => {
@@ -680,6 +1033,14 @@ impl ReusePlane {
                 .disk_gc_evictions += evicted;
         }
     }
+}
+
+/// Why a serialized entry failed to restore: the program's CFG would not
+/// expand (not the entry's fault), or the entry itself did not survive
+/// strict decode validation.
+enum EntryDecodeFailure {
+    Cfg,
+    Corrupt(String),
 }
 
 /// Temp files older than this are crashed-writer orphans the GC removes.
@@ -816,6 +1177,92 @@ mod tests {
         assert_eq!(tier, ReuseTier::Disk);
         assert_eq!(tier.label(), "disk");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// In-process stand-in for the serve layer's peer fleet: a shared
+    /// map of serialized entries.
+    #[derive(Debug, Default)]
+    struct FakeNetwork {
+        entries: Mutex<HashMap<u64, Vec<u8>>>,
+        offers: Mutex<Vec<u64>>,
+    }
+
+    impl NetworkTier for FakeNetwork {
+        fn fetch(&self, key: u64) -> Option<Vec<u8>> {
+            self.entries.lock().unwrap().get(&key).cloned()
+        }
+
+        fn offer(&self, key: u64, bytes: &[u8]) {
+            self.offers.lock().unwrap().push(key);
+            self.entries.lock().unwrap().insert(key, bytes.to_vec());
+        }
+    }
+
+    #[test]
+    fn network_tier_answers_what_a_peer_offered() {
+        let network = Arc::new(FakeNetwork::default());
+        let program = compiled("p", 10);
+
+        // Plane A builds cold, prewarms, and offers the entry on persist.
+        let a = ReusePlane::in_memory();
+        a.set_network_tier(Arc::clone(&network) as Arc<dyn NetworkTier>);
+        let (context, tier) = a.get_or_build_traced(&program, geometry(), MODE).unwrap();
+        assert_eq!(tier, ReuseTier::Cold);
+        context.prewarm(pwcet_par::Parallelism::Sequential);
+        a.persist(&program, &context);
+        assert_eq!(a.stats().network_offers, 1);
+        // Same richness again: the offer index suppresses the re-offer.
+        a.persist(&program, &context);
+        assert_eq!(a.stats().network_offers, 1);
+
+        // A fresh plane over the same fleet fetches instead of building.
+        let b = ReusePlane::in_memory();
+        b.set_network_tier(Arc::clone(&network) as Arc<dyn NetworkTier>);
+        let (fetched, tier) = b.get_or_build_traced(&program, geometry(), MODE).unwrap();
+        assert_eq!(tier, ReuseTier::Network);
+        let stats = b.stats();
+        assert_eq!((stats.network_hits, stats.cold_builds), (1, 0));
+        // A fetched entry is never offered back to its owner.
+        b.persist(&program, &fetched);
+        assert_eq!(network.offers.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_network_entry_degrades_to_counted_cold_build() {
+        let network = Arc::new(FakeNetwork::default());
+        let program = compiled("p", 10);
+        let key = ContextCache::key_of(&program, geometry(), MODE);
+        network.entries.lock().unwrap().insert(key, vec![0xAB; 64]);
+
+        let plane = ReusePlane::in_memory();
+        plane.set_network_tier(Arc::clone(&network) as Arc<dyn NetworkTier>);
+        let (_, tier) = plane
+            .get_or_build_traced(&program, geometry(), MODE)
+            .unwrap();
+        assert_eq!(tier, ReuseTier::Cold);
+        let stats = plane.stats();
+        assert_eq!((stats.network_corrupt, stats.cold_builds), (1, 1));
+    }
+
+    #[test]
+    fn export_import_round_trips_an_entry() {
+        let plane = ReusePlane::in_memory();
+        let program = compiled("p", 10);
+        let key = ContextCache::key_of(&program, geometry(), MODE);
+        assert!(plane.export_entry(key).is_none(), "nothing to export yet");
+        let context = plane.get_or_build(&program, geometry(), MODE).unwrap();
+        context.prewarm(pwcet_par::Parallelism::Sequential);
+        let bytes = plane.export_entry(key).expect("warm context exports");
+
+        let other = ReusePlane::in_memory();
+        assert!(!other.import_entry(key, vec![1, 2, 3]), "garbage refused");
+        assert_eq!(other.stats().network_corrupt, 1);
+        assert!(other.import_entry(key, bytes));
+        let (_, tier) = other
+            .get_or_build_traced(&program, geometry(), MODE)
+            .unwrap();
+        assert_eq!(tier, ReuseTier::Network);
+        assert_eq!(other.stats().cold_builds, 0);
     }
 
     #[test]

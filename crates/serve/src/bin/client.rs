@@ -169,6 +169,33 @@ fn submit(
             if stats.store_bytes > 0 {
                 println!("store: {} bytes on disk", stats.store_bytes);
             }
+            if stats.peers > 0 {
+                println!(
+                    "fleet: {} peers ({} unhealthy), network hits/misses/corrupt = {}/{}/{}, \
+                     {} offers out, {} peer fetches served, {} peer offers stored",
+                    stats.peers,
+                    stats.peers_unhealthy,
+                    stats.network_hits,
+                    stats.network_misses,
+                    stats.network_corrupt,
+                    stats.network_offers,
+                    stats.peer_fetches_served,
+                    stats.peer_offers_stored,
+                );
+            }
+            Ok(true)
+        }
+        Response::Entry { key, entry } => {
+            // Fleet verbs are normally peer-to-peer; answering them here
+            // keeps `program` usable with exported fetch frames.
+            match entry {
+                Some(bytes) => println!("entry {key:016x}: {} bytes", bytes.len()),
+                None => println!("entry {key:016x}: miss"),
+            }
+            Ok(true)
+        }
+        Response::OfferAck { stored } => {
+            println!("offer {}", if stored { "stored" } else { "declined" });
             Ok(true)
         }
         Response::ShutdownStarted => {

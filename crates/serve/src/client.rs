@@ -1,10 +1,64 @@
 //! Blocking client for the analysis service.
 
+use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use pwcet_progen::Program;
 
 use crate::protocol::{self, ProtocolError, Request, Response, ServiceStats, WireError};
+use crate::server::FRAME_DEADLINE;
+
+/// Socket deadlines of a [`Client`]. Every phase of a request — connect,
+/// write, read — is bounded, so a hung or unreachable server surfaces as
+/// [`WireError::Timeout`] instead of blocking the caller forever. The
+/// defaults mirror the server's own [`FRAME_DEADLINE`], so neither side
+/// outwaits the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection (per resolved address).
+    pub connect_timeout: Duration,
+    /// Bound on any single read while waiting for a response frame.
+    pub read_timeout: Duration,
+    /// Bound on any single write of a request frame.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self::with_deadline(FRAME_DEADLINE)
+    }
+}
+
+impl ClientConfig {
+    /// One deadline for all three phases — the common case; the peer
+    /// layer uses a short one so a dead node costs milliseconds, not the
+    /// full frame deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            connect_timeout: deadline,
+            read_timeout: deadline,
+            write_timeout: deadline,
+        }
+    }
+}
+
+/// Maps a socket error to [`WireError::Timeout`] when it is a deadline
+/// expiry (`WouldBlock` on Unix `SO_RCVTIMEO`/`SO_SNDTIMEO`, `TimedOut`
+/// elsewhere), to [`WireError::Io`] otherwise.
+fn classify_io(e: io::Error) -> WireError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => WireError::Timeout,
+        _ => WireError::Io(e),
+    }
+}
+
+fn classify_wire(e: WireError) -> WireError {
+    match e {
+        WireError::Io(io) => classify_io(io),
+        other => other,
+    }
+}
 
 /// One connection to a `pwcet-serve` instance. Requests are synchronous:
 /// one frame out, one frame back.
@@ -13,27 +67,56 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with the [default
+    /// deadlines](ClientConfig::default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error (a timeout surfaces as
+    /// `TimedOut`/`WouldBlock`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit deadlines. Tries every resolved address
+    /// with the configured connect timeout and returns the last error
+    /// when none accepts.
     ///
     /// # Errors
     ///
     /// Propagates the socket error.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Self { stream })
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Self> {
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(config.read_timeout))?;
+                    stream.set_write_timeout(Some(config.write_timeout))?;
+                    return Ok(Self { stream });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
     }
 
-    /// Sends one request and blocks for its response.
+    /// Sends one request and blocks for its response, bounded by the
+    /// configured deadlines.
     ///
     /// # Errors
     ///
-    /// [`WireError::Io`] when the connection fails (including the server
-    /// closing it after a protocol error), [`WireError::Protocol`] when
-    /// the response frame itself is corrupt.
+    /// [`WireError::Timeout`] when the server does not answer (or accept
+    /// the request) within the deadline, [`WireError::Io`] when the
+    /// connection fails (including the server closing it after a
+    /// protocol error), [`WireError::Protocol`] when the response frame
+    /// itself is corrupt.
     pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
-        protocol::write_frame(&mut self.stream, &protocol::encode_request(request))?;
-        match protocol::read_frame(&mut self.stream)? {
+        protocol::write_frame(&mut self.stream, &protocol::encode_request(request))
+            .map_err(classify_io)?;
+        match protocol::read_frame(&mut self.stream).map_err(classify_wire)? {
             Some(payload) => Ok(protocol::decode_response_payload(&payload)?),
             None => Err(WireError::Protocol(ProtocolError::Truncated)),
         }
@@ -55,6 +138,42 @@ impl Client {
             pfail,
             target_p,
         })
+    }
+
+    /// Fetches the serialized reuse-plane entry for `key` from this node
+    /// (the fleet's network-tier verb). `Ok(None)` is an authoritative
+    /// miss.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`](Self::request); also [`WireError::Protocol`]
+    /// when the server answers something other than an entry for `key`.
+    pub fn fetch_entry(&mut self, key: u64) -> Result<Option<Vec<u8>>, WireError> {
+        match self.request(&Request::FetchEntry { key })? {
+            Response::Entry { key: echoed, entry } if echoed == key => Ok(entry),
+            _ => Err(WireError::Protocol(ProtocolError::Malformed(
+                "expected an entry response for the requested key",
+            ))),
+        }
+    }
+
+    /// Offers a serialized entry to this node (the key's ring owner).
+    /// Returns whether the node stored it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`](Self::request); also [`WireError::Protocol`]
+    /// when the server answers something other than an offer ack.
+    pub fn offer_entry(&mut self, key: u64, entry: &[u8]) -> Result<bool, WireError> {
+        match self.request(&Request::OfferEntry {
+            key,
+            entry: entry.to_vec(),
+        })? {
+            Response::OfferAck { stored } => Ok(stored),
+            _ => Err(WireError::Protocol(ProtocolError::Malformed(
+                "expected an offer acknowledgement",
+            ))),
+        }
     }
 
     /// Fetches the service counters.

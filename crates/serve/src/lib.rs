@@ -23,7 +23,14 @@
 //!   draining shutdown;
 //! * a **client** ([`client`] and the `pwcet-client` binary) to submit
 //!   the benchmark suite or exported request files and report per-request
-//!   tier provenance (`served_from`) and latency percentiles.
+//!   tier provenance (`served_from`) and latency percentiles, with every
+//!   phase of a request bounded by [`ClientConfig`] deadlines;
+//! * a **fleet layer** ([`peer`]) — a consistent-hash [`PeerRing`] over
+//!   the configured membership makes every context key's entry fetchable
+//!   from its owner node (`FetchEntry`/`OfferEntry` verbs), so a fleet
+//!   of servers shares one warm store with no shared filesystem; the
+//!   reuse plane consumes it as its *network* tier between the derived
+//!   tier and a cold build.
 //!
 //! # Example
 //!
@@ -48,14 +55,16 @@
 //! ```
 
 pub mod client;
+pub mod peer;
 pub mod protocol;
 pub mod server;
 pub mod shard;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
+pub use peer::{FleetConfig, FleetStats, PeerFleet, PeerRing};
 pub use protocol::{
     AnalysisRow, ErrorCode, GeometryRow, PfailRow, ProtocolError, Request, Response, ServedFrom,
     ServiceStats, WireError,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, FRAME_DEADLINE};
 pub use shard::{ShardPool, SubmitError};

@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "PWCQ"
-//! 4       4     protocol version (u32, currently 2)
+//! 4       4     protocol version (u32, = [`VERSION`])
 //! 8       8     payload length in bytes (u64, ≤ MAX_PAYLOAD_BYTES)
 //! 16      8     FNV-1a checksum of the payload (u64)
 //! 24      …     payload (tag byte + body)
@@ -41,8 +41,11 @@ pub const MAGIC: [u8; 4] = *b"PWCQ";
 /// then fail cleanly with [`ProtocolError::UnsupportedVersion`].
 /// Version history: 1 = initial; 2 = `ilp_*` solver counters appended to
 /// the stats response; 3 = classification-kernel counters (`classify_*`)
-/// and the on-disk store size appended to the stats response.
-pub const VERSION: u32 = 3;
+/// and the on-disk store size appended to the stats response; 4 = fleet
+/// verbs ([`Request::FetchEntry`] / [`Request::OfferEntry`], the
+/// `network` served-from tier) and the `network_*` / peer counters
+/// appended to the stats response.
+pub const VERSION: u32 = 4;
 /// Header bytes before the payload.
 pub const HEADER_LEN: usize = 24;
 /// Upper bound on a frame payload. Far above any real request (a whole
@@ -104,6 +107,11 @@ pub enum WireError {
     Io(std::io::Error),
     /// The bytes arrived but do not form a valid frame.
     Protocol(ProtocolError),
+    /// The peer did not answer within the configured deadline. The
+    /// connection may merely be slow, but callers treat it as
+    /// unavailable — the peer layer marks the node unhealthy instead of
+    /// erroring the request.
+    Timeout,
 }
 
 impl fmt::Display for WireError {
@@ -111,6 +119,7 @@ impl fmt::Display for WireError {
         match self {
             WireError::Io(e) => write!(f, "socket error: {e}"),
             WireError::Protocol(e) => write!(f, "protocol error: {e}"),
+            WireError::Timeout => write!(f, "peer did not answer within the deadline"),
         }
     }
 }
@@ -191,6 +200,25 @@ pub enum Request {
     Stats,
     /// Ask the server to stop accepting work, drain its queues, and exit.
     Shutdown,
+    /// Fleet verb: fetch the serialized reuse-plane entry for one
+    /// content key (`ContextCache::key_of`). The answer's payload is the
+    /// same `PWCX` encoding the disk tier stores. Served inline on the
+    /// connection thread — a fetch never queues behind analyses and
+    /// never triggers a nested fetch, so two nodes fetching from each
+    /// other cannot deadlock.
+    FetchEntry {
+        /// Content fingerprint of the wanted entry.
+        key: u64,
+    },
+    /// Fleet verb: offer a freshly built serialized entry to this node
+    /// (the key's ring owner). The receiver validates the envelope
+    /// before storing; a corrupt offer is refused, never installed.
+    OfferEntry {
+        /// Content fingerprint the entry was encoded under.
+        key: u64,
+        /// Complete `PWCX` entry bytes (header + payload).
+        entry: Vec<u8>,
+    },
 }
 
 /// Where the server's reuse plane answered a request from, as reported
@@ -303,6 +331,25 @@ pub struct ServiceStats {
     pub classify_sets_skipped: u64,
     /// Total bytes of the on-disk context store (0 without a disk tier).
     pub store_bytes: u64,
+    /// Responses served from the network tier (a peer's entry).
+    pub served_network: u64,
+    /// Network tier: fetches a peer answered with a decodable entry.
+    pub network_hits: u64,
+    /// Network tier: fetches no peer could answer.
+    pub network_misses: u64,
+    /// Fetched or offered entries rejected as corrupt (each degraded to
+    /// a cold rebuild or a refused offer, never a wrong result).
+    pub network_corrupt: u64,
+    /// Freshly built entries offered to their ring owner.
+    pub network_offers: u64,
+    /// `FetchEntry` requests this node answered with an entry.
+    pub peer_fetches_served: u64,
+    /// `OfferEntry` requests this node accepted and stored.
+    pub peer_offers_stored: u64,
+    /// Configured fleet peers (0 = single-node).
+    pub peers: u32,
+    /// Fleet peers currently in failure backoff.
+    pub peers_unhealthy: u32,
 }
 
 /// Why the server rejected a request.
@@ -393,6 +440,20 @@ pub enum Response {
     /// Answer to [`Request::Shutdown`]: the server stopped accepting
     /// work and is draining.
     ShutdownStarted,
+    /// Answer to [`Request::FetchEntry`].
+    Entry {
+        /// The requested content key, echoed back.
+        key: u64,
+        /// The serialized entry, or `None` when this node holds nothing
+        /// for the key — an authoritative miss; the caller builds cold.
+        entry: Option<Vec<u8>>,
+    },
+    /// Answer to [`Request::OfferEntry`]: whether the entry was stored
+    /// (a duplicate or invalid offer is acknowledged but not stored).
+    OfferAck {
+        /// Whether the offered entry was installed in the local store.
+        stored: bool,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -427,6 +488,11 @@ impl Enc {
     fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
     }
 }
 
@@ -478,6 +544,7 @@ fn tier_tag(tier: ServedFrom) -> u8 {
         ReuseTier::Disk => 1,
         ReuseTier::Derived => 2,
         ReuseTier::Cold => 3,
+        ReuseTier::Network => 4,
     }
 }
 
@@ -529,9 +596,18 @@ fn encode_stats(enc: &mut Enc, stats: &ServiceStats) {
         stats.classify_words_touched,
         stats.classify_sets_skipped,
         stats.store_bytes,
+        stats.served_network,
+        stats.network_hits,
+        stats.network_misses,
+        stats.network_corrupt,
+        stats.network_offers,
+        stats.peer_fetches_served,
+        stats.peer_offers_stored,
     ] {
         enc.u64(v);
     }
+    enc.u32(stats.peers);
+    enc.u32(stats.peers_unhealthy);
 }
 
 /// Wraps a finished payload in the `PWCQ` header.
@@ -604,6 +680,15 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Stats => enc.u8(5),
         Request::Shutdown => enc.u8(6),
+        Request::FetchEntry { key } => {
+            enc.u8(7);
+            enc.u64(*key);
+        }
+        Request::OfferEntry { key, entry } => {
+            enc.u8(8);
+            enc.u64(*key);
+            enc.bytes(entry);
+        }
     }
     frame(enc.buf)
 }
@@ -671,6 +756,21 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             enc.str(message);
         }
         Response::ShutdownStarted => enc.u8(7),
+        Response::Entry { key, entry } => {
+            enc.u8(8);
+            enc.u64(*key);
+            match entry {
+                Some(bytes) => {
+                    enc.u8(1);
+                    enc.bytes(bytes);
+                }
+                None => enc.u8(0),
+            }
+        }
+        Response::OfferAck { stored } => {
+            enc.u8(9);
+            enc.u8(u8::from(*stored));
+        }
     }
     frame(enc.buf)
 }
@@ -785,6 +885,7 @@ fn decode_tier(dec: &mut Dec<'_>) -> Result<ServedFrom, ProtocolError> {
         1 => ReuseTier::Disk,
         2 => ReuseTier::Derived,
         3 => ReuseTier::Cold,
+        4 => ReuseTier::Network,
         _ => return Err(ProtocolError::Malformed("tier tag")),
     })
 }
@@ -840,6 +941,15 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<ServiceStats, ProtocolError> {
         classify_words_touched: dec.u64()?,
         classify_sets_skipped: dec.u64()?,
         store_bytes: dec.u64()?,
+        served_network: dec.u64()?,
+        network_hits: dec.u64()?,
+        network_misses: dec.u64()?,
+        network_corrupt: dec.u64()?,
+        network_offers: dec.u64()?,
+        peer_fetches_served: dec.u64()?,
+        peer_offers_stored: dec.u64()?,
+        peers: dec.u32()?,
+        peers_unhealthy: dec.u32()?,
     })
 }
 
@@ -951,6 +1061,15 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<Request, ProtocolError> 
         }
         5 => Request::Stats,
         6 => Request::Shutdown,
+        7 => Request::FetchEntry { key: dec.u64()? },
+        8 => {
+            let key = dec.u64()?;
+            let len = dec.seq_len(1)?;
+            Request::OfferEntry {
+                key,
+                entry: dec.take(len)?.to_vec(),
+            }
+        }
         _ => return Err(ProtocolError::Malformed("request tag")),
     };
     if dec.remaining() != 0 {
@@ -1028,6 +1147,25 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, ProtocolError
             message: dec.str()?,
         },
         7 => Response::ShutdownStarted,
+        8 => {
+            let key = dec.u64()?;
+            let entry = match dec.u8()? {
+                0 => None,
+                1 => {
+                    let len = dec.seq_len(1)?;
+                    Some(dec.take(len)?.to_vec())
+                }
+                _ => return Err(ProtocolError::Malformed("entry presence flag")),
+            };
+            Response::Entry { key, entry }
+        }
+        9 => Response::OfferAck {
+            stored: match dec.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtocolError::Malformed("offer ack flag")),
+            },
+        },
         _ => return Err(ProtocolError::Malformed("response tag")),
     };
     if dec.remaining() != 0 {
@@ -1146,6 +1284,17 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::FetchEntry {
+                key: 0xdead_beef_cafe_f00d,
+            },
+            Request::OfferEntry {
+                key: 42,
+                entry: vec![0x50, 0x57, 0x43, 0x58, 0x00, 0xff],
+            },
+            Request::OfferEntry {
+                key: 7,
+                entry: Vec::new(),
+            },
         ];
         for request in requests {
             let bytes = encode_request(&request);
@@ -1222,12 +1371,31 @@ mod tests {
                 classify_words_touched: 88_000,
                 classify_sets_skipped: 1200,
                 store_bytes: 73_728,
+                served_network: 7,
+                network_hits: 7,
+                network_misses: 3,
+                network_corrupt: 1,
+                network_offers: 12,
+                peer_fetches_served: 9,
+                peer_offers_stored: 6,
+                peers: 3,
+                peers_unhealthy: 1,
             }),
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "shard 2 queue full (depth 64)".into(),
             },
             Response::ShutdownStarted,
+            Response::Entry {
+                key: 0x0123_4567_89ab_cdef,
+                entry: Some(vec![1, 2, 3, 4]),
+            },
+            Response::Entry {
+                key: 99,
+                entry: None,
+            },
+            Response::OfferAck { stored: true },
+            Response::OfferAck { stored: false },
         ];
         for response in responses {
             let bytes = encode_response(&response);

@@ -48,21 +48,24 @@ use std::time::{Duration, Instant};
 
 use pwcet_cache::GeometryLattice;
 use pwcet_core::{
-    AnalysisConfig, ContextCache, Parallelism, ProgramAnalysis, Protection, PwcetAnalyzer,
-    ReusePlane, ReuseTier,
+    AnalysisConfig, ContextCache, NetworkTier, Parallelism, ProgramAnalysis, Protection,
+    PwcetAnalyzer, ReusePlane, ReuseTier,
 };
 use pwcet_progen::{CompiledProgram, Program};
 
+use crate::peer::{FleetConfig, PeerFleet};
 use crate::protocol::{
     self, AnalysisRow, ErrorCode, GeometryRow, PfailRow, ProtocolError, Request, Response,
     ServiceStats, WireError,
 };
 use crate::shard::{ShardPool, SubmitError};
 
-/// How long a started frame may take to arrive completely before the
-/// connection is dropped — keeps a stalled or malicious half-frame from
-/// pinning a connection thread forever.
-const FRAME_DEADLINE: Duration = Duration::from_secs(30);
+/// Default bound on how long a started frame may take to arrive
+/// completely before the connection is dropped — keeps a stalled or
+/// malicious half-frame from pinning a connection thread forever.
+/// Configurable per server via [`ServerConfig::frame_deadline`]; the
+/// client's [`ClientConfig`](crate::ClientConfig) defaults mirror it.
+pub const FRAME_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Service-side bounds on sweep requests (a request beyond them is
 /// refused as invalid, not attempted).
@@ -89,6 +92,13 @@ pub struct ServerConfig {
     /// Poll interval of the accept loop and idle connections — bounds
     /// how fast a shutdown is observed.
     pub poll: Duration,
+    /// Bound on how long a started frame may take to arrive completely
+    /// before the connection is dropped ([`FRAME_DEADLINE`] by default;
+    /// liveness tests shrink it to exercise the cutoff quickly).
+    pub frame_deadline: Duration,
+    /// Fleet membership for the reuse plane's network tier; `None` (or
+    /// an empty peer list) runs single-node.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +109,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             disk_dir: None,
             poll: Duration::from_millis(25),
+            frame_deadline: FRAME_DEADLINE,
+            fleet: None,
         }
     }
 }
@@ -172,7 +184,10 @@ struct Counters {
     served_memory: AtomicU64,
     served_disk: AtomicU64,
     served_derived: AtomicU64,
+    served_network: AtomicU64,
     served_cold: AtomicU64,
+    peer_fetches_served: AtomicU64,
+    peer_offers_stored: AtomicU64,
 }
 
 impl Counters {
@@ -181,6 +196,7 @@ impl Counters {
             ReuseTier::Memory => &self.served_memory,
             ReuseTier::Disk => &self.served_disk,
             ReuseTier::Derived => &self.served_derived,
+            ReuseTier::Network => &self.served_network,
             ReuseTier::Cold => &self.served_cold,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -301,6 +317,8 @@ struct Shared {
     connections: Mutex<Vec<JoinHandle<()>>>,
     poll: Duration,
     queue_capacity: usize,
+    deadline: Duration,
+    fleet: Option<Arc<PeerFleet>>,
 }
 
 impl Shared {
@@ -319,6 +337,7 @@ impl Shared {
             served_memory: self.counters.served_memory.load(Ordering::Relaxed),
             served_disk: self.counters.served_disk.load(Ordering::Relaxed),
             served_derived: self.counters.served_derived.load(Ordering::Relaxed),
+            served_network: self.counters.served_network.load(Ordering::Relaxed),
             served_cold: self.counters.served_cold.load(Ordering::Relaxed),
             memory_hits: plane.memory.hits,
             memory_misses: plane.memory.misses,
@@ -327,6 +346,17 @@ impl Shared {
             disk_corrupt: plane.disk_corrupt,
             derived: plane.derived,
             cold_builds: plane.cold_builds,
+            network_hits: plane.network_hits,
+            network_misses: plane.network_misses,
+            network_corrupt: plane.network_corrupt,
+            network_offers: plane.network_offers,
+            peer_fetches_served: self.counters.peer_fetches_served.load(Ordering::Relaxed),
+            peer_offers_stored: self.counters.peer_offers_stored.load(Ordering::Relaxed),
+            peers: self.fleet.as_ref().map_or(0, |f| f.peer_count() as u32),
+            peers_unhealthy: self
+                .fleet
+                .as_ref()
+                .map_or(0, |f| f.unhealthy_count() as u32),
             ilp_pivots: ilp.pivots,
             ilp_dual_pivots: ilp.dual_pivots,
             ilp_bb_nodes: ilp.bb_nodes,
@@ -358,8 +388,10 @@ impl Server {
     ///
     /// Propagates socket-bind and disk-tier-creation failures.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
+        // The accept loop blocks (zero accept latency — a sleep-polled
+        // loop taxed every new connection, and the fleet's peer fetches
+        // with it); `drain_and_join` wakes it with a dummy connection.
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
         let plane = match &config.disk_dir {
@@ -404,6 +436,21 @@ impl Server {
             let _ = reply.send(result);
         });
 
+        // The fleet is attached after the plane exists (it needs the
+        // plane only implicitly, through offers enqueued by persists)
+        // and before any connection can run, so every request sees the
+        // network tier or none do.
+        let fleet = match &config.fleet {
+            Some(fleet_config) if fleet_config.has_peers() => {
+                let fleet = Arc::new(PeerFleet::start(fleet_config.clone()));
+                engine
+                    .plane
+                    .set_network_tier(Arc::clone(&fleet) as Arc<dyn NetworkTier>);
+                Some(fleet)
+            }
+            _ => None,
+        };
+
         let shared = Arc::new(Shared {
             pool,
             engine,
@@ -412,6 +459,8 @@ impl Server {
             connections: Mutex::new(Vec::new()),
             poll: config.poll,
             queue_capacity: config.queue_capacity,
+            deadline: config.frame_deadline,
+            fleet,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -473,6 +522,8 @@ impl Server {
     fn drain_and_join(&mut self) {
         self.request_shutdown();
         if let Some(accept) = self.accept.take() {
+            // Wake the blocking accept so it observes the stop flag.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
             let _ = accept.join();
         }
         // Join connections while the workers are still alive, so every
@@ -482,7 +533,12 @@ impl Server {
             let _ = connection.join();
         }
         self.shared.pool.shutdown();
+        // Flush before the fleet stops: the flush's persists may enqueue
+        // final offers, and the fleet drains its offer queue on shutdown.
         self.shared.engine.plane.flush();
+        if let Some(fleet) = &self.shared.fleet {
+            fleet.shutdown();
+        }
     }
 }
 
@@ -493,9 +549,15 @@ impl Drop for Server {
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    while !shared.stop.load(Ordering::Relaxed) {
+    loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                // A connection arriving during the drain (including the
+                // wake-up dummy from `drain_and_join`) is dropped, same
+                // as a refused submission.
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
                 shared.counters.connections.fetch_add(1, Ordering::Relaxed);
                 let conn_shared = Arc::clone(shared);
                 let handle = std::thread::spawn(move || serve_connection(stream, &conn_shared));
@@ -505,10 +567,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 connections.retain(|h| !h.is_finished());
                 connections.push(handle);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Err(_) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
                 std::thread::sleep(shared.poll);
             }
-            Err(_) => std::thread::sleep(shared.poll),
         }
     }
 }
@@ -533,6 +597,12 @@ fn is_poll_timeout(e: &std::io::Error) -> bool {
 /// Reads one frame with a poll-based timeout so the connection notices a
 /// server shutdown, a half-frame stall, or a mid-frame disconnect
 /// without ever hanging.
+///
+/// The deadline is checked on the successful-read path too, not only
+/// when a poll times out: a slow-loris client dripping one byte per
+/// poll interval keeps every `read` returning `Ok(1)` and would
+/// otherwise never hit the timeout arm, pinning the connection thread
+/// for as long as it cares to drip.
 fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> Result<PolledRead, WireError> {
     let mut header = [0u8; protocol::HEADER_LEN];
     let mut filled = 0usize;
@@ -543,7 +613,10 @@ fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> Result<PolledRe
             Ok(0) => return Err(ProtocolError::Truncated.into()),
             Ok(n) => {
                 filled += n;
-                deadline.get_or_insert_with(|| Instant::now() + FRAME_DEADLINE);
+                let deadline = *deadline.get_or_insert_with(|| Instant::now() + shared.deadline);
+                if filled < protocol::HEADER_LEN && Instant::now() > deadline {
+                    return Err(ProtocolError::Truncated.into());
+                }
             }
             Err(e) if is_poll_timeout(&e) => {
                 if shared.stop.load(Ordering::Relaxed) {
@@ -560,11 +633,16 @@ fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> Result<PolledRe
     let (payload_len, sum) = protocol::parse_header(&header)?;
     let mut payload = vec![0u8; payload_len as usize];
     let mut filled = 0usize;
-    let deadline = Instant::now() + FRAME_DEADLINE;
+    let deadline = Instant::now() + shared.deadline;
     while filled < payload.len() {
         match stream.read(&mut payload[filled..]) {
             Ok(0) => return Err(ProtocolError::Truncated.into()),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                if filled < payload.len() && Instant::now() > deadline {
+                    return Err(ProtocolError::Truncated.into());
+                }
+            }
             Err(e) if is_poll_timeout(&e) => {
                 // Even during a shutdown the started frame gets its
                 // deadline; an idle half-frame is cut off either way.
@@ -600,7 +678,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     // buffer fills, and a blocked writer would hang the draining
     // shutdown's connection join. A write that stalls past the frame
     // deadline errors out and drops the connection instead.
-    if stream.set_write_timeout(Some(FRAME_DEADLINE)).is_err() {
+    if stream.set_write_timeout(Some(shared.deadline)).is_err() {
         return;
     }
     loop {
@@ -641,7 +719,10 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 );
                 return;
             }
-            Err(WireError::Io(_)) => return,
+            // `read_frame_polled` reports stalls as `Truncated`;
+            // `Timeout` is the client-side classification and cannot
+            // reach here, but the drop is right for it regardless.
+            Err(WireError::Io(_)) | Err(WireError::Timeout) => return,
         }
     }
 }
@@ -694,6 +775,33 @@ fn dispatch(
             shared.stop.store(true, Ordering::Relaxed);
             respond(stream, &Response::ShutdownStarted)?;
             Ok(false)
+        }
+        // Fleet verbs are answered inline on the connection thread —
+        // never through the shards (they carry no analysis work) and
+        // never by fetching from *our* peers in turn (export/import only
+        // touch local tiers), so two nodes fetching from each other can
+        // not deadlock or loop.
+        Request::FetchEntry { key } => {
+            let entry = shared.engine.plane.export_entry(key);
+            if entry.is_some() {
+                shared
+                    .counters
+                    .peer_fetches_served
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            respond(stream, &Response::Entry { key, entry })?;
+            Ok(true)
+        }
+        Request::OfferEntry { key, entry } => {
+            let stored = shared.engine.plane.import_entry(key, entry);
+            if stored {
+                shared
+                    .counters
+                    .peer_offers_stored
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            respond(stream, &Response::OfferAck { stored })?;
+            Ok(true)
         }
         Request::Analyze {
             program,

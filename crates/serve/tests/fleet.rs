@@ -1,0 +1,200 @@
+//! Two-node fleet tests: the network tier answers across nodes, offers
+//! write back to the key's owner, and a poisoned peer entry degrades to
+//! a counted cold rebuild — never a wrong answer.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use pwcet_core::ReuseTier;
+use pwcet_progen::{stmt, Program};
+use pwcet_serve::protocol::{self, Request, Response};
+use pwcet_serve::{AnalysisRow, Client, FleetConfig, Server, ServerConfig};
+
+fn program() -> Program {
+    Program::new("fleet-demo").with_function(
+        "main",
+        stmt::seq(vec![
+            stmt::loop_(40, stmt::compute(16)),
+            stmt::if_else(stmt::compute(9), stmt::loop_(12, stmt::compute(5))),
+        ]),
+    )
+}
+
+fn analyze(client: &mut Client, program: Program) -> AnalysisRow {
+    match client
+        .analyze(program, 1e-4, 1e-15)
+        .expect("request succeeds")
+    {
+        Response::Analysis { row, .. } => row,
+        other => panic!("expected an analysis response, got {other:?}"),
+    }
+}
+
+/// Node B, configured with node A as a peer, answers the duplicate of a
+/// program A already analyzed from its *network* tier — same rows, no
+/// cold build on B.
+#[test]
+fn peer_answers_the_duplicate_from_the_network_tier() {
+    let node_a = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind A");
+    let mut client_a = Client::connect(node_a.local_addr()).expect("connect A");
+    let cold_row = analyze(&mut client_a, program());
+    assert_eq!(cold_row.served_from, ReuseTier::Cold);
+
+    // B's membership names only A, so A owns every key and every local
+    // miss on B is a fetch from A.
+    let config_b = ServerConfig {
+        fleet: Some(FleetConfig::new(
+            "127.0.0.1:1", // placeholder self entry, never dialed
+            [node_a.local_addr().to_string()],
+        )),
+        ..ServerConfig::default()
+    };
+    let node_b = Server::bind("127.0.0.1:0", config_b).expect("bind B");
+    let mut client_b = Client::connect(node_b.local_addr()).expect("connect B");
+    let fetched_row = analyze(&mut client_b, program());
+    assert_eq!(fetched_row.served_from, ReuseTier::Network);
+    assert_eq!(
+        fetched_row,
+        AnalysisRow {
+            served_from: ReuseTier::Network,
+            ..cold_row
+        }
+    );
+
+    let stats_b = node_b.shutdown();
+    assert_eq!(stats_b.served_network, 1);
+    assert_eq!(stats_b.network_hits, 1);
+    assert_eq!(stats_b.cold_builds, 0, "B must not recompute");
+    assert_eq!(stats_b.peers, 1);
+
+    let stats_a = node_a.shutdown();
+    assert_eq!(stats_a.peer_fetches_served, 1, "A served B's fetch");
+}
+
+/// After a cold build, the owning peer receives the entry via the async
+/// write-back offer and serves it from its own staged store.
+#[test]
+fn cold_build_offers_the_entry_back_to_the_owner() {
+    // B is the owner (standalone); A runs the cold build and offers.
+    let node_b = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind B");
+    let config_a = ServerConfig {
+        fleet: Some(FleetConfig::new(
+            "127.0.0.1:1", // placeholder self entry, never dialed
+            [node_b.local_addr().to_string()],
+        )),
+        ..ServerConfig::default()
+    };
+    let node_a = Server::bind("127.0.0.1:0", config_a).expect("bind A");
+
+    let mut client_a = Client::connect(node_a.local_addr()).expect("connect A");
+    let cold_row = analyze(&mut client_a, program());
+    assert_eq!(cold_row.served_from, ReuseTier::Cold);
+
+    // The offer travels on A's worker thread; poll B until it lands.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut client_b = Client::connect(node_b.local_addr()).expect("connect B");
+    loop {
+        let stats = client_b.stats().expect("stats");
+        if stats.peer_offers_stored >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "offer never reached the owner: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // B now answers the same program without a cold build, from the
+    // entry the fleet pushed to it.
+    let offered_row = analyze(&mut client_b, program());
+    assert_eq!(offered_row.served_from, ReuseTier::Network);
+    assert_eq!(
+        offered_row,
+        AnalysisRow {
+            served_from: ReuseTier::Network,
+            ..cold_row
+        }
+    );
+    let stats_b = node_b.shutdown();
+    assert_eq!(stats_b.peer_offers_stored, 1);
+    assert_eq!(stats_b.cold_builds, 0);
+    node_a.shutdown();
+}
+
+/// A peer that answers fetches with garbage costs the requester time,
+/// never correctness: the entry fails validation, is counted as corrupt,
+/// and the request degrades to a counted cold rebuild with the same
+/// rows a standalone node computes.
+#[test]
+fn poisoned_peer_entry_degrades_to_a_counted_cold_build() {
+    // A fake peer speaking raw PWCQ: every fetch is answered with bytes
+    // that are not a valid PWCX entry.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake peer");
+    let fake_addr = listener.local_addr().expect("local addr");
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let poison_stop = std::sync::Arc::clone(&stop);
+    let poison = std::thread::spawn(move || {
+        while !poison_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            let Ok((mut stream, _)) = listener.accept() else {
+                break;
+            };
+            while let Ok(Some(payload)) = protocol::read_frame(&mut stream) {
+                let Ok(request) = protocol::decode_request_payload(&payload) else {
+                    break;
+                };
+                let response = match request {
+                    Request::FetchEntry { key } => Response::Entry {
+                        key,
+                        entry: Some(b"definitely not a PWCX entry".to_vec()),
+                    },
+                    _ => Response::OfferAck { stored: false },
+                };
+                if protocol::write_frame(&mut stream, &protocol::encode_response(&response))
+                    .is_err()
+                {
+                    break;
+                }
+                let _ = stream.flush();
+            }
+        }
+    });
+
+    let config = ServerConfig {
+        fleet: Some(FleetConfig::new(
+            "127.0.0.1:1", // placeholder self entry, never dialed
+            [fake_addr.to_string()],
+        )),
+        ..ServerConfig::default()
+    };
+    let node = Server::bind("127.0.0.1:0", config).expect("bind node");
+    let mut client = Client::connect(node.local_addr()).expect("connect");
+    let row = analyze(&mut client, program());
+    assert_eq!(row.served_from, ReuseTier::Cold, "poison must not serve");
+
+    // Same numbers a standalone node computes for this program.
+    let standalone = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind ref");
+    let mut reference = Client::connect(standalone.local_addr()).expect("connect ref");
+    let reference_row = analyze(&mut reference, program());
+    assert_eq!(
+        row,
+        AnalysisRow {
+            served_from: ReuseTier::Cold,
+            ..reference_row
+        }
+    );
+    standalone.shutdown();
+
+    let stats = node.shutdown();
+    assert_eq!(stats.cold_builds, 1);
+    assert!(
+        stats.network_corrupt >= 1,
+        "corrupt fetch must be counted: {stats:?}"
+    );
+    assert_eq!(stats.network_hits, 0);
+    // Unblock the fake peer's accept loop and join it.
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    drop(std::net::TcpStream::connect(fake_addr));
+    poison.join().expect("fake peer thread");
+}

@@ -74,6 +74,7 @@ fn tier_strategy() -> BoxedStrategy<ServedFrom> {
         Just(ReuseTier::Memory),
         Just(ReuseTier::Disk),
         Just(ReuseTier::Derived),
+        Just(ReuseTier::Network),
         Just(ReuseTier::Cold),
     ]
     .boxed()
@@ -138,6 +139,9 @@ fn request_strategy() -> BoxedStrategy<Request> {
                     target_p,
                 }
             }),
+        any::<u64>().prop_map(|key| Request::FetchEntry { key }),
+        (any::<u64>(), vec(any::<u8>(), 0..512))
+            .prop_map(|(key, entry)| Request::OfferEntry { key, entry }),
         Just(Request::Stats),
         Just(Request::Shutdown),
     ]
@@ -174,22 +178,10 @@ fn stats_strategy() -> BoxedStrategy<ServiceStats> {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
-        ),
-        (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
             any::<u64>(),
         ),
         (
             any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-        ),
-        (
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
@@ -202,8 +194,32 @@ fn stats_strategy() -> BoxedStrategy<ServiceStats> {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
         ),
-        (any::<u64>(), any::<u64>()),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+        ),
     )
         .prop_map(|(a, b, c, d, e, f)| ServiceStats {
             shards: a.0,
@@ -211,28 +227,37 @@ fn stats_strategy() -> BoxedStrategy<ServiceStats> {
             queued: a.2,
             connections: a.3,
             served: a.4,
-            overloads: b.0,
-            protocol_errors: b.1,
-            served_memory: b.2,
-            served_disk: b.3,
-            served_derived: b.4,
-            served_cold: c.0,
-            memory_hits: c.1,
-            memory_misses: c.2,
-            disk_hits: c.3,
-            disk_writes: c.4,
-            disk_corrupt: d.0,
-            derived: d.1,
-            cold_builds: d.2,
-            ilp_pivots: d.3,
-            ilp_dual_pivots: d.4,
-            ilp_bb_nodes: e.0,
-            ilp_warm_starts: e.1,
-            ilp_trivial_prunes: e.2,
-            classify_passes: e.3,
-            classify_words_touched: e.4,
+            overloads: a.5,
+            protocol_errors: b.0,
+            served_memory: b.1,
+            served_disk: b.2,
+            served_derived: b.3,
+            served_network: b.4,
+            served_cold: b.5,
+            memory_hits: c.0,
+            memory_misses: c.1,
+            disk_hits: c.2,
+            disk_writes: c.3,
+            disk_corrupt: c.4,
+            derived: c.5,
+            cold_builds: d.0,
+            network_hits: d.1,
+            network_misses: d.2,
+            network_corrupt: d.3,
+            network_offers: d.4,
+            ilp_pivots: d.5,
+            ilp_dual_pivots: e.0,
+            ilp_bb_nodes: e.1,
+            ilp_warm_starts: e.2,
+            ilp_trivial_prunes: e.3,
+            classify_passes: e.4,
+            classify_words_touched: e.5,
             classify_sets_skipped: f.0,
             store_bytes: f.1,
+            peer_fetches_served: f.2,
+            peer_offers_stored: f.3,
+            peers: f.4,
+            peers_unhealthy: f.5,
         })
         .boxed()
 }
@@ -296,6 +321,9 @@ fn response_strategy() -> BoxedStrategy<Response> {
                 }
             ),
         stats_strategy().prop_map(Response::Stats),
+        (any::<u64>(), proptest::option::of(vec(any::<u8>(), 0..512)))
+            .prop_map(|(key, entry)| Response::Entry { key, entry }),
+        any::<bool>().prop_map(|stored| Response::OfferAck { stored }),
         (error_code_strategy(), name_strategy())
             .prop_map(|(code, message)| Response::Error { code, message }),
         Just(Response::ShutdownStarted),
