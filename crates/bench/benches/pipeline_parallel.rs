@@ -218,6 +218,51 @@ fn bench_geometry_sweep(c: &mut Criterion) {
         })
     });
 
+    // ILP-stage isolation: the fault-free WCET objective of every lattice
+    // point, solved per-geometry cold (fresh sparse model + phase 1 each
+    // time) vs. warm objective re-solves against the one cross-geometry
+    // template the registry shares across siblings. This is the stage the
+    // template registry accelerates inside the ways4321 rows above.
+    let options = warm_config.ipet;
+    let plane = Arc::new(ReusePlane::in_memory());
+    let ilp_points: Vec<_> = lattice
+        .members()
+        .map(|geometry| {
+            let context = plane
+                .get_or_build(&compiled, geometry, ClassificationMode::Incremental)
+                .expect("builds");
+            context.prewarm(Parallelism::Sequential);
+            let costs = pwcet_ipet::CostModel::from_chmc(
+                context.cfg(),
+                context.chmc(geometry.ways()),
+                &warm_config.timing,
+            );
+            // Untimed: build (or hit) the shared template and factor its
+            // prototype basis once, so the warm row times only the
+            // objective re-solves — the steady state of a sweep.
+            let template = context.ipet_template(options);
+            template.bound(&costs).expect("solves");
+            (context, costs, template)
+        })
+        .collect();
+    group.bench_function(BenchmarkId::new("ilp4321", "cold"), |b| {
+        b.iter(|| {
+            for (context, costs, _) in &ilp_points {
+                criterion::black_box(
+                    pwcet_ipet::ipet_bound(context.cfg(), costs, &options).expect("solves"),
+                );
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("ilp4321", "warm"), |b| {
+        b.iter(|| {
+            for (_, costs, template) in &ilp_points {
+                criterion::black_box(template.bound(costs).expect("solves"));
+            }
+        })
+    });
+    drop(ilp_points);
+
     group.bench_function(BenchmarkId::new("ways4321", "cold"), |b| {
         b.iter(|| {
             for geometry in lattice.members() {
@@ -329,6 +374,10 @@ fn emit_json(c: &mut Criterion) {
         mean_of("ways4321/cold").unwrap_or(0.0),
         mean_of("ways4321/derived").unwrap_or(0.0),
     );
+    let (geo_ilp_cold, geo_ilp_warm) = (
+        mean_of("ilp4321/cold").unwrap_or(0.0),
+        mean_of("ilp4321/warm").unwrap_or(0.0),
+    );
     let threads = Parallelism::Auto.worker_count(usize::MAX);
     let ratio = |cold: f64, warm: f64| if warm > 0.0 { cold / warm } else { 0.0 };
     let updates: Vec<(&str, String)> = vec![
@@ -381,6 +430,12 @@ fn emit_json(c: &mut Criterion) {
         (
             "sweep_geometry_derived_speedup",
             format!("{:.3}", ratio(geo_cold, geo_derived)),
+        ),
+        ("sweep_geometry_ilp_cold_ns", format!("{geo_ilp_cold:.0}")),
+        ("sweep_geometry_ilp_warm_ns", format!("{geo_ilp_warm:.0}")),
+        (
+            "sweep_geometry_ilp_warm_speedup",
+            format!("{:.3}", ratio(geo_ilp_cold, geo_ilp_warm)),
         ),
         (
             "note",

@@ -40,7 +40,7 @@ use pwcet_analysis::{
 };
 use pwcet_cache::{CacheGeometry, CacheTiming};
 use pwcet_cfg::ExpandedCfg;
-use pwcet_ipet::{IpetOptions, SolverBackend};
+use pwcet_ipet::{BasisSnapshot, IpetOptions, SolverBackend};
 
 use crate::context::ContextParts;
 use crate::fmm::FaultMissMap;
@@ -48,15 +48,24 @@ use crate::pipeline::SolveArtifacts;
 
 /// File magic: "PWCX" (pWCET context).
 pub(crate) const MAGIC: [u8; 4] = *b"PWCX";
-/// Current on-disk format version. Bump on any layout change; old files
-/// then decode to [`CodecError::UnsupportedVersion`] and are rebuilt cold.
+/// Current on-disk format version. Bump on any layout change; files
+/// older than [`MIN_VERSION`] decode to
+/// [`CodecError::UnsupportedVersion`] and are rebuilt cold.
 ///
 /// History: 1 = set-based abstract states (one `u64` length plus one
 /// `u32` block id per occupied age-slot entry); 2 = bit-packed states
 /// serialized as raw slot words (`sets × assoc × lanes` `u64`s straight
 /// from the kernel representation — no per-block overhead, and decoding
-/// is a bounds-checked `memcpy` instead of `BTreeSet` rebuilds).
-pub(crate) const VERSION: u32 = 2;
+/// is a bounds-checked `memcpy` instead of `BTreeSet` rebuilds); 3 = v2
+/// plus a trailing solver-state section (one compact factored-basis
+/// snapshot per solved `IpetOptions` — basic-variable index set and
+/// nonbasic bound statuses; the `m × m` inverse is refactored on load,
+/// never shipped).
+pub(crate) const VERSION: u32 = 3;
+/// Oldest version this build still decodes. v2 entries simply lack the
+/// solver-state section: they restore as valid contexts whose first
+/// solve pays one counted cold factorization.
+pub(crate) const MIN_VERSION: u32 = 2;
 /// Header bytes before the payload.
 pub(crate) const HEADER_LEN: usize = 24;
 
@@ -160,7 +169,7 @@ pub(crate) fn validate_entry(bytes: &[u8], expected_key: u64) -> Result<(), Code
         return Err(CodecError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
@@ -299,8 +308,68 @@ fn encode_artifacts(enc: &mut Enc, artifacts: &SolveArtifacts) {
     }
 }
 
+/// Flags byte of one [`IpetOptions`]: bit 0 = integral, bit 1 =
+/// dense-reference solver. Pre-solver-switch entries carry 0/1 and
+/// decode unchanged.
+fn ipet_flags(ipet: &IpetOptions) -> u8 {
+    u8::from(ipet.require_integral)
+        | (u8::from(matches!(ipet.solver, SolverBackend::DenseReference)) << 1)
+}
+
+fn ipet_of_flags(flags: u8) -> Result<IpetOptions, CodecError> {
+    if flags > 3 {
+        return Err(CodecError::Malformed("IPET flag"));
+    }
+    Ok(IpetOptions {
+        require_integral: flags & 1 == 1,
+        solver: if flags & 2 == 2 {
+            SolverBackend::DenseReference
+        } else {
+            SolverBackend::Sparse
+        },
+    })
+}
+
+/// Serializes one factored-basis snapshot: the basic-variable index set
+/// and the nonbasic bound statuses only — the `m × m` basis inverse is
+/// refactored from them on load, so it never rides on disk or the wire.
+fn encode_basis(enc: &mut Enc, snapshot: &BasisSnapshot) {
+    enc.u32(snapshot.n_struct);
+    enc.u32(snapshot.m);
+    enc.u64(snapshot.statuses.len() as u64);
+    enc.buf.extend_from_slice(&snapshot.statuses);
+    enc.u64(snapshot.basis.len() as u64);
+    for &entry in &snapshot.basis {
+        enc.u32(entry);
+    }
+}
+
 /// Serializes one context entry (header + payload) for the disk tier.
 pub(crate) fn encode_context(
+    key: u64,
+    name: &str,
+    geometry: CacheGeometry,
+    mode: ClassificationMode,
+    parts: &ContextParts,
+) -> Vec<u8> {
+    encode_context_at(VERSION, key, name, geometry, mode, parts)
+}
+
+/// As [`encode_context`] at the previous format version — genuine v2
+/// bytes (no solver-state section) for the back-compat suite.
+#[cfg(test)]
+pub(crate) fn encode_context_v2(
+    key: u64,
+    name: &str,
+    geometry: CacheGeometry,
+    mode: ClassificationMode,
+    parts: &ContextParts,
+) -> Vec<u8> {
+    encode_context_at(2, key, name, geometry, mode, parts)
+}
+
+fn encode_context_at(
+    version: u32,
     key: u64,
     name: &str,
     geometry: CacheGeometry,
@@ -324,17 +393,21 @@ pub(crate) fn encode_context(
     for ((timing, ipet), artifacts) in &parts.solved {
         enc.u64(timing.hit_cycles());
         enc.u64(timing.miss_penalty_cycles());
-        // Flags byte: bit 0 = integral, bit 1 = dense-reference solver.
-        // Pre-solver-switch entries carry 0/1 and decode unchanged.
-        enc.u8(u8::from(ipet.require_integral)
-            | (u8::from(matches!(ipet.solver, SolverBackend::DenseReference)) << 1));
+        enc.u8(ipet_flags(ipet));
         encode_artifacts(&mut enc, artifacts);
+    }
+    if version >= 3 {
+        enc.u64(parts.bases.len() as u64);
+        for (ipet, snapshot) in &parts.bases {
+            enc.u8(ipet_flags(ipet));
+            encode_basis(&mut enc, snapshot);
+        }
     }
 
     let payload = enc.buf;
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&Fnv1a::checksum(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
@@ -643,7 +716,7 @@ pub(crate) fn decode_context(
         return Err(CodecError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
@@ -701,21 +774,23 @@ pub(crate) fn decode_context(
     let mut solved = Vec::with_capacity(solved_count);
     for _ in 0..solved_count {
         let timing = CacheTiming::new(dec.u64()?, dec.u64()?);
-        let flags = dec.u8()?;
-        if flags > 3 {
-            return Err(CodecError::Malformed("IPET flag"));
-        }
-        let ipet = IpetOptions {
-            require_integral: flags & 1 == 1,
-            solver: if flags & 2 == 2 {
-                SolverBackend::DenseReference
-            } else {
-                SolverBackend::Sparse
-            },
-        };
+        let ipet = ipet_of_flags(dec.u8()?)?;
         let artifacts = decode_artifacts(&mut dec, geometry)?;
         solved.push(((timing, ipet), artifacts));
     }
+    let bases = if version >= 3 {
+        let basis_count = dec.seq_len(9)?;
+        let mut bases = Vec::with_capacity(basis_count);
+        for _ in 0..basis_count {
+            let ipet = ipet_of_flags(dec.u8()?)?;
+            bases.push((ipet, decode_basis(&mut dec)?));
+        }
+        bases
+    } else {
+        // v2: no solver-state section. The entry restores as a valid
+        // context whose first solve pays one counted cold factorization.
+        Vec::new()
+    };
     if dec.remaining() != 0 {
         return Err(CodecError::Malformed("trailing bytes"));
     }
@@ -726,8 +801,48 @@ pub(crate) fn decode_context(
             levels,
             srb,
             solved,
+            bases,
         },
     ))
+}
+
+/// Decodes one factored-basis snapshot, validating its internal shape:
+/// status bytes cover exactly the structural and slack columns, status
+/// tags are in range, the basic set has exactly `m` entries, and every
+/// entry is either a real column index or the retired-artificial
+/// sentinel. Cross-validation against the live IPET model happens at
+/// seed time ([`pwcet_ipet::IpetTemplate::seed_basis`]); a snapshot that
+/// fails there degrades to a counted cold factorization, never a wrong
+/// bound.
+fn decode_basis(dec: &mut Dec<'_>) -> Result<BasisSnapshot, CodecError> {
+    let n_struct = dec.u32()?;
+    let m = dec.u32()?;
+    let statuses_len = dec.seq_len(1)?;
+    if statuses_len != (n_struct as usize) + (m as usize) {
+        return Err(CodecError::Malformed("basis status count"));
+    }
+    let statuses = dec.take(statuses_len)?.to_vec();
+    if statuses.iter().any(|&tag| tag > 2) {
+        return Err(CodecError::Malformed("basis status tag"));
+    }
+    let basis_len = dec.seq_len(4)?;
+    if basis_len != m as usize {
+        return Err(CodecError::Malformed("basis size"));
+    }
+    let mut basis = Vec::with_capacity(basis_len);
+    for _ in 0..basis_len {
+        let entry = dec.u32()?;
+        if entry != BasisSnapshot::ARTIFICIAL && entry as usize >= statuses_len {
+            return Err(CodecError::Malformed("basis entry"));
+        }
+        basis.push(entry);
+    }
+    Ok(BasisSnapshot {
+        n_struct,
+        m,
+        statuses,
+        basis,
+    })
 }
 
 #[cfg(test)]
@@ -828,6 +943,82 @@ mod tests {
         assert!(parts.srb.is_none());
         assert!(parts.levels.iter().all(Option::is_none));
         assert!(parts.solved.is_empty());
+        assert!(parts.bases.is_empty());
+    }
+
+    /// A context whose template has been solved once, so
+    /// `snapshot_parts` carries a factored basis.
+    fn solved_entry() -> (u64, CacheGeometry, ClassificationMode, AnalysisContext) {
+        use pwcet_ipet::{CostModel, IpetOptions};
+        let (key, geometry, mode, context) = warmed_entry();
+        let template = context.ipet_template(IpetOptions::default());
+        let costs = CostModel::uniform(context.cfg(), 2);
+        template.bound(&costs).unwrap();
+        (key, geometry, mode, context)
+    }
+
+    #[test]
+    fn bases_round_trip_bit_identically() {
+        let (key, geometry, mode, context) = solved_entry();
+        let parts = context.snapshot_parts();
+        assert_eq!(parts.bases.len(), 1, "one solved IpetOptions exports");
+        let bytes = encode_context(key, "codec", geometry, mode, &parts);
+        let (_, restored) = decode_context(&bytes, context.cfg(), key, geometry, mode).unwrap();
+        assert_eq!(restored.bases, parts.bases);
+    }
+
+    #[test]
+    fn v2_entries_decode_as_valid_with_no_bases() {
+        let (key, geometry, mode, context) = solved_entry();
+        let bytes = encode_context_v2(key, "codec", geometry, mode, &context.snapshot_parts());
+        let (name, parts) = decode_context(&bytes, context.cfg(), key, geometry, mode).unwrap();
+        assert_eq!(name, "codec");
+        assert!(
+            parts.bases.is_empty(),
+            "a v2 entry restores warm artifacts but pays a cold factorization"
+        );
+        let restored = AnalysisContext::from_parts(
+            name,
+            context.shared_cfg(),
+            geometry,
+            mode,
+            context.backend(),
+            parts,
+        );
+        assert_identical(&context, &restored);
+    }
+
+    #[test]
+    fn malformed_basis_sections_are_rejected() {
+        let (key, geometry, mode, context) = solved_entry();
+        let parts = context.snapshot_parts();
+        let cfg = context.cfg();
+        let check = |tamper: fn(&mut BasisSnapshot), expect: &'static str| {
+            let mut parts = parts.clone();
+            tamper(&mut parts.bases[0].1);
+            let bytes = encode_context(key, "codec", geometry, mode, &parts);
+            assert_eq!(
+                decode_context(&bytes, cfg, key, geometry, mode),
+                Err(CodecError::Malformed(expect))
+            );
+        };
+        check(
+            |snapshot| {
+                snapshot.statuses.pop();
+            },
+            "basis status count",
+        );
+        check(|snapshot| snapshot.statuses[0] = 9, "basis status tag");
+        check(
+            |snapshot| {
+                snapshot.basis.pop();
+            },
+            "basis size",
+        );
+        check(
+            |snapshot| snapshot.basis[0] = BasisSnapshot::ARTIFICIAL - 1,
+            "basis entry",
+        );
     }
 
     #[test]

@@ -32,12 +32,18 @@ use pwcet_analysis::{
 use pwcet_cache::{CacheGeometry, CacheTiming};
 use pwcet_cfg::{CfgError, ExpandedCfg, NodeId};
 use pwcet_ilp::{SolveStats, SolveStatsCell};
-use pwcet_ipet::{IpetOptions, IpetTemplate};
+use pwcet_ipet::{BasisSnapshot, IpetOptions, IpetTemplate, TemplateRegistry};
 use pwcet_par::{par_for_each_index, par_join, Parallelism};
 use pwcet_progen::CompiledProgram;
 
+use crate::codec::Fnv1a;
 use crate::error::CoreError;
 use crate::pipeline::{expand_compiled, SolveArtifacts};
+
+/// Per-set reference buckets: `index[s]` lists the `(node, reference
+/// index)` pairs whose address maps to cache set `s`, in graph order
+/// (see [`AnalysisContext::set_refs`]).
+pub type SetRefIndex = Vec<Vec<(NodeId, usize)>>;
 
 /// The configuration slice the protection-independent solve stage
 /// actually depends on. The fault model, convolution parameters, and
@@ -89,12 +95,31 @@ pub struct AnalysisContext {
     /// Solve-stage products per `(timing, IPET)` configuration. A plain
     /// linear scan: real workloads touch one or two keys per context.
     solved: Mutex<Vec<(SolveKey, Arc<SolveArtifacts>)>>,
-    /// Factored IPET templates per [`IpetOptions`] — the shared
-    /// constraint matrix every `(set, fault)` delta ILP, SRB column
-    /// ILP, and fault-free WCET solve of this program reuses (timing
-    /// only changes objectives, so it is not part of the key). Linear
-    /// scan like `solved`.
+    /// Per-context memo of registry-obtained IPET templates per
+    /// [`IpetOptions`] — the shared constraint matrix every
+    /// `(set, fault)` delta ILP, SRB column ILP, and fault-free WCET
+    /// solve of this program reuses (timing only changes objectives, so
+    /// it is not part of the key). Linear scan like `solved`; the
+    /// templates themselves live in (and are deduplicated by) the
+    /// attached [`TemplateRegistry`], so sibling geometries of one CFG
+    /// memoize the *same* `Arc`.
     templates: Mutex<Vec<(IpetOptions, Arc<IpetTemplate>)>>,
+    /// The cross-geometry template registry, attached set-once by the
+    /// reuse plane (a plane-less context lazily creates a private one).
+    registry: OnceLock<Arc<TemplateRegistry>>,
+    /// Serialized factored bases restored from a disk/network entry,
+    /// waiting for the first [`ipet_template`](Self::ipet_template)
+    /// request of their options to seed the template's workspace pool.
+    pending_bases: Mutex<Vec<(IpetOptions, BasisSnapshot)>>,
+    /// Structural fingerprint of `cfg` — the registry key — computed
+    /// once on first template request (or inherited by derivation).
+    cfg_fp: OnceLock<u64>,
+    /// Per-set reference index: for each cache set, the `(node,
+    /// reference index)` pairs mapping to it, in graph order. Depends
+    /// only on the graph, the set count, and the block size — all shared
+    /// across a geometry lattice — so derivation hands the `Arc` to
+    /// siblings instead of rebuilding.
+    set_refs: OnceLock<Arc<SetRefIndex>>,
     /// Cumulative solver counters of every solve stage run over this
     /// context.
     ilp_stats: SolveStatsCell,
@@ -196,6 +221,10 @@ impl AnalysisContext {
             srb: OnceLock::new(),
             solved: Mutex::new(Vec::new()),
             templates: Mutex::new(Vec::new()),
+            registry: OnceLock::new(),
+            pending_bases: Mutex::new(Vec::new()),
+            cfg_fp: OnceLock::new(),
+            set_refs: OnceLock::new(),
             ilp_stats: SolveStatsCell::default(),
             kernel_stats: KernelStatsCell::default(),
         }
@@ -307,6 +336,23 @@ impl AnalysisContext {
         })
     }
 
+    /// The per-set reference index, built on first use: `index[s]` lists
+    /// the `(node, reference index)` pairs whose address maps to cache
+    /// set `s`, in graph order. The per-`(set, fault)` delta fan-out
+    /// iterates one bucket instead of scanning every reference of the
+    /// graph per job.
+    pub fn set_refs(&self) -> &Arc<SetRefIndex> {
+        self.set_refs.get_or_init(|| {
+            let mut by_set = vec![Vec::new(); self.geometry.sets() as usize];
+            for node in self.cfg.nodes() {
+                for (i, &addr) in node.addrs().iter().enumerate() {
+                    by_set[self.geometry.set_of(addr) as usize].push((node.id(), i));
+                }
+            }
+            Arc::new(by_set)
+        })
+    }
+
     /// Eagerly fills every classification level (`0..=W`) and the SRB map.
     ///
     /// In the cold mode the `W + 2` fixpoints are independent jobs fanned
@@ -394,13 +440,70 @@ impl AnalysisContext {
         self.solved.lock().expect("solve memo lock").len()
     }
 
+    /// Attaches the cross-geometry [`TemplateRegistry`] templates are
+    /// resolved through. Set-once: later calls are ignored, so the
+    /// reuse plane can attach unconditionally on every tier path.
+    pub fn attach_registry(&self, registry: Arc<TemplateRegistry>) {
+        let _ = self.registry.set(registry);
+    }
+
+    /// The attached registry, or a lazily created private one for
+    /// contexts running without a reuse plane (the template path is
+    /// identical either way; a private registry just has no siblings to
+    /// share with).
+    fn registry(&self) -> &Arc<TemplateRegistry> {
+        self.registry
+            .get_or_init(|| Arc::new(TemplateRegistry::new()))
+    }
+
+    /// A process-stable structural fingerprint of the expanded graph —
+    /// the registry key. Derived siblings share the graph `Arc` and
+    /// inherit the computed value; a restored context re-expands the
+    /// identical graph from the same image, so equal programs always
+    /// present equal fingerprints and land on one shared template.
+    pub(crate) fn cfg_fingerprint(&self) -> u64 {
+        *self.cfg_fp.get_or_init(|| {
+            let cfg = &self.cfg;
+            let mut h = Fnv1a::new();
+            h.write_u32(cfg.nodes().len() as u32);
+            for node in cfg.nodes() {
+                h.write_u32(node.addrs().len() as u32);
+                for &addr in node.addrs() {
+                    h.write_u32(addr);
+                }
+            }
+            h.write_u32(cfg.entry() as u32);
+            h.write_u32(cfg.exit() as u32);
+            for (from, to) in cfg.edges() {
+                h.write_u32(from as u32);
+                h.write_u32(to as u32);
+            }
+            h.write_u32(cfg.loops().len() as u32);
+            for l in cfg.loops() {
+                h.write_u32(l.header as u32);
+                h.write_u32(l.bound);
+                h.write_u32(l.back_edges.len() as u32);
+                for &(from, to) in &l.back_edges {
+                    h.write_u32(from as u32);
+                    h.write_u32(to as u32);
+                }
+            }
+            h.finish()
+        })
+    }
+
     /// The factored [`IpetTemplate`] of this program for `options`,
-    /// built (and memoized) on first request. The template carries the
-    /// union of first-extra groups over every classification level
-    /// `0..=W`, so it can solve the WCET cost model, every
-    /// `(set, fault)` delta model, and every SRB column model of this
-    /// context — any cost model derived from this program's
-    /// classifications.
+    /// resolved through the attached [`TemplateRegistry`] on first
+    /// request and memoized per context after that. The registry keys
+    /// by CFG fingerprint, so every sibling geometry of a lattice sweep
+    /// — and every restored copy of this program — shares one template
+    /// and its factored basis pool. The template carries the union of
+    /// first-extra groups over every classification level `0..=W` of
+    /// the *widest geometry that asked*, so it can solve the WCET cost
+    /// model, every `(set, fault)` delta model, and every SRB column
+    /// model of any covered sibling; a lookup needing more groups
+    /// triggers a counted merged-union rebuild in the registry, never a
+    /// wrong bound.
     ///
     /// Building it materializes every classification level (they define
     /// the group union); under [`prewarm`](Self::prewarm) that work has
@@ -412,19 +515,95 @@ impl AnalysisContext {
                 return Arc::clone(template);
             }
         }
-        // Built outside the lock (level materialization can be
-        // expensive); a racing insert wins and the loser adopts it.
-        let template = Arc::new(IpetTemplate::new(
-            &self.cfg,
-            self.first_extra_group_union(),
-            options,
-        ));
+        // Resolved outside the memo lock (level materialization and
+        // model building can be expensive); the registry deduplicates
+        // racing builds globally, so the memo insert below is a single
+        // critical section with latest-wins overwrite — both racers end
+        // up memoizing the same registry-owned template.
+        let groups = self.first_extra_group_union();
+        let template = self
+            .registry()
+            .obtain(self.cfg_fingerprint(), &self.cfg, &groups, options);
+        self.seed_pending_bases(&template, options);
         let mut templates = self.templates.lock().expect("template memo lock");
-        if let Some((_, existing)) = templates.iter().find(|(o, _)| *o == options) {
-            return Arc::clone(existing);
+        match templates.iter_mut().find(|(o, _)| *o == options) {
+            Some(entry) => entry.1 = Arc::clone(&template),
+            None => templates.push((options, Arc::clone(&template))),
         }
-        templates.push((options, Arc::clone(&template)));
+        drop(templates);
         template
+    }
+
+    /// Drains restored bases matching `options` into `template`'s
+    /// workspace pool, counting each restore or rejection on the
+    /// registry. A rejected basis leaves the template cold — it costs
+    /// one counted factorization on the first solve, never a wrong
+    /// bound.
+    fn seed_pending_bases(&self, template: &IpetTemplate, options: IpetOptions) {
+        let matching: Vec<BasisSnapshot> = {
+            let mut pending = self.pending_bases.lock().expect("pending bases lock");
+            let mut taken = Vec::new();
+            pending.retain(|(o, snapshot)| {
+                if *o == options {
+                    taken.push(snapshot.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            taken
+        };
+        for snapshot in &matching {
+            if template.seed_basis(snapshot) {
+                self.registry().record_basis_restore();
+            } else {
+                self.registry().record_basis_reject();
+            }
+        }
+    }
+
+    /// Every exportable factored basis of this context: one per
+    /// memoized template that has solved (or been seeded), plus any
+    /// restored bases still pending because their options were never
+    /// requested again — dropping those would lose persistence across a
+    /// chain of restarts that only prewarm.
+    pub(crate) fn collect_bases(&self) -> Vec<(IpetOptions, BasisSnapshot)> {
+        let mut bases: Vec<(IpetOptions, BasisSnapshot)> = {
+            let templates = self.templates.lock().expect("template memo lock");
+            templates
+                .iter()
+                .filter_map(|(options, template)| {
+                    template.export_basis().map(|basis| (*options, basis))
+                })
+                .collect()
+        };
+        let pending = self.pending_bases.lock().expect("pending bases lock");
+        for (options, snapshot) in pending.iter() {
+            if !bases.iter().any(|(o, _)| o == options) {
+                bases.push((*options, snapshot.clone()));
+            }
+        }
+        bases
+    }
+
+    /// Number of factored bases [`collect_bases`](Self::collect_bases)
+    /// would export — presence counting only, no snapshot clones (this
+    /// feeds the reuse plane's per-persist richness gate).
+    pub(crate) fn basis_count(&self) -> usize {
+        let with_basis = {
+            let templates = self.templates.lock().expect("template memo lock");
+            templates
+                .iter()
+                .filter(|(_, template)| template.has_basis())
+                .map(|(options, _)| *options)
+                .collect::<Vec<_>>()
+        };
+        let pending = self.pending_bases.lock().expect("pending bases lock");
+        with_basis.len()
+            + pending
+                .iter()
+                .filter(|(o, _)| !with_basis.contains(o))
+                .count()
     }
 
     /// Every `(node, scope)` first-extra group any classification level
@@ -492,6 +671,7 @@ impl AnalysisContext {
                 .iter()
                 .map(|(key, artifacts)| (*key, artifacts.as_ref().clone()))
                 .collect(),
+            bases: self.collect_bases(),
         }
     }
 
@@ -532,6 +712,7 @@ impl AnalysisContext {
             .into_iter()
             .map(|(key, artifacts)| (key, Arc::new(artifacts)))
             .collect();
+        *context.pending_bases.lock().expect("pending bases lock") = parts.bases;
         context
     }
 
@@ -572,7 +753,18 @@ impl AnalysisContext {
             self.backend,
             Some(&self.kernel_stats),
         );
-        Self::from_parts(
+        // Lower levels are geometry-portable: a classification at
+        // effective associativity `a` depends only on the graph, the set
+        // count, and the block size (see `classify_level_from`'s
+        // cross-geometry contract), all shared across the lattice. Carry
+        // over whatever this context has already materialized below the
+        // sibling's full level so the sibling skips those warm fixpoints
+        // entirely; unmaterialized slots stay lazy as usual.
+        let mut levels = vec![None; geometry.ways() as usize + 1];
+        for (assoc, slot) in levels.iter_mut().enumerate().take(geometry.ways() as usize) {
+            *slot = self.levels[assoc].get().cloned();
+        }
+        let sibling = Self::from_parts(
             self.name.clone(),
             Arc::clone(&self.cfg),
             geometry,
@@ -580,13 +772,29 @@ impl AnalysisContext {
             self.backend,
             ContextParts {
                 full: Some(derived_full),
-                levels: vec![None; geometry.ways() as usize + 1],
+                levels,
                 // The SRB pseudo-geometry (one set, one way) only depends
                 // on the block size, which siblings share.
                 srb: self.srb.get().cloned(),
                 solved: Vec::new(),
+                // No pending bases: the sibling shares this context's
+                // registry and fingerprint, so its template requests land
+                // on the already-warm shared pool directly.
+                bases: Vec::new(),
             },
-        )
+        );
+        // Same graph, same registry: the sibling's template lookups hit
+        // the shared factored basis pool instead of refactoring (the
+        // plane re-attaches its own registry, which set-once ignores).
+        let _ = sibling.registry.set(Arc::clone(self.registry()));
+        if let Some(&fp) = self.cfg_fp.get() {
+            let _ = sibling.cfg_fp.set(fp);
+        }
+        // The set mapping ignores the way count; hand the index over.
+        if let Some(refs) = self.set_refs.get() {
+            let _ = sibling.set_refs.set(Arc::clone(refs));
+        }
+        sibling
     }
 }
 
@@ -598,6 +806,10 @@ pub(crate) struct ContextParts {
     pub(crate) levels: Vec<Option<ChmcMap>>,
     pub(crate) srb: Option<SrbMap>,
     pub(crate) solved: Vec<(SolveKey, SolveArtifacts)>,
+    /// Serialized factored bases per [`IpetOptions`] (PWCX v3; empty
+    /// for v2 entries) — restored into `pending_bases`, seeded into the
+    /// shared template on its first request.
+    pub(crate) bases: Vec<(IpetOptions, BasisSnapshot)>,
 }
 
 #[cfg(test)]
@@ -724,6 +936,106 @@ mod tests {
     fn context_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<AnalysisContext>();
+    }
+
+    #[test]
+    fn template_memo_answers_repeats_without_a_second_build() {
+        let ctx = context();
+        let registry = Arc::new(TemplateRegistry::new());
+        ctx.attach_registry(Arc::clone(&registry));
+        let first = ctx.ipet_template(IpetOptions::default());
+        let second = ctx.ipet_template(IpetOptions::default());
+        assert!(Arc::ptr_eq(&first, &second));
+        let counters = registry.counters();
+        assert_eq!(
+            counters.template_builds, 1,
+            "the second request must hit the per-context memo"
+        );
+        assert_eq!(counters.template_hits, 0);
+    }
+
+    #[test]
+    fn derived_sibling_shares_the_registry_template() {
+        let ctx = context();
+        let registry = Arc::new(TemplateRegistry::new());
+        ctx.attach_registry(Arc::clone(&registry));
+        let wide = ctx.ipet_template(IpetOptions::default());
+        let sibling = ctx.derive_narrower(CacheGeometry::paper_default().with_ways(2));
+        let narrow = sibling.ipet_template(IpetOptions::default());
+        // The narrower sibling's group union is a subset of the wide
+        // one's (level `a` is geometry-portable across siblings), so the
+        // registry answers with the *same* template — asserted, not
+        // assumed: a coverage miss would rebuild and break ptr equality.
+        assert!(Arc::ptr_eq(&wide, &narrow));
+        let counters = registry.counters();
+        assert_eq!(counters.template_builds, 1);
+        assert_eq!(counters.template_hits, 1);
+    }
+
+    #[test]
+    fn restored_bases_answer_the_first_solve_warm() {
+        use pwcet_ipet::CostModel;
+        let options = IpetOptions::default();
+        let ctx = context();
+        let template = ctx.ipet_template(options);
+        let costs = CostModel::uniform(ctx.cfg(), 2);
+        let expected = template.bound(&costs).unwrap();
+        let parts = ctx.snapshot_parts();
+        assert_eq!(parts.bases.len(), 1, "the solved template exports");
+
+        // A "restarted process": fresh context, fresh registry, bases
+        // restored from the serialized parts.
+        let registry = Arc::new(TemplateRegistry::new());
+        let restored = AnalysisContext::from_parts(
+            ctx.name(),
+            ctx.shared_cfg(),
+            *ctx.geometry(),
+            ctx.mode(),
+            ctx.backend(),
+            parts,
+        );
+        restored.attach_registry(Arc::clone(&registry));
+        let template = restored.ipet_template(options);
+        assert_eq!(registry.counters().basis_restores, 1);
+        assert_eq!(template.bound(&costs).unwrap(), expected);
+        let stats = template.stats();
+        assert_eq!(stats.cold_starts, 0, "restored basis skips phase 1");
+        assert!(stats.warm_starts >= 1);
+    }
+
+    #[test]
+    fn rejected_basis_degrades_to_a_counted_cold_factorization() {
+        use pwcet_ipet::CostModel;
+        let options = IpetOptions::default();
+        let ctx = context();
+        let template = ctx.ipet_template(options);
+        let costs = CostModel::uniform(ctx.cfg(), 2);
+        let expected = template.bound(&costs).unwrap();
+        let mut parts = ctx.snapshot_parts();
+        // Structurally valid, semantically wrong: claim one more basic
+        // column than rows — decode would pass, hydration must not.
+        let snapshot = &mut parts.bases[0].1;
+        if let Some(tag) = snapshot.statuses.iter_mut().find(|tag| **tag != 0) {
+            *tag = 0;
+        }
+
+        let registry = Arc::new(TemplateRegistry::new());
+        let restored = AnalysisContext::from_parts(
+            ctx.name(),
+            ctx.shared_cfg(),
+            *ctx.geometry(),
+            ctx.mode(),
+            ctx.backend(),
+            parts,
+        );
+        restored.attach_registry(Arc::clone(&registry));
+        let template = restored.ipet_template(options);
+        let counters = registry.counters();
+        assert_eq!(counters.basis_rejects, 1);
+        assert_eq!(counters.basis_restores, 0);
+        // The template still answers — cold, and correctly.
+        assert_eq!(template.bound(&costs).unwrap(), expected);
+        assert_eq!(template.stats().cold_starts, 1);
     }
 
     #[test]

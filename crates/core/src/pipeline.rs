@@ -376,7 +376,14 @@ fn solve_protection_independent(
     context.prewarm(parallelism);
 
     let template = match config.ipet.solver {
-        SolverBackend::Sparse => Some(context.ipet_template(config.ipet)),
+        SolverBackend::Sparse => {
+            let template = context.ipet_template(config.ipet);
+            // Cap the warm-workspace pool at the configured solve
+            // parallelism: more pooled bases than workers can never be
+            // checked out concurrently, they would only hold memory.
+            template.set_pool_cap(parallelism.worker_count(usize::MAX).max(1));
+            Some(template)
+        }
         SolverBackend::DenseReference => None,
     };
     let bound_of = |costs: &CostModel, workers: usize| -> Result<(u64, SolveStats), IlpError> {
@@ -401,6 +408,7 @@ fn solve_protection_independent(
     // delta ILP is independent; fan them out and fold the results back
     // in job order, which keeps the outcome bit-identical to the
     // sequential reference.
+    let set_refs = context.set_refs();
     let jobs: Vec<(u32, u32)> = (1..=ways)
         .flat_map(|f| (0..sets).map(move |s| (s, f)))
         .collect();
@@ -408,8 +416,13 @@ fn solve_protection_independent(
         parallelism,
         &jobs,
         |&(s, f)| -> Result<(u64, SolveStats), CoreError> {
-            let (costs, has_delta) =
-                delta_cost_model(cfg, &geometry, s, chmc_full, context.chmc(ways - f), None);
+            let (costs, has_delta) = delta_cost_model_indexed(
+                cfg,
+                &set_refs[s as usize],
+                chmc_full,
+                context.chmc(ways - f),
+                None,
+            );
             if has_delta {
                 Ok(bound_of(&costs, 1)?)
             } else {
@@ -448,8 +461,13 @@ fn solve_protection_independent(
         parallelism,
         &srb_jobs,
         |&s| -> Result<(u64, SolveStats), CoreError> {
-            let (costs, has_delta) =
-                delta_cost_model(cfg, &geometry, s, chmc_full, chmc_zero, Some(srb_map));
+            let (costs, has_delta) = delta_cost_model_indexed(
+                cfg,
+                &set_refs[s as usize],
+                chmc_full,
+                chmc_zero,
+                Some(srb_map),
+            );
             if has_delta {
                 Ok(bound_of(&costs, 1)?)
             } else {
@@ -527,39 +545,38 @@ impl ProgramAnalysis {
             .fault_model
             .block_failure_probability(geometry.block_bits());
 
+        // The way-fault weights depend only on the geometry and the fault
+        // model — compute them once, not per set.
+        let pwf = match protection {
+            // Eq. 3: under the RW only W − 1 ways can fail; the all-faulty
+            // point disappears.
+            Protection::ReliableWay => self
+                .config
+                .fault_model
+                .reliable_way_fault_distribution(ways, pbf),
+            Protection::None | Protection::SharedReliableBuffer => {
+                self.config.fault_model.way_fault_distribution(ways, pbf)
+            }
+        };
         let per_set: Vec<DiscreteDistribution> = (0..geometry.sets())
             .map(|s| {
                 let points: Vec<(u64, f64)> = match protection {
-                    Protection::None => {
-                        let pwf = self.config.fault_model.way_fault_distribution(ways, pbf);
-                        (0..=ways)
-                            .map(|f| (self.fmm().get(s, f), pwf[f as usize]))
-                            .collect()
-                    }
-                    Protection::ReliableWay => {
-                        // Eq. 3: only W − 1 ways can fail; the all-faulty
-                        // point disappears.
-                        let pwf = self
-                            .config
-                            .fault_model
-                            .reliable_way_fault_distribution(ways, pbf);
-                        (0..ways)
-                            .map(|f| (self.fmm().get(s, f), pwf[f as usize]))
-                            .collect()
-                    }
-                    Protection::SharedReliableBuffer => {
-                        let pwf = self.config.fault_model.way_fault_distribution(ways, pbf);
-                        (0..=ways)
-                            .map(|f| {
-                                let misses = if f == ways {
-                                    self.srb_last_column()[s as usize]
-                                } else {
-                                    self.fmm().get(s, f)
-                                };
-                                (misses, pwf[f as usize])
-                            })
-                            .collect()
-                    }
+                    Protection::None => (0..=ways)
+                        .map(|f| (self.fmm().get(s, f), pwf[f as usize]))
+                        .collect(),
+                    Protection::ReliableWay => (0..ways)
+                        .map(|f| (self.fmm().get(s, f), pwf[f as usize]))
+                        .collect(),
+                    Protection::SharedReliableBuffer => (0..=ways)
+                        .map(|f| {
+                            let misses = if f == ways {
+                                self.srb_last_column()[s as usize]
+                            } else {
+                                self.fmm().get(s, f)
+                            };
+                            (misses, pwf[f as usize])
+                        })
+                        .collect(),
                 };
                 DiscreteDistribution::from_points(points)
                     .expect("binomial weights form a distribution")
@@ -612,42 +629,74 @@ pub fn delta_cost_model(
             if geometry.set_of(addr) != set {
                 continue;
             }
-            // Under the SRB, a reference that provably hits the buffer is
-            // effectively always-hit even with a fully faulty set.
-            let new_class = match srb {
-                Some(srb_map) if srb_map.always_hit(node.id(), i) => Chmc::AlwaysHit,
-                _ => new.get(node.id(), i),
-            };
-            let cost = match (old.get(node.id(), i), new_class) {
-                // The new model charges nothing extra.
-                (_, Chmc::AlwaysHit) => RefCost::default(),
-                // Old charged per execution (AM and NC both charge every
-                // execution), new charges at most once per scope entry.
-                (Chmc::AlwaysMiss | Chmc::NotClassified, Chmc::FirstMiss(_)) => RefCost::default(),
-                // Same scope: identical charge on every path.
-                (Chmc::FirstMiss(old_scope), Chmc::FirstMiss(new_scope))
-                    if old_scope == new_scope =>
-                {
-                    RefCost::default()
-                }
-                // One extra miss per entry of the new scope.
-                (_, Chmc::FirstMiss(new_scope)) => RefCost::with_first_extra(0, 1, new_scope),
-                // Old already charged every execution.
-                (
-                    Chmc::AlwaysMiss | Chmc::NotClassified,
-                    Chmc::AlwaysMiss | Chmc::NotClassified,
-                ) => RefCost::default(),
-                // Hit (or once-per-entry) becomes a miss on every
-                // execution.
-                (_, Chmc::AlwaysMiss | Chmc::NotClassified) => RefCost::per_execution(1),
-            };
-            if cost.per_execution > 0 || cost.first_extra > 0 {
-                has_delta = true;
-                costs.set(node.id(), i, cost);
-            }
+            apply_ref_delta(&mut costs, &mut has_delta, node.id(), i, old, new, srb);
         }
     }
     (costs, has_delta)
+}
+
+/// [`delta_cost_model`] over a precomputed per-set reference bucket
+/// ([`AnalysisContext::set_refs`]): identical output — the bucket lists
+/// the same references in the same graph order the full scan visits —
+/// without touching the other sets' references on every job of the
+/// `(set, fault)` fan-out.
+fn delta_cost_model_indexed(
+    cfg: &ExpandedCfg,
+    refs: &[(pwcet_cfg::NodeId, usize)],
+    old: &ChmcMap,
+    new: &ChmcMap,
+    srb: Option<&SrbMap>,
+) -> (CostModel, bool) {
+    let mut costs = CostModel::zero(cfg);
+    let mut has_delta = false;
+    for &(node, i) in refs {
+        apply_ref_delta(&mut costs, &mut has_delta, node, i, old, new, srb);
+    }
+    (costs, has_delta)
+}
+
+/// One reference of the §II-C delta charging model (shared by the full
+/// scan and the indexed fan-out — the tables of both must stay
+/// bit-identical).
+fn apply_ref_delta(
+    costs: &mut CostModel,
+    has_delta: &mut bool,
+    node: pwcet_cfg::NodeId,
+    i: usize,
+    old: &ChmcMap,
+    new: &ChmcMap,
+    srb: Option<&SrbMap>,
+) {
+    // Under the SRB, a reference that provably hits the buffer is
+    // effectively always-hit even with a fully faulty set.
+    let new_class = match srb {
+        Some(srb_map) if srb_map.always_hit(node, i) => Chmc::AlwaysHit,
+        _ => new.get(node, i),
+    };
+    let cost = match (old.get(node, i), new_class) {
+        // The new model charges nothing extra.
+        (_, Chmc::AlwaysHit) => RefCost::default(),
+        // Old charged per execution (AM and NC both charge every
+        // execution), new charges at most once per scope entry.
+        (Chmc::AlwaysMiss | Chmc::NotClassified, Chmc::FirstMiss(_)) => RefCost::default(),
+        // Same scope: identical charge on every path.
+        (Chmc::FirstMiss(old_scope), Chmc::FirstMiss(new_scope)) if old_scope == new_scope => {
+            RefCost::default()
+        }
+        // One extra miss per entry of the new scope.
+        (_, Chmc::FirstMiss(new_scope)) => RefCost::with_first_extra(0, 1, new_scope),
+        // Old already charged every execution.
+        (Chmc::AlwaysMiss | Chmc::NotClassified, Chmc::AlwaysMiss | Chmc::NotClassified) => {
+            RefCost::default()
+        }
+        // Hit (or once-per-entry) becomes a miss on every
+        // execution.
+        (_, Chmc::AlwaysMiss | Chmc::NotClassified) => RefCost::per_execution(1),
+    };
+    if cost.per_execution > 0 || cost.first_extra > 0 {
+        *has_delta = true;
+        costs.set(node, i, cost);
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ use pwcet_analysis::{ClassificationMode, ClassifierBackend, KernelStats, KernelS
 use pwcet_cache::CacheGeometry;
 use pwcet_cfg::CfgError;
 use pwcet_ilp::{SolveStats, SolveStatsCell};
+use pwcet_ipet::TemplateRegistry;
 use pwcet_progen::CompiledProgram;
 
 use crate::codec::{decode_context, encode_context, validate_entry};
@@ -162,6 +163,22 @@ pub struct ReusePlaneStats {
     pub network_offers: u64,
     /// Contexts built cold (no tier could answer).
     pub cold_builds: u64,
+    /// IPET template lookups answered by an already-registered covering
+    /// template of the plane's cross-geometry [`TemplateRegistry`] —
+    /// sibling geometries and repeated analyses sharing one factored
+    /// basis pool.
+    pub template_hits: u64,
+    /// Persisted factored bases successfully restored into a template's
+    /// workspace pool (disk/network entries answering with warm ILPs).
+    pub basis_restores: u64,
+    /// Persisted bases rejected by validation/refactorization; each
+    /// costs one counted cold factorization, never a wrong bound.
+    pub basis_rejects: u64,
+    /// ILP bounds answered from a template's objective→bound memo — an
+    /// identical cost model was already solved, typically by a sibling
+    /// geometry of the same sweep whose classifications coincide on the
+    /// queried set.
+    pub objective_hits: u64,
 }
 
 impl ReusePlaneStats {
@@ -199,6 +216,8 @@ struct Richness {
     levels: usize,
     solved: usize,
     srb: bool,
+    /// Exportable factored bases (PWCX v3 solver-state section).
+    bases: usize,
 }
 
 impl Richness {
@@ -210,6 +229,7 @@ impl Richness {
             levels: context.warmed_levels(),
             solved: context.solved_configurations(),
             srb: context.srb_warmed(),
+            bases: context.basis_count(),
         }
     }
 }
@@ -309,6 +329,10 @@ pub struct ReusePlane {
     /// tier. Only records what passed through this plane.
     families: Mutex<HashMap<u64, BTreeMap<u32, u64>>>,
     counters: Mutex<Counters>,
+    /// The cross-geometry IPET template registry, attached to every
+    /// context this plane hands out (whatever tier answered) so sibling
+    /// geometries and restored entries share one factored basis pool.
+    registry: Arc<TemplateRegistry>,
     /// Solver counters of every solve stage run through this plane
     /// (recorded by the analyzer; survives context eviction).
     ilp: SolveStatsCell,
@@ -343,9 +367,17 @@ impl ReusePlane {
             offered: Mutex::new(HashMap::new()),
             families: Mutex::new(HashMap::new()),
             counters: Mutex::new(Counters::default()),
+            registry: Arc::new(TemplateRegistry::new()),
             ilp: SolveStatsCell::default(),
             kernel: KernelStatsCell::default(),
         }
+    }
+
+    /// The plane's cross-geometry IPET template registry — one factored
+    /// basis pool per `(CFG, IpetOptions)` shared by every context this
+    /// plane serves.
+    pub fn template_registry(&self) -> &Arc<TemplateRegistry> {
+        &self.registry
     }
 
     /// Attaches the network tier. Set-once: later calls are ignored, so
@@ -474,6 +506,7 @@ impl ReusePlane {
 
     /// Aggregated counters over all tiers.
     pub fn stats(&self) -> ReusePlaneStats {
+        let templates = self.registry.counters();
         let counters = self.counters.lock().expect("reuse plane counters");
         ReusePlaneStats {
             memory: self.memory.stats(),
@@ -488,6 +521,10 @@ impl ReusePlane {
             network_corrupt: counters.network_corrupt,
             network_offers: counters.network_offers,
             cold_builds: counters.cold_builds,
+            template_hits: templates.template_hits,
+            basis_restores: templates.basis_restores,
+            basis_rejects: templates.basis_rejects,
+            objective_hits: templates.objective_hits,
         }
     }
 
@@ -527,6 +564,7 @@ impl ReusePlane {
         let family = ContextCache::family_key_of(compiled, geometry, mode);
         if let Some(context) = self.memory.lookup(key) {
             self.register_family(family, geometry.ways(), key);
+            context.attach_registry(Arc::clone(&self.registry));
             return Ok((context, ReuseTier::Memory));
         }
 
@@ -549,6 +587,10 @@ impl ReusePlane {
             },
         };
 
+        // Whatever tier answered, every context this plane serves shares
+        // the plane's template registry (attach is set-once, so a derived
+        // sibling that already inherited it is a no-op).
+        context.attach_registry(Arc::clone(&self.registry));
         self.register_family(family, geometry.ways(), key);
         Ok((self.memory.insert(key, context), tier))
     }

@@ -158,6 +158,137 @@ fn garbage_file_falls_back_cold() {
     });
 }
 
+/// A timing model nothing else in this suite solves under: analyses
+/// using it miss the persisted solved-artifact memo and must actually
+/// run their ILPs (the pass that exercises restored solver state).
+fn variant_config() -> AnalysisConfig {
+    let mut config = AnalysisConfig::paper_default();
+    config.timing = pwcet_cache::CacheTiming::new(3, 150);
+    config
+}
+
+#[test]
+fn restart_restores_factored_bases_warm() {
+    // A restarted process (fresh plane, same store) whose request misses
+    // the solved-artifact memo must still never cold-factorize: the v3
+    // entry carries the factored basis, which seeds the template pool on
+    // the disk hit.
+    let (_, dir) = populate("basis-restore");
+    let reference = PwcetAnalyzer::new(variant_config())
+        .analyze(&program())
+        .unwrap();
+
+    let fresh = Arc::new(ReusePlane::in_memory().with_disk_tier(&dir).unwrap());
+    let restored = PwcetAnalyzer::new(variant_config())
+        .with_reuse_plane(Arc::clone(&fresh))
+        .analyze(&program())
+        .unwrap();
+    assert_same_results(&reference, &restored);
+    let stats = fresh.stats();
+    assert_eq!(stats.disk_hits, 1, "the context must come off disk");
+    assert_eq!(stats.cold_builds, 0);
+    assert!(
+        stats.basis_restores >= 1,
+        "the persisted basis must seed the template pool"
+    );
+    assert_eq!(stats.basis_rejects, 0, "a faithful snapshot never rejects");
+    let ilp = fresh.ilp_stats();
+    assert!(ilp.warm_starts > 0, "the variant pass must solve ILPs");
+    assert_eq!(
+        ilp.cold_starts, 0,
+        "every solve starts from the restored factored basis"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn downgraded_v2_entry_decodes_valid_without_bases() {
+    // A dense-reference analysis persists no solver state, so its v3
+    // entry is exactly a v2 entry plus an empty (all-zero, 8-byte) basis
+    // section. Downgrading the file in place — drop the trailing count,
+    // stamp version 2, fix the length and checksum — must decode as a
+    // first-class hit: pre-solver-state stores survive the upgrade.
+    let dir = scratch_dir("v2-downgrade");
+    let mut dense = AnalysisConfig::paper_default();
+    dense.ipet.solver = pwcet_core::SolverBackend::DenseReference;
+    let plane = Arc::new(ReusePlane::in_memory().with_disk_tier(&dir).unwrap());
+    let reference = PwcetAnalyzer::new(dense)
+        .with_reuse_plane(Arc::clone(&plane))
+        .analyze(&program())
+        .unwrap();
+    assert_eq!(plane.stats().cold_builds, 1);
+
+    let path = &entry_paths(&dir)[0];
+    let bytes = fs::read(path).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        3,
+        "the store writes the current version"
+    );
+    assert_eq!(
+        &bytes[bytes.len() - 8..],
+        &[0u8; 8],
+        "a dense-reference entry has an empty basis section"
+    );
+    let mut v2 = bytes[..bytes.len() - 8].to_vec();
+    v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+    let payload_len = (v2.len() - 24) as u64;
+    v2[8..16].copy_from_slice(&payload_len.to_le_bytes());
+    let checksum = pwcet_core::fnv1a_checksum(&v2[24..]);
+    v2[16..24].copy_from_slice(&checksum.to_le_bytes());
+    fs::write(path, v2).unwrap();
+
+    let fresh = Arc::new(ReusePlane::in_memory().with_disk_tier(&dir).unwrap());
+    let warm = PwcetAnalyzer::new(dense)
+        .with_reuse_plane(Arc::clone(&fresh))
+        .analyze(&program())
+        .unwrap();
+    assert_same_results(&reference, &warm);
+    let stats = fresh.stats();
+    assert_eq!(stats.disk_hits, 1, "a v2 entry is a valid hit");
+    assert_eq!(stats.cold_builds, 0);
+    assert_eq!(stats.basis_restores, 0, "v2 carries no solver state");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checksum_consistent_basis_flip_never_changes_a_bound() {
+    // Flip a byte inside the trailing solver-state section and *repair
+    // the envelope checksum*, so corruption reaches the strict basis
+    // validation itself rather than the checksum gate. Whatever tier the
+    // entry then lands in — rejected snapshot, corrupt entry, or even a
+    // surviving-but-different warm basis — the bounds must be
+    // bit-identical to a plane-less analysis: warm starts change where
+    // the simplex starts, never where it ends.
+    let (_, dir) = populate("basis-flip");
+    let reference = PwcetAnalyzer::new(variant_config())
+        .analyze(&program())
+        .unwrap();
+
+    let path = &entry_paths(&dir)[0];
+    let mut bytes = fs::read(path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x20;
+    let checksum = pwcet_core::fnv1a_checksum(&bytes[24..]);
+    bytes[16..24].copy_from_slice(&checksum.to_le_bytes());
+    fs::write(path, bytes).unwrap();
+
+    let fresh = Arc::new(ReusePlane::in_memory().with_disk_tier(&dir).unwrap());
+    let analyzed = PwcetAnalyzer::new(variant_config())
+        .with_reuse_plane(Arc::clone(&fresh))
+        .analyze(&program())
+        .unwrap();
+    assert_same_results(&reference, &analyzed);
+    let stats = fresh.stats();
+    assert_eq!(
+        stats.disk_hits + stats.disk_corrupt,
+        1,
+        "the entry is either decoded or counted corrupt, never dropped \
+         silently"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 fn gc_program(i: u32) -> Program {
     Program::new(format!("gc-{i}")).with_function("main", stmt::loop_(10 + i, stmt::compute(20)))
 }

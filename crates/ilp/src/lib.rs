@@ -79,7 +79,7 @@ pub use model::{
     BranchAndBoundOptions, ConstraintOp, Model, Solution, SolveStats, SolveStatsCell,
     SolverBackend, VarId,
 };
-pub use sparse::LpWorkspace;
+pub use sparse::{BasisSnapshot, LpWorkspace};
 
 /// Solves the LP relaxation of `model` with the default (sparse) solver,
 /// ignoring integrality marks.

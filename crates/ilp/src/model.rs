@@ -87,8 +87,16 @@ pub struct SolveStats {
     /// Solves (and branch-and-bound child re-solves) answered from an
     /// existing factored basis instead of a cold phase-1 start.
     pub warm_starts: u64,
-    /// Solves that built solver state from scratch.
+    /// Solves that built solver state from scratch because no usable
+    /// factored basis was available (pool empty, fingerprint mismatch,
+    /// or numerically failed warm start). Deliberate integrality probes
+    /// are counted in [`cold_probes`](Self::cold_probes) instead, so a
+    /// fully warm-started run reports zero here.
     pub cold_starts: u64,
+    /// Throwaway cold two-phase probes of fractional branch-and-bound
+    /// nodes (see the root probe in `solve_ilp_with`): algorithmic, run
+    /// even when every solve warm-starts.
+    pub cold_probes: u64,
     /// Branch-and-bound children pruned as trivially infeasible (bound
     /// crossover) without paying an LP solve.
     pub trivial_prunes: u64,
@@ -103,6 +111,7 @@ impl SolveStats {
         self.bb_nodes += other.bb_nodes;
         self.warm_starts += other.warm_starts;
         self.cold_starts += other.cold_starts;
+        self.cold_probes += other.cold_probes;
         self.trivial_prunes += other.trivial_prunes;
     }
 
@@ -122,6 +131,7 @@ pub struct SolveStatsCell {
     bb_nodes: AtomicU64,
     warm_starts: AtomicU64,
     cold_starts: AtomicU64,
+    cold_probes: AtomicU64,
     trivial_prunes: AtomicU64,
 }
 
@@ -138,6 +148,8 @@ impl SolveStatsCell {
             .fetch_add(stats.warm_starts, Ordering::Relaxed);
         self.cold_starts
             .fetch_add(stats.cold_starts, Ordering::Relaxed);
+        self.cold_probes
+            .fetch_add(stats.cold_probes, Ordering::Relaxed);
         self.trivial_prunes
             .fetch_add(stats.trivial_prunes, Ordering::Relaxed);
     }
@@ -151,6 +163,7 @@ impl SolveStatsCell {
             bb_nodes: self.bb_nodes.load(Ordering::Relaxed),
             warm_starts: self.warm_starts.load(Ordering::Relaxed),
             cold_starts: self.cold_starts.load(Ordering::Relaxed),
+            cold_probes: self.cold_probes.load(Ordering::Relaxed),
             trivial_prunes: self.trivial_prunes.load(Ordering::Relaxed),
         }
     }

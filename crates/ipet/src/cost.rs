@@ -10,7 +10,7 @@ use pwcet_cfg::{ExpandedCfg, NodeId};
 /// at most once per entry of `scope` (the first-miss budget of §II-B1).
 /// The unit is caller-defined: cycles for WCET objectives, extra misses for
 /// fault-miss-map objectives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct RefCost {
     /// Cost charged on every execution of the reference.
     pub per_execution: u64,
@@ -46,6 +46,27 @@ impl RefCost {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
     per_node: Vec<Vec<RefCost>>,
+}
+
+/// Delta cost models are sparse — a handful of charged references out of
+/// hundreds — so hashing the full dense table would dominate memoized
+/// objective lookups. Hash only charged entries, keyed by position: equal
+/// models have identical charged sets, so `Hash` stays consistent with `Eq`
+/// (models differing only in the scope of an uncharged reference collide,
+/// which the table resolves by equality).
+impl std::hash::Hash for CostModel {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.per_node.len().hash(state);
+        for (node, refs) in self.per_node.iter().enumerate() {
+            for (index, cost) in refs.iter().enumerate() {
+                if cost.per_execution != 0 || cost.first_extra != 0 {
+                    node.hash(state);
+                    index.hash(state);
+                    cost.hash(state);
+                }
+            }
+        }
+    }
 }
 
 impl CostModel {

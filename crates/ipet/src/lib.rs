@@ -50,11 +50,13 @@
 
 mod cost;
 mod ilp_engine;
+mod registry;
 mod template;
 mod tree_engine;
 
 pub use cost::{CostModel, RefCost};
 pub use ilp_engine::{ipet_bound, IpetOptions};
-pub use pwcet_ilp::SolverBackend;
+pub use pwcet_ilp::{BasisSnapshot, SolverBackend};
+pub use registry::{TemplateCounters, TemplateRegistry};
 pub use template::IpetTemplate;
 pub use tree_engine::tree_bound;

@@ -19,11 +19,15 @@
 //! basis, then to a cold build), so concurrent solves never contend on
 //! one basis.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pwcet_analysis::Scope;
 use pwcet_cfg::{ExpandedCfg, NodeId};
-use pwcet_ilp::{BranchAndBoundOptions, IlpError, LpWorkspace, SolveStats, SolveStatsCell};
+use pwcet_ilp::{
+    BasisSnapshot, BranchAndBoundOptions, IlpError, LpWorkspace, SolveStats, SolveStatsCell,
+};
 
 use crate::cost::CostModel;
 use crate::ilp_engine::{build_ipet_model, objective_for, sort_groups, IpetModel, IpetOptions};
@@ -33,13 +37,33 @@ use crate::ilp_engine::{build_ipet_model, objective_for, sort_groups, IpetModel,
 pub struct IpetTemplate {
     ipet: IpetModel,
     options: IpetOptions,
+    /// The `(node, scope)` group union the template was built with, in
+    /// canonical sorted order — the coverage contract of
+    /// [`covers`](Self::covers).
+    groups: Vec<(NodeId, Scope)>,
     /// Warm workspaces, checked out per solve.
     pool: Mutex<Vec<LpWorkspace>>,
     /// The first solved workspace, cloned when the pool runs dry so
     /// every worker starts from a factored basis.
     proto: Mutex<Option<LpWorkspace>>,
+    /// Retention cap on `pool`: check-ins beyond it are dropped so the
+    /// pool never outgrows the configured solve parallelism.
+    pool_cap: AtomicUsize,
+    /// Solved bounds keyed by exact cost-model content. Identical CFG +
+    /// options + objective determine the bound, so a repeat — common in
+    /// geometry sweeps, where a sibling's `(assoc, assoc − f)` delta
+    /// model coincides with an already-solved pair whenever the
+    /// classifications agree on the set — is answered without touching
+    /// the solver at all. Bounded by [`MEMO_CAP`].
+    memo: Mutex<HashMap<CostModel, u64>>,
+    memo_hits: AtomicU64,
     stats: SolveStatsCell,
 }
+
+/// Retention cap on the objective→bound memo: one sweep solves a few
+/// hundred distinct objectives, so this covers many programs per
+/// template while bounding a long-lived (serve-fleet) template's memory.
+const MEMO_CAP: usize = 8192;
 
 impl IpetTemplate {
     /// Builds the shared model of `cfg` with group variables for every
@@ -61,8 +85,12 @@ impl IpetTemplate {
         Self {
             ipet,
             options,
+            groups,
             pool: Mutex::new(Vec::new()),
             proto: Mutex::new(None),
+            pool_cap: AtomicUsize::new(usize::MAX),
+            memo: Mutex::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
             stats: SolveStatsCell::default(),
         }
     }
@@ -83,9 +111,90 @@ impl IpetTemplate {
         &self.options
     }
 
-    /// Accumulated solver counters over every `bound` call.
+    /// The `(node, scope)` group union the template was built with, in
+    /// canonical sorted order.
+    pub fn groups(&self) -> &[(NodeId, Scope)] {
+        &self.groups
+    }
+
+    /// Whether every group in `groups` (canonically sorted — see
+    /// [`sort_groups`]) has a variable in this template, i.e. whether
+    /// this template can solve any cost model charging only those
+    /// groups.
+    pub fn covers(&self, groups: &[(NodeId, Scope)]) -> bool {
+        let mut have = self.groups.iter();
+        groups.iter().all(|needed| have.any(|g| g == needed))
+    }
+
+    /// Caps the warm-workspace pool at `cap` (at least 1): check-ins
+    /// beyond the cap are dropped, so the pool cannot grow one
+    /// workspace per historical concurrent solve and never shrink.
+    pub fn set_pool_cap(&self, cap: usize) {
+        self.pool_cap.store(cap.max(1), Ordering::Relaxed);
+        let mut pool = self.pool.lock().expect("template pool");
+        pool.truncate(cap.max(1));
+    }
+
+    /// Exports the template's factored basis as a serializable
+    /// [`BasisSnapshot`], or `None` when no solve has completed yet (or
+    /// the basis is not representable — see [`LpWorkspace::snapshot`]).
+    pub fn export_basis(&self) -> Option<BasisSnapshot> {
+        self.proto
+            .lock()
+            .expect("template proto")
+            .as_ref()
+            .and_then(LpWorkspace::snapshot)
+    }
+
+    /// Seeds the template's workspace pool from a serialized basis (the
+    /// restore path of a disk/network-tier hit): the snapshot is
+    /// validated and refactored against this template's own model, and
+    /// on success installed as the prototype every checkout clones.
+    /// Returns `false` — leaving the template cold — on any
+    /// inconsistency; a rejected snapshot costs one counted cold
+    /// factorization later, never a wrong bound.
+    pub fn seed_basis(&self, snapshot: &BasisSnapshot) -> bool {
+        let mut ws = LpWorkspace::new();
+        if !ws.hydrate(&self.ipet.model, snapshot) {
+            return false;
+        }
+        {
+            let mut proto = self.proto.lock().expect("template proto");
+            if proto.is_none() {
+                *proto = Some(ws.clone());
+            }
+        }
+        let mut pool = self.pool.lock().expect("template pool");
+        if pool.len() < self.pool_cap.load(Ordering::Relaxed) {
+            pool.push(ws);
+        }
+        true
+    }
+
+    /// The number of warm workspaces currently pooled (observability;
+    /// bounded by [`set_pool_cap`](Self::set_pool_cap)).
+    pub fn pool_len(&self) -> usize {
+        self.pool.lock().expect("template pool").len()
+    }
+
+    /// Whether the template holds a factored prototype basis (i.e.
+    /// [`export_basis`](Self::export_basis) would return `Some`) —
+    /// cheaper than exporting when only presence matters.
+    pub fn has_basis(&self) -> bool {
+        self.proto.lock().expect("template proto").is_some()
+    }
+
+    /// Accumulated solver counters over every `bound` call. Memo-served
+    /// repeats contribute nothing (no pivots, no starts) — see
+    /// [`objective_hits`](Self::objective_hits).
     pub fn stats(&self) -> SolveStats {
         self.stats.snapshot()
+    }
+
+    /// How many `bound` calls were answered from the objective→bound
+    /// memo without touching the solver.
+    pub fn objective_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
     }
 
     /// The IPET bound of `costs` — identical to
@@ -121,6 +230,13 @@ impl IpetTemplate {
         costs: &CostModel,
         workers: usize,
     ) -> Result<(u64, SolveStats), IlpError> {
+        // An identical objective has an identical optimum: answer
+        // repeats from the memo without solving (or even assembling the
+        // objective). The returned stats are empty — nothing was solved.
+        if let Some(&bound) = self.memo.lock().expect("template memo").get(costs) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((bound, SolveStats::default()));
+        }
         // An unknown first-extra group panics inside `objective_for`
         // (a wrong bound is never produced).
         let objective = objective_for(&self.ipet, costs);
@@ -142,7 +258,12 @@ impl IpetTemplate {
         let (solution, stats) = result?;
         self.stats.record(&stats);
         self.checkin(ws);
-        Ok((solution.objective.round().max(0.0) as u64, stats))
+        let bound = solution.objective.round().max(0.0) as u64;
+        let mut memo = self.memo.lock().expect("template memo");
+        if memo.len() < MEMO_CAP {
+            memo.insert(costs.clone(), bound);
+        }
+        Ok((bound, stats))
     }
 
     fn checkout(&self) -> LpWorkspace {
@@ -162,7 +283,10 @@ impl IpetTemplate {
                 *proto = Some(ws.clone());
             }
         }
-        self.pool.lock().expect("template pool").push(ws);
+        let mut pool = self.pool.lock().expect("template pool");
+        if pool.len() < self.pool_cap.load(Ordering::Relaxed) {
+            pool.push(ws);
+        }
     }
 }
 

@@ -282,23 +282,77 @@ impl DiscreteDistribution {
     /// saturate at `u64::MAX` (conservatively high).
     #[must_use]
     pub fn convolve_with(&self, other: &Self, params: &ConvolutionParams) -> Self {
-        let mut sums: Vec<(u64, f64)> = Vec::with_capacity(self.points.len() * other.points.len());
-        for &(va, pa) in &self.points {
-            for &(vb, pb) in &other.points {
-                sums.push((va.saturating_add(vb), pa * pb));
-            }
-        }
         let finite_a: f64 = self.points.iter().map(|&(_, p)| p).sum();
         let finite_b: f64 = other.points.iter().map(|&(_, p)| p).sum();
         // P(result unbounded) = P(A unbounded) + P(B unbounded) − both, plus
         // cross terms with the finite parts; equivalently:
         let tail = self.tail * (finite_b + other.tail) + other.tail * finite_a;
 
-        sums.sort_by_key(|&(v, _)| v);
-        let mut result = Self { points: sums, tail };
-        result.merge_duplicates();
+        let mut result = match self.dense_products(other, params) {
+            Some(points) => Self { points, tail },
+            None => {
+                let mut sums: Vec<(u64, f64)> =
+                    Vec::with_capacity(self.points.len() * other.points.len());
+                for &(va, pa) in &self.points {
+                    for &(vb, pb) in &other.points {
+                        sums.push((va.saturating_add(vb), pa * pb));
+                    }
+                }
+                sums.sort_by_key(|&(v, _)| v);
+                let mut result = Self { points: sums, tail };
+                result.merge_duplicates();
+                result
+            }
+        };
         result.prune(params);
         result
+    }
+
+    /// All pairwise sums of two supports, sorted with equal sums merged —
+    /// computed through a dense accumulator array when the sum span is
+    /// compact, instead of materializing and sorting every product.
+    ///
+    /// **Bit-identical** to the sort-and-merge path: the stable sort keeps
+    /// equal sums in (left index, right index) lexicographic generation
+    /// order, and the dense accumulation adds each slot's products in that
+    /// exact order. Returns `None` when the span is too wide relative to
+    /// the product count (sorting is cheaper), when a sum overflows (the
+    /// sparse path saturates), or when `prune_epsilon` is zero — an
+    /// exact-zero product (possible only by underflow) is dropped by the
+    /// dense scan but kept as an explicit point by the sparse path, and
+    /// only a positive pruning threshold makes those two agree (both fold
+    /// it into the tail).
+    fn dense_products(&self, other: &Self, params: &ConvolutionParams) -> Option<Vec<(u64, f64)>> {
+        if params.prune_epsilon <= 0.0 {
+            return None;
+        }
+        let (&(a_lo, _), &(a_hi, _)) = (self.points.first()?, self.points.last()?);
+        let (&(b_lo, _), &(b_hi, _)) = (other.points.first()?, other.points.last()?);
+        let base = a_lo.checked_add(b_lo)?;
+        let top = a_hi.checked_add(b_hi)?;
+        let span = usize::try_from(top - base).ok()?;
+        let products = self.points.len().saturating_mul(other.points.len());
+        // Zeroing + scanning `span + 1` slots must not dwarf the
+        // `products · log(products)` sort it replaces; past 16× (or a hard
+        // cap on transient memory) fall back.
+        if span > products.saturating_mul(16).max(4096) || span >= (1 << 22) {
+            return None;
+        }
+        let mut acc = vec![0.0f64; span + 1];
+        for &(va, pa) in &self.points {
+            for &(vb, pb) in &other.points {
+                // In-range by construction: `va + vb ≤ top` and `top`
+                // did not overflow.
+                acc[(va + vb - base) as usize] += pa * pb;
+            }
+        }
+        Some(
+            acc.iter()
+                .enumerate()
+                .filter(|&(_, &p)| p != 0.0)
+                .map(|(i, &p)| (base + i as u64, p))
+                .collect(),
+        )
     }
 
     /// Convolves a sequence of independent distributions with a balanced
@@ -713,6 +767,60 @@ mod tests {
             );
             assert_eq!(sequential, parallel, "{threads} threads diverged");
         }
+    }
+
+    /// The sort-and-merge reference `convolve_with` (the pre-dense-path
+    /// algorithm, reproduced verbatim) — the dense accumulator must match
+    /// it bit for bit whenever it engages.
+    fn reference_convolve(
+        a: &DiscreteDistribution,
+        b: &DiscreteDistribution,
+        params: &ConvolutionParams,
+    ) -> Vec<(u64, f64)> {
+        let mut sums: Vec<(u64, f64)> = Vec::new();
+        for &(va, pa) in a.points() {
+            for &(vb, pb) in b.points() {
+                sums.push((va.saturating_add(vb), pa * pb));
+            }
+        }
+        sums.sort_by_key(|&(v, _)| v);
+        let mut merged: Vec<(u64, f64)> = Vec::new();
+        for (value, prob) in sums {
+            match merged.last_mut() {
+                Some((lv, lp)) if *lv == value => *lp += prob,
+                _ => merged.push((value, prob)),
+            }
+        }
+        // Mirror `prune` step 1 (no compaction: supports stay tiny here).
+        merged.retain(|&(_, p)| p >= params.prune_epsilon);
+        merged
+    }
+
+    #[test]
+    fn dense_accumulation_is_bit_identical_to_sorted_merge() {
+        let params = ConvolutionParams::default();
+        // Mixed shapes: overlapping sums (exercises per-slot accumulation
+        // order), tiny probabilities (exercises epsilon pruning), strided
+        // values (exercises sparse slot skipping).
+        let cases = [
+            dist(&[(0, 0.9), (7, 0.06), (164, 0.04)]),
+            dist(&[(0, 0.5), (1, 0.25), (2, 0.125), (3, 0.125)]),
+            dist(&[(10, 0.3), (157, 0.3), (164, 0.4)]),
+            dist(&[(0, 1.0 - 1e-12), (1000, 1e-12)]),
+        ];
+        for a in &cases {
+            for b in &cases {
+                let got = a.convolve_with(b, &params);
+                let expect = reference_convolve(a, b, &params);
+                assert_eq!(got.points(), &expect[..], "diverged for {a} x {b}");
+            }
+        }
+        // A span too wide for the dense path must still be correct (falls
+        // back to the sort) and identical to the reference.
+        let wide = dist(&[(0, 0.5), (u64::MAX / 2, 0.5)]);
+        let got = wide.convolve_with(&cases[0], &params);
+        let expect = reference_convolve(&wide, &cases[0], &params);
+        assert_eq!(got.points(), &expect[..]);
     }
 
     #[test]

@@ -150,12 +150,20 @@ fn submit(
             // counters above.
             if stats.ilp_bb_nodes > 0 {
                 println!(
-                    "ilp: {} pivots ({} dual), {} B&B nodes, {} warm starts, {} trivial prunes",
+                    "ilp: {} pivots ({} dual), {} B&B nodes, {} warm starts, \
+                     {} cold starts, {} trivial prunes",
                     stats.ilp_pivots,
                     stats.ilp_dual_pivots,
                     stats.ilp_bb_nodes,
                     stats.ilp_warm_starts,
+                    stats.ilp_cold_starts,
                     stats.ilp_trivial_prunes,
+                );
+            }
+            if stats.template_hits + stats.basis_restores + stats.basis_rejects > 0 {
+                println!(
+                    "templates: {} registry hits, {} bases restored, {} bases rejected",
+                    stats.template_hits, stats.basis_restores, stats.basis_rejects,
                 );
             }
             if stats.classify_passes > 0 {

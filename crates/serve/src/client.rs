@@ -185,7 +185,7 @@ impl Client {
     /// than stats.
     pub fn stats(&mut self) -> Result<ServiceStats, WireError> {
         match self.request(&Request::Stats)? {
-            Response::Stats(stats) => Ok(stats),
+            Response::Stats(stats) => Ok(*stats),
             _ => Err(WireError::Protocol(ProtocolError::Malformed(
                 "expected a stats response",
             ))),

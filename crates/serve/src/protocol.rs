@@ -44,8 +44,10 @@ pub const MAGIC: [u8; 4] = *b"PWCQ";
 /// and the on-disk store size appended to the stats response; 4 = fleet
 /// verbs ([`Request::FetchEntry`] / [`Request::OfferEntry`], the
 /// `network` served-from tier) and the `network_*` / peer counters
-/// appended to the stats response.
-pub const VERSION: u32 = 4;
+/// appended to the stats response; 5 = template-registry and
+/// basis-persistence counters (`template_hits`, `basis_restores`,
+/// `basis_rejects`, `ilp_cold_starts`) appended to the stats response.
+pub const VERSION: u32 = 5;
 /// Header bytes before the payload.
 pub const HEADER_LEN: usize = 24;
 /// Upper bound on a frame payload. Far above any real request (a whole
@@ -346,6 +348,18 @@ pub struct ServiceStats {
     pub peer_fetches_served: u64,
     /// `OfferEntry` requests this node accepted and stored.
     pub peer_offers_stored: u64,
+    /// IPET template registry: lookups answered by an existing
+    /// cross-geometry template (shared factored basis pool).
+    pub template_hits: u64,
+    /// Persisted factored bases successfully restored into a template's
+    /// workspace pool (disk- or network-tier hits of v3 entries).
+    pub basis_restores: u64,
+    /// Persisted bases that failed live-model validation and degraded to
+    /// a counted cold factorization (never a wrong bound).
+    pub basis_rejects: u64,
+    /// ILP solver: solves that had to factor a basis from scratch
+    /// (phase-1). Zero after a warm restore.
+    pub ilp_cold_starts: u64,
     /// Configured fleet peers (0 = single-node).
     pub peers: u32,
     /// Fleet peers currently in failure backoff.
@@ -427,8 +441,9 @@ pub enum Response {
         /// Server-side latency in microseconds.
         micros: u64,
     },
-    /// Answer to [`Request::Stats`].
-    Stats(ServiceStats),
+    /// Answer to [`Request::Stats`] (boxed: the counter block is far
+    /// larger than any other variant).
+    Stats(Box<ServiceStats>),
     /// The request was rejected; see the code for whether a retry can
     /// succeed.
     Error {
@@ -603,6 +618,10 @@ fn encode_stats(enc: &mut Enc, stats: &ServiceStats) {
         stats.network_offers,
         stats.peer_fetches_served,
         stats.peer_offers_stored,
+        stats.template_hits,
+        stats.basis_restores,
+        stats.basis_rejects,
+        stats.ilp_cold_starts,
     ] {
         enc.u64(v);
     }
@@ -948,6 +967,10 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<ServiceStats, ProtocolError> {
         network_offers: dec.u64()?,
         peer_fetches_served: dec.u64()?,
         peer_offers_stored: dec.u64()?,
+        template_hits: dec.u64()?,
+        basis_restores: dec.u64()?,
+        basis_rejects: dec.u64()?,
+        ilp_cold_starts: dec.u64()?,
         peers: dec.u32()?,
         peers_unhealthy: dec.u32()?,
     })
@@ -1141,7 +1164,7 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, ProtocolError
                 micros: dec.u64()?,
             }
         }
-        5 => Response::Stats(decode_stats(&mut dec)?),
+        5 => Response::Stats(Box::new(decode_stats(&mut dec)?)),
         6 => Response::Error {
             code: decode_error_code(&mut dec)?,
             message: dec.str()?,
@@ -1343,7 +1366,7 @@ mod tests {
                 }],
                 micros: 10,
             },
-            Response::Stats(ServiceStats {
+            Response::Stats(Box::new(ServiceStats {
                 shards: 4,
                 queue_capacity: 64,
                 queued: 1,
@@ -1378,9 +1401,13 @@ mod tests {
                 network_offers: 12,
                 peer_fetches_served: 9,
                 peer_offers_stored: 6,
+                template_hits: 11,
+                basis_restores: 4,
+                basis_rejects: 1,
+                ilp_cold_starts: 2,
                 peers: 3,
                 peers_unhealthy: 1,
-            }),
+            })),
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "shard 2 queue full (depth 64)".into(),

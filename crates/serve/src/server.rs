@@ -362,6 +362,10 @@ impl Shared {
             ilp_bb_nodes: ilp.bb_nodes,
             ilp_warm_starts: ilp.warm_starts,
             ilp_trivial_prunes: ilp.trivial_prunes,
+            ilp_cold_starts: ilp.cold_starts,
+            template_hits: plane.template_hits,
+            basis_restores: plane.basis_restores,
+            basis_rejects: plane.basis_rejects,
             classify_passes: kernel.passes,
             classify_words_touched: kernel.words_touched,
             classify_sets_skipped: kernel.sets_skipped,
@@ -768,7 +772,7 @@ fn dispatch(
     let started = Instant::now();
     match request {
         Request::Stats => {
-            respond(stream, &Response::Stats(shared.stats()))?;
+            respond(stream, &Response::Stats(Box::new(shared.stats())))?;
             Ok(true)
         }
         Request::Shutdown => {

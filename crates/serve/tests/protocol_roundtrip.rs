@@ -213,15 +213,18 @@ fn stats_strategy() -> BoxedStrategy<ServiceStats> {
             any::<u64>(),
         ),
         (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u32>(),
-            any::<u32>(),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u32>(),
+                any::<u32>(),
+            ),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         ),
     )
-        .prop_map(|(a, b, c, d, e, f)| ServiceStats {
+        .prop_map(|(a, b, c, d, e, (f, g))| ServiceStats {
             shards: a.0,
             queue_capacity: a.1,
             queued: a.2,
@@ -258,6 +261,10 @@ fn stats_strategy() -> BoxedStrategy<ServiceStats> {
             peer_offers_stored: f.3,
             peers: f.4,
             peers_unhealthy: f.5,
+            template_hits: g.0,
+            basis_restores: g.1,
+            basis_rejects: g.2,
+            ilp_cold_starts: g.3,
         })
         .boxed()
 }
@@ -320,7 +327,7 @@ fn response_strategy() -> BoxedStrategy<Response> {
                     micros,
                 }
             ),
-        stats_strategy().prop_map(Response::Stats),
+        stats_strategy().prop_map(|s| Response::Stats(Box::new(s))),
         (any::<u64>(), proptest::option::of(vec(any::<u8>(), 0..512)))
             .prop_map(|(key, entry)| Response::Entry { key, entry }),
         any::<bool>().prop_map(|stored| Response::OfferAck { stored }),

@@ -129,6 +129,56 @@ fn solve_stage_records_template_warm_starts() {
 }
 
 #[test]
+fn derived_geometry_sweep_matches_dense_reference_per_point() {
+    // A widest-first associativity sweep over one shared plane: every
+    // narrower sibling derives its classification from the widest point
+    // and re-solves its ILP objectives against the *shared*
+    // cross-geometry template (same registry key, warm basis pool,
+    // objective memo). Each point's bounds must still be bit-identical
+    // to an isolated dense-reference analysis of that geometry — the
+    // sibling path may share solver state, never solver answers that
+    // differ.
+    use fault_aware_pwcet::cache::GeometryLattice;
+
+    let bench = benchsuite::by_name("crc").expect("benchmark exists");
+    let lattice = GeometryLattice::paper_default();
+    let plane = Arc::new(ReusePlane::in_memory());
+    for geometry in lattice.members() {
+        let mut point = sparse_config();
+        point.geometry = geometry;
+        let derived = PwcetAnalyzer::new(point)
+            .with_reuse_plane(Arc::clone(&plane))
+            .analyze(&bench.program)
+            .expect("derived-sweep analysis");
+        let mut reference = reference_config();
+        reference.geometry = geometry;
+        let dense = PwcetAnalyzer::new(reference)
+            .analyze(&bench.program)
+            .expect("reference analysis");
+        assert_bounds_identical(&format!("crc@{}ways", geometry.ways()), &derived, &dense);
+    }
+    // The comparison must have exercised the shared-template path, not
+    // a per-point cold rebuild.
+    let stats = plane.stats();
+    assert_eq!(
+        stats.derived as usize,
+        lattice.len() - 1,
+        "every narrower point derives from the widest"
+    );
+    assert!(
+        stats.template_hits >= (lattice.len() - 1) as u64,
+        "every sibling re-solves against the shared template \
+         (got {} hits)",
+        stats.template_hits
+    );
+    assert!(
+        stats.objective_hits > 0,
+        "coinciding per-set classifications must answer from the \
+         objective memo"
+    );
+}
+
+#[test]
 #[ignore = "runs the complete 25-benchmark suite under both solver backends (~minutes); nightly CI runs it via --include-ignored"]
 fn sparse_bounds_match_dense_reference_across_the_entire_suite() {
     for bench in benchsuite::all() {
