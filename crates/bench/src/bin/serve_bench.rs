@@ -161,9 +161,28 @@ fn main() {
     let fleet_us = mean(&fleet);
     let fleet_speedup = cold_us / fleet_us.max(1.0);
 
+    // Server-side view of the same traffic from the histogram-backed
+    // metrics registry: exact quantiles of the shard layer's queue-wait
+    // vs. service-time split (client latencies above include the wire).
+    let mut metrics_client = Client::connect(addr).expect("connect for metrics");
+    let metrics = metrics_client.metrics().expect("metrics");
+    let metric = |name: &str| -> u64 {
+        metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("metrics table is missing {name}"))
+    };
+    let service_p50 = metric("service_us_p50");
+    let service_p99 = metric("service_us_p99");
+    let queue_wait_p99 = metric("queue_wait_us_p99");
+    drop(metrics_client);
+
     let stats = server.shutdown();
     assert_eq!(
         stats.served as usize,
+        // The metrics scrape is not an analysis request, so it does not
+        // move the served counter.
         PROGRAMS.len() * (1 + WARM_PASSES) + 2 * total_requests,
         "every request was served"
     );
@@ -171,7 +190,8 @@ fn main() {
     println!(
         "serve_bench: {} programs, {} shards | cold {:.0} µs → warm {:.0} µs ({:.1}×) | \
          1 client {:.0} req/s vs {} clients {:.0} req/s ({:.2}×) | \
-         peer fetch {:.0} µs ({:.1}× vs cold)",
+         peer fetch {:.0} µs ({:.1}× vs cold) | \
+         server-side service p50/p99 {}/{} µs, queue wait p99 {} µs",
         PROGRAMS.len(),
         shards,
         cold_us,
@@ -183,6 +203,9 @@ fn main() {
         four_rps / one_rps,
         fleet_us,
         fleet_speedup,
+        service_p50,
+        service_p99,
+        queue_wait_p99,
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
@@ -197,6 +220,17 @@ fn main() {
             ("serve_one_client_rps", format!("{one_rps:.1}")),
             ("serve_four_client_rps", format!("{four_rps:.1}")),
             ("serve_client_scaling", format!("{:.3}", four_rps / one_rps)),
+            ("serve_service_us_p50", format!("{service_p50}")),
+            ("serve_service_us_p99", format!("{service_p99}")),
+            ("serve_queue_wait_us_p99", format!("{queue_wait_p99}")),
+            (
+                "serve_obs_note",
+                bench_json::json_str(
+                    "server-side exact quantiles scraped from the Metrics verb's \
+                     histogram-backed registry: the shard layer's queue-wait vs. \
+                     service-time split, net of the wire the client rows include",
+                ),
+            ),
             (
                 "serve_note",
                 bench_json::json_str(

@@ -362,6 +362,10 @@ impl AnalysisContext {
     ///
     /// Levels already computed are skipped; the call is idempotent.
     pub fn prewarm(&self, parallelism: Parallelism) {
+        // One span covers the whole classify stage, recorded on the
+        // calling thread (the fixpoint jobs themselves may run on
+        // untraced workers).
+        let _span = pwcet_obs::stage_span(pwcet_obs::Stage::Classify);
         match self.mode {
             ClassificationMode::Cold => {
                 let levels = self.levels.len();

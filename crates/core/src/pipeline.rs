@@ -40,6 +40,7 @@ use crate::reuse_plane::{ReusePlane, ReuseTier};
 ///
 /// Propagates [`CfgError`] from reconstruction.
 pub fn expand_compiled(compiled: &CompiledProgram) -> Result<ExpandedCfg, CfgError> {
+    let _span = pwcet_obs::stage_span(pwcet_obs::Stage::CfgExpand);
     let extents: Vec<FunctionExtent> = compiled
         .functions()
         .iter()
@@ -373,7 +374,13 @@ fn solve_protection_independent(
 
     // Stage 2 (classify): all CHMC levels and the SRB map (cold mode fans
     // the independent fixpoints out; incremental mode chains them).
+    // `prewarm` records the stage's `classify` span itself.
     context.prewarm(parallelism);
+
+    // Everything below is ILP work: template (re)use, the fault-free
+    // WCET instance, the per-(set,fault) delta fan-out, and the SRB
+    // columns — one span covering the whole solve stage.
+    let _ilp_span = pwcet_obs::stage_span(pwcet_obs::Stage::IlpSolve);
 
     let template = match config.ipet.solver {
         SolverBackend::Sparse => {
@@ -538,6 +545,7 @@ impl ProgramAnalysis {
     /// tree of [`DiscreteDistribution::convolve_all`] — `O(n log n)`
     /// support growth instead of the quadratic left fold.
     pub fn penalty_distribution(&self, protection: Protection) -> DiscreteDistribution {
+        let _span = pwcet_obs::stage_span(pwcet_obs::Stage::Convolve);
         let geometry = self.config.geometry;
         let ways = geometry.ways();
         let pbf = self

@@ -182,6 +182,35 @@ pub struct ReusePlaneStats {
 }
 
 impl ReusePlaneStats {
+    /// The counters as a self-describing name→value table (field names
+    /// verbatim, memory-tier counters under a `memory_` prefix). This
+    /// is what telemetry exposition serializes, so a new counter added
+    /// here reaches the wire with no protocol change.
+    pub fn entries(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("memory_hits", self.memory.hits),
+            ("memory_misses", self.memory.misses),
+            ("memory_evictions", self.memory.evictions),
+            ("memory_len", self.memory.len as u64),
+            ("memory_capacity", self.memory.capacity as u64),
+            ("disk_hits", self.disk_hits),
+            ("disk_misses", self.disk_misses),
+            ("disk_writes", self.disk_writes),
+            ("disk_corrupt", self.disk_corrupt),
+            ("disk_gc_evictions", self.disk_gc_evictions),
+            ("derived", self.derived),
+            ("network_hits", self.network_hits),
+            ("network_misses", self.network_misses),
+            ("network_corrupt", self.network_corrupt),
+            ("network_offers", self.network_offers),
+            ("cold_builds", self.cold_builds),
+            ("template_hits", self.template_hits),
+            ("basis_restores", self.basis_restores),
+            ("basis_rejects", self.basis_rejects),
+            ("objective_hits", self.objective_hits),
+        ]
+    }
+
     /// Fraction of non-memory-tier builds avoided by the disk,
     /// derivation, and network tiers (0 when nothing was requested).
     pub fn reuse_rate(&self) -> f64 {
@@ -677,6 +706,7 @@ impl ReusePlane {
         mode: ClassificationMode,
     ) -> Result<AnalysisContext, EntryDecodeFailure> {
         let cfg = expand_compiled(compiled).map_err(|_| EntryDecodeFailure::Cfg)?;
+        let _span = pwcet_obs::stage_span(pwcet_obs::Stage::CodecDecode);
         match decode_context(bytes, &cfg, key, geometry, mode) {
             Ok((name, parts)) => Ok(AnalysisContext::from_parts(
                 name,
@@ -791,7 +821,11 @@ impl ReusePlane {
         mode: ClassificationMode,
     ) -> Option<AnalysisContext> {
         let network = self.network.get()?;
-        let Some(bytes) = network.fetch(key) else {
+        let fetched = {
+            let _span = pwcet_obs::stage_span(pwcet_obs::Stage::PeerFetch);
+            network.fetch(key)
+        };
+        let Some(bytes) = fetched else {
             self.counters
                 .lock()
                 .expect("reuse plane counters")

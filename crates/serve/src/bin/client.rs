@@ -5,18 +5,24 @@
 //! pwcet-client <HOST:PORT> analyze NAME [-n K]   analyze one benchmark K times (default 1)
 //! pwcet-client <HOST:PORT> program FILE          submit a request frame exported to FILE
 //! pwcet-client <HOST:PORT> export NAME FILE      write NAME's analyze-request frame to FILE
-//! pwcet-client <HOST:PORT> stats                 print the service counters
+//! pwcet-client <HOST:PORT> stats [--json]        print the service counters
+//! pwcet-client <HOST:PORT> metrics [--json]      print the full metrics table (exact quantiles)
 //! pwcet-client <HOST:PORT> shutdown              ask the server to drain and exit
 //! ```
 //!
 //! Analysis rows report the server's `served_from` tier provenance and
 //! the client-measured round-trip latency; multi-request commands end
-//! with latency percentiles.
+//! with latency percentiles. Every `suite`/`analyze` request carries a
+//! client-minted trace ID, echoed back with the server's per-stage
+//! timing breakdown. `metrics` dumps the self-describing name→value
+//! table in Prometheus text exposition style (or, with `--json`, as the
+//! flat one-pair-per-line JSON object the bench tooling uses).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use pwcet_serve::{Client, Request, Response};
+use pwcet_obs::TraceId;
+use pwcet_serve::{Client, Request, Response, StageTiming};
 
 const DEFAULT_PFAIL: f64 = 1e-4;
 const DEFAULT_TARGET_P: f64 = 1e-15;
@@ -24,9 +30,39 @@ const DEFAULT_TARGET_P: f64 = 1e-15;
 fn usage() -> ! {
     eprintln!(
         "usage: pwcet-client <HOST:PORT> <suite [NAME…] | analyze NAME [-n K] | program FILE | \
-         export NAME FILE | stats | shutdown>"
+         export NAME FILE | stats [--json] | metrics [--json] | shutdown>"
     );
     std::process::exit(2);
+}
+
+/// One `trace=… stages: …` line under an analysis row: the server-side
+/// breakdown of where the request's time went (durations in
+/// microseconds, `×N` marking stages that ran more than once).
+fn print_stages(trace: u64, stages: &[StageTiming]) {
+    if trace == 0 && stages.is_empty() {
+        return;
+    }
+    let mut parts = String::new();
+    for timing in stages {
+        use std::fmt::Write as _;
+        let _ = write!(parts, " {}={}us", timing.stage.label(), timing.micros);
+        if timing.count > 1 {
+            let _ = write!(parts, "(\u{d7}{})", timing.count);
+        }
+    }
+    println!("  trace={} stages:{parts}", TraceId(trace));
+}
+
+/// Prints a name→value table as flat JSON: one `"key": value` pair per
+/// line, no nesting — the same restricted shape `BENCH_pipeline.json`
+/// uses, so the output pipes straight into the bench tooling.
+fn print_json(entries: &[(String, u64)]) {
+    println!("{{");
+    for (index, (name, value)) in entries.iter().enumerate() {
+        let comma = if index + 1 == entries.len() { "" } else { "," };
+        println!("  \"{name}\": {value}{comma}");
+    }
+    println!("}}");
 }
 
 fn fail(message: impl std::fmt::Display) -> ExitCode {
@@ -90,22 +126,33 @@ fn submit(
         .map_err(|e| fail(format!("request failed: {e}")))?;
     let elapsed = started.elapsed().as_micros() as u64;
     match response {
-        Response::Analysis { row, .. } => {
+        Response::Analysis {
+            row, trace, stages, ..
+        } => {
             latencies.push(elapsed);
             print_row(&row, elapsed);
+            print_stages(trace, &stages);
             Ok(true)
         }
-        Response::Batch { rows, .. } => {
+        Response::Batch {
+            rows,
+            trace,
+            stages,
+            ..
+        } => {
             latencies.push(elapsed);
             for row in rows {
                 print_row(&row, elapsed);
             }
+            print_stages(trace, &stages);
             Ok(true)
         }
         Response::PfailSweep {
             name,
             served_from,
             rows,
+            trace,
+            stages,
             ..
         } => {
             latencies.push(elapsed);
@@ -121,12 +168,15 @@ fn submit(
                     elapsed,
                 );
             }
+            print_stages(trace, &stages);
             Ok(true)
         }
         Response::GeometrySweep {
             name,
             served_from,
             rows,
+            trace,
+            stages,
             ..
         } => {
             latencies.push(elapsed);
@@ -142,6 +192,7 @@ fn submit(
                     elapsed,
                 );
             }
+            print_stages(trace, &stages);
             Ok(true)
         }
         Response::Stats(stats) => {
@@ -206,6 +257,12 @@ fn submit(
             println!("offer {}", if stored { "stored" } else { "declined" });
             Ok(true)
         }
+        Response::Metrics { entries } => {
+            for (name, value) in &entries {
+                println!("{name} {value}");
+            }
+            Ok(true)
+        }
         Response::ShutdownStarted => {
             println!("server acknowledged shutdown; draining");
             Ok(true)
@@ -243,6 +300,7 @@ fn run() -> Result<ExitCode, ExitCode> {
             program,
             pfail: DEFAULT_PFAIL,
             target_p: DEFAULT_TARGET_P,
+            trace: 0,
         });
         std::fs::write(file, frame).map_err(|e| fail(format!("cannot write {file}: {e}")))?;
         println!("wrote request frame for {name} to {file}");
@@ -271,6 +329,7 @@ fn run() -> Result<ExitCode, ExitCode> {
                     program,
                     pfail: DEFAULT_PFAIL,
                     target_p: DEFAULT_TARGET_P,
+                    trace: TraceId::mint().0,
                 };
                 all_ok &= submit(&mut client, &request, &mut latencies)?;
             }
@@ -296,6 +355,7 @@ fn run() -> Result<ExitCode, ExitCode> {
                     program: program.clone(),
                     pfail: DEFAULT_PFAIL,
                     target_p: DEFAULT_TARGET_P,
+                    trace: TraceId::mint().0,
                 };
                 all_ok &= submit(&mut client, &request, &mut latencies)?;
             }
@@ -311,7 +371,34 @@ fn run() -> Result<ExitCode, ExitCode> {
             all_ok &= submit(&mut client, &request, &mut latencies)?;
         }
         "stats" => {
-            all_ok &= submit(&mut client, &Request::Stats, &mut latencies)?;
+            if args.get(2).map(String::as_str) == Some("--json") {
+                let stats = client
+                    .stats()
+                    .map_err(|e| fail(format!("request failed: {e}")))?;
+                let entries: Vec<(String, u64)> = stats
+                    .entries()
+                    .into_iter()
+                    .map(|(name, value)| (name.to_string(), value))
+                    .collect();
+                print_json(&entries);
+            } else {
+                all_ok &= submit(&mut client, &Request::Stats, &mut latencies)?;
+            }
+        }
+        "metrics" => {
+            let entries = client
+                .metrics()
+                .map_err(|e| fail(format!("request failed: {e}")))?;
+            if args.get(2).map(String::as_str) == Some("--json") {
+                print_json(&entries);
+            } else {
+                // Prometheus text exposition: one `name value` sample
+                // per line (all instruments are untyped u64 gauges from
+                // the scraper's point of view).
+                for (name, value) in &entries {
+                    println!("{name} {value}");
+                }
+            }
         }
         "shutdown" => {
             all_ok &= submit(&mut client, &Request::Shutdown, &mut latencies)?;

@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! pwcet-serve [--addr HOST:PORT] [--shards N] [--queue CAP] [--disk DIR] [--pfail P]
-//!             [--peers ADDR,ADDR,…] [--self-addr HOST:PORT]
+//!             [--peers ADDR,ADDR,…] [--self-addr HOST:PORT] [--trace-out FILE]
 //! ```
+//!
+//! `--trace-out` appends every completed stage span as one JSONL line
+//! (`{"trace":"…","stage":"ilp_solve","start_us":N,"dur_us":N}`) and,
+//! when the server drains, a final `{"record":"final_metrics",…}` line
+//! with the full metrics table.
 //!
 //! `--peers` names the full fleet membership (comma-separated, the same
 //! list on every node) and turns on the reuse plane's network tier;
@@ -23,7 +28,7 @@ use pwcet_serve::{FleetConfig, Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: pwcet-serve [--addr HOST:PORT] [--shards N] [--queue CAP] [--disk DIR] [--pfail P] \
-         [--peers ADDR,ADDR,…] [--self-addr HOST:PORT]"
+         [--peers ADDR,ADDR,…] [--self-addr HOST:PORT] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -68,6 +73,13 @@ fn main() -> ExitCode {
                     dir => config.disk_dir = Some(dir.into()),
                 }
             }
+            "--trace-out" => match value() {
+                file if file.is_empty() => {
+                    eprintln!("pwcet-serve: --trace-out needs a non-empty file path");
+                    return ExitCode::from(2);
+                }
+                file => config.trace_out = Some(file.into()),
+            },
             "--pfail" => match value().parse() {
                 Ok(p) => match AnalysisConfig::paper_default().with_pfail(p) {
                     Ok(analysis) => config.analysis = analysis,

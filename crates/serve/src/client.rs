@@ -122,7 +122,7 @@ impl Client {
         }
     }
 
-    /// Analyzes one program under the server's configuration.
+    /// Analyzes one program under the server's configuration, untraced.
     ///
     /// # Errors
     ///
@@ -133,23 +133,44 @@ impl Client {
         pfail: f64,
         target_p: f64,
     ) -> Result<Response, WireError> {
+        self.analyze_traced(program, pfail, target_p, 0)
+    }
+
+    /// Analyzes one program under a client-minted trace ID (0 =
+    /// untraced): the server's response echoes the ID alongside its
+    /// per-stage timing breakdown, and every span the request causes —
+    /// locally and on fleet peers it fetches from — is recorded under
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`](Self::request).
+    pub fn analyze_traced(
+        &mut self,
+        program: Program,
+        pfail: f64,
+        target_p: f64,
+        trace: u64,
+    ) -> Result<Response, WireError> {
         self.request(&Request::Analyze {
             program,
             pfail,
             target_p,
+            trace,
         })
     }
 
     /// Fetches the serialized reuse-plane entry for `key` from this node
-    /// (the fleet's network-tier verb). `Ok(None)` is an authoritative
-    /// miss.
+    /// (the fleet's network-tier verb), propagating the requester's
+    /// trace ID (0 = untraced) so the serving node's `peer_serve` span
+    /// lands under the same trace. `Ok(None)` is an authoritative miss.
     ///
     /// # Errors
     ///
     /// As for [`request`](Self::request); also [`WireError::Protocol`]
     /// when the server answers something other than an entry for `key`.
-    pub fn fetch_entry(&mut self, key: u64) -> Result<Option<Vec<u8>>, WireError> {
-        match self.request(&Request::FetchEntry { key })? {
+    pub fn fetch_entry(&mut self, key: u64, trace: u64) -> Result<Option<Vec<u8>>, WireError> {
+        match self.request(&Request::FetchEntry { key, trace })? {
             Response::Entry { key: echoed, entry } if echoed == key => Ok(entry),
             _ => Err(WireError::Protocol(ProtocolError::Malformed(
                 "expected an entry response for the requested key",
@@ -188,6 +209,24 @@ impl Client {
             Response::Stats(stats) => Ok(*stats),
             _ => Err(WireError::Protocol(ProtocolError::Malformed(
                 "expected a stats response",
+            ))),
+        }
+    }
+
+    /// Fetches the full self-describing metrics table: legacy counters
+    /// by their frozen names plus every registry instrument, histograms
+    /// expanded to exact `_count/_sum/_mean/_p50/_p95/_p99/_max` rows.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`](Self::request); also
+    /// [`WireError::Protocol`] when the server answers something other
+    /// than a metrics table.
+    pub fn metrics(&mut self) -> Result<Vec<(String, u64)>, WireError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { entries } => Ok(entries),
+            _ => Err(WireError::Protocol(ProtocolError::Malformed(
+                "expected a metrics response",
             ))),
         }
     }

@@ -64,7 +64,7 @@ pub use client::{Client, ClientConfig};
 pub use peer::{FleetConfig, FleetStats, PeerFleet, PeerRing};
 pub use protocol::{
     AnalysisRow, ErrorCode, GeometryRow, PfailRow, ProtocolError, Request, Response, ServedFrom,
-    ServiceStats, WireError,
+    ServiceStats, StageTiming, WireError,
 };
 pub use server::{Server, ServerConfig, FRAME_DEADLINE};
 pub use shard::{ShardPool, SubmitError};

@@ -331,11 +331,17 @@ impl FleetInner {
     }
 
     fn fetch_from_peers(&self, key: u64) -> Option<Vec<u8>> {
+        // The fetch runs on a traced shard-worker thread (inside its
+        // `trace_scope`), so the requester's trace ID is one TLS read
+        // away — stamped into the frame, the serving node records its
+        // `peer_serve` span under the *same* trace and the hop shows up
+        // on both nodes' rings.
+        let trace = pwcet_obs::current_trace().map_or(0, |t| t.0);
         for index in self.ring.owners(key) {
             if self.is_self(index) || self.backed_off(index) {
                 continue;
             }
-            match self.exchange(index, |client| client.fetch_entry(key)) {
+            match self.exchange(index, |client| client.fetch_entry(key, trace)) {
                 Ok(Some(bytes)) => {
                     self.counters.fetch_hits.fetch_add(1, Ordering::Relaxed);
                     return Some(bytes);

@@ -33,6 +33,7 @@ use std::fmt;
 use std::io::{Read, Write};
 
 use pwcet_core::ReuseTier;
+use pwcet_obs::Stage;
 use pwcet_progen::{Program, Stmt};
 
 /// Frame magic: "PWCQ" (pWCET query).
@@ -46,8 +47,15 @@ pub const MAGIC: [u8; 4] = *b"PWCQ";
 /// `network` served-from tier) and the `network_*` / peer counters
 /// appended to the stats response; 5 = template-registry and
 /// basis-persistence counters (`template_hits`, `basis_restores`,
-/// `basis_rejects`, `ilp_cold_starts`) appended to the stats response.
-pub const VERSION: u32 = 5;
+/// `basis_rejects`, `ilp_cold_starts`) appended to the stats response;
+/// 6 = telemetry — a client-minted trace ID on every work-carrying
+/// request (and on [`Request::FetchEntry`], so fleet peer hops join the
+/// originating trace), per-response stage-timing breakdowns
+/// ([`StageTiming`]), and the [`Request::Metrics`] verb answering a
+/// self-describing name→value registry snapshot
+/// ([`Response::Metrics`]) — the last stats layout change: new
+/// instruments ride the table, not the struct.
+pub const VERSION: u32 = 6;
 /// Header bytes before the payload.
 pub const HEADER_LEN: usize = 24;
 /// Upper bound on a frame payload. Far above any real request (a whole
@@ -161,6 +169,10 @@ pub enum Request {
         pfail: f64,
         /// Exceedance probability the pWCETs are quoted at.
         target_p: f64,
+        /// Client-minted trace ID (0 = untraced); echoed on the
+        /// response and stamped on every span the request causes,
+        /// including fleet peer hops.
+        trace: u64,
     },
     /// Analyze a batch; the server fans the programs out across its
     /// shards and answers in request order.
@@ -171,6 +183,9 @@ pub enum Request {
         pfail: f64,
         /// Exceedance probability the pWCETs are quoted at.
         target_p: f64,
+        /// Client-minted trace ID (0 = untraced) shared by every
+        /// program of the batch.
+        trace: u64,
     },
     /// Sweep the fault probability over one program (one shared context;
     /// every point after the first skips straight to the estimate).
@@ -181,6 +196,8 @@ pub enum Request {
         pfails: Vec<f64>,
         /// Exceedance probability the pWCETs are quoted at.
         target_p: f64,
+        /// Client-minted trace ID (0 = untraced).
+        trace: u64,
     },
     /// Sweep cache associativity at fixed sets and block size (the
     /// server's derivation tier turns every narrower point into a warm
@@ -196,6 +213,8 @@ pub enum Request {
         way_counts: Vec<u32>,
         /// Exceedance probability the pWCETs are quoted at.
         target_p: f64,
+        /// Client-minted trace ID (0 = untraced).
+        trace: u64,
     },
     /// Service health: shard/queue occupancy and reuse-plane tier
     /// counters.
@@ -211,6 +230,10 @@ pub enum Request {
     FetchEntry {
         /// Content fingerprint of the wanted entry.
         key: u64,
+        /// The originating request's trace ID (0 = untraced): the
+        /// serving node records its `peer_serve` span under the same
+        /// trace, so one ID covers both ends of the hop.
+        trace: u64,
     },
     /// Fleet verb: offer a freshly built serialized entry to this node
     /// (the key's ring owner). The receiver validates the envelope
@@ -221,6 +244,12 @@ pub enum Request {
         /// Complete `PWCX` entry bytes (header + payload).
         entry: Vec<u8>,
     },
+    /// Telemetry scrape: the server's full metrics registry — every
+    /// legacy counter plus the latency histograms — as a
+    /// self-describing name→value table with histogram quantiles
+    /// computed exactly from the buckets. Served inline, like
+    /// [`Request::Stats`].
+    Metrics,
 }
 
 /// Where the server's reuse plane answered a request from, as reported
@@ -229,6 +258,23 @@ pub enum Request {
 /// This is [`ReuseTier`] on the wire; re-exported here so protocol users
 /// need only this module.
 pub type ServedFrom = ReuseTier;
+
+/// One aggregated stage of a response's timing breakdown: every span
+/// the request's trace recorded for `stage`, folded to a total duration
+/// and an occurrence count. The leaf stages (`cfg_expand`, `classify`,
+/// `ilp_solve`, `convolve`, `codec_decode`, `peer_fetch`) plus
+/// `queue_wait` are disjoint in time, so their durations sum to at most
+/// the response's `micros`; `service` is their parent and overlaps
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Which stage (wire tag = [`Stage::tag`]).
+    pub stage: Stage,
+    /// Total microseconds across all spans of this stage.
+    pub micros: u64,
+    /// How many spans were folded in.
+    pub count: u32,
+}
 
 /// The per-program analysis row of [`Response::Analysis`] and
 /// [`Response::Batch`].
@@ -366,6 +412,58 @@ pub struct ServiceStats {
     pub peers_unhealthy: u32,
 }
 
+impl ServiceStats {
+    /// Every counter as a self-describing name→value table (field names
+    /// verbatim). This struct's *layout* is frozen at v6 — new
+    /// instruments reach the wire through [`Response::Metrics`], whose
+    /// table starts from these legacy rows, so existing names stay
+    /// stable for scrapers.
+    pub fn entries(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("shards", u64::from(self.shards)),
+            ("queue_capacity", u64::from(self.queue_capacity)),
+            ("queued", self.queued),
+            ("connections", self.connections),
+            ("served", self.served),
+            ("overloads", self.overloads),
+            ("protocol_errors", self.protocol_errors),
+            ("served_memory", self.served_memory),
+            ("served_disk", self.served_disk),
+            ("served_derived", self.served_derived),
+            ("served_network", self.served_network),
+            ("served_cold", self.served_cold),
+            ("memory_hits", self.memory_hits),
+            ("memory_misses", self.memory_misses),
+            ("disk_hits", self.disk_hits),
+            ("disk_writes", self.disk_writes),
+            ("disk_corrupt", self.disk_corrupt),
+            ("derived", self.derived),
+            ("cold_builds", self.cold_builds),
+            ("network_hits", self.network_hits),
+            ("network_misses", self.network_misses),
+            ("network_corrupt", self.network_corrupt),
+            ("network_offers", self.network_offers),
+            ("peer_fetches_served", self.peer_fetches_served),
+            ("peer_offers_stored", self.peer_offers_stored),
+            ("peers", u64::from(self.peers)),
+            ("peers_unhealthy", u64::from(self.peers_unhealthy)),
+            ("ilp_pivots", self.ilp_pivots),
+            ("ilp_dual_pivots", self.ilp_dual_pivots),
+            ("ilp_bb_nodes", self.ilp_bb_nodes),
+            ("ilp_warm_starts", self.ilp_warm_starts),
+            ("ilp_cold_starts", self.ilp_cold_starts),
+            ("ilp_trivial_prunes", self.ilp_trivial_prunes),
+            ("template_hits", self.template_hits),
+            ("basis_restores", self.basis_restores),
+            ("basis_rejects", self.basis_rejects),
+            ("classify_passes", self.classify_passes),
+            ("classify_words_touched", self.classify_words_touched),
+            ("classify_sets_skipped", self.classify_sets_skipped),
+            ("store_bytes", self.store_bytes),
+        ]
+    }
+}
+
 /// Why the server rejected a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -411,6 +509,11 @@ pub enum Response {
         row: AnalysisRow,
         /// Server-side latency (queue wait + compute) in microseconds.
         micros: u64,
+        /// The request's trace ID, echoed back (0 = untraced).
+        trace: u64,
+        /// Per-stage timing breakdown of this request, aggregated from
+        /// its spans.
+        stages: Vec<StageTiming>,
     },
     /// Answer to [`Request::Batch`], rows in request order.
     Batch {
@@ -418,6 +521,12 @@ pub enum Response {
         rows: Vec<AnalysisRow>,
         /// Server-side latency of the whole batch in microseconds.
         micros: u64,
+        /// The request's trace ID, echoed back (0 = untraced).
+        trace: u64,
+        /// Stage timings aggregated across every program of the batch
+        /// (jobs run concurrently on different shards, so stage sums
+        /// may exceed the batch's wall-clock `micros`).
+        stages: Vec<StageTiming>,
     },
     /// Answer to [`Request::SweepPfail`].
     PfailSweep {
@@ -429,6 +538,10 @@ pub enum Response {
         rows: Vec<PfailRow>,
         /// Server-side latency in microseconds.
         micros: u64,
+        /// The request's trace ID, echoed back (0 = untraced).
+        trace: u64,
+        /// Per-stage timing breakdown of this request.
+        stages: Vec<StageTiming>,
     },
     /// Answer to [`Request::SweepGeometry`].
     GeometrySweep {
@@ -440,6 +553,10 @@ pub enum Response {
         rows: Vec<GeometryRow>,
         /// Server-side latency in microseconds.
         micros: u64,
+        /// The request's trace ID, echoed back (0 = untraced).
+        trace: u64,
+        /// Per-stage timing breakdown of this request.
+        stages: Vec<StageTiming>,
     },
     /// Answer to [`Request::Stats`] (boxed: the counter block is far
     /// larger than any other variant).
@@ -468,6 +585,15 @@ pub enum Response {
     OfferAck {
         /// Whether the offered entry was installed in the local store.
         stored: bool,
+    },
+    /// Answer to [`Request::Metrics`]: the registry snapshot as a flat,
+    /// self-describing name→value table. Histograms arrive expanded to
+    /// `_count` / `_sum` / `_mean` / `_p50` / `_p95` / `_p99` / `_max`
+    /// rows with quantiles computed exactly from the buckets. New
+    /// instruments add rows — the layout never changes again.
+    Metrics {
+        /// `(name, value)` rows, sorted by name.
+        entries: Vec<(String, u64)>,
     },
 }
 
@@ -573,6 +699,15 @@ fn error_code_tag(code: ErrorCode) -> u8 {
     }
 }
 
+fn encode_stage_timings(enc: &mut Enc, stages: &[StageTiming]) {
+    enc.u64(stages.len() as u64);
+    for timing in stages {
+        enc.u8(timing.stage.tag());
+        enc.u64(timing.micros);
+        enc.u32(timing.count);
+    }
+}
+
 fn encode_analysis_row(enc: &mut Enc, row: &AnalysisRow) {
     enc.str(&row.name);
     enc.u64(row.fault_free_wcet);
@@ -648,16 +783,19 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             program,
             pfail,
             target_p,
+            trace,
         } => {
             enc.u8(1);
             encode_program(&mut enc, program);
             enc.f64(*pfail);
             enc.f64(*target_p);
+            enc.u64(*trace);
         }
         Request::Batch {
             programs,
             pfail,
             target_p,
+            trace,
         } => {
             enc.u8(2);
             enc.u64(programs.len() as u64);
@@ -666,11 +804,13 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             }
             enc.f64(*pfail);
             enc.f64(*target_p);
+            enc.u64(*trace);
         }
         Request::SweepPfail {
             program,
             pfails,
             target_p,
+            trace,
         } => {
             enc.u8(3);
             encode_program(&mut enc, program);
@@ -679,6 +819,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
                 enc.f64(pfail);
             }
             enc.f64(*target_p);
+            enc.u64(*trace);
         }
         Request::SweepGeometry {
             program,
@@ -686,6 +827,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             block_bytes,
             way_counts,
             target_p,
+            trace,
         } => {
             enc.u8(4);
             encode_program(&mut enc, program);
@@ -696,18 +838,21 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
                 enc.u32(ways);
             }
             enc.f64(*target_p);
+            enc.u64(*trace);
         }
         Request::Stats => enc.u8(5),
         Request::Shutdown => enc.u8(6),
-        Request::FetchEntry { key } => {
+        Request::FetchEntry { key, trace } => {
             enc.u8(7);
             enc.u64(*key);
+            enc.u64(*trace);
         }
         Request::OfferEntry { key, entry } => {
             enc.u8(8);
             enc.u64(*key);
             enc.bytes(entry);
         }
+        Request::Metrics => enc.u8(9),
     }
     frame(enc.buf)
 }
@@ -716,24 +861,40 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
 pub fn encode_response(response: &Response) -> Vec<u8> {
     let mut enc = Enc::new();
     match response {
-        Response::Analysis { row, micros } => {
+        Response::Analysis {
+            row,
+            micros,
+            trace,
+            stages,
+        } => {
             enc.u8(1);
             encode_analysis_row(&mut enc, row);
             enc.u64(*micros);
+            enc.u64(*trace);
+            encode_stage_timings(&mut enc, stages);
         }
-        Response::Batch { rows, micros } => {
+        Response::Batch {
+            rows,
+            micros,
+            trace,
+            stages,
+        } => {
             enc.u8(2);
             enc.u64(rows.len() as u64);
             for row in rows {
                 encode_analysis_row(&mut enc, row);
             }
             enc.u64(*micros);
+            enc.u64(*trace);
+            encode_stage_timings(&mut enc, stages);
         }
         Response::PfailSweep {
             name,
             served_from,
             rows,
             micros,
+            trace,
+            stages,
         } => {
             enc.u8(3);
             enc.str(name);
@@ -746,12 +907,16 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 enc.u64(row.pwcet_rw);
             }
             enc.u64(*micros);
+            enc.u64(*trace);
+            encode_stage_timings(&mut enc, stages);
         }
         Response::GeometrySweep {
             name,
             served_from,
             rows,
             micros,
+            trace,
+            stages,
         } => {
             enc.u8(4);
             enc.str(name);
@@ -764,6 +929,8 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 enc.u64(row.pwcet_rw);
             }
             enc.u64(*micros);
+            enc.u64(*trace);
+            encode_stage_timings(&mut enc, stages);
         }
         Response::Stats(stats) => {
             enc.u8(5);
@@ -789,6 +956,14 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         Response::OfferAck { stored } => {
             enc.u8(9);
             enc.u8(u8::from(*stored));
+        }
+        Response::Metrics { entries } => {
+            enc.u8(10);
+            enc.u64(entries.len() as u64);
+            for (name, value) in entries {
+                enc.str(name);
+                enc.u64(*value);
+            }
         }
     }
     frame(enc.buf)
@@ -920,6 +1095,21 @@ fn decode_error_code(dec: &mut Dec<'_>) -> Result<ErrorCode, ProtocolError> {
     })
 }
 
+fn decode_stage_timings(dec: &mut Dec<'_>) -> Result<Vec<StageTiming>, ProtocolError> {
+    let count = dec.seq_len(13)?; // stage tag + micros + count
+    let mut stages = Vec::with_capacity(count);
+    for _ in 0..count {
+        let stage =
+            Stage::from_tag(dec.u8()?).ok_or(ProtocolError::Malformed("stage timing tag"))?;
+        stages.push(StageTiming {
+            stage,
+            micros: dec.u64()?,
+            count: dec.u32()?,
+        });
+    }
+    Ok(stages)
+}
+
 fn decode_analysis_row(dec: &mut Dec<'_>) -> Result<AnalysisRow, ProtocolError> {
     Ok(AnalysisRow {
         name: dec.str()?,
@@ -1039,6 +1229,7 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<Request, ProtocolError> 
             program: decode_program(&mut dec)?,
             pfail: dec.f64()?,
             target_p: dec.f64()?,
+            trace: dec.u64()?,
         },
         2 => {
             let count = dec.seq_len(9)?;
@@ -1050,6 +1241,7 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<Request, ProtocolError> 
                 programs,
                 pfail: dec.f64()?,
                 target_p: dec.f64()?,
+                trace: dec.u64()?,
             }
         }
         3 => {
@@ -1063,6 +1255,7 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<Request, ProtocolError> 
                 program,
                 pfails,
                 target_p: dec.f64()?,
+                trace: dec.u64()?,
             }
         }
         4 => {
@@ -1080,11 +1273,15 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<Request, ProtocolError> 
                 block_bytes,
                 way_counts,
                 target_p: dec.f64()?,
+                trace: dec.u64()?,
             }
         }
         5 => Request::Stats,
         6 => Request::Shutdown,
-        7 => Request::FetchEntry { key: dec.u64()? },
+        7 => Request::FetchEntry {
+            key: dec.u64()?,
+            trace: dec.u64()?,
+        },
         8 => {
             let key = dec.u64()?;
             let len = dec.seq_len(1)?;
@@ -1093,6 +1290,7 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<Request, ProtocolError> 
                 entry: dec.take(len)?.to_vec(),
             }
         }
+        9 => Request::Metrics,
         _ => return Err(ProtocolError::Malformed("request tag")),
     };
     if dec.remaining() != 0 {
@@ -1112,6 +1310,8 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, ProtocolError
         1 => Response::Analysis {
             row: decode_analysis_row(&mut dec)?,
             micros: dec.u64()?,
+            trace: dec.u64()?,
+            stages: decode_stage_timings(&mut dec)?,
         },
         2 => {
             let count = dec.seq_len(13)?;
@@ -1122,6 +1322,8 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, ProtocolError
             Response::Batch {
                 rows,
                 micros: dec.u64()?,
+                trace: dec.u64()?,
+                stages: decode_stage_timings(&mut dec)?,
             }
         }
         3 => {
@@ -1142,6 +1344,8 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, ProtocolError
                 served_from,
                 rows,
                 micros: dec.u64()?,
+                trace: dec.u64()?,
+                stages: decode_stage_timings(&mut dec)?,
             }
         }
         4 => {
@@ -1162,6 +1366,8 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, ProtocolError
                 served_from,
                 rows,
                 micros: dec.u64()?,
+                trace: dec.u64()?,
+                stages: decode_stage_timings(&mut dec)?,
             }
         }
         5 => Response::Stats(Box::new(decode_stats(&mut dec)?)),
@@ -1189,6 +1395,15 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, ProtocolError
                 _ => return Err(ProtocolError::Malformed("offer ack flag")),
             },
         },
+        10 => {
+            let count = dec.seq_len(16)?; // name length prefix + value
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = dec.str()?;
+                entries.push((name, dec.u64()?));
+            }
+            Response::Metrics { entries }
+        }
         _ => return Err(ProtocolError::Malformed("response tag")),
     };
     if dec.remaining() != 0 {
@@ -1281,6 +1496,7 @@ mod tests {
             program: sample_program(),
             pfail: 1e-4,
             target_p: 1e-15,
+            trace: 0x1234_5678_9abc_def0,
         }
     }
 
@@ -1292,11 +1508,13 @@ mod tests {
                 programs: vec![sample_program(), Program::new("empty")],
                 pfail: 1e-5,
                 target_p: 1e-12,
+                trace: 7,
             },
             Request::SweepPfail {
                 program: sample_program(),
                 pfails: vec![1e-6, 1e-4, 1e-3],
                 target_p: 1e-15,
+                trace: 0,
             },
             Request::SweepGeometry {
                 program: sample_program(),
@@ -1304,11 +1522,14 @@ mod tests {
                 block_bytes: 16,
                 way_counts: vec![4, 2, 1],
                 target_p: 1e-15,
+                trace: u64::MAX,
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
             Request::FetchEntry {
                 key: 0xdead_beef_cafe_f00d,
+                trace: 99,
             },
             Request::OfferEntry {
                 key: 42,
@@ -1335,14 +1556,40 @@ mod tests {
             pwcet_rw: 1100,
             served_from: ReuseTier::Memory,
         };
+        let stages = vec![
+            StageTiming {
+                stage: Stage::QueueWait,
+                micros: 12,
+                count: 1,
+            },
+            StageTiming {
+                stage: Stage::Classify,
+                micros: 300,
+                count: 1,
+            },
+            StageTiming {
+                stage: Stage::IlpSolve,
+                micros: 88,
+                count: 1,
+            },
+            StageTiming {
+                stage: Stage::Convolve,
+                micros: 9,
+                count: 3,
+            },
+        ];
         let responses = [
             Response::Analysis {
                 row: row.clone(),
                 micros: 412,
+                trace: 0xfeed_beef,
+                stages: stages.clone(),
             },
             Response::Batch {
                 rows: vec![row.clone(), row],
                 micros: 999,
+                trace: 0,
+                stages: Vec::new(),
             },
             Response::PfailSweep {
                 name: "crc".into(),
@@ -1354,6 +1601,8 @@ mod tests {
                     pwcet_rw: 1100,
                 }],
                 micros: 10,
+                trace: 3,
+                stages: stages.clone(),
             },
             Response::GeometrySweep {
                 name: "crc".into(),
@@ -1365,6 +1614,8 @@ mod tests {
                     pwcet_rw: 1100,
                 }],
                 micros: 10,
+                trace: 4,
+                stages,
             },
             Response::Stats(Box::new(ServiceStats {
                 shards: 4,
@@ -1423,6 +1674,16 @@ mod tests {
             },
             Response::OfferAck { stored: true },
             Response::OfferAck { stored: false },
+            Response::Metrics {
+                entries: vec![
+                    ("request_latency_us_p50".to_string(), 412),
+                    ("request_latency_us_p99".to_string(), 2800),
+                    ("served".to_string(), 100),
+                ],
+            },
+            Response::Metrics {
+                entries: Vec::new(),
+            },
         ];
         for response in responses {
             let bytes = encode_response(&response);
@@ -1501,6 +1762,7 @@ mod tests {
             program: Program::new("deep").with_function("main", deep),
             pfail: 1e-4,
             target_p: 1e-15,
+            trace: 0,
         };
         // Encoding succeeds (the DSL's own depth cap is the server's
         // problem at validate time); the decoder must refuse the nesting

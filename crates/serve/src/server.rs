@@ -51,12 +51,16 @@ use pwcet_core::{
     AnalysisConfig, ContextCache, NetworkTier, Parallelism, ProgramAnalysis, Protection,
     PwcetAnalyzer, ReusePlane, ReuseTier,
 };
+use pwcet_obs::{
+    trace_scope, Counter, Histogram, Registry, SpanRecord, Stage, TraceId, Tracer,
+    DEFAULT_RING_CAPACITY,
+};
 use pwcet_progen::{CompiledProgram, Program};
 
 use crate::peer::{FleetConfig, PeerFleet};
 use crate::protocol::{
     self, AnalysisRow, ErrorCode, GeometryRow, PfailRow, ProtocolError, Request, Response,
-    ServiceStats, WireError,
+    ServiceStats, StageTiming, WireError,
 };
 use crate::shard::{ShardPool, SubmitError};
 
@@ -99,6 +103,11 @@ pub struct ServerConfig {
     /// Fleet membership for the reuse plane's network tier; `None` (or
     /// an empty peer list) runs single-node.
     pub fleet: Option<FleetConfig>,
+    /// Append-only JSONL span sink (`--trace-out`); every completed
+    /// stage span becomes one line, and the drained server's final
+    /// metrics table is appended as a last `"final_metrics"` record.
+    /// `None` keeps spans in the in-memory ring only.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +120,7 @@ impl Default for ServerConfig {
             poll: Duration::from_millis(25),
             frame_deadline: FRAME_DEADLINE,
             fleet: None,
+            trace_out: None,
         }
     }
 }
@@ -170,9 +180,71 @@ enum Outcome {
     },
 }
 
+/// What a shard worker sends back: the outcome plus the `(stage,
+/// dur_us)` spans its trace scope collected (queue wait and service
+/// time included), from which the connection thread builds the
+/// response's stage-timing breakdown.
+type Reply = (Result<Outcome, String>, Vec<(Stage, u64)>);
+
 struct Job {
     work: Work,
-    reply: mpsc::Sender<Result<Outcome, String>>,
+    /// Client-minted trace ID carried from the request frame.
+    trace: TraceId,
+    /// When the connection thread enqueued the job — the worker turns
+    /// this into the `queue_wait` span and histogram sample.
+    submitted: Instant,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// The server's telemetry plane: the span collector shared with every
+/// layer below (core pipeline, reuse plane, peer fleet) plus the
+/// metrics registry with the hot-path instruments resolved once.
+struct Telemetry {
+    tracer: Arc<Tracer>,
+    registry: Registry,
+    requests: Arc<Counter>,
+    request_latency_us: Arc<Histogram>,
+    queue_wait_us: Arc<Histogram>,
+    service_us: Arc<Histogram>,
+}
+
+impl Telemetry {
+    fn new(trace_out: Option<&PathBuf>) -> std::io::Result<Self> {
+        let tracer = Arc::new(match trace_out {
+            Some(path) => Tracer::with_sink(DEFAULT_RING_CAPACITY, path)?,
+            None => Tracer::new(DEFAULT_RING_CAPACITY),
+        });
+        let registry = Registry::new();
+        let requests = registry.counter("requests");
+        let request_latency_us = registry.histogram("request_latency_us");
+        let queue_wait_us = registry.histogram("queue_wait_us");
+        let service_us = registry.histogram("service_us");
+        Ok(Self {
+            tracer,
+            registry,
+            requests,
+            request_latency_us,
+            queue_wait_us,
+            service_us,
+        })
+    }
+
+    /// Records a span that was timed outside any [`trace_scope`] (queue
+    /// wait, worker service time, peer serves) straight into the ring
+    /// and sink.
+    fn record_span(&self, trace: TraceId, stage: Stage, dur_us: u64) {
+        self.tracer.record(SpanRecord {
+            trace,
+            stage,
+            start_us: self.tracer.now_us().saturating_sub(dur_us),
+            dur_us,
+        });
+        // `service` and `peer_serve` are the last spans of their
+        // request, so flushing here keeps the JSONL sink live — a
+        // tailing reader sees each request's spans as it completes
+        // rather than at drain.
+        self.tracer.flush();
+    }
 }
 
 #[derive(Default)]
@@ -319,6 +391,7 @@ struct Shared {
     queue_capacity: usize,
     deadline: Duration,
     fleet: Option<Arc<PeerFleet>>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Shared {
@@ -372,6 +445,43 @@ impl Shared {
             store_bytes: self.engine.plane.disk_store_bytes().unwrap_or(0),
         }
     }
+
+    /// The full self-describing metrics table answered by
+    /// [`Request::Metrics`]: every legacy [`ServiceStats`] counter by
+    /// its frozen name, the lower layers' own `entries()` enumerations
+    /// (which may grow without protocol changes), tracer health, and
+    /// the registry's instruments — histograms expanded to exact
+    /// `_count/_sum/_mean/_p50/_p95/_p99/_max` rows.
+    fn metrics_table(&self) -> Vec<(String, u64)> {
+        let mut table: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for (name, value) in self.stats().entries() {
+            table.insert(name.to_string(), value);
+        }
+        // Lower-layer enumerators: overlapping names carry the same
+        // values as the legacy rows (both read the same counters);
+        // names only they know (eviction counts, bound flips, template
+        // builds…) are the growth path.
+        for (name, value) in self.engine.plane.stats().entries() {
+            table.insert(name.to_string(), value);
+        }
+        for (name, value) in self.engine.plane.ilp_stats().entries() {
+            table.insert(format!("ilp_{name}"), value);
+        }
+        for (name, value) in self.engine.plane.kernel_stats().entries() {
+            table.insert(format!("classify_{name}"), value);
+        }
+        for (name, value) in self.engine.plane.template_registry().counters().entries() {
+            table.insert(name.to_string(), value);
+        }
+        table.insert(
+            "trace_spans_dropped".to_string(),
+            self.telemetry.tracer.dropped(),
+        );
+        for (name, value) in self.telemetry.registry.snapshot().table() {
+            table.insert(name, value);
+        }
+        table.into_iter().collect()
+    }
 }
 
 /// A running analysis server. Dropping it performs the same graceful
@@ -423,6 +533,7 @@ impl Server {
             shard_analysis.parallelism = Parallelism::threads((total / shards).max(1));
         }
         let counters = Arc::new(Counters::default());
+        let telemetry = Arc::new(Telemetry::new(config.trace_out.as_ref())?);
         let engine = Arc::new(Engine {
             plane,
             config: shard_analysis,
@@ -430,14 +541,36 @@ impl Server {
         });
         let worker_engine = Arc::clone(&engine);
         let worker_counters = Arc::clone(&counters);
+        let worker_telemetry = Arc::clone(&telemetry);
         let pool = ShardPool::new(shards, config.queue_capacity, move |_, job: Job| {
-            let Job { work, reply } = job;
-            let result = catch_unwind(AssertUnwindSafe(|| worker_engine.execute(work)))
-                .unwrap_or_else(|_| Err("internal panic during analysis".to_string()));
+            let Job {
+                work,
+                trace,
+                submitted,
+                reply,
+            } = job;
+            // Queue wait ends the moment the worker picks the job up;
+            // it is disjoint from every span the trace scope collects.
+            let queue_us = submitted.elapsed().as_micros() as u64;
+            worker_telemetry.queue_wait_us.record(queue_us);
+            worker_telemetry.record_span(trace, Stage::QueueWait, queue_us);
+            let service_started = Instant::now();
+            // The scope collects the pipeline's stage spans (classify,
+            // ILP, convolution, decode, peer fetch) recorded on this
+            // thread and arms `current_trace()` for the peer layer.
+            let (result, mut spans) = trace_scope(&worker_telemetry.tracer, trace, || {
+                catch_unwind(AssertUnwindSafe(|| worker_engine.execute(work)))
+                    .unwrap_or_else(|_| Err("internal panic during analysis".to_string()))
+            });
+            let service_us = service_started.elapsed().as_micros() as u64;
+            worker_telemetry.service_us.record(service_us);
+            worker_telemetry.record_span(trace, Stage::Service, service_us);
+            spans.insert(0, (Stage::QueueWait, queue_us));
+            spans.push((Stage::Service, service_us));
             worker_counters.served.fetch_add(1, Ordering::Relaxed);
             // The requester may have given up (connection died); a failed
             // send is not an error.
-            let _ = reply.send(result);
+            let _ = reply.send((result, spans));
         });
 
         // The fleet is attached after the plane exists (it needs the
@@ -465,6 +598,7 @@ impl Server {
             queue_capacity: config.queue_capacity,
             deadline: config.frame_deadline,
             fleet,
+            telemetry,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -489,6 +623,18 @@ impl Server {
     /// Current service counters (what [`Request::Stats`] answers).
     pub fn stats(&self) -> ServiceStats {
         self.shared.stats()
+    }
+
+    /// The full self-describing metrics table (what [`Request::Metrics`]
+    /// answers): legacy counters by their frozen names plus every
+    /// registry instrument, histograms expanded to exact quantile rows.
+    pub fn metrics_table(&self) -> Vec<(String, u64)> {
+        self.shared.metrics_table()
+    }
+
+    /// The span collector: ring snapshots for tests and tooling.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.shared.telemetry.tracer
     }
 
     /// Whether a shutdown was requested (locally or by a client).
@@ -522,9 +668,11 @@ impl Server {
     }
 
     /// The drain sequence shared by [`shutdown`](Self::shutdown) and
-    /// drop; idempotent.
+    /// drop; idempotent (the taken accept handle gates the
+    /// once-per-server steps).
     fn drain_and_join(&mut self) {
         self.request_shutdown();
+        let first_drain = self.accept.is_some();
         if let Some(accept) = self.accept.take() {
             // Wake the blocking accept so it observes the stop flag.
             let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
@@ -542,6 +690,30 @@ impl Server {
         self.shared.engine.plane.flush();
         if let Some(fleet) = &self.shared.fleet {
             fleet.shutdown();
+        }
+        if first_drain {
+            // The final table survives the process: one JSONL record in
+            // the span sink (when configured) and a log line, not only
+            // the value returned to whoever called `shutdown`.
+            let table = self.shared.metrics_table();
+            let mut json = String::from("{\"record\":\"final_metrics\"");
+            for (name, value) in &table {
+                use std::fmt::Write as _;
+                let _ = write!(json, ",\"{name}\":{value}");
+            }
+            json.push('}');
+            self.shared.telemetry.tracer.sink_line(&json);
+            self.shared.telemetry.tracer.flush();
+            let stats = self.shared.stats();
+            eprintln!(
+                "pwcet-serve: drained; served={} overloads={} protocol_errors={} \
+                 cold_builds={} store_bytes={}",
+                stats.served,
+                stats.overloads,
+                stats.protocol_errors,
+                stats.cold_builds,
+                stats.store_bytes
+            );
         }
     }
 }
@@ -775,6 +947,15 @@ fn dispatch(
             respond(stream, &Response::Stats(Box::new(shared.stats())))?;
             Ok(true)
         }
+        Request::Metrics => {
+            respond(
+                stream,
+                &Response::Metrics {
+                    entries: shared.metrics_table(),
+                },
+            )?;
+            Ok(true)
+        }
         Request::Shutdown => {
             shared.stop.store(true, Ordering::Relaxed);
             respond(stream, &Response::ShutdownStarted)?;
@@ -785,8 +966,16 @@ fn dispatch(
         // never by fetching from *our* peers in turn (export/import only
         // touch local tiers), so two nodes fetching from each other can
         // not deadlock or loop.
-        Request::FetchEntry { key } => {
+        Request::FetchEntry { key, trace } => {
+            // The serving side of a peer hop: the export is recorded as
+            // a `peer_serve` span under the *requester's* trace, so one
+            // trace ID stitches both nodes' rings together.
             let entry = shared.engine.plane.export_entry(key);
+            shared.telemetry.record_span(
+                TraceId(trace),
+                Stage::PeerServe,
+                started.elapsed().as_micros() as u64,
+            );
             if entry.is_some() {
                 shared
                     .counters
@@ -811,6 +1000,7 @@ fn dispatch(
             program,
             pfail,
             target_p,
+            trace,
         } => {
             let work = match prepare_analyze(shared, &program, pfail, target_p) {
                 Ok(work) => work,
@@ -819,7 +1009,7 @@ fn dispatch(
                     return Ok(true);
                 }
             };
-            let response = run_job(shared, work, started);
+            let response = run_job(shared, work, TraceId(trace), started);
             respond(stream, &response)?;
             Ok(true)
         }
@@ -827,8 +1017,9 @@ fn dispatch(
             programs,
             pfail,
             target_p,
+            trace,
         } => {
-            let response = run_batch(shared, &programs, pfail, target_p, started);
+            let response = run_batch(shared, &programs, pfail, target_p, TraceId(trace), started);
             respond(stream, &response)?;
             Ok(true)
         }
@@ -836,6 +1027,7 @@ fn dispatch(
             program,
             pfails,
             target_p,
+            trace,
         } => {
             let work = match prepare_pfail_sweep(shared, &program, pfails, target_p) {
                 Ok(work) => work,
@@ -844,7 +1036,7 @@ fn dispatch(
                     return Ok(true);
                 }
             };
-            let response = run_job(shared, work, started);
+            let response = run_job(shared, work, TraceId(trace), started);
             respond(stream, &response)?;
             Ok(true)
         }
@@ -854,6 +1046,7 @@ fn dispatch(
             block_bytes,
             way_counts,
             target_p,
+            trace,
         } => {
             let work = match prepare_geometry_sweep(
                 shared,
@@ -869,11 +1062,36 @@ fn dispatch(
                     return Ok(true);
                 }
             };
-            let response = run_job(shared, work, started);
+            let response = run_job(shared, work, TraceId(trace), started);
             respond(stream, &response)?;
             Ok(true)
         }
     }
+}
+
+/// Collapses a scope's span list into the wire breakdown: one
+/// [`StageTiming`] per stage in tag order, durations summed and
+/// occurrences counted.
+fn aggregate_stages(spans: &[(Stage, u64)]) -> Vec<StageTiming> {
+    let mut timings: Vec<StageTiming> = Vec::new();
+    for stage in Stage::ALL {
+        let mut micros = 0u64;
+        let mut count = 0u32;
+        for &(s, dur) in spans {
+            if s == stage {
+                micros = micros.saturating_add(dur);
+                count += 1;
+            }
+        }
+        if count > 0 {
+            timings.push(StageTiming {
+                stage,
+                micros,
+                count,
+            });
+        }
+    }
+    timings
 }
 
 fn prepare_analyze(
@@ -984,10 +1202,17 @@ fn prepare_geometry_sweep(
 }
 
 /// Submits one prepared job and blocks for its outcome.
-fn run_job(shared: &Shared, (key, work): (u64, Work), started: Instant) -> Response {
+fn run_job(
+    shared: &Shared,
+    (key, work): (u64, Work),
+    trace: TraceId,
+    started: Instant,
+) -> Response {
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         work,
+        trace,
+        submitted: Instant::now(),
         reply: reply_tx,
     };
     match shared.pool.submit(key, job) {
@@ -1004,10 +1229,19 @@ fn run_job(shared: &Shared, (key, work): (u64, Work), started: Instant) -> Respo
         }
     }
     match reply_rx.recv() {
-        Ok(Ok(outcome)) => {
+        Ok((Ok(outcome), spans)) => {
             let micros = started.elapsed().as_micros() as u64;
+            shared.telemetry.requests.inc();
+            shared.telemetry.request_latency_us.record(micros);
+            let trace = trace.0;
+            let stages = aggregate_stages(&spans);
             match outcome {
-                Outcome::Row(row) => Response::Analysis { row, micros },
+                Outcome::Row(row) => Response::Analysis {
+                    row,
+                    micros,
+                    trace,
+                    stages,
+                },
                 Outcome::Pfail {
                     name,
                     served_from,
@@ -1017,6 +1251,8 @@ fn run_job(shared: &Shared, (key, work): (u64, Work), started: Instant) -> Respo
                     served_from,
                     rows,
                     micros,
+                    trace,
+                    stages,
                 },
                 Outcome::Geometry {
                     name,
@@ -1027,10 +1263,12 @@ fn run_job(shared: &Shared, (key, work): (u64, Work), started: Instant) -> Respo
                     served_from,
                     rows,
                     micros,
+                    trace,
+                    stages,
                 },
             }
         }
-        Ok(Err(message)) => error_response(ErrorCode::Analysis, message),
+        Ok((Err(message), _)) => error_response(ErrorCode::Analysis, message),
         Err(_) => error_response(ErrorCode::Analysis, "worker dropped the request"),
     }
 }
@@ -1042,6 +1280,7 @@ fn run_batch(
     programs: &[Program],
     pfail: f64,
     target_p: f64,
+    trace: TraceId,
     started: Instant,
 ) -> Response {
     if programs.len() > MAX_BATCH_PROGRAMS {
@@ -1062,6 +1301,8 @@ fn run_batch(
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {
             work,
+            trace,
+            submitted: Instant::now(),
             reply: reply_tx,
         };
         match shared.pool.submit(key, job) {
@@ -1084,18 +1325,30 @@ fn run_batch(
         }
     }
     let mut rows = Vec::with_capacity(submissions.len());
+    // Stage durations are summed across every job in the batch; since
+    // the jobs run on concurrent shards, the sums may exceed the batch's
+    // wall-clock `micros` (documented on the wire struct).
+    let mut spans = Vec::new();
     for reply_rx in submissions {
         match reply_rx.recv() {
-            Ok(Ok(Outcome::Row(row))) => rows.push(row),
-            Ok(Ok(_)) => {
+            Ok((Ok(Outcome::Row(row)), job_spans)) => {
+                rows.push(row);
+                spans.extend(job_spans);
+            }
+            Ok((Ok(_), _)) => {
                 return error_response(ErrorCode::Analysis, "worker answered the wrong job type")
             }
-            Ok(Err(message)) => return error_response(ErrorCode::Analysis, message),
+            Ok((Err(message), _)) => return error_response(ErrorCode::Analysis, message),
             Err(_) => return error_response(ErrorCode::Analysis, "worker dropped the request"),
         }
     }
+    let micros = started.elapsed().as_micros() as u64;
+    shared.telemetry.requests.inc();
+    shared.telemetry.request_latency_us.record(micros);
     Response::Batch {
         rows,
-        micros: started.elapsed().as_micros() as u64,
+        micros,
+        trace: trace.0,
+        stages: aggregate_stages(&spans),
     }
 }

@@ -7,6 +7,7 @@ use std::net::TcpListener;
 use std::time::{Duration, Instant};
 
 use pwcet_core::ReuseTier;
+use pwcet_obs::{Stage, TraceId};
 use pwcet_progen::{stmt, Program};
 use pwcet_serve::protocol::{self, Request, Response};
 use pwcet_serve::{AnalysisRow, Client, FleetConfig, Server, ServerConfig};
@@ -70,6 +71,83 @@ fn peer_answers_the_duplicate_from_the_network_tier() {
 
     let stats_a = node_a.shutdown();
     assert_eq!(stats_a.peer_fetches_served, 1, "A served B's fetch");
+}
+
+/// One client-minted trace ID covers both sides of a peer-fetch hop:
+/// the requesting node's ring holds the request's `peer_fetch` (and
+/// pipeline) spans under the ID, and the *serving* node's ring holds a
+/// `peer_serve` span under the very same ID — the wire carried it
+/// across the fleet.
+#[test]
+fn one_trace_id_spans_both_nodes_of_a_peer_fetch() {
+    let node_a = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind A");
+    let mut client_a = Client::connect(node_a.local_addr()).expect("connect A");
+    let cold_row = analyze(&mut client_a, program());
+    assert_eq!(cold_row.served_from, ReuseTier::Cold);
+
+    let config_b = ServerConfig {
+        fleet: Some(FleetConfig::new(
+            "127.0.0.1:1", // placeholder self entry, never dialed
+            [node_a.local_addr().to_string()],
+        )),
+        ..ServerConfig::default()
+    };
+    let node_b = Server::bind("127.0.0.1:0", config_b).expect("bind B");
+    let mut client_b = Client::connect(node_b.local_addr()).expect("connect B");
+
+    let trace = TraceId::mint();
+    let response = client_b
+        .analyze_traced(program(), 1e-4, 1e-15, trace.0)
+        .expect("traced analyze");
+    let Response::Analysis {
+        row,
+        trace: echoed,
+        stages,
+        micros,
+        ..
+    } = response
+    else {
+        panic!("expected an analysis response");
+    };
+    assert_eq!(row.served_from, ReuseTier::Network);
+    assert_eq!(echoed, trace.0, "the response echoes the minted trace");
+
+    // The breakdown names the hop, and the leaf stages plus queue wait
+    // are disjoint slices of the request, so their sum is bounded by
+    // the wall-clock latency.
+    assert!(
+        stages.iter().any(|t| t.stage == Stage::PeerFetch),
+        "breakdown must contain the peer fetch: {stages:?}"
+    );
+    let leaf_sum: u64 = stages
+        .iter()
+        .filter(|t| t.stage != Stage::Service)
+        .map(|t| t.micros)
+        .sum();
+    assert!(
+        leaf_sum <= micros,
+        "disjoint stage sum {leaf_sum}us exceeds request latency {micros}us"
+    );
+
+    // Requesting side: pipeline spans under the minted trace.
+    let ring_b = node_b.tracer().ring_snapshot();
+    assert!(
+        ring_b
+            .iter()
+            .any(|s| s.trace == trace && s.stage == Stage::PeerFetch),
+        "B's ring must hold the peer_fetch span under the trace"
+    );
+    // Serving side: the same ID, carried in the FetchEntry frame.
+    let ring_a = node_a.tracer().ring_snapshot();
+    assert!(
+        ring_a
+            .iter()
+            .any(|s| s.trace == trace && s.stage == Stage::PeerServe),
+        "A's ring must hold a peer_serve span under the same trace"
+    );
+
+    node_b.shutdown();
+    node_a.shutdown();
 }
 
 /// After a cold build, the owning peer receives the entry via the async
@@ -145,7 +223,7 @@ fn poisoned_peer_entry_degrades_to_a_counted_cold_build() {
                     break;
                 };
                 let response = match request {
-                    Request::FetchEntry { key } => Response::Entry {
+                    Request::FetchEntry { key, .. } => Response::Entry {
                         key,
                         entry: Some(b"definitely not a PWCX entry".to_vec()),
                     },

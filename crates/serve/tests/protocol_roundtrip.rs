@@ -8,10 +8,11 @@ use proptest::prelude::*;
 use proptest::BoxedStrategy;
 
 use pwcet_core::ReuseTier;
+use pwcet_obs::Stage;
 use pwcet_progen::{stmt, Program, Stmt};
 use pwcet_serve::protocol::{
     decode_request, decode_response, encode_request, encode_response, AnalysisRow, GeometryRow,
-    PfailRow, Request, Response, ServedFrom, ServiceStats,
+    PfailRow, Request, Response, ServedFrom, ServiceStats, StageTiming,
 };
 use pwcet_serve::ErrorCode;
 
@@ -96,55 +97,95 @@ fn request_strategy() -> BoxedStrategy<Request> {
         (
             program_strategy(),
             probability_strategy(),
-            probability_strategy()
+            probability_strategy(),
+            any::<u64>()
         )
-            .prop_map(|(program, pfail, target_p)| Request::Analyze {
+            .prop_map(|(program, pfail, target_p, trace)| Request::Analyze {
                 program,
                 pfail,
                 target_p,
+                trace,
             }),
         (
             vec(program_strategy(), 0..4),
             probability_strategy(),
-            probability_strategy()
+            probability_strategy(),
+            any::<u64>()
         )
-            .prop_map(|(programs, pfail, target_p)| Request::Batch {
+            .prop_map(|(programs, pfail, target_p, trace)| Request::Batch {
                 programs,
                 pfail,
                 target_p,
+                trace,
             }),
         (
             program_strategy(),
             vec(probability_strategy(), 0..6),
-            probability_strategy()
+            probability_strategy(),
+            any::<u64>()
         )
-            .prop_map(|(program, pfails, target_p)| Request::SweepPfail {
+            .prop_map(|(program, pfails, target_p, trace)| Request::SweepPfail {
                 program,
                 pfails,
                 target_p,
+                trace,
             }),
         (
             program_strategy(),
             (0u32..12).prop_map(|s| 1 << s),
             (2u32..10).prop_map(|b| 1 << b),
             vec(1u32..64, 0..5),
-            probability_strategy()
+            probability_strategy(),
+            any::<u64>()
         )
-            .prop_map(|(program, sets, block_bytes, way_counts, target_p)| {
-                Request::SweepGeometry {
-                    program,
-                    sets,
-                    block_bytes,
-                    way_counts,
-                    target_p,
+            .prop_map(
+                |(program, sets, block_bytes, way_counts, target_p, trace)| {
+                    Request::SweepGeometry {
+                        program,
+                        sets,
+                        block_bytes,
+                        way_counts,
+                        target_p,
+                        trace,
+                    }
                 }
-            }),
-        any::<u64>().prop_map(|key| Request::FetchEntry { key }),
+            ),
+        (any::<u64>(), any::<u64>()).prop_map(|(key, trace)| Request::FetchEntry { key, trace }),
         (any::<u64>(), vec(any::<u8>(), 0..512))
             .prop_map(|(key, entry)| Request::OfferEntry { key, entry }),
         Just(Request::Stats),
         Just(Request::Shutdown),
+        Just(Request::Metrics),
     ]
+    .boxed()
+}
+
+fn stage_strategy() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        Just(Stage::CfgExpand),
+        Just(Stage::Classify),
+        Just(Stage::IlpSolve),
+        Just(Stage::Convolve),
+        Just(Stage::CodecDecode),
+        Just(Stage::PeerFetch),
+        Just(Stage::QueueWait),
+        Just(Stage::Service),
+        Just(Stage::PeerServe),
+    ]
+    .boxed()
+}
+
+fn stages_strategy() -> BoxedStrategy<Vec<StageTiming>> {
+    vec(
+        (stage_strategy(), any::<u64>(), any::<u32>()).prop_map(|(stage, micros, count)| {
+            StageTiming {
+                stage,
+                micros,
+                count,
+            }
+        }),
+        0..6,
+    )
     .boxed()
 }
 
@@ -271,10 +312,30 @@ fn stats_strategy() -> BoxedStrategy<ServiceStats> {
 
 fn response_strategy() -> BoxedStrategy<Response> {
     prop_oneof![
-        (analysis_row_strategy(), any::<u64>())
-            .prop_map(|(row, micros)| Response::Analysis { row, micros }),
-        (vec(analysis_row_strategy(), 0..5), any::<u64>())
-            .prop_map(|(rows, micros)| Response::Batch { rows, micros }),
+        (
+            analysis_row_strategy(),
+            any::<u64>(),
+            any::<u64>(),
+            stages_strategy()
+        )
+            .prop_map(|(row, micros, trace, stages)| Response::Analysis {
+                row,
+                micros,
+                trace,
+                stages,
+            }),
+        (
+            vec(analysis_row_strategy(), 0..5),
+            any::<u64>(),
+            any::<u64>(),
+            stages_strategy()
+        )
+            .prop_map(|(rows, micros, trace, stages)| Response::Batch {
+                rows,
+                micros,
+                trace,
+                stages,
+            }),
         (
             name_strategy(),
             tier_strategy(),
@@ -295,13 +356,19 @@ fn response_strategy() -> BoxedStrategy<Response> {
                     }),
                 0..6
             ),
-            any::<u64>()
+            any::<u64>(),
+            any::<u64>(),
+            stages_strategy()
         )
-            .prop_map(|(name, served_from, rows, micros)| Response::PfailSweep {
-                name,
-                served_from,
-                rows,
-                micros,
+            .prop_map(|(name, served_from, rows, micros, trace, stages)| {
+                Response::PfailSweep {
+                    name,
+                    served_from,
+                    rows,
+                    micros,
+                    trace,
+                    stages,
+                }
             }),
         (
             name_strategy(),
@@ -317,17 +384,23 @@ fn response_strategy() -> BoxedStrategy<Response> {
                 ),
                 0..6
             ),
-            any::<u64>()
+            any::<u64>(),
+            any::<u64>(),
+            stages_strategy()
         )
-            .prop_map(
-                |(name, served_from, rows, micros)| Response::GeometrySweep {
+            .prop_map(|(name, served_from, rows, micros, trace, stages)| {
+                Response::GeometrySweep {
                     name,
                     served_from,
                     rows,
                     micros,
+                    trace,
+                    stages,
                 }
-            ),
+            }),
         stats_strategy().prop_map(|s| Response::Stats(Box::new(s))),
+        vec((name_strategy(), any::<u64>()), 0..12)
+            .prop_map(|entries| Response::Metrics { entries }),
         (any::<u64>(), proptest::option::of(vec(any::<u8>(), 0..512)))
             .prop_map(|(key, entry)| Response::Entry { key, entry }),
         any::<bool>().prop_map(|stored| Response::OfferAck { stored }),

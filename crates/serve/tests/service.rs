@@ -29,7 +29,7 @@ fn analyze(client: &mut Client, program: Program) -> (AnalysisRow, u64) {
         .analyze(program, 1e-4, 1e-15)
         .expect("request succeeds")
     {
-        Response::Analysis { row, micros } => (row, micros),
+        Response::Analysis { row, micros, .. } => (row, micros),
         other => panic!("expected an analysis response, got {other:?}"),
     }
 }
@@ -162,6 +162,7 @@ fn batch_and_sweeps_answer_with_provenance() {
             programs,
             pfail: 1e-4,
             target_p: 1e-15,
+            trace: 0,
         })
         .expect("batch");
     let Response::Batch { rows, .. } = response else {
@@ -181,6 +182,7 @@ fn batch_and_sweeps_answer_with_provenance() {
             program: bench("bs"),
             pfails: vec![1e-5, 1e-4, 1e-3],
             target_p: 1e-15,
+            trace: 0,
         })
         .expect("sweep");
     let Response::PfailSweep {
@@ -204,6 +206,7 @@ fn batch_and_sweeps_answer_with_provenance() {
             block_bytes: 16,
             way_counts: vec![4, 2, 1],
             target_p: 1e-15,
+            trace: 0,
         })
         .expect("geometry sweep");
     let Response::GeometrySweep { rows, .. } = response else {
@@ -265,6 +268,7 @@ fn invalid_requests_are_refused_not_crashed() {
             program: bench("bs"),
             pfails: vec![],
             target_p: 1e-15,
+            trace: 0,
         })
         .expect("transport ok");
     assert!(matches!(
@@ -281,6 +285,7 @@ fn invalid_requests_are_refused_not_crashed() {
             block_bytes: 16,
             way_counts: vec![4],
             target_p: 1e-15,
+            trace: 0,
         })
         .expect("transport ok");
     assert!(matches!(
@@ -383,6 +388,81 @@ fn shutdown_drains_in_flight_work() {
     let stats = server.shutdown();
     assert_eq!(stats.queued, 0, "nothing left behind");
     assert!(stats.served >= 1);
+}
+
+#[test]
+fn metrics_table_covers_legacy_stats_and_exact_quantiles() {
+    let server = server_with(2, 8);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Two traced requests: one cold, one warm — both feed the latency
+    // and queue/service histograms.
+    let trace = pwcet_obs::TraceId::mint();
+    let response = client
+        .analyze_traced(bench("fibcall"), 1e-4, 1e-15, trace.0)
+        .expect("traced analyze");
+    let Response::Analysis {
+        micros,
+        trace: echoed,
+        stages,
+        ..
+    } = response
+    else {
+        panic!("expected an analysis response");
+    };
+    assert_eq!(echoed, trace.0);
+    analyze(&mut client, bench("fibcall"));
+
+    // For a single Analyze, the leaf stages plus queue wait are
+    // disjoint slices of the request, so their sum is bounded by the
+    // wall-clock latency; `service` is their parent, not a sibling.
+    assert!(!stages.is_empty(), "cold analyze must report stages");
+    let leaf_sum: u64 = stages
+        .iter()
+        .filter(|t| t.stage != pwcet_obs::Stage::Service)
+        .map(|t| t.micros)
+        .sum();
+    assert!(
+        leaf_sum <= micros,
+        "stage sum {leaf_sum}us exceeds latency {micros}us: {stages:?}"
+    );
+    // The shard layer splits waiting from working.
+    assert!(stages
+        .iter()
+        .any(|t| t.stage == pwcet_obs::Stage::QueueWait));
+    assert!(stages.iter().any(|t| t.stage == pwcet_obs::Stage::Service));
+
+    let table = client.metrics().expect("metrics verb");
+    let names: std::collections::BTreeMap<&str, u64> =
+        table.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+
+    // Every legacy ServiceStats counter appears under its frozen name —
+    // scrapers built against the struct keep working off the table.
+    for (legacy, _) in pwcet_serve::ServiceStats::default().entries() {
+        assert!(
+            names.contains_key(legacy),
+            "metrics table is missing legacy counter {legacy:?}"
+        );
+    }
+    assert_eq!(names["served"], 2);
+
+    // Histogram-backed instruments expose exact quantile rows, and two
+    // requests really landed in them.
+    for instrument in ["request_latency_us", "queue_wait_us", "service_us"] {
+        for suffix in ["count", "sum", "mean", "p50", "p95", "p99", "max"] {
+            assert!(
+                names.contains_key(format!("{instrument}_{suffix}").as_str()),
+                "missing histogram row {instrument}_{suffix}"
+            );
+        }
+    }
+    assert_eq!(names["request_latency_us_count"], 2);
+    assert_eq!(names["queue_wait_us_count"], 2);
+    assert_eq!(names["service_us_count"], 2);
+    assert!(names["request_latency_us_p99"] >= names["request_latency_us_p50"]);
+    assert!(names["request_latency_us_max"] >= names["request_latency_us_p99"]);
+
+    server.shutdown();
 }
 
 #[test]

@@ -18,7 +18,8 @@
 use std::time::Instant;
 
 use fault_aware_pwcet::benchsuite;
-use fault_aware_pwcet::serve::{Client, Request, Response, Server, ServerConfig};
+use fault_aware_pwcet::obs::TraceId;
+use fault_aware_pwcet::serve::{Client, Request, Response, Server, ServerConfig, StageTiming};
 
 const BENCHMARKS: [&str; 3] = ["bs", "crc", "fir"];
 const PFAIL: f64 = 1e-4;
@@ -57,6 +58,16 @@ fn run_pass(label: &str, client: &mut Client) {
     }
 }
 
+/// The server-side stage breakdown echoed under the client's minted
+/// trace ID — where the sweep's time actually went.
+fn print_stages(trace: u64, stages: &[StageTiming]) {
+    let parts: Vec<String> = stages
+        .iter()
+        .map(|t| format!("{}={}us", t.stage.label(), t.micros))
+        .collect();
+    println!("{:>10} trace={} {}", "", TraceId(trace), parts.join(" "));
+}
+
 fn main() {
     let dir = store_dir();
     let _ = std::fs::remove_dir_all(&dir);
@@ -87,6 +98,7 @@ fn main() {
             program: crc.program.clone(),
             pfails: vec![1e-6, 1e-5, 1e-4, 1e-3],
             target_p: TARGET_P,
+            trace: TraceId::mint().0,
         })
         .expect("sweep succeeds")
     {
@@ -95,6 +107,8 @@ fn main() {
             served_from,
             rows,
             micros,
+            trace,
+            stages,
         } => {
             for row in rows {
                 println!(
@@ -106,6 +120,7 @@ fn main() {
                     micros
                 );
             }
+            print_stages(trace, &stages);
         }
         other => panic!("unexpected response: {other:?}"),
     }
@@ -116,6 +131,7 @@ fn main() {
             block_bytes: 16,
             way_counts: vec![4, 3, 2, 1],
             target_p: TARGET_P,
+            trace: TraceId::mint().0,
         })
         .expect("sweep succeeds")
     {
@@ -124,6 +140,8 @@ fn main() {
             served_from,
             rows,
             micros,
+            trace,
+            stages,
         } => {
             for row in rows {
                 println!(
@@ -135,6 +153,7 @@ fn main() {
                     micros
                 );
             }
+            print_stages(trace, &stages);
         }
         other => panic!("unexpected response: {other:?}"),
     }

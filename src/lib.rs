@@ -23,6 +23,9 @@
 //! * [`serve`] — the sharded analysis service: `PWCQ` wire protocol,
 //!   bounded work-queue shards over a shared reuse plane, TCP server
 //!   (`pwcet-serve`) and client (`pwcet-client`).
+//! * [`obs`] — the hand-rolled telemetry plane: RAII stage spans under
+//!   wire-propagated trace IDs, and a lock-free metrics registry with
+//!   log-bucketed latency histograms (exact p50/p95/p99 exposition).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use pwcet_core as core;
 pub use pwcet_ilp as ilp;
 pub use pwcet_ipet as ipet;
 pub use pwcet_mips as mips;
+pub use pwcet_obs as obs;
 pub use pwcet_prob as prob;
 pub use pwcet_progen as progen;
 pub use pwcet_serve as serve;
