@@ -737,6 +737,19 @@ impl ReusePlane {
             .disk
             .as_ref()
             .and_then(|disk| fs::read(disk.entry_path(key)).ok());
+        #[cfg(feature = "chaos")]
+        let disk_bytes = disk_bytes.map(|mut bytes| {
+            // A flipped bit on the read path models silent media
+            // corruption: strict decode validation catches it, the
+            // entry is deleted and rebuilt cold (`disk_corrupt`).
+            if let Some(entropy) = pwcet_chaos::roll(pwcet_chaos::FaultPoint::DiskBitFlip) {
+                if !bytes.is_empty() {
+                    let at = (entropy as usize) % bytes.len();
+                    bytes[at] ^= 1 << ((entropy >> 32) % 8);
+                }
+            }
+            bytes
+        });
         let (bytes, tier) = match disk_bytes {
             Some(bytes) => (bytes, ReuseTier::Disk),
             None => {
@@ -1129,6 +1142,20 @@ const STALE_TMP_SECS: u64 = 60;
 /// an orphaned temp file, which the GC sweeps.
 fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     use std::sync::atomic::{AtomicU64, Ordering};
+    #[cfg(feature = "chaos")]
+    if pwcet_chaos::should_fire(pwcet_chaos::FaultPoint::DiskWriteError) {
+        // An ENOSPC-style refusal before any byte lands: the entry
+        // simply is not persisted and the caller counts the failure.
+        return Err(std::io::Error::other("chaos: injected disk write error"));
+    }
+    #[cfg(feature = "chaos")]
+    let bytes = match pwcet_chaos::roll(pwcet_chaos::FaultPoint::DiskShortWrite) {
+        // A short write that still gets renamed into place: the
+        // truncated entry reads back, fails strict decode validation,
+        // and is deleted and rebuilt cold — never trusted.
+        Some(entropy) if !bytes.is_empty() => &bytes[..(entropy as usize) % bytes.len()],
+        _ => bytes,
+    };
     static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
     let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
     let tmp = path.with_extension(format!("{}-{seq}.tmp", std::process::id()));

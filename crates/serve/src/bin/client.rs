@@ -1,14 +1,22 @@
 //! `pwcet-client` — submit analysis requests to a running `pwcet-serve`.
 //!
 //! ```text
-//! pwcet-client <HOST:PORT> suite [NAME…]         analyze benchsuite programs (default: all 25)
-//! pwcet-client <HOST:PORT> analyze NAME [-n K]   analyze one benchmark K times (default 1)
-//! pwcet-client <HOST:PORT> program FILE          submit a request frame exported to FILE
-//! pwcet-client <HOST:PORT> export NAME FILE      write NAME's analyze-request frame to FILE
-//! pwcet-client <HOST:PORT> stats [--json]        print the service counters
-//! pwcet-client <HOST:PORT> metrics [--json]      print the full metrics table (exact quantiles)
-//! pwcet-client <HOST:PORT> shutdown              ask the server to drain and exit
+//! pwcet-client <SERVERS> suite [NAME…]         analyze benchsuite programs (default: all 25)
+//! pwcet-client <SERVERS> analyze NAME [-n K]   analyze one benchmark K times (default 1)
+//! pwcet-client <SERVERS> program FILE          submit a request frame exported to FILE
+//! pwcet-client <SERVERS> export NAME FILE      write NAME's analyze-request frame to FILE
+//! pwcet-client <SERVERS> stats [--json]        print the service counters
+//! pwcet-client <SERVERS> metrics [--json]      print the full metrics table (exact quantiles)
+//! pwcet-client <SERVERS> shutdown              ask the server to drain and exit
 //! ```
+//!
+//! `<SERVERS>` is either a single `HOST:PORT` or `--servers a,b,…` — a
+//! comma-separated endpoint list the client fails over across: an
+//! idempotent request that times out or is refused at the connection
+//! level retries on the next endpoint (with jittered exponential
+//! backoff), and an `Overloaded` refusal is retried after the server's
+//! own `retry_after_ms` hint. `shutdown` never fails over — it would
+//! drain a second, healthy server.
 //!
 //! Analysis rows report the server's `served_from` tier provenance and
 //! the client-measured round-trip latency; multi-request commands end
@@ -16,21 +24,22 @@
 //! client-minted trace ID, echoed back with the server's per-stage
 //! timing breakdown. `metrics` dumps the self-describing name→value
 //! table in Prometheus text exposition style (or, with `--json`, as the
-//! flat one-pair-per-line JSON object the bench tooling uses).
+//! flat one-pair-per-line JSON object the bench tooling uses — with the
+//! client's own attempt counters appended as `client_*` rows).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use pwcet_obs::TraceId;
-use pwcet_serve::{Client, Request, Response, StageTiming};
+use pwcet_serve::{FleetClient, Request, Response, RetryStats, StageTiming};
 
 const DEFAULT_PFAIL: f64 = 1e-4;
 const DEFAULT_TARGET_P: f64 = 1e-15;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pwcet-client <HOST:PORT> <suite [NAME…] | analyze NAME [-n K] | program FILE | \
-         export NAME FILE | stats [--json] | metrics [--json] | shutdown>"
+        "usage: pwcet-client <HOST:PORT | --servers A,B,…> <suite [NAME…] | analyze NAME [-n K] | \
+         program FILE | export NAME FILE | stats [--json] | metrics [--json] | shutdown>"
     );
     std::process::exit(2);
 }
@@ -113,10 +122,21 @@ fn print_percentiles(mut latencies: Vec<u64>) {
     );
 }
 
+/// The client's own attempt accounting as `client_*` rows, appended to
+/// `--json` tables so a chaos or failover run shows how hard the client
+/// had to work alongside what the server saw.
+fn attempt_entries(stats: RetryStats) -> Vec<(String, u64)> {
+    vec![
+        ("client_attempts".to_string(), stats.attempts),
+        ("client_retries".to_string(), stats.retries),
+        ("client_failovers".to_string(), stats.failovers),
+    ]
+}
+
 /// Sends one request, prints its rows, and records the round trip.
 /// Returns `false` when the server answered with an error.
 fn submit(
-    client: &mut Client,
+    client: &mut FleetClient,
     request: &Request,
     latencies: &mut Vec<u64>,
 ) -> Result<bool, ExitCode> {
@@ -267,8 +287,17 @@ fn submit(
             println!("server acknowledged shutdown; draining");
             Ok(true)
         }
-        Response::Error { code, message } => {
-            eprintln!("pwcet-client: server refused ({code}): {message}");
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => {
+            match retry_after_ms {
+                Some(ms) => eprintln!(
+                    "pwcet-client: server refused ({code}): {message} (retry after {ms}ms)"
+                ),
+                None => eprintln!("pwcet-client: server refused ({code}): {message}"),
+            }
             Ok(false)
         }
     }
@@ -285,16 +314,35 @@ fn bench_program(name: &str) -> Result<pwcet_progen::Program, ExitCode> {
 }
 
 fn run() -> Result<ExitCode, ExitCode> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--servers a,b,…` replaces the positional address with an explicit
+    // failover list; a bare HOST:PORT is the one-endpoint special case.
+    let endpoints: Vec<String> = if args.first().map(String::as_str) == Some("--servers") {
+        if args.len() < 2 {
+            usage();
+        }
+        let list = args[1].clone();
+        args.drain(..2);
+        list.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect()
+    } else {
+        if args.is_empty() {
+            usage();
+        }
+        vec![args.remove(0)]
+    };
+    if endpoints.is_empty() || args.is_empty() {
         usage();
     }
-    let addr = &args[0];
-    let command = args[1].as_str();
+    let command = args[0].clone();
+    let command = command.as_str(); // `args[1..]` are the command operands
 
     // `export` needs no connection.
     if command == "export" {
-        let [name, file] = &args[2..] else { usage() };
+        let [name, file] = &args[1..] else { usage() };
         let program = bench_program(name)?;
         let frame = pwcet_serve::protocol::encode_request(&Request::Analyze {
             program,
@@ -307,15 +355,16 @@ fn run() -> Result<ExitCode, ExitCode> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    let mut client =
-        Client::connect(addr).map_err(|e| fail(format!("cannot connect to {addr}: {e}")))?;
+    // Connections are dialed lazily by the fleet client; a dead first
+    // endpoint surfaces as a failover on the first request, not here.
+    let mut client = FleetClient::new(endpoints);
     let mut latencies = Vec::new();
     let mut all_ok = true;
 
     match command {
         "suite" => {
-            let names: Vec<String> = if args.len() > 2 {
-                args[2..].to_vec()
+            let names: Vec<String> = if args.len() > 1 {
+                args[1..].to_vec()
             } else {
                 pwcet_benchsuite::names()
                     .into_iter()
@@ -336,13 +385,13 @@ fn run() -> Result<ExitCode, ExitCode> {
             print_percentiles(latencies);
         }
         "analyze" => {
-            if args.len() < 3 {
+            if args.len() < 2 {
                 usage();
             }
-            let name = &args[2];
-            let repeats = match args.get(3).map(String::as_str) {
+            let name = &args[1];
+            let repeats = match args.get(2).map(String::as_str) {
                 Some("-n") => args
-                    .get(4)
+                    .get(3)
                     .and_then(|v| v.parse::<usize>().ok())
                     .unwrap_or_else(|| usage()),
                 Some(_) => usage(),
@@ -362,7 +411,7 @@ fn run() -> Result<ExitCode, ExitCode> {
             print_percentiles(latencies);
         }
         "program" => {
-            let [file] = &args[2..] else { usage() };
+            let [file] = &args[1..] else { usage() };
             let bytes =
                 std::fs::read(file).map_err(|e| fail(format!("cannot read {file}: {e}")))?;
             let request = pwcet_serve::protocol::decode_request(&bytes)
@@ -371,25 +420,27 @@ fn run() -> Result<ExitCode, ExitCode> {
             all_ok &= submit(&mut client, &request, &mut latencies)?;
         }
         "stats" => {
-            if args.get(2).map(String::as_str) == Some("--json") {
+            if args.get(1).map(String::as_str) == Some("--json") {
                 let stats = client
                     .stats()
                     .map_err(|e| fail(format!("request failed: {e}")))?;
-                let entries: Vec<(String, u64)> = stats
+                let mut entries: Vec<(String, u64)> = stats
                     .entries()
                     .into_iter()
                     .map(|(name, value)| (name.to_string(), value))
                     .collect();
+                entries.extend(attempt_entries(client.retry_stats()));
                 print_json(&entries);
             } else {
                 all_ok &= submit(&mut client, &Request::Stats, &mut latencies)?;
             }
         }
         "metrics" => {
-            let entries = client
+            let mut entries = client
                 .metrics()
                 .map_err(|e| fail(format!("request failed: {e}")))?;
-            if args.get(2).map(String::as_str) == Some("--json") {
+            if args.get(1).map(String::as_str) == Some("--json") {
+                entries.extend(attempt_entries(client.retry_stats()));
                 print_json(&entries);
             } else {
                 // Prometheus text exposition: one `name value` sample
@@ -404,6 +455,13 @@ fn run() -> Result<ExitCode, ExitCode> {
             all_ok &= submit(&mut client, &Request::Shutdown, &mut latencies)?;
         }
         _ => usage(),
+    }
+    let retry = client.retry_stats();
+    if retry.retries > 0 || retry.failovers > 0 {
+        eprintln!(
+            "pwcet-client: attempts={} retries={} failovers={}",
+            retry.attempts, retry.retries, retry.failovers
+        );
     }
     Ok(if all_ok {
         ExitCode::SUCCESS

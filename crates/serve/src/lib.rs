@@ -60,7 +60,7 @@ pub mod protocol;
 pub mod server;
 pub mod shard;
 
-pub use client::{Client, ClientConfig};
+pub use client::{Client, ClientConfig, FleetClient, RetryPolicy, RetryStats};
 pub use peer::{FleetConfig, FleetStats, PeerFleet, PeerRing};
 pub use protocol::{
     AnalysisRow, ErrorCode, GeometryRow, PfailRow, ProtocolError, Request, Response, ServedFrom,

@@ -27,7 +27,7 @@
 //!   answer. The fleet itself only moves opaque bytes.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -264,12 +264,16 @@ impl FleetInner {
     }
 
     fn backed_off(&self, index: usize) -> bool {
-        let health = self.health[index].lock().expect("peer health");
+        let health = self.health[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         health.down_until.is_some_and(|t| Instant::now() < t)
     }
 
     fn mark_failure(&self, index: usize) {
-        let mut health = self.health[index].lock().expect("peer health");
+        let mut health = self.health[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         health.failures = health.failures.saturating_add(1);
         let exp = health.failures.saturating_sub(1).min(20);
         let delay = self
@@ -280,7 +284,9 @@ impl FleetInner {
     }
 
     fn mark_healthy(&self, index: usize) {
-        let mut health = self.health[index].lock().expect("peer health");
+        let mut health = self.health[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         health.failures = 0;
         health.down_until = None;
     }
@@ -295,7 +301,23 @@ impl FleetInner {
         index: usize,
         run: impl Fn(&mut Client) -> Result<T, crate::protocol::WireError>,
     ) -> Result<T, ()> {
-        let mut slot = self.conns[index].lock().expect("peer connection");
+        #[cfg(feature = "chaos")]
+        {
+            use pwcet_chaos::FaultPoint;
+            // A refused dial and a timed-out exchange look identical to
+            // the caller (a transport failure that backs the peer off);
+            // both are injected here, before any socket is touched, so
+            // the storm never actually burns a peer deadline waiting.
+            if pwcet_chaos::should_fire(FaultPoint::PeerDialRefusal)
+                || pwcet_chaos::should_fire(FaultPoint::PeerTimeout)
+            {
+                self.mark_failure(index);
+                return Err(());
+            }
+        }
+        let mut slot = self.conns[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let cached = slot.take();
         let had_cached = cached.is_some();
         let mut client = match cached {
@@ -343,6 +365,19 @@ impl FleetInner {
             }
             match self.exchange(index, |client| client.fetch_entry(key, trace)) {
                 Ok(Some(bytes)) => {
+                    #[cfg(feature = "chaos")]
+                    let bytes = {
+                        let mut bytes = bytes;
+                        if let Some(entropy) =
+                            pwcet_chaos::roll(pwcet_chaos::FaultPoint::PeerCorruptEntry)
+                        {
+                            if !bytes.is_empty() {
+                                let at = (entropy as usize) % bytes.len();
+                                bytes[at] ^= 0xff;
+                            }
+                        }
+                        bytes
+                    };
                     self.counters.fetch_hits.fetch_add(1, Ordering::Relaxed);
                     return Some(bytes);
                 }
@@ -476,8 +511,18 @@ impl PeerFleet {
     /// Stops accepting offers, drains the queued ones, and joins the
     /// worker. Idempotent; also run by drop.
     pub fn shutdown(&self) {
-        drop(self.offer_tx.lock().expect("offer sender").take());
-        if let Some(worker) = self.offer_worker.lock().expect("offer worker").take() {
+        drop(
+            self.offer_tx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take(),
+        );
+        let worker = self
+            .offer_worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(worker) = worker {
             let _ = worker.join();
         }
     }
@@ -495,7 +540,18 @@ impl NetworkTier for PeerFleet {
     }
 
     fn offer(&self, key: u64, bytes: &[u8]) {
-        let guard = self.offer_tx.lock().expect("offer sender");
+        #[cfg(feature = "chaos")]
+        if pwcet_chaos::should_fire(pwcet_chaos::FaultPoint::PeerOfferDrop) {
+            // A dropped offer is the same degradation a full queue
+            // causes: the entry stays local and a future peer fetch
+            // misses. Count it in the same place.
+            self.inner
+                .counters
+                .offers_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let guard = self.offer_tx.lock().unwrap_or_else(PoisonError::into_inner);
         let Some(tx) = guard.as_ref() else { return };
         if tx.try_send((key, bytes.to_vec())).is_err() {
             // Queue full (or worker gone): drop rather than block the

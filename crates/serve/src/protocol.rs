@@ -54,8 +54,18 @@ pub const MAGIC: [u8; 4] = *b"PWCQ";
 /// ([`StageTiming`]), and the [`Request::Metrics`] verb answering a
 /// self-describing name→value registry snapshot
 /// ([`Response::Metrics`]) — the last stats layout change: new
-/// instruments ride the table, not the struct.
-pub const VERSION: u32 = 6;
+/// instruments ride the table, not the struct;
+/// 7 = a structured `retry_after_ms` hint carried as an *optional
+/// trailing field* of [`Response::Error`] (set on `Overloaded`
+/// refusals, derived from the refusing shard's queue depth). The
+/// field is payload-level optional, so v6 frames decode unchanged and
+/// v6 clients simply never read the hint — peers at
+/// [`MIN_VERSION`]..=[`VERSION`] interoperate.
+pub const VERSION: u32 = 7;
+/// Oldest protocol version this build still accepts. v6 differs from
+/// v7 only by the absence of the optional `retry_after_ms` tail on
+/// error payloads, which the decoder treats as `None`.
+pub const MIN_VERSION: u32 = 6;
 /// Header bytes before the payload.
 pub const HEADER_LEN: usize = 24;
 /// Upper bound on a frame payload. Far above any real request (a whole
@@ -568,6 +578,12 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Structured backoff hint (v7+): how long the client should
+        /// wait before retrying. Set on `Overloaded` refusals, derived
+        /// from the refusing shard's queue depth. Encoded as an
+        /// optional trailing field, so v6 peers interoperate (they
+        /// neither send nor read it).
+        retry_after_ms: Option<u64>,
     },
     /// Answer to [`Request::Shutdown`]: the server stopped accepting
     /// work and is draining.
@@ -936,10 +952,19 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             enc.u8(5);
             encode_stats(&mut enc, stats);
         }
-        Response::Error { code, message } => {
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => {
             enc.u8(6);
             enc.u8(error_code_tag(*code));
             enc.str(message);
+            // v7: optional trailing hint. Omitted entirely when absent,
+            // which is exactly the v6 layout.
+            if let Some(ms) = retry_after_ms {
+                enc.u64(*ms);
+            }
         }
         Response::ShutdownStarted => enc.u8(7),
         Response::Entry { key, entry } => {
@@ -1177,7 +1202,7 @@ pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u64, u64), ProtocolErr
         return Err(ProtocolError::BadMagic);
     }
     let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ProtocolError::UnsupportedVersion(version));
     }
     let payload_len = u64::from_le_bytes(header[8..16].try_into().unwrap());
@@ -1371,10 +1396,21 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, ProtocolError
             }
         }
         5 => Response::Stats(Box::new(decode_stats(&mut dec)?)),
-        6 => Response::Error {
-            code: decode_error_code(&mut dec)?,
-            message: dec.str()?,
-        },
+        6 => {
+            let code = decode_error_code(&mut dec)?;
+            let message = dec.str()?;
+            // v7 appends the hint; a v6 payload simply ends here.
+            let retry_after_ms = if dec.remaining() > 0 {
+                Some(dec.u64()?)
+            } else {
+                None
+            };
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            }
+        }
         7 => Response::ShutdownStarted,
         8 => {
             let key = dec.u64()?;
@@ -1662,6 +1698,12 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "shard 2 queue full (depth 64)".into(),
+                retry_after_ms: Some(320),
+            },
+            Response::Error {
+                code: ErrorCode::Malformed,
+                message: "bad tag".into(),
+                retry_after_ms: None,
             },
             Response::ShutdownStarted,
             Response::Entry {
@@ -1689,6 +1731,45 @@ mod tests {
             let bytes = encode_response(&response);
             assert_eq!(decode_response(&bytes).unwrap(), response);
         }
+    }
+
+    /// A v6 peer's frame — version 6 header, error payload with no
+    /// trailing hint — still decodes on this build, with
+    /// `retry_after_ms = None`; and a v7 frame carrying the hint
+    /// round-trips it. This is the `MIN_VERSION` interop contract.
+    #[test]
+    fn v6_error_frames_decode_without_the_retry_hint() {
+        // Hand-build the v6 layout: tag 6, code tag, message string.
+        let mut enc = Enc::new();
+        enc.u8(6);
+        enc.u8(error_code_tag(ErrorCode::Overloaded));
+        enc.str("shard 1 queue full (depth 64); retry later");
+        let payload = enc.buf;
+        let mut framed = Vec::with_capacity(HEADER_LEN + payload.len());
+        framed.extend_from_slice(&MAGIC);
+        framed.extend_from_slice(&6u32.to_le_bytes());
+        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&checksum(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+
+        let decoded = decode_response(&framed).expect("v6 frame decodes");
+        assert_eq!(
+            decoded,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "shard 1 queue full (depth 64); retry later".into(),
+                retry_after_ms: None,
+            }
+        );
+
+        // The v7 encoding of the same refusal carries the hint through.
+        let v7 = Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "shard 1 queue full (depth 64); retry later".into(),
+            retry_after_ms: Some(640),
+        };
+        let bytes = encode_response(&v7);
+        assert_eq!(decode_response(&bytes).expect("v7 frame decodes"), v7);
     }
 
     #[test]

@@ -206,6 +206,13 @@ struct Telemetry {
     request_latency_us: Arc<Histogram>,
     queue_wait_us: Arc<Histogram>,
     service_us: Arc<Histogram>,
+    /// Analysis jobs whose worker panicked and was caught — the job
+    /// answers an error response and the shard keeps serving.
+    worker_panics: Arc<Counter>,
+    /// Responses whose frame write failed (peer gone, kernel buffer
+    /// stalled past the deadline, or an injected disconnect) — the
+    /// work was done but the answer never made it out.
+    response_write_failures: Arc<Counter>,
 }
 
 impl Telemetry {
@@ -219,6 +226,8 @@ impl Telemetry {
         let request_latency_us = registry.histogram("request_latency_us");
         let queue_wait_us = registry.histogram("queue_wait_us");
         let service_us = registry.histogram("service_us");
+        let worker_panics = registry.counter("worker_panics");
+        let response_write_failures = registry.counter("response_write_failures");
         Ok(Self {
             tracer,
             registry,
@@ -226,6 +235,8 @@ impl Telemetry {
             request_latency_us,
             queue_wait_us,
             service_us,
+            worker_panics,
+            response_write_failures,
         })
     }
 
@@ -480,6 +491,32 @@ impl Shared {
         for (name, value) in self.telemetry.registry.snapshot().table() {
             table.insert(name, value);
         }
+        // Fleet transport counters under a `fleet_` prefix — the legacy
+        // stats rows carry hits/misses/corrupt, these add the failure
+        // half (errors, failed and dropped offers) the chaos suite
+        // reconciles injected peer faults against.
+        if let Some(fleet) = &self.fleet {
+            let fleet_stats = fleet.stats();
+            for (name, value) in [
+                ("fleet_fetch_hits", fleet_stats.fetch_hits),
+                ("fleet_fetch_misses", fleet_stats.fetch_misses),
+                ("fleet_fetch_errors", fleet_stats.fetch_errors),
+                ("fleet_offers_sent", fleet_stats.offers_sent),
+                ("fleet_offers_failed", fleet_stats.offers_failed),
+                ("fleet_offers_dropped", fleet_stats.offers_dropped),
+            ] {
+                table.insert(name.to_string(), value);
+            }
+        }
+        // The active fault plan's per-point fired counters
+        // (`chaos_fired_*`), so chaos tests reconcile injected faults
+        // against the degradation counters above over one scrape.
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = pwcet_chaos::active() {
+            for (name, value) in plan.entries() {
+                table.insert(name, value);
+            }
+        }
         table.into_iter().collect()
     }
 }
@@ -559,8 +596,20 @@ impl Server {
             // ILP, convolution, decode, peer fetch) recorded on this
             // thread and arms `current_trace()` for the peer layer.
             let (result, mut spans) = trace_scope(&worker_telemetry.tracer, trace, || {
-                catch_unwind(AssertUnwindSafe(|| worker_engine.execute(work)))
-                    .unwrap_or_else(|_| Err("internal panic during analysis".to_string()))
+                catch_unwind(AssertUnwindSafe(|| {
+                    // Chaos shard fault: blow up inside the job exactly
+                    // where a pipeline bug would, upstream of the
+                    // catch_unwind recovery below.
+                    #[cfg(feature = "chaos")]
+                    if pwcet_chaos::should_fire(pwcet_chaos::FaultPoint::ShardPanic) {
+                        panic!("chaos: injected shard panic");
+                    }
+                    worker_engine.execute(work)
+                }))
+                .unwrap_or_else(|_| {
+                    worker_telemetry.worker_panics.inc();
+                    Err("internal panic during analysis".to_string())
+                })
             });
             let service_us = service_started.elapsed().as_micros() as u64;
             worker_telemetry.service_us.record(service_us);
@@ -806,6 +855,14 @@ fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> Result<PolledRe
             Err(e) => return Err(e.into()),
         }
     }
+    // Chaos wire fault: the stream tears after the header — exactly
+    // what a peer dying mid-frame produces (the `Ok(0)` path below).
+    // Degrades like any truncation: one counted protocol error, a
+    // clean error response, and the connection is dropped.
+    #[cfg(feature = "chaos")]
+    if pwcet_chaos::should_fire(pwcet_chaos::FaultPoint::WireTornRead) {
+        return Err(ProtocolError::Truncated.into());
+    }
     let (payload_len, sum) = protocol::parse_header(&header)?;
     let mut payload = vec![0u8; payload_len as usize];
     let mut filled = 0usize;
@@ -835,6 +892,24 @@ fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> Result<PolledRe
 }
 
 fn respond(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    // Chaos wire faults on the write side: a delayed response (latency
+    // fault — the client's read timeout and retry policy absorb it) or
+    // a connection dropped before the response bytes go out (the
+    // requester must fail over / retry; counted by the caller as a
+    // response write failure).
+    #[cfg(feature = "chaos")]
+    {
+        use pwcet_chaos::FaultPoint;
+        if let Some(entropy) = pwcet_chaos::roll(FaultPoint::WireDelayedWrite) {
+            std::thread::sleep(Duration::from_millis(5 + entropy % 45));
+        }
+        if pwcet_chaos::should_fire(FaultPoint::WireDisconnect) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "chaos: injected mid-response disconnect",
+            ));
+        }
+    }
     protocol::write_frame(stream, &protocol::encode_response(response))
 }
 
@@ -842,6 +917,24 @@ fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
     Response::Error {
         code,
         message: message.into(),
+        retry_after_ms: None,
+    }
+}
+
+/// How long an `Overloaded` refusal tells the client to back off: a
+/// rough drain estimate from the refusing shard's queue depth, floored
+/// so a hint is never zero and capped so a deep queue cannot park
+/// clients for ages. Carried as the structured `retry_after_ms` field
+/// of the v7 error payload.
+fn retry_after_hint(depth: usize) -> u64 {
+    (depth as u64).saturating_mul(50).clamp(50, 5_000)
+}
+
+fn overloaded_response(message: impl Into<String>, depth: usize) -> Response {
+    Response::Error {
+        code: ErrorCode::Overloaded,
+        message: message.into(),
+        retry_after_ms: Some(retry_after_hint(depth)),
     }
 }
 
@@ -876,7 +969,14 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 };
                 match dispatch(&mut stream, shared, request) {
                     Ok(true) => {}
-                    Ok(false) | Err(_) => return,
+                    Ok(false) => return,
+                    Err(_) => {
+                        // The response could not be written — the peer
+                        // is gone or the write stalled out. The work
+                        // (if any) already ran; only delivery failed.
+                        shared.telemetry.response_write_failures.inc();
+                        return;
+                    }
                 }
             }
             Ok(PolledRead::CleanEof) | Ok(PolledRead::Stopped) => return,
@@ -1219,9 +1319,9 @@ fn run_job(
         Ok(_) => {}
         Err(SubmitError::Overloaded { shard, depth, .. }) => {
             shared.counters.overloads.fetch_add(1, Ordering::Relaxed);
-            return error_response(
-                ErrorCode::Overloaded,
+            return overloaded_response(
                 format!("shard {shard} queue full (depth {depth}); retry later"),
+                depth,
             );
         }
         Err(SubmitError::ShuttingDown { .. }) => {
@@ -1311,12 +1411,12 @@ fn run_batch(
                 // Jobs already submitted still run (and warm the plane);
                 // their replies are dropped with the receivers.
                 shared.counters.overloads.fetch_add(1, Ordering::Relaxed);
-                return error_response(
-                    ErrorCode::Overloaded,
+                return overloaded_response(
                     format!(
                         "shard {shard} queue full (depth {depth}) at batch item {}; retry later",
                         submissions.len()
                     ),
+                    depth,
                 );
             }
             Err(SubmitError::ShuttingDown { .. }) => {

@@ -17,10 +17,17 @@
 //! [`SubmitError::ShuttingDown`], but every job already queued is still
 //! executed before the workers exit, so in-flight requests always get
 //! their response.
+//!
+//! Queue locks recover from poisoning: the server catches panics inside
+//! the *job* (`catch_unwind` around the handler's analysis), but a panic
+//! on any other worker path must not wedge the shard — a poisoned queue
+//! mutex holds plain `VecDeque` state that is valid at every await
+//! point, so every lock here takes `PoisonError::into_inner` instead of
+//! propagating the poison to innocent submitters.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// Why a submission was refused. The rejected job rides back to the
@@ -97,7 +104,7 @@ impl<T: Send + 'static> ShardPool<T> {
                 let processed = Arc::clone(&processed);
                 std::thread::spawn(move || loop {
                     let job = {
-                        let mut queue = state.queue.lock().expect("shard queue");
+                        let mut queue = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
                         loop {
                             if let Some(job) = queue.jobs.pop_front() {
                                 break Some(job);
@@ -105,7 +112,10 @@ impl<T: Send + 'static> ShardPool<T> {
                             if queue.shutdown {
                                 break None;
                             }
-                            queue = state.ready.wait(queue).expect("shard queue");
+                            queue = state
+                                .ready
+                                .wait(queue)
+                                .unwrap_or_else(PoisonError::into_inner);
                         }
                     };
                     match job {
@@ -153,7 +163,7 @@ impl<T: Send + 'static> ShardPool<T> {
     pub fn submit(&self, key: u64, job: T) -> Result<usize, SubmitError<T>> {
         let shard = self.shard_of(key);
         let state = &self.shards[shard];
-        let mut queue = state.queue.lock().expect("shard queue");
+        let mut queue = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
         if queue.shutdown {
             return Err(SubmitError::ShuttingDown { job });
         }
@@ -171,7 +181,13 @@ impl<T: Send + 'static> ShardPool<T> {
     pub fn queued(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.queue.lock().expect("shard queue").jobs.len())
+            .map(|s| {
+                s.queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .jobs
+                    .len()
+            })
             .sum()
     }
 
@@ -186,11 +202,12 @@ impl<T: Send + 'static> ShardPool<T> {
     /// lifetime.
     pub fn shutdown(&self) -> u64 {
         for state in &self.shards {
-            let mut queue = state.queue.lock().expect("shard queue");
+            let mut queue = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
             queue.shutdown = true;
             state.ready.notify_all();
         }
-        let workers = std::mem::take(&mut *self.workers.lock().expect("worker handles"));
+        let workers =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
         for worker in workers {
             let _ = worker.join();
         }

@@ -1,0 +1,484 @@
+//! The chaos suite: a two-node fleet under a seeded fault storm.
+//!
+//! The contract under test is *never a wrong answer*: with every fault
+//! point firing — torn reads, delayed writes and mid-frame disconnects
+//! on the wire, bit flips, short writes and write errors on the disk
+//! store, timeouts, corrupt entries, dropped offers and refused dials in
+//! the fleet, and injected panics inside shard jobs — every response
+//! that completes is bit-identical to a fault-free oracle run, the storm
+//! finishes in bounded wall-clock time, every node drains cleanly, and
+//! the per-point fired counters reconcile against the degradation
+//! counters the faults are supposed to land in.
+//!
+//! Three phases after the oracle run:
+//!
+//! 1. **Storm** — client threads hammer a two-node fleet through the
+//!    failover client; wire, shard, offer and write-path faults fire.
+//! 2. **Peer replay** — a fresh node ringed to the warm node re-analyzes
+//!    everything, so its fetches return real entries and the
+//!    `peer_corrupt_entry` point gets bytes to mangle.
+//! 3. **Disk replay** — a fresh node reopens the warm node's store
+//!    directory, so every analysis starts with a disk read and the
+//!    `disk_bit_flip` point gets entries to corrupt.
+//!
+//! The storm is reproducible: one u64 seed drives every fault decision.
+//! `CHAOS_SEED` (decimal or `0x…` hex) overrides the pinned seed, and
+//! the seed is printed up front so any failure names the storm to
+//! replay.
+//!
+//! Run with `cargo test -p pwcet-serve --features chaos --test
+//! chaos_suite`; the file compiles to nothing without the feature.
+
+#![cfg(feature = "chaos")]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pwcet_chaos::{FaultPlan, FaultPoint};
+use pwcet_obs::TraceId;
+use pwcet_progen::{stmt, Program};
+use pwcet_serve::{
+    AnalysisRow, Client, ClientConfig, ErrorCode, FleetClient, FleetConfig, Response, RetryPolicy,
+    Server, ServerConfig,
+};
+
+/// The CI-pinned storm seed; any u64 must pass, this one provably does.
+const PINNED_SEED: u64 = 0xC0FF_EE20_26A5_EED5;
+
+/// Per-point firing rates for the storm, in events per 10 000 calls.
+/// High enough that the traffic below exercises every layer, low enough
+/// that most requests still complete end to end.
+const STORM_RATES: &[(FaultPoint, u32)] = &[
+    (FaultPoint::WireTornRead, 300),
+    (FaultPoint::WireDelayedWrite, 800),
+    (FaultPoint::WireDisconnect, 300),
+    (FaultPoint::DiskShortWrite, 500),
+    (FaultPoint::DiskBitFlip, 4000),
+    (FaultPoint::DiskWriteError, 500),
+    (FaultPoint::PeerTimeout, 600),
+    (FaultPoint::PeerCorruptEntry, 8000),
+    (FaultPoint::PeerOfferDrop, 1500),
+    (FaultPoint::PeerDialRefusal, 600),
+    (FaultPoint::ShardPanic, 250),
+];
+
+/// Client threads × requests per thread for the storm phase.
+const STORM_THREADS: usize = 3;
+const REQUESTS_PER_THREAD: usize = 20;
+const DISTINCT_PROGRAMS: usize = 10;
+
+/// Hard ceiling on the faulted phases (steady-state they run in well
+/// under a second; the bound is the "no fault may hang the service"
+/// assertion).
+const WALL_CLOCK: Duration = Duration::from_secs(120);
+
+fn storm_seed() -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(raw) => {
+            let raw = raw.trim();
+            let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => raw.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("CHAOS_SEED {raw:?} is not a u64"))
+        }
+        Err(_) => PINNED_SEED,
+    }
+}
+
+/// The storm's program population. Distinct shapes so requests spread
+/// over shards and reuse-plane keys; each is cheap to analyze.
+fn program(index: usize) -> Program {
+    let i = index % DISTINCT_PROGRAMS;
+    Program::new(format!("chaos-{i}")).with_function(
+        "main",
+        stmt::seq(vec![
+            stmt::loop_(16 + (i as u32) * 7, stmt::compute(8 + i as u32)),
+            stmt::if_else(
+                stmt::compute(5 + i as u32),
+                stmt::loop_(6 + (i as u32) * 2, stmt::compute(4)),
+            ),
+        ]),
+    )
+}
+
+fn temp_dir(tag: &str, seed: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pwcet-chaos-{tag}-{}-{seed:016x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Fault-free reference rows, computed before the plan is installed so
+/// no injection can touch them.
+fn oracle_rows() -> Vec<AnalysisRow> {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind oracle");
+    let mut client = Client::connect(server.local_addr()).expect("connect oracle");
+    let rows: Vec<AnalysisRow> = (0..DISTINCT_PROGRAMS)
+        .map(|i| {
+            match client
+                .analyze(program(i), 1e-4, 1e-15)
+                .expect("oracle analyze")
+            {
+                Response::Analysis { row, .. } => row,
+                other => panic!("oracle: expected analysis, got {other:?}"),
+            }
+        })
+        .collect();
+    server.shutdown();
+    rows
+}
+
+/// One storm request: a completed analysis must be bit-identical to the
+/// oracle (`served_from` aside — provenance legitimately varies under
+/// faults); a refusal or exhausted transport is counted degradation.
+/// Returns whether the request completed.
+fn assert_never_wrong(
+    client: &mut FleetClient,
+    index: usize,
+    oracle: &[AnalysisRow],
+    seed: u64,
+    context: &str,
+) -> bool {
+    match client.analyze_traced(program(index), 1e-4, 1e-15, TraceId::mint().0) {
+        Ok(Response::Analysis { row, .. }) => {
+            let reference = AnalysisRow {
+                served_from: row.served_from,
+                ..oracle[index % DISTINCT_PROGRAMS].clone()
+            };
+            assert_eq!(
+                row, reference,
+                "completed response differs from the fault-free oracle \
+                 (seed {seed:#018x}, {context})"
+            );
+            true
+        }
+        Ok(Response::Error { code, message, .. }) => {
+            // A refusal is honest degradation — but only the codes
+            // faults can cause; the requests themselves are always
+            // valid.
+            assert!(
+                matches!(
+                    code,
+                    ErrorCode::Overloaded
+                        | ErrorCode::Analysis
+                        | ErrorCode::Malformed
+                        | ErrorCode::ShuttingDown
+                ),
+                "unexpected refusal {code:?}: {message} (seed {seed:#018x}, {context})"
+            );
+            false
+        }
+        Ok(other) => panic!("unexpected response {other:?} (seed {seed:#018x}, {context})"),
+        Err(_) => false, // transport lost even after retries
+    }
+}
+
+/// Scrapes one node's metrics table over the (still chaotic) wire, with
+/// enough attempts that the scrape itself rides out the fault rates.
+fn scrape(addr: &str, seed: u64) -> BTreeMap<String, u64> {
+    let policy = RetryPolicy {
+        max_attempts: 12,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        seed,
+    };
+    let mut client = FleetClient::with([addr], ClientConfig::default(), policy);
+    client
+        .metrics()
+        .unwrap_or_else(|e| panic!("metrics scrape of {addr} failed: {e} (seed {seed:#018x})"))
+        .into_iter()
+        .collect()
+}
+
+/// Sums the named row over every table (0 when a node does not expose
+/// it — e.g. `fleet_*` rows on a fleetless node).
+fn summed(tables: &[&BTreeMap<String, u64>], name: &str) -> u64 {
+    tables
+        .iter()
+        .map(|t| t.get(name).copied().unwrap_or(0))
+        .sum()
+}
+
+#[test]
+fn storm_never_produces_a_wrong_answer() {
+    let seed = storm_seed();
+    // Printed up front: a failing run names the storm to replay
+    // (`CHAOS_SEED=0x… cargo test --features chaos --test chaos_suite`).
+    println!("chaos storm seed: {seed:#018x}");
+
+    let oracle = oracle_rows();
+
+    // Install the global plan. From here on every fault point in the
+    // process is live; the oracle above is already computed.
+    let mut plan = FaultPlan::new(seed);
+    for &(point, rate) in STORM_RATES {
+        plan = plan.with_rate(point, rate);
+    }
+    let plan = Arc::new(plan);
+    assert!(
+        pwcet_chaos::install(Arc::clone(&plan)),
+        "the suite must be the first to install a plan (seed {seed:#018x})"
+    );
+    let started = Instant::now();
+
+    // Two nodes, both disk-backed so the write-path disk points fire;
+    // B's ring names A, so B's local misses fetch from A and B's cold
+    // builds offer back to A.
+    let dir_a = temp_dir("a", seed);
+    let dir_b = temp_dir("b", seed);
+    let node_a =
+        Server::bind("127.0.0.1:0", ServerConfig::default().with_disk_dir(&dir_a)).expect("bind A");
+    // Millisecond-scale peer backoff: at the test's timescale the
+    // default 250ms floor would blank out every fetch after the first
+    // injected timeout, leaving the corrupt-entry point nothing to do.
+    let ringed_to_a = |addrs: [String; 1]| {
+        let mut fleet = FleetConfig::new(
+            "127.0.0.1:1", // placeholder self entry, never dialed
+            addrs,
+        );
+        fleet.backoff_base = Duration::from_millis(1);
+        fleet.backoff_max = Duration::from_millis(10);
+        fleet
+    };
+    let config_b = ServerConfig {
+        fleet: Some(ringed_to_a([node_a.local_addr().to_string()])),
+        ..ServerConfig::default().with_disk_dir(&dir_b)
+    };
+    let node_b = Server::bind("127.0.0.1:0", config_b).expect("bind B");
+    let addr_a = node_a.local_addr().to_string();
+    let addr_b = node_b.local_addr().to_string();
+
+    // Phase 1, the storm: client threads hammer both nodes through the
+    // failover client, so wire faults surface as retries/failovers, not
+    // test errors. Completed rows are checked against the oracle.
+    let outcomes: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..STORM_THREADS)
+            .map(|thread| {
+                let endpoints = [addr_b.clone(), addr_a.clone()];
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    let policy = RetryPolicy {
+                        max_attempts: 4,
+                        base_backoff: Duration::from_millis(10),
+                        max_backoff: Duration::from_millis(250),
+                        seed: seed ^ thread as u64,
+                    };
+                    let mut client = FleetClient::with(endpoints, ClientConfig::default(), policy);
+                    let mut completed = 0usize;
+                    for request in 0..REQUESTS_PER_THREAD {
+                        let context = format!("storm thread {thread} request {request}");
+                        let index = (thread + request) % DISTINCT_PROGRAMS;
+                        if assert_never_wrong(&mut client, index, oracle, seed, &context) {
+                            completed += 1;
+                        }
+                    }
+                    (completed, REQUESTS_PER_THREAD - completed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let completed: usize = outcomes.iter().map(|(c, _)| c).sum();
+    let degraded: usize = outcomes.iter().map(|(_, d)| d).sum();
+    assert_eq!(
+        completed + degraded,
+        STORM_THREADS * REQUESTS_PER_THREAD,
+        "every request must resolve (seed {seed:#018x})"
+    );
+    assert!(
+        completed > 0,
+        "the storm rates must leave most requests completing \
+         ({completed} completed / {degraded} degraded, seed {seed:#018x})"
+    );
+
+    // Let B's async offer worker finish the storm's write-backs, then
+    // snapshot the fired counters. The snapshot orders the inequality:
+    // faults fired *before* it are visible in tables scraped *after*
+    // it, and later fires only push the observed side higher.
+    std::thread::sleep(Duration::from_millis(200));
+    let storm_fired: Vec<u64> = FaultPoint::ALL
+        .iter()
+        .map(|&point| plan.fired(point))
+        .collect();
+    let fired = |point: FaultPoint| storm_fired[point.index()];
+
+    let table_a = scrape(&addr_a, seed);
+    let table_b = scrape(&addr_b, seed);
+    let storm_tables = [&table_a, &table_b];
+
+    // Reconciliation: every fired fault must show up in the degradation
+    // counter it is designed to land in. All `>=` — the real world may
+    // add failures of its own on top of the injected ones, never fewer.
+    let reconcile: &[(&str, u64, u64)] = &[
+        (
+            "torn reads -> protocol_errors",
+            summed(&storm_tables, "protocol_errors"),
+            fired(FaultPoint::WireTornRead),
+        ),
+        (
+            "disconnects -> response_write_failures",
+            summed(&storm_tables, "response_write_failures"),
+            fired(FaultPoint::WireDisconnect),
+        ),
+        (
+            "shard panics -> worker_panics",
+            summed(&storm_tables, "worker_panics"),
+            fired(FaultPoint::ShardPanic),
+        ),
+        (
+            "disk bit flips -> disk_corrupt",
+            summed(&storm_tables, "disk_corrupt"),
+            fired(FaultPoint::DiskBitFlip),
+        ),
+        (
+            "corrupt peer entries -> network_corrupt",
+            summed(&storm_tables, "network_corrupt"),
+            fired(FaultPoint::PeerCorruptEntry),
+        ),
+        (
+            "peer timeouts + refused dials -> fleet transport failures",
+            summed(&storm_tables, "fleet_fetch_errors")
+                + summed(&storm_tables, "fleet_offers_failed"),
+            fired(FaultPoint::PeerTimeout) + fired(FaultPoint::PeerDialRefusal),
+        ),
+        (
+            "dropped offers -> fleet_offers_dropped",
+            summed(&storm_tables, "fleet_offers_dropped"),
+            fired(FaultPoint::PeerOfferDrop),
+        ),
+    ];
+    for &(what, observed, injected) in reconcile {
+        assert!(
+            observed >= injected,
+            "{what}: observed {observed} < injected {injected} (seed {seed:#018x})"
+        );
+    }
+
+    // The metrics verb itself must carry the per-point fired counters,
+    // and the live plan can only be ahead of what a table recorded.
+    for &point in FaultPoint::ALL.iter() {
+        let row = format!("chaos_fired_{}", point.name());
+        let scraped = storm_tables
+            .iter()
+            .filter_map(|t| t.get(&row).copied())
+            .max()
+            .unwrap_or_else(|| panic!("metrics table lacks {row} (seed {seed:#018x})"));
+        assert!(
+            plan.fired(point) >= scraped,
+            "{row}: plan says {} but a table said {scraped} (seed {seed:#018x})",
+            plan.fired(point)
+        );
+    }
+
+    // B is done; drain it cleanly under the still-active plan.
+    let stats_b = node_b.shutdown();
+    assert_eq!(stats_b.queued, 0, "B drained dirty (seed {seed:#018x})");
+
+    // Phase 2, peer replay: a fresh node ringed to A re-analyzes the
+    // whole population. Its local misses fetch real entries from A's
+    // warm tiers, so `peer_corrupt_entry` finally has bytes to mangle —
+    // and every mangled fetch must degrade to a correct cold build.
+    let corrupt_baseline = plan.fired(FaultPoint::PeerCorruptEntry);
+    let dir_c = temp_dir("c", seed);
+    let config_c = ServerConfig {
+        fleet: Some(ringed_to_a([addr_a.clone()])),
+        ..ServerConfig::default().with_disk_dir(&dir_c)
+    };
+    let node_c = Server::bind("127.0.0.1:0", config_c).expect("bind C");
+    let addr_c = node_c.local_addr().to_string();
+    let mut client_c = FleetClient::with(
+        [addr_c.clone()],
+        ClientConfig::default(),
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            seed: seed ^ 0xC,
+        },
+    );
+    for index in 0..DISTINCT_PROGRAMS {
+        let context = format!("peer replay program {index}");
+        assert_never_wrong(&mut client_c, index, &oracle, seed, &context);
+    }
+    let corrupt_injected = plan.fired(FaultPoint::PeerCorruptEntry) - corrupt_baseline;
+    let table_c = scrape(&addr_c, seed);
+    assert!(
+        summed(&[&table_c], "network_corrupt") >= corrupt_injected,
+        "peer replay: {corrupt_injected} corrupt fetches injected but only {} counted \
+         (seed {seed:#018x})",
+        summed(&[&table_c], "network_corrupt")
+    );
+    let stats_c = node_c.shutdown();
+    assert_eq!(stats_c.queued, 0, "C drained dirty (seed {seed:#018x})");
+    let stats_a = node_a.shutdown();
+    assert_eq!(stats_a.queued, 0, "A drained dirty (seed {seed:#018x})");
+
+    // Phase 3, disk replay: reopen A's store. Every analysis now starts
+    // with a disk read, so `disk_bit_flip` finally has entries to
+    // corrupt — and every corrupted read must degrade to a correct
+    // cold rebuild (the flipped entry is deleted, never trusted).
+    let flip_baseline = plan.fired(FaultPoint::DiskBitFlip);
+    let node_d =
+        Server::bind("127.0.0.1:0", ServerConfig::default().with_disk_dir(&dir_a)).expect("bind D");
+    let addr_d = node_d.local_addr().to_string();
+    let mut client_d = FleetClient::with(
+        [addr_d.clone()],
+        ClientConfig::default(),
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            seed: seed ^ 0xD,
+        },
+    );
+    for index in 0..DISTINCT_PROGRAMS {
+        let context = format!("disk replay program {index}");
+        assert_never_wrong(&mut client_d, index, &oracle, seed, &context);
+    }
+    let flips_injected = plan.fired(FaultPoint::DiskBitFlip) - flip_baseline;
+    let table_d = scrape(&addr_d, seed);
+    assert!(
+        summed(&[&table_d], "disk_corrupt") >= flips_injected,
+        "disk replay: {flips_injected} bit flips injected but only {} counted \
+         (seed {seed:#018x})",
+        summed(&[&table_d], "disk_corrupt")
+    );
+    let stats_d = node_d.shutdown();
+    assert_eq!(stats_d.queued, 0, "D drained dirty (seed {seed:#018x})");
+
+    // Bounded wall clock over every faulted phase, and an activity
+    // floor: a storm that fires nothing is a broken storm.
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < WALL_CLOCK,
+        "faulted phases took {elapsed:?}, bound is {WALL_CLOCK:?} (seed {seed:#018x})"
+    );
+    assert!(
+        stats_a.served + stats_b.served >= completed as u64,
+        "served counters lost requests (seed {seed:#018x})"
+    );
+    assert!(
+        plan.total_fired() > 0,
+        "the storm fired nothing — rates or seed stream broken (seed {seed:#018x})"
+    );
+    println!(
+        "storm summary: {completed} completed, {degraded} degraded, {} faults fired in {elapsed:?}",
+        plan.total_fired()
+    );
+    for &point in FaultPoint::ALL.iter() {
+        println!(
+            "  {:<20} calls {:>5}  fired {:>4}",
+            point.name(),
+            plan.calls(point),
+            plan.fired(point)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let _ = std::fs::remove_dir_all(&dir_c);
+}

@@ -49,7 +49,7 @@ fn read_response(stream: &mut TcpStream) -> Option<Response> {
 
 fn expect_malformed_error(stream: &mut TcpStream, what: &str) {
     match read_response(stream) {
-        Some(Response::Error { code, message }) => {
+        Some(Response::Error { code, message, .. }) => {
             assert_eq!(code, ErrorCode::Malformed, "{what}: {message}");
         }
         other => panic!("{what}: expected a malformed-error response, got {other:?}"),

@@ -404,8 +404,16 @@ fn response_strategy() -> BoxedStrategy<Response> {
         (any::<u64>(), proptest::option::of(vec(any::<u8>(), 0..512)))
             .prop_map(|(key, entry)| Response::Entry { key, entry }),
         any::<bool>().prop_map(|stored| Response::OfferAck { stored }),
-        (error_code_strategy(), name_strategy())
-            .prop_map(|(code, message)| Response::Error { code, message }),
+        (
+            error_code_strategy(),
+            name_strategy(),
+            proptest::option::of(any::<u64>())
+        )
+            .prop_map(|(code, message, retry_after_ms)| Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            }),
         Just(Response::ShutdownStarted),
     ]
     .boxed()
